@@ -1,0 +1,125 @@
+// Ablation: LVRM's own design knobs, measured at figure level.
+//
+// Three sweeps over design choices DESIGN.md calls out:
+//   1. poll batch size — throughput (memory world) vs control-event latency
+//      under full load: the Exp 1c / Exp 1e trade-off.
+//   2. load-estimator variant (Fig 3.4): queue-length vs arrival-time under
+//      JSQ at the Exp 3a operating point.
+//   3. EWMA weight — allocation stability on a bursty load: a twitchy
+//      estimator flaps core allocations, a smooth one reacts late.
+#include "bench/exp_common.hpp"
+#include "exp/experiments.hpp"
+#include "sim/costs.hpp"
+#include "traffic/udp_sender.hpp"
+
+using namespace lvrm;
+using namespace lvrm::exp;
+
+namespace {
+
+double memory_tput_kfps(std::size_t batch) {
+  // A trimmed run_memory_throughput with a configurable poll batch.
+  sim::Simulator sim;
+  sim::CpuTopology topo;
+  LvrmConfig cfg;
+  cfg.adapter = AdapterKind::kMemory;
+  cfg.allocator = AllocatorKind::kFixed;
+  cfg.poll_batch = batch;
+  LvrmSystem sys(sim, topo, cfg);
+  sys.add_vr(VrConfig{});
+  sys.start();
+  std::uint64_t delivered = 0;
+  sys.set_egress([&](net::FrameMeta&&) { ++delivered; });
+  std::uint64_t id = 0;
+  std::function<void()> refill = [&] {
+    for (int i = 0; i < 512; ++i) {
+      net::FrameMeta f;
+      f.id = id++;
+      f.src_ip = net::ipv4(10, 1, 0, 1);
+      f.dst_ip = net::ipv4(10, 2, 0, 1);
+      if (!sys.ingress(f)) break;
+    }
+    sim.after(usec(50), refill);
+  };
+  sim.at(0, refill);
+  sim.run_until(msec(10));
+  const std::uint64_t mark = delivered;
+  sim.run_until(msec(40));
+  return static_cast<double>(delivered - mark) / 0.03 / 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header(
+      "Ablation: LVRM design knobs", "(design study, not a paper figure)",
+      "poll batch trades control-event latency for loop efficiency; the two "
+      "Fig 3.4 estimators deliver comparable throughput; small EWMA weights "
+      "flap core allocations on bursty input, large ones react slowly");
+
+  std::cout << "-- 1. poll batch: throughput vs control latency --\n";
+  TablePrinter batch_table(
+      {"batch", "memory Kfps", "ctrl latency full-load us"}, args.csv);
+  for (const std::size_t batch : {1UL, 2UL, 4UL, 6UL, 8UL, 16UL}) {
+    batch_table.add_row(
+        {TablePrinter::num(static_cast<std::int64_t>(batch)),
+         TablePrinter::num(memory_tput_kfps(batch), 1),
+         TablePrinter::num(
+             measure_control_latency_us(256, /*full_load=*/true, 120, batch),
+             2)});
+  }
+  batch_table.print(std::cout);
+  std::cout << "(finding: batching leaves capacity untouched in LVRM's "
+               "regime — per-frame costs dominate per-pass costs — but "
+               "control events wait behind ever longer data bursts)\n";
+
+  std::cout << "\n-- 2. load estimator under JSQ (360 Kfps, 6 VRIs) --\n";
+  TablePrinter est_table({"estimator", "delivered Kfps"}, args.csv);
+  for (const EstimatorKind estimator :
+       {EstimatorKind::kQueueLength, EstimatorKind::kArrivalTime}) {
+    WorldOptions opts;
+    opts.warmup = args.scaled(msec(400));
+    opts.measure = args.scaled(msec(800));
+    opts.gw.lvrm.estimator = estimator;
+    opts.gw.lvrm.allocator = AllocatorKind::kFixed;
+    opts.gw.lvrm.max_vris_per_vr = 6;
+    VrConfig vr;
+    vr.initial_vris = 6;
+    vr.dummy_load = sim::costs::kDummyLoad;
+    opts.gw.vrs = {vr};
+    const auto r = run_udp_trial(opts, 360'000.0);
+    est_table.add_row({to_string(estimator),
+                       TablePrinter::num(r.delivered_fps / 1e3, 1)});
+  }
+  est_table.print(std::cout);
+
+  std::cout << "\n-- 3. EWMA weight vs allocation stability (bursty load) --\n";
+  TablePrinter ewma_table({"weight", "allocations", "final VRIs"}, args.csv);
+  for (const double weight : {1.0, 7.0, 500.0, 5000.0, 40000.0}) {
+    WorldOptions opts;
+    opts.gw.lvrm.allocator = AllocatorKind::kDynamicFixedThreshold;
+    opts.gw.lvrm.ewma_weight = weight;
+    VrConfig vr;
+    vr.dummy_load = sim::costs::kDummyLoad;
+    opts.gw.vrs = {vr};
+    // A load that flickers around the 2-core threshold every 250 ms.
+    SenderSpec spec;
+    spec.src_ip = net::ipv4(10, 1, 1, 1);
+    spec.dst_ip = net::ipv4(10, 2, 1, 1);
+    // 300 ms steps: deliberately not a divisor of the 1 s allocation
+    // period, so successive allocation passes see alternating rates.
+    for (int i = 0; i < 27; ++i)
+      spec.profile.push_back(traffic::RateStep{
+          msec(300) * i, i % 2 == 0 ? 95'000.0 : 130'000.0});
+    opts.senders = {spec};
+    const auto trace = run_allocation_trace(opts, sec(8), msec(500));
+    ewma_table.add_row(
+        {TablePrinter::num(weight, 0),
+         TablePrinter::num(static_cast<std::int64_t>(trace.log.size())),
+         TablePrinter::num(static_cast<std::int64_t>(
+             trace.samples.back().vris_per_vr.at(0)))});
+  }
+  ewma_table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Ablation: IPC queue implementations (Sec 3.5).
+//
+// The thesis builds its IPC queue on Lamport's lock-free SPSC ring, argues
+// it beats lock-based synchronization, and cites FastForward [17] and
+// MCRingBuffer [24] as drop-in improvements. This bench measures all four on
+// the host CPU: single-threaded push/pop cost (cache-friendly steady state)
+// and a two-thread transfer of 1M items (real contention, including the
+// mutex convoy of the lock-based queue).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "queue/fastforward_ring.hpp"
+#include "queue/locked_queue.hpp"
+#include "queue/mc_ring.hpp"
+#include "queue/spsc_ring.hpp"
+
+namespace {
+
+using namespace lvrm::queue;
+
+template <typename Ring>
+void single_thread_cycle(benchmark::State& state, Ring& ring) {
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    ring.try_push(v++);
+    benchmark::DoNotOptimize(ring.try_pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_Single_Lamport(benchmark::State& state) {
+  SpscRing<std::uint64_t> ring(1024);
+  single_thread_cycle(state, ring);
+}
+BENCHMARK(BM_Single_Lamport);
+
+void BM_Single_FastForward(benchmark::State& state) {
+  FastForwardRing<std::uint64_t> ring(1024);
+  single_thread_cycle(state, ring);
+}
+BENCHMARK(BM_Single_FastForward);
+
+void BM_Single_McRing(benchmark::State& state) {
+  McRingBuffer<std::uint64_t> ring(1024, 8);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    ring.try_push(v++);
+    ring.flush();
+    benchmark::DoNotOptimize(ring.try_pop());
+    ring.flush_consumer();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Single_McRing);
+
+void BM_Single_LockBased(benchmark::State& state) {
+  LockedQueue<std::uint64_t> ring(1024);
+  single_thread_cycle(state, ring);
+}
+BENCHMARK(BM_Single_LockBased);
+
+// --- two-thread transfer ------------------------------------------------------
+
+template <typename Ring, bool kIsMcRing = false>
+void two_thread_transfer(benchmark::State& state) {
+  constexpr std::uint64_t kItems = 1'000'000;
+  for (auto _ : state) {
+    Ring ring(1024);
+    std::thread consumer([&ring] {
+      std::uint64_t got = 0;
+      while (got < kItems) {
+        if (ring.try_pop().has_value()) {
+          ++got;
+        } else {
+          if constexpr (kIsMcRing) ring.flush_consumer();
+          std::this_thread::yield();
+        }
+      }
+    });
+    for (std::uint64_t i = 0; i < kItems;) {
+      if (ring.try_push(i)) {
+        ++i;
+      } else {
+        if constexpr (kIsMcRing) ring.flush();
+        std::this_thread::yield();
+      }
+    }
+    if constexpr (kIsMcRing) ring.flush();
+    consumer.join();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kItems));
+}
+
+void BM_Transfer_Lamport(benchmark::State& state) {
+  two_thread_transfer<SpscRing<std::uint64_t>>(state);
+}
+BENCHMARK(BM_Transfer_Lamport)->Unit(benchmark::kMillisecond);
+
+void BM_Transfer_FastForward(benchmark::State& state) {
+  two_thread_transfer<FastForwardRing<std::uint64_t>>(state);
+}
+BENCHMARK(BM_Transfer_FastForward)->Unit(benchmark::kMillisecond);
+
+void BM_Transfer_McRing(benchmark::State& state) {
+  two_thread_transfer<McRingBuffer<std::uint64_t>, true>(state);
+}
+BENCHMARK(BM_Transfer_McRing)->Unit(benchmark::kMillisecond);
+
+void BM_Transfer_LockBased(benchmark::State& state) {
+  two_thread_transfer<LockedQueue<std::uint64_t>>(state);
+}
+BENCHMARK(BM_Transfer_LockBased)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

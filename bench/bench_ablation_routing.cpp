@@ -1,0 +1,81 @@
+// Ablation: route-lookup implementations (binary trie vs DIR-24-8).
+//
+// Both back the VRIs' forwarding (Sec 3.7 allows implementation variants):
+// the trie is memory-lean and updates in place; DIR-24-8 answers in at most
+// two array reads but must expand prefixes at build time. This bench sweeps
+// table sizes for lookup throughput and reports build cost.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "route/dir24_table.hpp"
+#include "route/route_table.hpp"
+
+namespace {
+
+using namespace lvrm;
+
+std::vector<route::RouteEntry> random_routes(int count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<route::RouteEntry> routes;
+  routes.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    route::RouteEntry e;
+    const int len = 8 + static_cast<int>(rng.uniform(25));
+    e.prefix.network =
+        static_cast<net::Ipv4Addr>(rng.next()) & net::prefix_mask(len);
+    e.prefix.length = len;
+    e.output_if = static_cast<int>(rng.uniform(8));
+    routes.push_back(e);
+  }
+  return routes;
+}
+
+void BM_TrieLookup(benchmark::State& state) {
+  route::RouteTable table;
+  for (const auto& r : random_routes(static_cast<int>(state.range(0)), 3))
+    table.insert(r);
+  net::Ipv4Addr addr = net::ipv4(10, 0, 0, 0);
+  for (auto _ : state) {
+    addr = addr * 2654435761u + 1;
+    benchmark::DoNotOptimize(table.lookup(addr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TrieLookup)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_Dir24Lookup(benchmark::State& state) {
+  const route::Dir24Table table(
+      random_routes(static_cast<int>(state.range(0)), 3));
+  net::Ipv4Addr addr = net::ipv4(10, 0, 0, 0);
+  for (auto _ : state) {
+    addr = addr * 2654435761u + 1;
+    benchmark::DoNotOptimize(table.lookup(addr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Dir24Lookup)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_TrieBuild(benchmark::State& state) {
+  const auto routes = random_routes(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    route::RouteTable table;
+    for (const auto& r : routes) table.insert(r);
+    benchmark::DoNotOptimize(table.size());
+  }
+}
+BENCHMARK(BM_TrieBuild)->Arg(256)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+void BM_Dir24Build(benchmark::State& state) {
+  const auto routes = random_routes(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    route::Dir24Table table(routes);
+    benchmark::DoNotOptimize(table.route_count());
+  }
+}
+BENCHMARK(BM_Dir24Build)->Arg(256)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+// Microbenchmarks of LVRM's hot-path components (google-benchmark).
+//
+// These measure the *real* data structures on the host CPU — notably the
+// lock-free SPSC ring against the lock-based queue it replaces (the Sec 3.5
+// IPC ablation), the LPM trie, the connection-tracking table, the balancer
+// decisions, and one full frame through the Click element graph.
+#include <benchmark/benchmark.h>
+
+#include "click/router.hpp"
+#include "common/ewma.hpp"
+#include "lvrm/load_balancer.hpp"
+#include "lvrm/vri.hpp"
+#include "net/checksum.hpp"
+#include "net/flow.hpp"
+#include "net/headers.hpp"
+#include "queue/locked_queue.hpp"
+#include "queue/spsc_ring.hpp"
+#include "route/route_table.hpp"
+
+namespace {
+
+using namespace lvrm;
+
+void BM_SpscRingPushPop(benchmark::State& state) {
+  queue::SpscRing<std::uint64_t> ring(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    ring.try_push(v++);
+    benchmark::DoNotOptimize(ring.try_pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpscRingPushPop);
+
+void BM_LockedQueuePushPop(benchmark::State& state) {
+  queue::LockedQueue<std::uint64_t> q(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    q.try_push(v++);
+    benchmark::DoNotOptimize(q.try_pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LockedQueuePushPop);
+
+void BM_RouteLpmLookup(benchmark::State& state) {
+  route::RouteTable table;
+  Rng rng(7);
+  for (int i = 0; i < state.range(0); ++i) {
+    route::RouteEntry e;
+    const int len = 8 + static_cast<int>(rng.uniform(17));
+    e.prefix.network =
+        static_cast<net::Ipv4Addr>(rng.next()) & net::prefix_mask(len);
+    e.prefix.length = len;
+    e.output_if = static_cast<int>(rng.uniform(4));
+    table.insert(e);
+  }
+  net::Ipv4Addr addr = net::ipv4(10, 0, 0, 0);
+  for (auto _ : state) {
+    addr = addr * 2654435761u + 1;
+    benchmark::DoNotOptimize(table.lookup(addr));
+  }
+}
+BENCHMARK(BM_RouteLpmLookup)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_FlowTableLookupHit(benchmark::State& state) {
+  net::FlowTable table(8192, sec(3600));
+  std::vector<net::FiveTuple> tuples;
+  for (std::uint32_t i = 0; i < 1024; ++i) {
+    net::FiveTuple t{net::ipv4(10, 1, 0, 1) + i, net::ipv4(10, 2, 0, 1),
+                     static_cast<std::uint16_t>(1000 + i), 9, 6};
+    table.insert(t, static_cast<int>(i % 6), 0);
+    tuples.push_back(t);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(tuples[i++ & 1023], 1));
+  }
+}
+BENCHMARK(BM_FlowTableLookupHit);
+
+void BM_JsqDecision(benchmark::State& state) {
+  JsqBalancer jsq;
+  std::vector<VriView> views;
+  for (int i = 0; i < state.range(0); ++i)
+    views.push_back(VriView{i, static_cast<double>((i * 37) % 11)});
+  for (auto _ : state) benchmark::DoNotOptimize(jsq.pick(views));
+}
+BENCHMARK(BM_JsqDecision)->Arg(2)->Arg(6)->Arg(16);
+
+void BM_PaperEwmaUpdate(benchmark::State& state) {
+  PaperEwma ewma(7.0);
+  double x = 0.0;
+  for (auto _ : state) {
+    ewma.update(x);
+    x += 1.0;
+    benchmark::DoNotOptimize(ewma.value());
+  }
+}
+BENCHMARK(BM_PaperEwmaUpdate);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(net::internet_checksum(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(20)->Arg(1500);
+
+void BM_CppVrProcess(benchmark::State& state) {
+  CppVr vr(default_route_map());
+  net::FrameMeta f;
+  f.src_ip = net::ipv4(10, 1, 0, 1);
+  f.dst_ip = net::ipv4(10, 2, 0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vr.process(f));
+  }
+}
+BENCHMARK(BM_CppVrProcess);
+
+void BM_ClickGraphProcess(benchmark::State& state) {
+  // A whole frame through the real element graph: the measured cost backing
+  // the Click VR's simulated per-frame charge.
+  ClickVr vr(default_route_map());
+  net::FrameMeta f;
+  f.src_ip = net::ipv4(10, 1, 0, 1);
+  f.dst_ip = net::ipv4(10, 2, 0, 1);
+  f.wire_bytes = 84;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vr.process(f));
+  }
+}
+BENCHMARK(BM_ClickGraphProcess);
+
+void BM_DispatcherFlowMode(benchmark::State& state) {
+  Dispatcher d(make_balancer(BalancerKind::kJoinShortestQueue, 1),
+               BalancerGranularity::kFlow);
+  std::vector<VriView> views;
+  for (int i = 0; i < 6; ++i) views.push_back(VriView{i, 0.0});
+  net::FrameMeta f;
+  f.src_ip = net::ipv4(10, 1, 0, 1);
+  f.dst_ip = net::ipv4(10, 2, 0, 1);
+  std::uint16_t port = 0;
+  for (auto _ : state) {
+    f.src_port = ++port & 1023;  // 1024 live flows
+    benchmark::DoNotOptimize(d.dispatch(f, views, 0));
+  }
+}
+BENCHMARK(BM_DispatcherFlowMode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// click_pipeline — write a Click configuration by hand, run real packets
+// through it, and host the same forwarding logic as an LVRM Click VR.
+//
+// Demonstrates the src/click substrate directly: the config language, the
+// element graph, byte-level packet processing (checksums, TTL), and the
+// inter-VRI control channel of a Click VR hosted on LVRM.
+//
+// Usage: click_pipeline [--frames=5]
+#include <iostream>
+
+#include "click/router.hpp"
+#include "common/cli.hpp"
+#include "lvrm/system.hpp"
+#include "net/headers.hpp"
+
+using namespace lvrm;
+
+namespace {
+
+constexpr const char* kConfig = R"(
+  // A hand-written IP forwarder with a monitoring tap.
+  in :: FromHost;
+  cl :: Classifier(12/0800, -);           // IPv4 vs everything else
+  rt :: LookupIPRoute(10.1.0.0/16 0, 10.2.0.0/16 1, 0.0.0.0/0 2);
+  tap :: Counter;
+
+  in -> cl;
+  cl[0] -> Strip(14) -> CheckIPHeader -> GetIPAddress(16)
+        -> DecIPTTL -> tap -> rt;
+  cl[1] -> other :: Discard;              // non-IP traffic
+
+  rt[0] -> EtherEncap(0x0800, 02:00:00:00:00:fe, 02:00:00:00:00:00)
+        -> out0 :: ToHost(0);
+  rt[1] -> EtherEncap(0x0800, 02:00:00:00:00:fe, 02:00:00:00:00:01)
+        -> out1 :: ToHost(1);
+  rt[2] -> Queue(32) -> slow :: ToHost(2);   // default route via slow path
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const int frames = static_cast<int>(cli.get_int("frames", 5));
+
+  // --- Part 1: drive the element graph directly --------------------------------
+  click::Router router;
+  std::string error;
+  if (!router.configure(kConfig, error)) {
+    std::cerr << "config error: " << error << '\n';
+    return 1;
+  }
+  std::cout << "parsed " << router.element_count() << " elements:";
+  for (const auto& name : router.element_names()) std::cout << ' ' << name;
+  std::cout << "\n\n";
+
+  for (int i = 0; i < frames; ++i) {
+    auto buf = net::build_udp_frame(
+        net::MacAddr::from_id(1), net::MacAddr::from_id(2),
+        net::ipv4(10, 1, 0, static_cast<std::uint8_t>(1 + i)),
+        i % 3 == 2 ? net::ipv4(8, 8, 8, 8) : net::ipv4(10, 2, 0, 1), 1000, 9,
+        26);
+    router.push_input("in", click::Packet::make(std::move(buf)));
+  }
+  router.run_tasks();  // drain the slow-path Queue element
+
+  auto* out1 = router.find_as<click::ToHost>("out1");
+  auto* slow = router.find_as<click::ToHost>("slow");
+  auto* tap = router.find_as<click::Counter>("tap");
+  std::cout << "tap saw " << tap->packets() << " IPv4 packets ("
+            << tap->bytes() << " bytes)\n";
+  std::cout << "out1 (10.2/16): " << out1->count()
+            << " frames, slow path (default route): " << slow->count()
+            << " frames\n";
+  if (!out1->buffered().empty()) {
+    const auto& p = out1->buffered().front();
+    const auto ip =
+        net::Ipv4Header::decode(p->data().subspan(net::kEthernetHeaderLen));
+    std::cout << "first forwarded frame: TTL=" << int(ip->ttl)
+              << " (decremented), checksum "
+              << (net::Ipv4Header::verify_checksum(
+                      p->data().subspan(net::kEthernetHeaderLen))
+                      ? "valid"
+                      : "BROKEN")
+              << '\n';
+  }
+
+  // --- Part 2: the same forwarder hosted as a Click VR on LVRM ----------------
+  std::cout << "\nhosting the Click VR on LVRM with two VRIs...\n";
+  sim::Simulator sim;
+  sim::CpuTopology topo;
+  LvrmConfig config;
+  config.allocator = AllocatorKind::kFixed;
+  LvrmSystem lvrm(sim, topo, config);
+  VrConfig vr;
+  vr.kind = VrKind::kClick;
+  vr.initial_vris = 2;
+  lvrm.add_vr(vr);
+  lvrm.start();
+
+  std::uint64_t forwarded = 0;
+  lvrm.set_egress([&forwarded](net::FrameMeta&&) { ++forwarded; });
+  for (int i = 0; i < frames; ++i) {
+    sim.at(usec(50) * i, [&lvrm, i] {
+      net::FrameMeta f;
+      f.id = static_cast<std::uint64_t>(i);
+      f.src_ip = net::ipv4(10, 1, 0, 1);
+      f.dst_ip = net::ipv4(10, 2, 0, 1);
+      lvrm.ingress(f);
+    });
+  }
+  // VRIs of one VR synchronize state over the control queues (Sec 2.1).
+  lvrm.send_control(0, 0, 1, 256, [](Nanos latency) {
+    std::cout << "control event VRI0 -> VRI1 delivered in "
+              << to_micros(latency) << " us\n";
+  });
+  sim.run_all();
+  std::cout << "LVRM forwarded " << forwarded << "/" << frames
+            << " frames through the real element graph\n";
+  return 0;
+}

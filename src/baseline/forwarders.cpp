@@ -1,0 +1,77 @@
+#include "baseline/forwarders.hpp"
+
+#include "sim/costs.hpp"
+
+namespace lvrm::baseline {
+
+namespace costs = sim::costs;
+
+namespace {
+// The Fig 4.1 testbed map: sender subnet behind if 0, receivers behind if 1.
+constexpr const char* kTestbedRouteMap = "10.1.0.0/16 0\n10.2.0.0/16 1\n";
+}  // namespace
+
+SimpleForwarder::Params SimpleForwarder::linux_params() {
+  return Params{"native-linux", costs::kKernelForwardFixed,
+                costs::kKernelForwardPerByte, sim::CostCategory::kSoftirq,
+                costs::kKernelRxRing, 0};
+}
+
+SimpleForwarder::Params SimpleForwarder::vmware_params() {
+  return Params{"vmware-server", costs::kVmwarePerFrame, costs::kVmwarePerByte,
+                sim::CostCategory::kSystem, costs::kKernelRxRing,
+                costs::kVmwareLatency};
+}
+
+SimpleForwarder::Params SimpleForwarder::kvm_params() {
+  return Params{"qemu-kvm", costs::kKvmPerFrame, costs::kKvmPerByte,
+                sim::CostCategory::kSystem, costs::kKernelRxRing,
+                costs::kKvmLatency};
+}
+
+SimpleForwarder::SimpleForwarder(sim::Simulator& sim, Params params,
+                                 const std::string& route_map)
+    : sim_(sim),
+      params_(std::move(params)),
+      core_(sim, 0, costs::kContextSwitch),
+      ring_(params_.ring_capacity, params_.name + "/rx"),
+      server_(sim, core_, /*owner=*/1, params_.name) {
+  const std::string map = route_map.empty() ? kTestbedRouteMap : route_map;
+  for (const auto& entry : route::parse_route_map(map)) table_.insert(entry);
+
+  server_.add_input(
+      ring_, /*priority=*/0,
+      [this](net::FrameMeta& f) {
+        const auto route = table_.lookup(f.dst_ip);
+        f.output_if = route ? route->output_if : -1;
+        return params_.fixed_cost +
+               static_cast<Nanos>(params_.per_byte_cost * f.wire_bytes);
+      },
+      [this](net::FrameMeta&& f) {
+        if (f.output_if < 0) {
+          ++no_route_;
+          return;
+        }
+        ++forwarded_;
+        if (!egress_) return;
+        if (params_.extra_latency > 0) {
+          // Hypervisor + guest stack traversal: latency without gateway CPU.
+          sim_.after(params_.extra_latency, [this, f]() mutable {
+            f.gw_out_at = sim_.now();
+            egress_(std::move(f));
+          });
+        } else {
+          f.gw_out_at = sim_.now();
+          egress_(std::move(f));
+        }
+      },
+      params_.category);
+  server_.start();
+}
+
+bool SimpleForwarder::ingress(net::FrameMeta frame) {
+  frame.gw_in_at = sim_.now();
+  return ring_.push(frame);
+}
+
+}  // namespace lvrm::baseline

@@ -1,0 +1,76 @@
+// forwarders.hpp — the non-LVRM forwarding mechanisms Experiment 1 compares.
+//
+// Three baselines from Sec 4.2:
+//   * native Linux IP forwarding — the kernel forwards in softirq context;
+//     the cheapest path and the paper's reference ("highest achievable
+//     throughput for all frame sizes").
+//   * VMware Server and QEMU-KVM — a guest VM in bridged mode forwards the
+//     frames; every frame pays virtualization overhead (vmexits, virtual NIC
+//     emulation) and extra latency traversing hypervisor + guest stack.
+//
+// All three share one shape — a bounded RX ring feeding a single serial
+// per-frame service — so SimpleForwarder models them with per-mechanism
+// parameters from sim/costs.hpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/units.hpp"
+#include "net/frame.hpp"
+#include "route/route_table.hpp"
+#include "sim/core.hpp"
+#include "sim/poll_server.hpp"
+#include "sim/queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace lvrm::baseline {
+
+class SimpleForwarder {
+ public:
+  struct Params {
+    std::string name;
+    Nanos fixed_cost = 0;        // per-frame CPU cost
+    double per_byte_cost = 0.0;  // ns per wire byte
+    sim::CostCategory category = sim::CostCategory::kSoftirq;
+    std::size_t ring_capacity = 512;
+    /// One-way latency added outside the CPU (hypervisor/guest traversal).
+    Nanos extra_latency = 0;
+  };
+
+  static Params linux_params();
+  static Params vmware_params();
+  static Params kvm_params();
+
+  /// `route_map` in parse_route_map format (defaults to the Fig 4.1 testbed
+  /// map when empty).
+  SimpleForwarder(sim::Simulator& sim, Params params,
+                  const std::string& route_map = {});
+
+  /// Frame arrival at the device's input; false = RX-ring tail drop.
+  bool ingress(net::FrameMeta frame);
+
+  void set_egress(std::function<void(net::FrameMeta&&)> egress) {
+    egress_ = std::move(egress);
+  }
+
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t drops() const { return ring_.drops() + no_route_; }
+  sim::Core& core() { return core_; }
+  const Params& params() const { return params_; }
+
+ private:
+  sim::Simulator& sim_;
+  Params params_;
+  route::RouteTable table_;
+  sim::Core core_;
+  sim::BoundedQueue<net::FrameMeta> ring_;
+  sim::PollServer<net::FrameMeta> server_;
+  std::function<void(net::FrameMeta&&)> egress_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t no_route_ = 0;
+};
+
+}  // namespace lvrm::baseline

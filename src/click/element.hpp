@@ -1,0 +1,87 @@
+// element.hpp — base class of Click elements and the port graph.
+//
+// The Click VR "parses a configuration script to conduct the forwarding
+// function, and internally relays data frames via different modules"
+// (Sec 3.8). Elements here follow Click's push model: a frame enters through
+// FromHost/FromQueue, traverses `a -> b -> c` connections, and leaves through
+// ToHost/ToQueue or Discard. Elements are configured from the parsed script's
+// argument strings, exactly like Click's configure() phase.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "click/packet.hpp"
+
+namespace lvrm::click {
+
+class Router;
+
+class Element {
+ public:
+  virtual ~Element() = default;
+
+  /// Class name as written in configuration scripts (e.g. "CheckIPHeader").
+  virtual std::string class_name() const = 0;
+
+  virtual int n_inputs() const { return 1; }
+  virtual int n_outputs() const { return 1; }
+
+  /// Applies configuration-string arguments; returns false (with an error
+  /// message in `error`) when the arguments are invalid.
+  virtual bool configure(const std::vector<std::string>& args,
+                         std::string& error) {
+    (void)args;
+    (void)error;
+    return true;
+  }
+
+  /// Receives a packet on `port`. Elements forward with output(port).push_to.
+  virtual void push(int port, PacketPtr p) = 0;
+
+  /// Called once after the graph is fully connected (e.g. to verify ports).
+  virtual bool initialize(Router& router, std::string& error) {
+    (void)router;
+    (void)error;
+    return true;
+  }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  /// Sends `p` out of output `port`; silently drops when unconnected
+  /// (matching Click's behaviour for push to an unused output).
+  void output(int port, PacketPtr p) {
+    if (port < 0 || static_cast<std::size_t>(port) >= outputs_.size()) return;
+    const Connection& c = outputs_[static_cast<std::size_t>(port)];
+    if (c.element) c.element->push(c.port, std::move(p));
+  }
+
+  /// Wires output `out_port` of this element to `in_port` of `downstream`.
+  void connect_output(int out_port, Element* downstream, int in_port) {
+    if (out_port < 0) return;
+    if (static_cast<std::size_t>(out_port) >= outputs_.size())
+      outputs_.resize(static_cast<std::size_t>(out_port) + 1);
+    outputs_[static_cast<std::size_t>(out_port)] =
+        Connection{downstream, in_port};
+  }
+
+  bool output_connected(int port) const {
+    return port >= 0 && static_cast<std::size_t>(port) < outputs_.size() &&
+           outputs_[static_cast<std::size_t>(port)].element != nullptr;
+  }
+
+ private:
+  struct Connection {
+    Element* element = nullptr;
+    int port = 0;
+  };
+  std::string name_;
+  std::vector<Connection> outputs_;
+};
+
+using ElementPtr = std::unique_ptr<Element>;
+
+}  // namespace lvrm::click

@@ -1,0 +1,362 @@
+#include "click/elements.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "click/router.hpp"
+#include "net/checksum.hpp"
+
+namespace lvrm::click {
+
+namespace {
+
+bool parse_size(const std::string& s, std::size_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+// --- ToHost -------------------------------------------------------------------
+
+bool ToHost::configure(const std::vector<std::string>& args,
+                       std::string& error) {
+  if (args.empty()) return true;
+  std::size_t v = 0;
+  if (!parse_size(args[0], v)) {
+    error = "ToHost: bad interface '" + args[0] + "'";
+    return false;
+  }
+  interface_ = static_cast<int>(v);
+  return true;
+}
+
+void ToHost::push(int, PacketPtr p) {
+  ++count_;
+  p->output_if = interface_;
+  if (sink_) {
+    sink_(std::move(p));
+  } else {
+    buffered_.push_back(std::move(p));
+  }
+}
+
+// --- Strip / Unstrip ------------------------------------------------------------
+
+bool Strip::configure(const std::vector<std::string>& args,
+                      std::string& error) {
+  if (args.size() != 1 || !parse_size(args[0], n_)) {
+    error = "Strip: expected one integer argument";
+    return false;
+  }
+  return true;
+}
+
+bool Unstrip::configure(const std::vector<std::string>& args,
+                        std::string& error) {
+  if (args.size() != 1 || !parse_size(args[0], n_)) {
+    error = "Unstrip: expected one integer argument";
+    return false;
+  }
+  return true;
+}
+
+// --- Classifier ------------------------------------------------------------------
+
+bool Classifier::configure(const std::vector<std::string>& args,
+                           std::string& error) {
+  patterns_.clear();
+  for (const std::string& arg : args) {
+    Pattern pat;
+    if (arg == "-") {
+      pat.wildcard = true;
+      patterns_.push_back(std::move(pat));
+      continue;
+    }
+    const auto slash = arg.find('/');
+    if (slash == std::string::npos) {
+      error = "Classifier: pattern '" + arg + "' missing '/'";
+      return false;
+    }
+    if (!parse_size(arg.substr(0, slash), pat.offset)) {
+      error = "Classifier: bad offset in '" + arg + "'";
+      return false;
+    }
+    const std::string hex = arg.substr(slash + 1);
+    if (hex.empty() || hex.size() % 2 != 0) {
+      error = "Classifier: odd-length hex in '" + arg + "'";
+      return false;
+    }
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+      const std::string byte = hex.substr(i, 2);
+      char* end = nullptr;
+      const long v = std::strtol(byte.c_str(), &end, 16);
+      if (end != byte.c_str() + 2) {
+        error = "Classifier: bad hex byte in '" + arg + "'";
+        return false;
+      }
+      pat.bytes.push_back(static_cast<std::uint8_t>(v));
+    }
+    patterns_.push_back(std::move(pat));
+  }
+  if (patterns_.empty()) {
+    error = "Classifier: needs at least one pattern";
+    return false;
+  }
+  return true;
+}
+
+void Classifier::push(int, PacketPtr p) {
+  const auto data = p->data();
+  for (std::size_t i = 0; i < patterns_.size(); ++i) {
+    const Pattern& pat = patterns_[i];
+    if (!pat.wildcard) {
+      if (pat.offset + pat.bytes.size() > data.size()) continue;
+      bool match = true;
+      for (std::size_t j = 0; j < pat.bytes.size(); ++j) {
+        if (data[pat.offset + j] != pat.bytes[j]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+    }
+    output(static_cast<int>(i), std::move(p));
+    return;
+  }
+  // No pattern matched: drop, matching Click's Classifier semantics.
+}
+
+// --- CheckIPHeader ----------------------------------------------------------------
+
+void CheckIPHeader::push(int, PacketPtr p) {
+  const auto data = p->data();
+  const auto header = net::Ipv4Header::decode(data);
+  if (!header || !net::Ipv4Header::verify_checksum(data)) {
+    ++drops_;
+    if (output_connected(1)) output(1, std::move(p));
+    return;
+  }
+  p->dst_ip_anno = header->dst;
+  output(0, std::move(p));
+}
+
+// --- DecIPTTL ----------------------------------------------------------------------
+
+void DecIPTTL::push(int, PacketPtr p) {
+  auto data = p->mutable_data();
+  const auto header = net::Ipv4Header::decode(data);
+  if (!header || header->ttl <= 1) {
+    ++expired_;
+    if (output_connected(1)) output(1, std::move(p));
+    return;
+  }
+  net::Ipv4Header updated = *header;
+  updated.ttl = static_cast<std::uint8_t>(header->ttl - 1);
+  updated.encode(data);  // re-encode recomputes the checksum
+  output(0, std::move(p));
+}
+
+// --- GetIPAddress ------------------------------------------------------------------
+
+bool GetIPAddress::configure(const std::vector<std::string>& args,
+                             std::string& error) {
+  if (args.empty()) return true;
+  if (!parse_size(args[0], offset_)) {
+    error = "GetIPAddress: bad offset '" + args[0] + "'";
+    return false;
+  }
+  return true;
+}
+
+void GetIPAddress::push(int, PacketPtr p) {
+  const auto data = p->data();
+  if (offset_ + 4 <= data.size()) {
+    p->dst_ip_anno = static_cast<net::Ipv4Addr>(data[offset_]) << 24 |
+                     static_cast<net::Ipv4Addr>(data[offset_ + 1]) << 16 |
+                     static_cast<net::Ipv4Addr>(data[offset_ + 2]) << 8 |
+                     data[offset_ + 3];
+  }
+  output(0, std::move(p));
+}
+
+// --- LookupIPRoute -----------------------------------------------------------------
+
+bool LookupIPRoute::configure(const std::vector<std::string>& args,
+                              std::string& error) {
+  n_outputs_ = 1;
+  for (const std::string& arg : args) {
+    std::istringstream fields(arg);
+    std::string prefix_str;
+    int out = 0;
+    if (!(fields >> prefix_str >> out)) {
+      error = "LookupIPRoute: route '" + arg + "' needs '<prefix> <port>'";
+      return false;
+    }
+    const auto prefix = net::parse_prefix(prefix_str);
+    if (!prefix) {
+      error = "LookupIPRoute: bad prefix '" + prefix_str + "'";
+      return false;
+    }
+    route::RouteEntry entry;
+    entry.prefix = *prefix;
+    entry.output_if = out;
+    std::string gw;
+    if (fields >> gw) {
+      const auto nh = net::parse_ipv4(gw);
+      if (!nh) {
+        error = "LookupIPRoute: bad gateway '" + gw + "'";
+        return false;
+      }
+      entry.next_hop = *nh;
+    }
+    table_.insert(entry);
+    if (out + 1 > n_outputs_) n_outputs_ = out + 1;
+  }
+  return true;
+}
+
+bool LookupIPRoute::add_route(const route::RouteEntry& entry) {
+  if (entry.output_if < 0 || entry.output_if >= n_outputs_) return false;
+  table_.insert(entry);
+  return true;
+}
+
+bool LookupIPRoute::remove_route(const net::Prefix& prefix) {
+  return table_.remove(prefix);
+}
+
+void LookupIPRoute::push(int, PacketPtr p) {
+  const auto route = table_.lookup(p->dst_ip_anno);
+  if (!route) {
+    ++no_route_;
+    return;
+  }
+  p->output_if = route->output_if;
+  if (route->next_hop != 0) p->dst_ip_anno = route->next_hop;
+  output(route->output_if, std::move(p));
+}
+
+// --- EtherEncap --------------------------------------------------------------------
+
+bool EtherEncap::configure(const std::vector<std::string>& args,
+                           std::string& error) {
+  if (args.size() != 3) {
+    error = "EtherEncap: expected ETHERTYPE SRC DST";
+    return false;
+  }
+  char* end = nullptr;
+  const long type = std::strtol(args[0].c_str(), &end, 0);
+  if (end == args[0].c_str() || type < 0 || type > 0xFFFF) {
+    error = "EtherEncap: bad ethertype '" + args[0] + "'";
+    return false;
+  }
+  header_.ether_type = static_cast<std::uint16_t>(type);
+  const auto src = net::parse_mac(args[1]);
+  const auto dst = net::parse_mac(args[2]);
+  if (!src || !dst) {
+    error = "EtherEncap: bad MAC address";
+    return false;
+  }
+  header_.src = *src;
+  header_.dst = *dst;
+  return true;
+}
+
+void EtherEncap::push(int, PacketPtr p) {
+  // Re-use headroom when the packet was previously stripped; otherwise
+  // rebuild the buffer with a fresh header.
+  p->push(net::kEthernetHeaderLen);
+  if (p->size() >= net::kEthernetHeaderLen) {
+    header_.encode(p->mutable_data());
+    output(0, std::move(p));
+    return;
+  }
+  std::vector<std::uint8_t> buf(net::kEthernetHeaderLen + p->size());
+  header_.encode(buf);
+  const auto payload = p->data();
+  std::copy(payload.begin(), payload.end(),
+            buf.begin() + net::kEthernetHeaderLen);
+  auto fresh = Packet::make(std::move(buf));
+  fresh->input_if = p->input_if;
+  fresh->output_if = p->output_if;
+  fresh->dst_ip_anno = p->dst_ip_anno;
+  fresh->paint = p->paint;
+  output(0, std::move(fresh));
+}
+
+// --- Queue ---------------------------------------------------------------------------
+
+bool Queue::configure(const std::vector<std::string>& args,
+                      std::string& error) {
+  if (args.empty()) return true;
+  if (!parse_size(args[0], capacity_) || capacity_ == 0) {
+    error = "Queue: bad capacity '" + args[0] + "'";
+    return false;
+  }
+  return true;
+}
+
+bool Queue::initialize(Router& router, std::string& error) {
+  (void)error;
+  router.register_task(this);
+  return true;
+}
+
+void Queue::push(int, PacketPtr p) {
+  if (items_.size() >= capacity_) {
+    ++drops_;
+    return;
+  }
+  items_.push_back(std::move(p));
+}
+
+bool Queue::run_task() {
+  if (items_.empty()) return false;
+  PacketPtr p = std::move(items_.front());
+  items_.pop_front();
+  output(0, std::move(p));
+  return true;
+}
+
+// --- Tee -----------------------------------------------------------------------------
+
+bool Tee::configure(const std::vector<std::string>& args, std::string& error) {
+  if (args.empty()) return true;
+  std::size_t n = 0;
+  if (!parse_size(args[0], n) || n == 0) {
+    error = "Tee: bad output count '" + args[0] + "'";
+    return false;
+  }
+  n_outputs_ = static_cast<int>(n);
+  return true;
+}
+
+void Tee::push(int, PacketPtr p) {
+  for (int i = 1; i < n_outputs_; ++i) {
+    if (output_connected(i)) output(i, p->clone());
+  }
+  output(0, std::move(p));
+}
+
+// --- Paint ---------------------------------------------------------------------------
+
+bool Paint::configure(const std::vector<std::string>& args,
+                      std::string& error) {
+  if (args.size() != 1) {
+    error = "Paint: expected one color argument";
+    return false;
+  }
+  std::size_t v = 0;
+  if (!parse_size(args[0], v) || v > 255) {
+    error = "Paint: bad color '" + args[0] + "'";
+    return false;
+  }
+  color_ = static_cast<std::uint8_t>(v);
+  return true;
+}
+
+}  // namespace lvrm::click

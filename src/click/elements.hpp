@@ -1,0 +1,260 @@
+// elements.hpp — the standard element library of the mini Click router.
+//
+// These mirror the Click Modular Router elements a minimal IP forwarder uses
+// (the thesis' Click VR "performs the minimal data forwarding function"):
+// FromHost/ToHost endpoints, Classifier, Strip/Unstrip, CheckIPHeader,
+// DecIPTTL, GetIPAddress, LookupIPRoute, EtherEncap/EtherRewrite, Queue,
+// Counter, Tee and Discard.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "click/element.hpp"
+#include "net/headers.hpp"
+#include "route/route_table.hpp"
+
+namespace lvrm::click {
+
+/// Entry point: packets injected from outside the graph (LVRM's data queue).
+class FromHost : public Element {
+ public:
+  std::string class_name() const override { return "FromHost"; }
+  int n_inputs() const override { return 0; }
+  void push(int, PacketPtr) override {}  // no graph inputs
+  /// Called by the Router to feed a packet into the graph.
+  void inject(PacketPtr p) { output(0, std::move(p)); }
+};
+
+/// Exit point: packets leaving toward an output interface. A sink callback
+/// (set by the Router's owner) receives them; otherwise they are buffered.
+class ToHost : public Element {
+ public:
+  std::string class_name() const override { return "ToHost"; }
+  int n_outputs() const override { return 0; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string& error) override;
+  void push(int port, PacketPtr p) override;
+
+  void set_sink(std::function<void(PacketPtr)> sink) { sink_ = std::move(sink); }
+  int interface() const { return interface_; }
+  std::vector<PacketPtr>& buffered() { return buffered_; }
+  std::uint64_t count() const { return count_; }
+
+ private:
+  int interface_ = 0;
+  std::uint64_t count_ = 0;
+  std::function<void(PacketPtr)> sink_;
+  std::vector<PacketPtr> buffered_;
+};
+
+/// Drops everything, counting.
+class Discard : public Element {
+ public:
+  std::string class_name() const override { return "Discard"; }
+  int n_outputs() const override { return 0; }
+  void push(int, PacketPtr) override { ++count_; }
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+/// Pass-through packet/byte counter.
+class Counter : public Element {
+ public:
+  std::string class_name() const override { return "Counter"; }
+  void push(int, PacketPtr p) override {
+    ++packets_;
+    bytes_ += p->size();
+    output(0, std::move(p));
+  }
+  std::uint64_t packets() const { return packets_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Strip(N): removes N bytes from the front (e.g. the Ethernet header).
+class Strip : public Element {
+ public:
+  std::string class_name() const override { return "Strip"; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string& error) override;
+  void push(int, PacketPtr p) override {
+    p->pull(n_);
+    output(0, std::move(p));
+  }
+
+ private:
+  std::size_t n_ = 0;
+};
+
+/// Unstrip(N): restores N previously stripped bytes.
+class Unstrip : public Element {
+ public:
+  std::string class_name() const override { return "Unstrip"; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string& error) override;
+  void push(int, PacketPtr p) override {
+    p->push(n_);
+    output(0, std::move(p));
+  }
+
+ private:
+  std::size_t n_ = 0;
+};
+
+/// Classifier(pattern, ..., -): dispatches by byte patterns "offset/hexbytes";
+/// "-" matches anything. First matching pattern's index selects the output.
+/// Non-matching packets are dropped (as in Click).
+class Classifier : public Element {
+ public:
+  std::string class_name() const override { return "Classifier"; }
+  int n_outputs() const override { return static_cast<int>(patterns_.size()); }
+  bool configure(const std::vector<std::string>& args,
+                 std::string& error) override;
+  void push(int, PacketPtr p) override;
+
+ private:
+  struct Pattern {
+    bool wildcard = false;
+    std::size_t offset = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+  std::vector<Pattern> patterns_;
+};
+
+/// CheckIPHeader: expects an IPv4 header at the front; verifies version,
+/// header length and checksum. Good packets exit output 0 with dst_ip_anno
+/// set; bad ones exit output 1 when connected, else are dropped.
+class CheckIPHeader : public Element {
+ public:
+  std::string class_name() const override { return "CheckIPHeader"; }
+  int n_outputs() const override { return 2; }
+  void push(int, PacketPtr p) override;
+  std::uint64_t drops() const { return drops_; }
+
+ private:
+  std::uint64_t drops_ = 0;
+};
+
+/// DecIPTTL: decrements TTL and fixes the checksum. Expired packets exit
+/// output 1 when connected, else are dropped.
+class DecIPTTL : public Element {
+ public:
+  std::string class_name() const override { return "DecIPTTL"; }
+  int n_outputs() const override { return 2; }
+  void push(int, PacketPtr p) override;
+  std::uint64_t expired() const { return expired_; }
+
+ private:
+  std::uint64_t expired_ = 0;
+};
+
+/// GetIPAddress(OFFSET): copies a 4-byte IP address at OFFSET into
+/// dst_ip_anno (Click uses offset 16 for the IPv4 destination).
+class GetIPAddress : public Element {
+ public:
+  std::string class_name() const override { return "GetIPAddress"; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string& error) override;
+  void push(int, PacketPtr p) override;
+
+ private:
+  std::size_t offset_ = 16;
+};
+
+/// LookupIPRoute(prefix out [gw], ...): longest-prefix-match on dst_ip_anno;
+/// the matched route's output interface selects the element output port and
+/// rewrites dst_ip_anno to the gateway when one is given. Unroutable packets
+/// are dropped and counted.
+class LookupIPRoute : public Element {
+ public:
+  std::string class_name() const override { return "LookupIPRoute"; }
+  int n_outputs() const override { return n_outputs_; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string& error) override;
+  void push(int, PacketPtr p) override;
+  std::uint64_t no_route() const { return no_route_; }
+  const route::RouteTable& table() const { return table_; }
+
+  /// Runtime route management (Click's write handlers): the output port must
+  /// already exist in the configured graph for an add to succeed.
+  bool add_route(const route::RouteEntry& entry);
+  bool remove_route(const net::Prefix& prefix);
+
+ private:
+  route::RouteTable table_;
+  int n_outputs_ = 1;
+  std::uint64_t no_route_ = 0;
+};
+
+/// EtherEncap(ETHERTYPE, SRC, DST): prepends a fresh Ethernet header.
+class EtherEncap : public Element {
+ public:
+  std::string class_name() const override { return "EtherEncap"; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string& error) override;
+  void push(int, PacketPtr p) override;
+
+ private:
+  net::EthernetHeader header_;
+};
+
+/// Queue(CAPACITY): stores packets; the Router's task loop drains one packet
+/// per task run to output 0, modelling Click's push->pull boundary.
+class Queue : public Element {
+ public:
+  std::string class_name() const override { return "Queue"; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string& error) override;
+  bool initialize(Router& router, std::string& error) override;
+  void push(int, PacketPtr p) override;
+
+  /// Drains one packet downstream; returns false when empty.
+  bool run_task();
+
+  std::size_t size() const { return items_.size(); }
+  std::uint64_t drops() const { return drops_; }
+
+ private:
+  std::size_t capacity_ = 1000;
+  std::deque<PacketPtr> items_;
+  std::uint64_t drops_ = 0;
+};
+
+/// Tee: clones the packet to every connected output.
+class Tee : public Element {
+ public:
+  std::string class_name() const override { return "Tee"; }
+  int n_outputs() const override { return n_outputs_; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string& error) override;
+  void push(int, PacketPtr p) override;
+
+ private:
+  int n_outputs_ = 2;
+};
+
+/// Paint(COLOR): stamps the paint annotation (used to mark input interfaces).
+class Paint : public Element {
+ public:
+  std::string class_name() const override { return "Paint"; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string& error) override;
+  void push(int, PacketPtr p) override {
+    p->paint = color_;
+    output(0, std::move(p));
+  }
+
+ private:
+  std::uint8_t color_ = 0;
+};
+
+}  // namespace lvrm::click

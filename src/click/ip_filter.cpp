@@ -1,0 +1,104 @@
+#include "click/ip_filter.hpp"
+
+#include <sstream>
+
+#include "click/router.hpp"
+#include "net/headers.hpp"
+
+namespace lvrm::click {
+
+std::optional<IPFilter::Rule> IPFilter::parse_rule(const std::string& text) {
+  std::istringstream fields(text);
+  std::string action;
+  std::string field;
+  if (!(fields >> action)) return std::nullopt;
+
+  Rule rule;
+  if (action == "allow") {
+    rule.allow = true;
+  } else if (action == "deny") {
+    rule.allow = false;
+  } else {
+    return std::nullopt;
+  }
+
+  if (!(fields >> field)) return std::nullopt;
+  if (field == "all") {
+    rule.field = Field::kAll;
+    return rule;
+  }
+  std::string value;
+  if (!(fields >> value)) return std::nullopt;
+  if (field == "src" || field == "dst") {
+    const auto prefix = net::parse_prefix(value);
+    if (!prefix) return std::nullopt;
+    rule.field = field == "src" ? Field::kSrc : Field::kDst;
+    rule.prefix = *prefix;
+    return rule;
+  }
+  if (field == "proto") {
+    const int proto = std::atoi(value.c_str());
+    if (proto < 0 || proto > 255) return std::nullopt;
+    rule.field = Field::kProto;
+    rule.protocol = static_cast<std::uint8_t>(proto);
+    return rule;
+  }
+  return std::nullopt;
+}
+
+bool IPFilter::configure(const std::vector<std::string>& args,
+                         std::string& error) {
+  rules_.clear();
+  for (const std::string& arg : args) {
+    const auto rule = parse_rule(arg);
+    if (!rule) {
+      error = "IPFilter: bad rule '" + arg + "'";
+      return false;
+    }
+    rules_.push_back(*rule);
+  }
+  if (rules_.empty()) {
+    error = "IPFilter: needs at least one rule";
+    return false;
+  }
+  return true;
+}
+
+void IPFilter::push(int, PacketPtr p) {
+  const auto header = net::Ipv4Header::decode(p->data());
+  bool allow = false;  // default deny, including non-IP
+  if (header) {
+    for (const Rule& rule : rules_) {
+      bool match = false;
+      switch (rule.field) {
+        case Field::kAll:
+          match = true;
+          break;
+        case Field::kSrc:
+          match = net::in_prefix(header->src, rule.prefix.network,
+                                 rule.prefix.length);
+          break;
+        case Field::kDst:
+          match = net::in_prefix(header->dst, rule.prefix.network,
+                                 rule.prefix.length);
+          break;
+        case Field::kProto:
+          match = header->protocol == rule.protocol;
+          break;
+      }
+      if (match) {
+        allow = rule.allow;
+        break;
+      }
+    }
+  }
+  if (allow) {
+    ++allowed_;
+    output(0, std::move(p));
+  } else {
+    ++denied_;
+    if (output_connected(1)) output(1, std::move(p));
+  }
+}
+
+}  // namespace lvrm::click

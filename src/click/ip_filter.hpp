@@ -1,0 +1,57 @@
+// ip_filter.hpp — a Click IPFilter-style access-control element.
+//
+// Each VR is "independently configured with its own set of routing policies"
+// (Ch. 1); beyond routes, real deployments attach filtering policy. IPFilter
+// evaluates an ordered rule list against the IPv4 header at the front of the
+// packet: first match decides. Rules in configuration-argument form:
+//
+//     IPFilter(allow src 10.1.0.0/16,
+//              deny dst 10.2.9.0/24,
+//              deny proto 17,
+//              allow all)
+//
+// Matching packets exit output 0 (allow) or are dropped / exit output 1
+// (deny, when connected). Packets matching no rule are denied.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "click/element.hpp"
+#include "net/ip.hpp"
+
+namespace lvrm::click {
+
+class IPFilter : public Element {
+ public:
+  enum class Field : std::uint8_t { kAll, kSrc, kDst, kProto };
+
+  struct Rule {
+    bool allow = true;
+    Field field = Field::kAll;
+    net::Prefix prefix{0, 0};   // for kSrc/kDst
+    std::uint8_t protocol = 0;  // for kProto
+  };
+
+  std::string class_name() const override { return "IPFilter"; }
+  int n_outputs() const override { return 2; }
+  bool configure(const std::vector<std::string>& args,
+                 std::string& error) override;
+  void push(int port, PacketPtr p) override;
+
+  std::uint64_t allowed() const { return allowed_; }
+  std::uint64_t denied() const { return denied_; }
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  /// Parses one rule string ("allow src 10.1.0.0/16"); used by configure()
+  /// and directly by tests/tools.
+  static std::optional<Rule> parse_rule(const std::string& text);
+
+ private:
+  std::vector<Rule> rules_;
+  std::uint64_t allowed_ = 0;
+  std::uint64_t denied_ = 0;
+};
+
+}  // namespace lvrm::click

@@ -1,0 +1,66 @@
+// packet.hpp — the packet object Click elements operate on.
+//
+// A real Click packet: an owned byte buffer plus the annotation fields
+// elements communicate through (input interface, cached destination address,
+// paint). pull()/push() move the data pointer the way Click's Strip/Unstrip
+// do, without reallocating.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/ip.hpp"
+
+namespace lvrm::click {
+
+class Packet;
+using PacketPtr = std::unique_ptr<Packet>;
+
+class Packet {
+ public:
+  explicit Packet(std::vector<std::uint8_t> data, std::size_t headroom = 0)
+      : buffer_(std::move(data)), offset_(headroom) {}
+
+  static PacketPtr make(std::vector<std::uint8_t> data) {
+    return std::make_unique<Packet>(std::move(data));
+  }
+
+  /// Current payload view (after pulls).
+  std::span<const std::uint8_t> data() const {
+    return std::span<const std::uint8_t>(buffer_).subspan(offset_);
+  }
+  std::span<std::uint8_t> mutable_data() {
+    return std::span<std::uint8_t>(buffer_).subspan(offset_);
+  }
+
+  std::size_t size() const { return buffer_.size() - offset_; }
+
+  /// Strips `n` bytes from the front (Click Strip); clamped to size().
+  void pull(std::size_t n) { offset_ += n > size() ? size() : n; }
+
+  /// Restores `n` previously pulled bytes (Click Unstrip); clamped.
+  void push(std::size_t n) { offset_ -= n > offset_ ? offset_ : n; }
+
+  PacketPtr clone() const {
+    auto p = std::make_unique<Packet>(buffer_, offset_);
+    p->input_if = input_if;
+    p->output_if = output_if;
+    p->dst_ip_anno = dst_ip_anno;
+    p->paint = paint;
+    return p;
+  }
+
+  // --- annotations ---
+  int input_if = 0;
+  int output_if = -1;
+  net::Ipv4Addr dst_ip_anno = 0;
+  std::uint8_t paint = 0;
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t offset_;
+};
+
+}  // namespace lvrm::click

@@ -1,0 +1,339 @@
+#include "click/router.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "click/ip_filter.hpp"
+
+namespace lvrm::click {
+
+// --- ElementRegistry ---------------------------------------------------------
+
+ElementRegistry& ElementRegistry::instance() {
+  static ElementRegistry registry;
+  return registry;
+}
+
+ElementRegistry::ElementRegistry() {
+  auto reg = [this](const char* name, auto maker) {
+    factories_.emplace(name, maker);
+  };
+  reg("FromHost", [] { return ElementPtr(std::make_unique<FromHost>()); });
+  reg("ToHost", [] { return ElementPtr(std::make_unique<ToHost>()); });
+  reg("Discard", [] { return ElementPtr(std::make_unique<Discard>()); });
+  reg("Counter", [] { return ElementPtr(std::make_unique<Counter>()); });
+  reg("Strip", [] { return ElementPtr(std::make_unique<Strip>()); });
+  reg("Unstrip", [] { return ElementPtr(std::make_unique<Unstrip>()); });
+  reg("Classifier", [] { return ElementPtr(std::make_unique<Classifier>()); });
+  reg("CheckIPHeader",
+      [] { return ElementPtr(std::make_unique<CheckIPHeader>()); });
+  reg("DecIPTTL", [] { return ElementPtr(std::make_unique<DecIPTTL>()); });
+  reg("GetIPAddress",
+      [] { return ElementPtr(std::make_unique<GetIPAddress>()); });
+  reg("LookupIPRoute",
+      [] { return ElementPtr(std::make_unique<LookupIPRoute>()); });
+  reg("EtherEncap", [] { return ElementPtr(std::make_unique<EtherEncap>()); });
+  reg("Queue", [] { return ElementPtr(std::make_unique<Queue>()); });
+  reg("Tee", [] { return ElementPtr(std::make_unique<Tee>()); });
+  reg("Paint", [] { return ElementPtr(std::make_unique<Paint>()); });
+  reg("IPFilter", [] { return ElementPtr(std::make_unique<IPFilter>()); });
+}
+
+void ElementRegistry::register_class(const std::string& class_name,
+                                     Factory factory) {
+  factories_[class_name] = std::move(factory);
+}
+
+ElementPtr ElementRegistry::create(const std::string& class_name) const {
+  const auto it = factories_.find(class_name);
+  if (it == factories_.end()) return nullptr;
+  return it->second();
+}
+
+bool ElementRegistry::known(const std::string& class_name) const {
+  return factories_.count(class_name) > 0;
+}
+
+std::vector<std::string> ElementRegistry::class_names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) out.push_back(name);
+  return out;
+}
+
+// --- parsing helpers ----------------------------------------------------------
+
+namespace {
+
+std::string strip_comments(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size();) {
+    if (in.compare(i, 2, "//") == 0) {
+      while (i < in.size() && in[i] != '\n') ++i;
+    } else if (in.compare(i, 2, "/*") == 0) {
+      i += 2;
+      while (i + 1 < in.size() && in.compare(i, 2, "*/") != 0) ++i;
+      i = i + 2 <= in.size() ? i + 2 : in.size();
+    } else {
+      out.push_back(in[i++]);
+    }
+  }
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Splits "Class(args)" into class name and top-level comma-separated args.
+bool split_class_args(const std::string& text, std::string& class_name,
+                      std::vector<std::string>& args, std::string& error) {
+  const auto open = text.find('(');
+  if (open == std::string::npos) {
+    class_name = trim(text);
+    args.clear();
+    return !class_name.empty();
+  }
+  if (text.back() != ')') {
+    error = "missing ')' in '" + text + "'";
+    return false;
+  }
+  class_name = trim(text.substr(0, open));
+  args.clear();
+  const std::string inner = text.substr(open + 1, text.size() - open - 2);
+  std::string current;
+  int depth = 0;
+  for (char c : inner) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      args.push_back(trim(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!trim(current).empty() || !args.empty()) args.push_back(trim(current));
+  // Drop a single trailing empty arg from "Class()" style.
+  if (args.size() == 1 && args[0].empty()) args.clear();
+  return true;
+}
+
+bool valid_identifier(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '@')
+      return false;
+  return !std::isdigit(static_cast<unsigned char>(s[0]));
+}
+
+/// Splits a statement on "->" at top level (ignores arrows inside parens).
+std::vector<std::string> split_arrows(const std::string& stmt) {
+  std::vector<std::string> parts;
+  std::string current;
+  int depth = 0;
+  for (std::size_t i = 0; i < stmt.size(); ++i) {
+    if (stmt[i] == '(') ++depth;
+    if (stmt[i] == ')') --depth;
+    if (depth == 0 && stmt.compare(i, 2, "->") == 0) {
+      parts.push_back(trim(current));
+      current.clear();
+      ++i;
+    } else {
+      current.push_back(stmt[i]);
+    }
+  }
+  parts.push_back(trim(current));
+  return parts;
+}
+
+}  // namespace
+
+// --- Router ---------------------------------------------------------------------
+
+Element* Router::declare(const std::string& name,
+                         const std::string& class_name,
+                         const std::vector<std::string>& args,
+                         std::string& error) {
+  if (elements_.count(name)) {
+    error = "duplicate element name '" + name + "'";
+    return nullptr;
+  }
+  ElementPtr element = ElementRegistry::instance().create(class_name);
+  if (!element) {
+    error = "unknown element class '" + class_name + "'";
+    return nullptr;
+  }
+  element->set_name(name);
+  std::string config_error;
+  if (!element->configure(args, config_error)) {
+    error = name + ": " + config_error;
+    return nullptr;
+  }
+  Element* raw = element.get();
+  elements_.emplace(name, std::move(element));
+  names_.push_back(name);
+  return raw;
+}
+
+bool Router::parse_endpoint(const std::string& text, Endpoint& ep,
+                            std::string& error) {
+  std::string body = trim(text);
+  ep.in_port = 0;
+  ep.out_port = 0;
+
+  // Leading "[n]" selects the input port of this endpoint.
+  if (!body.empty() && body.front() == '[') {
+    const auto close = body.find(']');
+    if (close == std::string::npos) {
+      error = "missing ']' in '" + text + "'";
+      return false;
+    }
+    ep.in_port = std::atoi(body.substr(1, close - 1).c_str());
+    body = trim(body.substr(close + 1));
+  }
+  // Trailing "[n]" (outside parens) selects the output port.
+  if (!body.empty() && body.back() == ']') {
+    const auto open = body.rfind('[');
+    if (open == std::string::npos) {
+      error = "missing '[' in '" + text + "'";
+      return false;
+    }
+    ep.out_port = std::atoi(body.substr(open + 1, body.size() - open - 2).c_str());
+    body = trim(body.substr(0, open));
+  }
+
+  if (body.empty()) {
+    error = "empty endpoint in '" + text + "'";
+    return false;
+  }
+
+  if (elements_.count(body)) {
+    ep.name = body;
+    return true;
+  }
+
+  // Anonymous inline element: "Class(args)" or a bare known class name.
+  std::string class_name;
+  std::vector<std::string> args;
+  if (!split_class_args(body, class_name, args, error)) return false;
+  if (!ElementRegistry::instance().known(class_name)) {
+    error = "unknown element '" + body + "'";
+    return false;
+  }
+  const std::string anon_name =
+      class_name + "@" + std::to_string(++anon_counter_);
+  if (!declare(anon_name, class_name, args, error)) return false;
+  ep.name = anon_name;
+  return true;
+}
+
+bool Router::parse_statement(const std::string& stmt, std::string& error) {
+  const auto arrow_parts = split_arrows(stmt);
+  if (arrow_parts.size() == 1) {
+    // Declaration: "name :: Class(args)".
+    const auto sep = stmt.find("::");
+    if (sep == std::string::npos) {
+      error = "expected declaration or connection: '" + stmt + "'";
+      return false;
+    }
+    const std::string name = trim(stmt.substr(0, sep));
+    if (!valid_identifier(name)) {
+      error = "bad element name '" + name + "'";
+      return false;
+    }
+    std::string class_name;
+    std::vector<std::string> args;
+    if (!split_class_args(trim(stmt.substr(sep + 2)), class_name, args, error))
+      return false;
+    return declare(name, class_name, args, error) != nullptr;
+  }
+
+  // Connection chain; each part may itself be "name :: Class(args)".
+  Endpoint prev;
+  for (std::size_t i = 0; i < arrow_parts.size(); ++i) {
+    std::string part = arrow_parts[i];
+    const auto sep = part.find("::");
+    Endpoint ep;
+    if (sep != std::string::npos) {
+      // Inline declaration within a chain.
+      const std::string name = trim(part.substr(0, sep));
+      if (!valid_identifier(name)) {
+        error = "bad element name '" + name + "'";
+        return false;
+      }
+      std::string class_name;
+      std::vector<std::string> args;
+      if (!split_class_args(trim(part.substr(sep + 2)), class_name, args,
+                            error))
+        return false;
+      if (!declare(name, class_name, args, error)) return false;
+      ep.name = name;
+    } else if (!parse_endpoint(part, ep, error)) {
+      return false;
+    }
+    if (i > 0) {
+      Element* src = find(prev.name);
+      Element* dst = find(ep.name);
+      src->connect_output(prev.out_port, dst, ep.in_port);
+    }
+    prev = ep;
+  }
+  return true;
+}
+
+bool Router::configure(const std::string& script, std::string& error) {
+  const std::string clean = strip_comments(script);
+  std::string stmt;
+  std::istringstream ss(clean);
+  while (std::getline(ss, stmt, ';')) {
+    stmt = trim(stmt);
+    if (stmt.empty()) continue;
+    if (!parse_statement(stmt, error)) return false;
+  }
+  for (const auto& name : names_) {
+    std::string init_error;
+    if (!elements_.at(name)->initialize(*this, init_error)) {
+      error = name + ": " + init_error;
+      return false;
+    }
+  }
+  return true;
+}
+
+Element* Router::find(const std::string& name) const {
+  const auto it = elements_.find(name);
+  return it == elements_.end() ? nullptr : it->second.get();
+}
+
+bool Router::push_input(const std::string& from_host, PacketPtr p) {
+  auto* source = find_as<FromHost>(from_host);
+  if (!source) return false;
+  source->inject(std::move(p));
+  return true;
+}
+
+std::size_t Router::run_tasks(std::size_t max_tasks) {
+  if (tasks_.empty()) return 0;
+  std::size_t ran = 0;
+  std::size_t idle_streak = 0;
+  while (ran < max_tasks && idle_streak < tasks_.size()) {
+    Queue* q = tasks_[next_task_];
+    next_task_ = (next_task_ + 1) % tasks_.size();
+    if (q->run_task()) {
+      ++ran;
+      idle_streak = 0;
+    } else {
+      ++idle_streak;
+    }
+  }
+  return ran;
+}
+
+}  // namespace lvrm::click

@@ -1,0 +1,97 @@
+// router.hpp — the Click-style router: element registry, config parser, graph.
+//
+// Accepts a subset of the Click configuration language:
+//
+//     // declaration
+//     rt :: LookupIPRoute(10.2.0.0/16 1, 10.1.0.0/16 0);
+//     // connection chain with optional port brackets
+//     in :: FromHost;
+//     in -> Strip(14) -> CheckIPHeader -> GetIPAddress(16) -> rt;
+//     rt[1] -> Queue(64) -> out1 :: ToHost(1);
+//
+// Anonymous elements ("Strip(14)" inline) are auto-named. `//` and `/* */`
+// comments are supported. Parsing or configuration errors are reported with
+// the statement text.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "click/element.hpp"
+#include "click/elements.hpp"
+
+namespace lvrm::click {
+
+/// Factory registry. All standard elements are pre-registered; users may
+/// register their own element classes (the extensibility Click is cited for).
+class ElementRegistry {
+ public:
+  using Factory = std::function<ElementPtr()>;
+
+  static ElementRegistry& instance();
+
+  void register_class(const std::string& class_name, Factory factory);
+  ElementPtr create(const std::string& class_name) const;
+  bool known(const std::string& class_name) const;
+  std::vector<std::string> class_names() const;
+
+ private:
+  ElementRegistry();
+  std::map<std::string, Factory> factories_;
+};
+
+class Router {
+ public:
+  Router() = default;
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Parses and instantiates a configuration. Returns false with an error
+  /// description on failure; the router is unusable afterwards.
+  bool configure(const std::string& script, std::string& error);
+
+  Element* find(const std::string& name) const;
+
+  template <typename T>
+  T* find_as(const std::string& name) const {
+    return dynamic_cast<T*>(find(name));
+  }
+
+  /// Injects a packet through the named FromHost element. Returns false if
+  /// no such element exists.
+  bool push_input(const std::string& from_host, PacketPtr p);
+
+  /// Runs up to `max_tasks` scheduled tasks (Queue drains); returns how many
+  /// did work. Call until 0 to fully flush the graph.
+  std::size_t run_tasks(std::size_t max_tasks = 64);
+
+  void register_task(Queue* q) { tasks_.push_back(q); }
+
+  std::size_t element_count() const { return elements_.size(); }
+  const std::vector<std::string>& element_names() const { return names_; }
+
+ private:
+  struct Endpoint {
+    std::string name;
+    int in_port = 0;
+    int out_port = 0;
+  };
+
+  Element* declare(const std::string& name, const std::string& class_name,
+                   const std::vector<std::string>& args, std::string& error);
+  bool parse_statement(const std::string& stmt, std::string& error);
+  bool parse_endpoint(const std::string& text, Endpoint& ep,
+                      std::string& error);
+
+  std::map<std::string, ElementPtr> elements_;
+  std::vector<std::string> names_;  // declaration order
+  std::vector<Queue*> tasks_;
+  std::size_t next_task_ = 0;
+  int anon_counter_ = 0;
+};
+
+}  // namespace lvrm::click

@@ -1,0 +1,74 @@
+// ewma.hpp — exponential weighted moving averages.
+//
+// Two flavours are provided:
+//   * PaperEwma — the exact recurrence of the thesis' Fig 3.4 load estimator:
+//         avg <- (sample + w * avg) / (1 + w)
+//     where w is a dimensionless weight (larger w = smoother). This is what
+//     the VRI adapter and the VR monitor use so the reproduction matches the
+//     published algorithm literally.
+//   * AlphaEwma — the conventional avg <- a*sample + (1-a)*avg form, used by
+//     auxiliary components (service-rate smoothing, TCP RTT estimation).
+#pragma once
+
+namespace lvrm {
+
+/// EWMA with the thesis' (sample + w*avg)/(1+w) update (Fig 3.4).
+class PaperEwma {
+ public:
+  explicit constexpr PaperEwma(double weight = 7.0) : weight_(weight) {}
+
+  /// Feeds one sample; the first sample initializes the average directly
+  /// ("if the Average_Load is valid" branch in Fig 3.4).
+  constexpr void update(double sample) {
+    if (!valid_) {
+      value_ = sample;
+      valid_ = true;
+      return;
+    }
+    value_ = (sample + weight_ * value_) / (1.0 + weight_);
+  }
+
+  constexpr bool valid() const { return valid_; }
+  constexpr double value() const { return value_; }
+  constexpr double weight() const { return weight_; }
+
+  constexpr void reset() {
+    valid_ = false;
+    value_ = 0.0;
+  }
+
+ private:
+  double weight_;
+  double value_ = 0.0;
+  bool valid_ = false;
+};
+
+/// Conventional alpha-EWMA: avg <- alpha*sample + (1-alpha)*avg.
+class AlphaEwma {
+ public:
+  explicit constexpr AlphaEwma(double alpha = 0.125) : alpha_(alpha) {}
+
+  constexpr void update(double sample) {
+    if (!valid_) {
+      value_ = sample;
+      valid_ = true;
+      return;
+    }
+    value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+  }
+
+  constexpr bool valid() const { return valid_; }
+  constexpr double value() const { return value_; }
+
+  constexpr void reset() {
+    valid_ = false;
+    value_ = 0.0;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool valid_ = false;
+};
+
+}  // namespace lvrm

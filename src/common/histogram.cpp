@@ -1,0 +1,73 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace lvrm {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets) : lo_(lo) {
+  if (buckets < 1) buckets = 1;
+  if (!(hi > lo)) hi = lo + 1.0;
+  width_ = (hi - lo) / static_cast<double>(buckets);
+  counts_.assign(buckets, 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+  return lo_ + static_cast<double>(i + 1) * width_;
+}
+
+double Histogram::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return bucket_hi(counts_.size() - 1);
+}
+
+std::string Histogram::render(int width) const {
+  std::ostringstream os;
+  const std::size_t peak =
+      counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const int bar =
+        peak == 0 ? 0
+                  : static_cast<int>(std::lround(
+                        static_cast<double>(counts_[i]) * width /
+                        static_cast<double>(peak)));
+    os << '[' << bucket_lo(i) << ", " << bucket_hi(i) << ") "
+       << std::string(static_cast<std::size_t>(bar), '#') << ' ' << counts_[i]
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace lvrm

@@ -1,0 +1,47 @@
+// histogram.hpp — fixed-bucket latency histogram for experiment reporting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lvrm {
+
+/// Linear-bucket histogram over [lo, hi) with overflow/underflow buckets.
+/// Used by the latency experiments (1b, 1d, 1e) to report distributions.
+class Histogram {
+ public:
+  /// Creates `buckets` equal-width buckets spanning [lo, hi). Requires
+  /// hi > lo and buckets >= 1; violations are clamped to a single bucket.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  std::size_t count() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t bucket(std::size_t i) const { return counts_.at(i); }
+
+  /// Inclusive lower edge of bucket i.
+  double bucket_lo(std::size_t i) const;
+  /// Exclusive upper edge of bucket i.
+  double bucket_hi(std::size_t i) const;
+
+  /// Approximate quantile (0..1) by linear interpolation within the bucket.
+  double quantile(double q) const;
+
+  /// Multi-line ASCII rendering (one row per non-empty bucket).
+  std::string render(int width = 50) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace lvrm

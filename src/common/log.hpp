@@ -1,0 +1,56 @@
+// log.hpp — minimal leveled logger.
+//
+// Experiments and tests mostly print structured tables themselves; the logger
+// exists for diagnostics inside the library (dropped frames, allocation
+// decisions). It is deliberately tiny: a global level, printf-free streaming,
+// and a mutex so interleaved real-thread tests stay readable.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace lvrm {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets/gets the process-wide log level (default: kWarn, so library chatter
+/// stays out of bench output).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+bool log_enabled(LogLevel level);
+}  // namespace detail
+
+/// Stream-style log statement: LVRM_LOG(kInfo) << "cores=" << n;
+/// The message body is not evaluated when the level is disabled.
+#define LVRM_LOG(level)                                      \
+  for (bool lvrm_log_once =                                  \
+           ::lvrm::detail::log_enabled(::lvrm::LogLevel::level); \
+       lvrm_log_once; lvrm_log_once = false)                 \
+  ::lvrm::detail::LogLine(::lvrm::LogLevel::level)
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace lvrm

@@ -1,0 +1,109 @@
+// rng.hpp — deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the repository (random load balancing, traffic
+// jitter, default kernel scheduling noise) draws from these generators so that
+// a fixed seed reproduces a figure bit-for-bit. We use xoshiro256** seeded via
+// SplitMix64, which is the conventional pairing: SplitMix64 decorrelates
+// arbitrary user seeds, xoshiro256** provides high-quality 64-bit output at a
+// few cycles per draw (far cheaper than std::mt19937_64 and with a small,
+// copyable state that suits per-entity streams).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace lvrm {
+
+/// SplitMix64: used only to expand a user seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the repository-wide PRNG. Satisfies (most of) the
+/// UniformRandomBitGenerator requirements and adds the distribution helpers
+/// the codebase actually needs.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x1234'5678'9ABC'DEF0ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  constexpr std::uint64_t operator()() { return next(); }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  constexpr std::uint64_t uniform(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // 128-bit multiply-shift; rejection keeps the distribution exact.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0ULL - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Exponential with the given mean (> 0); used for Poisson traffic gaps.
+  double exponential(double mean) {
+    double u = uniform01();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Splits off an independent child stream, e.g. one per simulated entity.
+  constexpr Rng split() { return Rng(next() ^ 0x9E3779B97F4A7C15ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace lvrm

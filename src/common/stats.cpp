@@ -1,0 +1,83 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lvrm {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double jain_index(std::span<const double> xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all-zero allocations are trivially "fair"
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+double maxmin_index(std::span<const double> xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0;
+  double mn = xs[0];
+  for (double x : xs) {
+    sum += x;
+    mn = std::min(mn, x);
+  }
+  if (sum <= 0.0) return 1.0;
+  const double equal_share = sum / static_cast<double>(xs.size());
+  return mn / equal_share;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double idx = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+double mean_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return sum_of(xs) / static_cast<double>(xs.size());
+}
+
+double sum_of(std::span<const double> xs) {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s;
+}
+
+double relative_diff(double a, double b) {
+  const double hi = std::max(std::abs(a), std::abs(b));
+  if (hi == 0.0) return 0.0;
+  return std::abs(a - b) / hi;
+}
+
+}  // namespace lvrm

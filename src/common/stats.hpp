@@ -1,0 +1,58 @@
+// stats.hpp — summary statistics and the fairness indices used in Chapter 4.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lvrm {
+
+/// Single-pass running mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2). Equals 1 when all
+/// allocations are equal, 1/n when one user takes everything. The thesis uses
+/// it to characterize "the majority of the flows" (Sec 4.1, Metrics).
+double jain_index(std::span<const double> xs);
+
+/// Max-min fairness index as used in Figs 4.17/4.20: the minimum allocation
+/// normalized by the equal share (aggregate / n). 1 means the worst-off flow
+/// got a full equal share; it highlights "the outliner" (sic) flow.
+double maxmin_index(std::span<const double> xs);
+
+/// p-th percentile (0..100) by linear interpolation on a copy of the data.
+double percentile(std::span<const double> xs, double p);
+
+/// Mean of a span; 0 for empty input.
+double mean_of(std::span<const double> xs);
+
+/// Sum of a span.
+double sum_of(std::span<const double> xs);
+
+/// Relative difference |a-b| / max(a,b); used by the achievable-throughput
+/// search ("sending rate and receiving rate differ by no more than 2%").
+double relative_diff(double a, double b);
+
+}  // namespace lvrm

@@ -1,0 +1,69 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace lvrm {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers, bool csv)
+    : headers_(std::move(headers)), csv_(csv) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TablePrinter::num(std::int64_t v) { return std::to_string(v); }
+
+void TablePrinter::print(std::ostream& os) const {
+  if (csv_) {
+    auto emit = [&os](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) os << ',';
+        os << cells[i];
+      }
+      os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+    return;
+  }
+
+  std::size_t cols = headers_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&width](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      width[i] = std::max(width[i], cells[i].size());
+  };
+  widen(headers_);
+  for (const auto& row : rows_) widen(row);
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      os << std::left << std::setw(static_cast<int>(width[i]) + 2) << cell;
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace lvrm

@@ -1,0 +1,35 @@
+// table.hpp — aligned ASCII table / CSV printer for experiment output.
+//
+// Every bench binary regenerates one of the paper's figures as a table of
+// rows. TablePrinter renders either a human-readable aligned table (default)
+// or CSV (--csv) so results can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lvrm {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers, bool csv = false);
+
+  /// Appends a row; extra/missing cells relative to the header are allowed
+  /// (missing render empty).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::int64_t v);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  bool csv_;
+};
+
+}  // namespace lvrm

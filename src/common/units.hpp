@@ -1,0 +1,56 @@
+// units.hpp — strong time and rate units used throughout LVRM.
+//
+// The simulator runs on an integer virtual clock in nanoseconds so that every
+// experiment is exactly reproducible across runs and platforms. Rates are kept
+// as doubles (frames/s, bits/s) since they are derived quantities.
+#pragma once
+
+#include <cstdint>
+
+namespace lvrm {
+
+/// Virtual time in nanoseconds. 2^63 ns ≈ 292 years, ample for any experiment.
+using Nanos = std::int64_t;
+
+inline constexpr Nanos kNanosPerMicro = 1'000;
+inline constexpr Nanos kNanosPerMilli = 1'000'000;
+inline constexpr Nanos kNanosPerSec = 1'000'000'000;
+
+/// Convenience constructors, e.g. `usec(15)` for 15 microseconds.
+constexpr Nanos nsec(std::int64_t n) { return n; }
+constexpr Nanos usec(std::int64_t u) { return u * kNanosPerMicro; }
+constexpr Nanos msec(std::int64_t m) { return m * kNanosPerMilli; }
+constexpr Nanos sec(std::int64_t s) { return s * kNanosPerSec; }
+
+/// Conversions to floating-point seconds/micros for reporting.
+constexpr double to_seconds(Nanos t) { return static_cast<double>(t) / 1e9; }
+constexpr double to_micros(Nanos t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_millis(Nanos t) { return static_cast<double>(t) / 1e6; }
+
+/// Converts a fractional number of seconds to Nanos (rounding toward zero).
+constexpr Nanos from_seconds(double s) { return static_cast<Nanos>(s * 1e9); }
+
+/// Frames-per-second and bits-per-second are plain doubles with named aliases
+/// so signatures document their meaning.
+using FramesPerSec = double;
+using BitsPerSec = double;
+
+/// Inter-departure gap of a constant-rate source sending at `rate` fps.
+constexpr Nanos interval_for_rate(FramesPerSec rate) {
+  return rate <= 0.0 ? 0 : static_cast<Nanos>(1e9 / rate);
+}
+
+/// Serialization ("wire") time of `bytes` on a link of `bps` bits/s.
+constexpr Nanos wire_time(std::int64_t bytes, BitsPerSec bps) {
+  return static_cast<Nanos>(static_cast<double>(bytes) * 8.0 * 1e9 / bps);
+}
+
+/// Throughput in bits/s given `frames` of `bytes` each delivered over `elapsed`.
+constexpr BitsPerSec throughput_bps(std::int64_t frames, std::int64_t bytes,
+                                    Nanos elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(frames) * static_cast<double>(bytes) * 8.0 /
+         to_seconds(elapsed);
+}
+
+}  // namespace lvrm

@@ -1,0 +1,511 @@
+#include "exp/experiments.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "net/headers.hpp"
+#include "sim/costs.hpp"
+#include "tcp/reno.hpp"
+
+namespace lvrm::exp {
+
+namespace costs = sim::costs;
+
+namespace {
+
+std::vector<SenderSpec> default_senders() {
+  SenderSpec s1;
+  s1.src_ip = net::ipv4(10, 1, 1, 1);
+  s1.dst_ip = net::ipv4(10, 2, 1, 1);
+  s1.rate_share = 0.5;
+  SenderSpec s2;
+  s2.src_ip = net::ipv4(10, 1, 2, 1);
+  s2.dst_ip = net::ipv4(10, 2, 2, 1);
+  s2.rate_share = 0.5;
+  return {s1, s2};
+}
+
+/// A fully wired Fig 4.1 world: gateway under test + testbed + UDP senders.
+struct UdpWorld {
+  sim::Simulator sim;
+  sim::CpuTopology topo;
+  GatewayUnderTest gw;
+  traffic::Testbed bed;
+  std::vector<std::unique_ptr<traffic::UdpSender>> senders;
+
+  UdpWorld(const WorldOptions& options, FramesPerSec total_rate)
+      : topo(),
+        gw(sim, topo, options.mech, options.gw),
+        bed(sim, options.testbed) {
+    bed.set_gateway(
+        [this](net::FrameMeta f) { return gw.ingress(std::move(f)); });
+    gw.set_egress(
+        [this](net::FrameMeta&& f) { bed.gateway_egress(std::move(f)); });
+
+    std::vector<SenderSpec> specs =
+        options.senders.empty() ? default_senders() : options.senders;
+    int host = 0;
+    for (const SenderSpec& spec : specs) {
+      traffic::UdpSender::Config cfg;
+      cfg.src_ip = spec.src_ip;
+      cfg.dst_ip = spec.dst_ip;
+      cfg.wire_bytes = options.frame_bytes;
+      cfg.flows = spec.flows;
+      cfg.stop_at = sec(100'000);
+      cfg.profile = spec.profile.empty()
+                        ? traffic::UdpSender::constant(total_rate *
+                                                       spec.rate_share)
+                        : spec.profile;
+      auto sender = std::make_unique<traffic::UdpSender>(
+          sim, cfg, [this, host](net::FrameMeta&& f) {
+            bed.from_sender(host, std::move(f));
+          });
+      sender->start();
+      senders.push_back(std::move(sender));
+      ++host;
+    }
+  }
+
+  std::uint64_t sent_since_mark() const {
+    std::uint64_t total = 0;
+    for (const auto& s : senders) total += s->sent_since_mark();
+    return total;
+  }
+
+  void mark() {
+    for (auto& s : senders) s->mark();
+    bed.mark();
+  }
+};
+
+}  // namespace
+
+// --- UDP trials -----------------------------------------------------------------
+
+UdpTrialResult run_udp_trial(const WorldOptions& options,
+                             FramesPerSec total_rate) {
+  UdpWorld world(options, total_rate);
+  world.sim.run_until(options.warmup);
+  world.mark();
+  world.sim.run_until(options.warmup + options.measure);
+
+  UdpTrialResult r;
+  r.sent = world.sent_since_mark();
+  r.received = world.bed.delivered_to_receivers_since_mark();
+  const double seconds = to_seconds(options.measure);
+  r.offered_fps = static_cast<double>(r.sent) / seconds;
+  r.delivered_fps = static_cast<double>(r.received) / seconds;
+  r.delivered_bps =
+      r.delivered_fps * 8.0 * static_cast<double>(options.frame_bytes);
+  r.gateway_rx_drops = world.gw.rx_drops() + world.bed.gateway_rx_drops();
+  if (auto* lvrm = world.gw.lvrm()) r.queue_drops = lvrm->data_queue_drops();
+  return r;
+}
+
+FramesPerSec offered_rate_bound(int frame_bytes, int senders) {
+  const FramesPerSec host_cap =
+      senders * 1e9 / static_cast<double>(costs::kSenderPerFrame);
+  const FramesPerSec wire_cap =
+      costs::kLinkRate / (8.0 * static_cast<double>(frame_bytes));
+  return std::min(host_cap, wire_cap);
+}
+
+UdpTrialResult achievable_throughput(const WorldOptions& options,
+                                     FramesPerSec hi_bound, double tolerance) {
+  // Highest offered rate whose delivery stays within the +/-2% rule.
+  UdpTrialResult at_hi = run_udp_trial(options, hi_bound);
+  if (at_hi.feasible(tolerance)) return at_hi;
+
+  double lo = 0.0;
+  double hi = hi_bound;
+  UdpTrialResult best{};
+  for (int iter = 0; iter < 9 && hi - lo > 0.02 * hi_bound; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    UdpTrialResult r = run_udp_trial(options, mid);
+    if (r.feasible(tolerance)) {
+      lo = mid;
+      best = r;
+    } else {
+      hi = mid;
+    }
+  }
+  return best;
+}
+
+PerVrResult run_udp_trial_per_vr(const WorldOptions& options,
+                                 FramesPerSec total_rate) {
+  UdpWorld world(options, total_rate);
+  world.sim.run_until(options.warmup);
+  world.mark();
+  auto* lvrm = world.gw.lvrm();
+  assert(lvrm && "per-VR accounting requires an LVRM mechanism");
+  std::vector<std::uint64_t> before;
+  for (int vr = 0; vr < lvrm->vr_count(); ++vr)
+    before.push_back(lvrm->vr_forwarded(vr));
+  world.sim.run_until(options.warmup + options.measure);
+
+  PerVrResult out;
+  const double seconds = to_seconds(options.measure);
+  for (int vr = 0; vr < lvrm->vr_count(); ++vr)
+    out.vr_delivered_fps.push_back(
+        static_cast<double>(lvrm->vr_forwarded(vr) -
+                            before[static_cast<std::size_t>(vr)]) /
+        seconds);
+  out.total.sent = world.sent_since_mark();
+  out.total.received = world.bed.delivered_to_receivers_since_mark();
+  out.total.offered_fps = static_cast<double>(out.total.sent) / seconds;
+  out.total.delivered_fps = static_cast<double>(out.total.received) / seconds;
+  return out;
+}
+
+// --- RTT (Experiment 1b) ------------------------------------------------------------
+
+RttResult measure_rtt(const WorldOptions& options, int pings) {
+  UdpWorld world(options, 0.0);
+  RunningStats stats;
+  std::vector<double> rtts;
+
+  world.bed.set_to_receiver([&world](net::FrameMeta&& f) {
+    if (f.kind != net::FrameKind::kIcmpRequest) return;
+    // The receiver host's ICMP echo handling, then the reply traverses the
+    // gateway in the opposite direction.
+    net::FrameMeta reply = f;
+    reply.kind = net::FrameKind::kIcmpReply;
+    std::swap(reply.src_ip, reply.dst_ip);
+    reply.dispatch_vr = -1;
+    reply.dispatch_vri = -1;
+    world.sim.after(usec(8), [&world, reply] {
+      world.bed.from_receiver(0, reply);
+    });
+  });
+  world.bed.set_to_sender([&stats, &rtts, &world](net::FrameMeta&& f) {
+    if (f.kind != net::FrameKind::kIcmpReply) return;
+    const double rtt_us = to_micros(world.sim.now() - f.created_at);
+    stats.add(rtt_us);
+    rtts.push_back(rtt_us);
+  });
+
+  for (int i = 0; i < pings; ++i) {
+    world.sim.at(msec(2) * i, [&world, i] {
+      net::FrameMeta ping;
+      ping.id = 1'000'000 + static_cast<std::uint64_t>(i);
+      ping.kind = net::FrameKind::kIcmpRequest;
+      ping.wire_bytes = 98;  // 64-byte ICMP payload on the wire
+      ping.protocol = net::kProtoIcmp;
+      ping.src_ip = net::ipv4(10, 1, 1, 1);
+      ping.dst_ip = net::ipv4(10, 2, 1, 1);
+      ping.created_at = world.sim.now();
+      world.bed.from_sender(0, ping);
+    });
+  }
+  world.sim.run_until(msec(2) * pings + msec(50));
+
+  RttResult out;
+  out.avg_us = stats.mean();
+  out.p99_us = percentile(rtts, 99.0);
+  out.replies = static_cast<int>(stats.count());
+  return out;
+}
+
+// --- CPU usage (Fig 4.3) ---------------------------------------------------------------
+
+CpuUsage measure_cpu_usage(const WorldOptions& options, FramesPerSec rate) {
+  UdpWorld world(options, rate);
+  world.sim.run_until(options.warmup);
+  world.mark();
+  if (auto* lvrm = world.gw.lvrm()) {
+    lvrm->reset_accounting();
+  } else {
+    world.gw.fallback()->core().reset_accounting();
+  }
+  world.sim.run_until(options.warmup + options.measure);
+
+  const double window = static_cast<double>(options.measure);
+  const auto frames =
+      static_cast<double>(world.bed.delivered_to_receivers_since_mark());
+  CpuUsage usage;
+
+  if (auto* lvrm = world.gw.lvrm()) {
+    sim::Core& core = lvrm->lvrm_core();
+    double user = static_cast<double>(core.busy(sim::CostCategory::kUser));
+    double sys = static_cast<double>(core.busy(sim::CostCategory::kSystem));
+    // A non-blocking poll loop never idles: attribute the remaining wall
+    // time to polling — user-space ring checks for PF_RING/memory, repeated
+    // recvfrom() syscalls for the raw socket.
+    const double poll = std::max(0.0, window - user - sys);
+    if (lvrm->adapter().kind() == AdapterKind::kRawSocket) {
+      sys += poll;
+    } else {
+      user += poll;
+    }
+    // Softirq: kernel-side NIC work the adapter cannot bypass.
+    const double si_per_frame =
+        lvrm->adapter().kind() == AdapterKind::kRawSocket
+            ? static_cast<double>(costs::kRawSocketSoftirq)
+            : static_cast<double>(costs::kPfRingSoftirq);
+    usage.user_pct = 100.0 * user / window;
+    usage.system_pct = 100.0 * sys / window;
+    usage.softirq_pct = 100.0 * frames * si_per_frame / window;
+    return usage;
+  }
+
+  sim::Core& core = world.gw.fallback()->core();
+  usage.user_pct = 100.0 *
+                   static_cast<double>(core.busy(sim::CostCategory::kUser)) /
+                   window;
+  usage.system_pct =
+      100.0 * static_cast<double>(core.busy(sim::CostCategory::kSystem)) /
+      window;
+  usage.softirq_pct =
+      100.0 * static_cast<double>(core.busy(sim::CostCategory::kSoftirq)) /
+      window;
+  return usage;
+}
+
+// --- Memory-adapter worlds (Experiments 1c/1d) -------------------------------------------
+
+namespace {
+
+struct MemoryWorld {
+  sim::Simulator sim;
+  sim::CpuTopology topo;
+  std::unique_ptr<LvrmSystem> sys;
+  std::uint64_t delivered = 0;
+  RunningStats latency_us;
+
+  MemoryWorld(VrKind vr_kind, bool click_use_graph) {
+    LvrmConfig cfg;
+    cfg.adapter = AdapterKind::kMemory;
+    cfg.allocator = AllocatorKind::kFixed;
+    sys = std::make_unique<LvrmSystem>(sim, topo, cfg);
+    VrConfig vr;
+    vr.kind = vr_kind;
+    vr.initial_vris = 1;  // Exp 1c/1d: a single VRI processes the frames
+    vr.click_use_graph = click_use_graph;
+    sys->add_vr(vr);
+    sys->start();
+    sys->set_egress([this](net::FrameMeta&& f) {
+      ++delivered;  // "the output interface ... will simply discard"
+      latency_us.add(to_micros(sim.now() - f.gw_in_at));
+    });
+  }
+
+  net::FrameMeta make_frame(int frame_bytes, std::uint64_t id) const {
+    net::FrameMeta f;
+    f.id = id;
+    f.wire_bytes = frame_bytes;
+    f.src_ip = net::ipv4(10, 1, 0, 1) + static_cast<net::Ipv4Addr>(id % 64);
+    f.dst_ip = net::ipv4(10, 2, 0, 1) + static_cast<net::Ipv4Addr>(id % 64);
+    f.src_port = static_cast<std::uint16_t>(9000 + id % 64);
+    f.dst_port = 9;
+    f.created_at = sim.now();
+    return f;
+  }
+};
+
+}  // namespace
+
+MemoryTrialResult run_memory_throughput(VrKind vr, int frame_bytes,
+                                        bool click_use_graph) {
+  MemoryWorld world(vr, click_use_graph);
+  std::uint64_t next_id = 0;
+
+  // Keep the RX ring stocked, mimicking "LVRM reads the frames from RAM as
+  // fast as possible".
+  const Nanos refill_every = usec(50);
+  std::function<void()> refill = [&] {
+    for (int i = 0; i < 512; ++i) {
+      if (!world.sys->ingress(world.make_frame(frame_bytes, next_id))) break;
+      ++next_id;
+    }
+    world.sim.after(refill_every, refill);
+  };
+  world.sim.at(0, refill);
+
+  const Nanos warmup = msec(10);
+  const Nanos window = msec(50);
+  world.sim.run_until(warmup);
+  const std::uint64_t mark = world.delivered;
+  world.sim.run_until(warmup + window);
+
+  MemoryTrialResult out;
+  out.delivered_fps =
+      static_cast<double>(world.delivered - mark) / to_seconds(window);
+  out.delivered_bps = out.delivered_fps * 8.0 * frame_bytes;
+  out.avg_latency_us = world.latency_us.mean();
+  return out;
+}
+
+MemoryTrialResult run_memory_latency(VrKind vr, int frame_bytes) {
+  MemoryWorld world(vr, /*click_use_graph=*/true);
+  const int frames = 400;
+  for (int i = 0; i < frames; ++i) {
+    world.sim.at(usec(150) * i, [&world, frame_bytes, i] {
+      world.sys->ingress(
+          world.make_frame(frame_bytes, static_cast<std::uint64_t>(i)));
+    });
+  }
+  world.sim.run_until(usec(150) * frames + msec(5));
+
+  MemoryTrialResult out;
+  out.delivered_fps = 0.0;
+  out.delivered_bps = 0.0;
+  out.avg_latency_us = world.latency_us.mean();
+  return out;
+}
+
+// --- Control-event latency (Experiment 1e) ------------------------------------------------
+
+double measure_control_latency_us(std::size_t event_bytes, bool full_load,
+                                  int events, std::size_t poll_batch) {
+  WorldOptions options;
+  options.mech = Mechanism::kLvrmPfCpp;
+  options.gw.lvrm.allocator = AllocatorKind::kFixed;
+  options.gw.lvrm.poll_batch = poll_batch;
+  VrConfig vr;
+  vr.initial_vris = 2;  // "LVRM host a C++ VR, which has two VRIs"
+  options.gw.vrs = {vr};
+
+  const FramesPerSec rate = full_load ? offered_rate_bound(84) : 0.0;
+  UdpWorld world(options, rate);
+  auto* lvrm = world.gw.lvrm();
+
+  RunningStats latency;
+  world.sim.run_until(msec(30));  // settle the data path
+  for (int i = 0; i < events; ++i) {
+    world.sim.at(msec(30) + usec(500) * i, [&world, lvrm, event_bytes,
+                                            &latency] {
+      lvrm->send_control(0, 0, 1, event_bytes, [&latency](Nanos ns) {
+        latency.add(to_micros(ns));
+      });
+    });
+  }
+  world.sim.run_until(msec(30) + usec(500) * events + msec(10));
+  return latency.mean();
+}
+
+// --- Core allocation traces (Experiments 2c-2e) -------------------------------------------
+
+AllocTrace run_allocation_trace(const WorldOptions& options, Nanos duration,
+                                Nanos sample_every) {
+  UdpWorld world(options, 0.0);  // rates come from per-sender profiles
+  auto* lvrm = world.gw.lvrm();
+  assert(lvrm && "allocation traces require an LVRM mechanism");
+
+  AllocTrace trace;
+  for (Nanos t = 0; t <= duration; t += sample_every) {
+    world.sim.at(t, [&trace, lvrm, &world] {
+      AllocSample sample;
+      sample.t_sec = to_seconds(world.sim.now());
+      for (int vr = 0; vr < lvrm->vr_count(); ++vr)
+        sample.vris_per_vr.push_back(lvrm->active_vris(vr));
+      trace.samples.push_back(std::move(sample));
+    });
+  }
+  world.sim.run_until(duration + msec(1));
+  trace.log = lvrm->allocation_log();
+  return trace;
+}
+
+// --- FTP/TCP worlds (Experiments 3c, 4) ----------------------------------------------------
+
+TcpResult run_tcp_trial(const TcpWorldOptions& options) {
+  sim::Simulator sim;
+  sim::CpuTopology topo;
+  GatewayUnderTest gw(sim, topo, options.mech, options.gw);
+  traffic::Testbed::Config bed_config;
+  bed_config.tx_queue = options.bottleneck_queue;
+  traffic::Testbed bed(sim, bed_config);
+  bed.set_gateway([&gw](net::FrameMeta f) { return gw.ingress(std::move(f)); });
+  gw.set_egress([&bed](net::FrameMeta&& f) { bed.gateway_egress(std::move(f)); });
+
+  std::vector<std::unique_ptr<tcp::RenoFlow>> flows;
+  flows.reserve(static_cast<std::size_t>(options.flow_pairs));
+  for (int i = 0; i < options.flow_pairs; ++i) {
+    tcp::RenoConfig rc;
+    rc.flow_index = i;
+    rc.sender_ip = net::ipv4(10, 1, static_cast<std::uint8_t>(1 + i % 200),
+                             static_cast<std::uint8_t>(1 + i / 200));
+    rc.receiver_ip = net::ipv4(10, 2, static_cast<std::uint8_t>(1 + i % 200),
+                               static_cast<std::uint8_t>(1 + i / 200));
+    rc.receiver_port = static_cast<std::uint16_t>(50000 + i);
+    rc.app_drain_rate = options.app_drain_rate;
+    rc.send_jitter = options.send_jitter;
+    rc.ack_jitter = options.ack_jitter;
+    const int host = i % 2;
+    flows.push_back(std::make_unique<tcp::RenoFlow>(
+        sim, rc,
+        [&bed, host](net::FrameMeta f) { bed.from_sender(host, std::move(f)); },
+        [&bed, host](net::FrameMeta f) {
+          bed.from_receiver(host, std::move(f));
+        }));
+  }
+
+  bed.set_to_receiver([&flows](net::FrameMeta&& f) {
+    if (f.kind != net::FrameKind::kTcpData) return;
+    if (f.flow_index < 0 ||
+        f.flow_index >= static_cast<std::int32_t>(flows.size()))
+      return;
+    flows[static_cast<std::size_t>(f.flow_index)]->on_data_at_receiver(f);
+  });
+  bed.set_to_sender([&flows](net::FrameMeta&& f) {
+    if (f.kind != net::FrameKind::kTcpAck) return;
+    if (f.flow_index < 0 ||
+        f.flow_index >= static_cast<std::int32_t>(flows.size()))
+      return;
+    flows[static_cast<std::size_t>(f.flow_index)]->on_ack_at_sender(f);
+  });
+
+  // Stagger connection starts slightly, as real FTP logins would.
+  Rng rng(options.seed);
+  for (auto& flow : flows)
+    flow->start(static_cast<Nanos>(rng.uniform(0, 2e8)));
+
+  sim.run_until(options.warmup);
+  for (auto& flow : flows) flow->begin_measurement(sim.now());
+
+  TcpResult out;
+  if (options.series_interval > 0) {
+    const int points = static_cast<int>(options.measure /
+                                        options.series_interval);
+    std::shared_ptr<std::uint64_t> last_total =
+        std::make_shared<std::uint64_t>(0);
+    for (auto& flow : flows) *last_total += flow->segments_delivered();
+    for (int p = 1; p <= points; ++p) {
+      sim.at(options.warmup + options.series_interval * p,
+             [&flows, &out, &sim, last_total, &options] {
+               std::uint64_t total = 0;
+               for (auto& flow : flows) total += flow->segments_delivered();
+               const double mbps =
+                   static_cast<double>(total - *last_total) *
+                   costs::kTcpSegmentBytes * 8.0 /
+                   to_seconds(options.series_interval) / 1e6;
+               *last_total = total;
+               out.series.emplace_back(to_seconds(sim.now()), mbps);
+             });
+    }
+  }
+  sim.run_until(options.warmup + options.measure);
+
+  const double seconds = to_seconds(options.measure);
+  for (auto& flow : flows) {
+    const double mbps = static_cast<double>(flow->delivered_since_mark()) *
+                        costs::kTcpSegmentBytes * 8.0 / seconds / 1e6;
+    out.per_flow_mbps.push_back(mbps);
+    out.retransmits += flow->retransmits();
+    out.timeouts += flow->timeouts();
+  }
+  out.aggregate_mbps = sum_of(out.per_flow_mbps);
+  out.jain = jain_index(out.per_flow_mbps);
+  out.maxmin = maxmin_index(out.per_flow_mbps);
+  return out;
+}
+
+std::vector<int> frame_size_sweep() {
+  return {84, 200, 400, 700, 1000, 1200, 1538};
+}
+
+}  // namespace lvrm::exp

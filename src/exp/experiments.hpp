@@ -1,0 +1,177 @@
+// experiments.hpp — shared measurement machinery for the Chapter 4 benches.
+//
+// Each helper builds a *fresh* deterministic world (simulator + gateway +
+// Fig 4.1 testbed + traffic), runs it on the virtual clock, and returns the
+// quantities the corresponding figure plots. Bench binaries under bench/ are
+// thin tables over these functions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "exp/gateway.hpp"
+#include "lvrm/config.hpp"
+#include "traffic/testbed.hpp"
+#include "traffic/udp_sender.hpp"
+
+namespace lvrm::exp {
+
+// --- UDP worlds (Experiments 1a, 1b, 2a-2e, 3a, 3b) ---------------------------
+
+struct SenderSpec {
+  net::Ipv4Addr src_ip = 0;
+  net::Ipv4Addr dst_ip = 0;
+  double rate_share = 0.0;  // fraction of the trial's total rate (0 = use profile)
+  std::vector<traffic::RateStep> profile;  // overrides rate_share when set
+  int flows = 16;
+};
+
+struct WorldOptions {
+  Mechanism mech = Mechanism::kLvrmPfCpp;
+  GatewayOptions gw;
+  traffic::Testbed::Config testbed;
+  int frame_bytes = 84;
+  Nanos warmup = msec(60);
+  Nanos measure = msec(150);
+  /// Empty -> the default two senders of Fig 4.1 splitting the rate evenly.
+  std::vector<SenderSpec> senders;
+};
+
+struct UdpTrialResult {
+  std::uint64_t sent = 0;      // frames sources emitted in the window
+  std::uint64_t received = 0;  // frames delivered to receivers in the window
+  FramesPerSec offered_fps = 0.0;
+  FramesPerSec delivered_fps = 0.0;
+  BitsPerSec delivered_bps = 0.0;
+  std::uint64_t gateway_rx_drops = 0;
+  std::uint64_t queue_drops = 0;
+  bool feasible(double tolerance = 0.02) const {
+    return sent == 0 ||
+           static_cast<double>(received) >=
+               (1.0 - tolerance) * static_cast<double>(sent);
+  }
+};
+
+/// One run at a fixed total offered rate.
+UdpTrialResult run_udp_trial(const WorldOptions& options,
+                             FramesPerSec total_rate);
+
+/// The paper's achievable-throughput search: the highest rate at which
+/// sending and receiving rates differ by no more than `tolerance` (Sec 4.1
+/// Metrics). Returns the best feasible trial's result.
+UdpTrialResult achievable_throughput(const WorldOptions& options,
+                                     FramesPerSec hi_bound,
+                                     double tolerance = 0.02);
+
+/// Upper bound to search below: the sender-host ceiling or the wire rate,
+/// whichever binds for this frame size.
+FramesPerSec offered_rate_bound(int frame_bytes, int senders = 2);
+
+// --- Round-trip latency (Experiment 1b) -----------------------------------------
+
+struct RttResult {
+  double avg_us = 0.0;
+  double p99_us = 0.0;
+  int replies = 0;
+};
+
+RttResult measure_rtt(const WorldOptions& options, int pings = 300);
+
+// --- CPU usage (Fig 4.3) ------------------------------------------------------------
+
+struct CpuUsage {
+  double user_pct = 0.0;     // us: application code + user-space polling
+  double system_pct = 0.0;   // sy: syscalls + syscall-heavy polling
+  double softirq_pct = 0.0;  // si: kernel NIC/stack work
+};
+
+CpuUsage measure_cpu_usage(const WorldOptions& options, FramesPerSec rate);
+
+// --- LVRM-only worlds via the memory adapter (Experiments 1c/1d) ---------------------
+
+struct MemoryTrialResult {
+  FramesPerSec delivered_fps = 0.0;
+  BitsPerSec delivered_bps = 0.0;
+  double avg_latency_us = 0.0;
+};
+
+MemoryTrialResult run_memory_throughput(VrKind vr, int frame_bytes,
+                                        bool click_use_graph = true);
+MemoryTrialResult run_memory_latency(VrKind vr, int frame_bytes);
+
+// --- Control-event latency (Experiment 1e) --------------------------------------------
+
+/// Average latency of relaying a control event between two VRIs of one VR.
+/// `full_load` adds the Exp 1a achievable-throughput UDP stream.
+double measure_control_latency_us(std::size_t event_bytes, bool full_load,
+                                  int events = 300,
+                                  std::size_t poll_batch =
+                                      sim::costs::kPollBatch);
+
+// --- Core allocation traces (Experiments 2c-2e) -----------------------------------------
+
+struct AllocSample {
+  double t_sec = 0.0;
+  std::vector<int> vris_per_vr;
+};
+
+struct AllocTrace {
+  std::vector<AllocSample> samples;
+  std::vector<AllocationEvent> log;
+};
+
+AllocTrace run_allocation_trace(const WorldOptions& options, Nanos duration,
+                                Nanos sample_every = msec(250));
+
+// --- Per-VR throughput (Experiment 3b) ----------------------------------------------------
+
+struct PerVrResult {
+  std::vector<double> vr_delivered_fps;
+  UdpTrialResult total;
+};
+
+PerVrResult run_udp_trial_per_vr(const WorldOptions& options,
+                                 FramesPerSec total_rate);
+
+// --- FTP/TCP worlds (Experiments 3c, 4) -----------------------------------------------------
+
+struct TcpWorldOptions {
+  Mechanism mech = Mechanism::kLvrmPfCpp;
+  GatewayOptions gw;
+  int flow_pairs = 100;
+  Nanos warmup = sec(4);
+  Nanos measure = sec(10);
+  BitsPerSec app_drain_rate = sim::costs::kFtpAppDrainRate;
+  /// Per-segment sender jitter (hosts are not phase-locked).
+  Nanos send_jitter = usec(3);
+  /// ACK-release jitter at the receiver (FTP client scheduling, Sec 4.5).
+  Nanos ack_jitter = usec(300);
+  /// Bottleneck (switch) queue depth in frames on the trunk links.
+  std::size_t bottleneck_queue = 2000;
+  /// >0: also record the aggregate-rate time series at this interval
+  /// (Fig 4.22).
+  Nanos series_interval = 0;
+  std::uint64_t seed = 11;
+};
+
+struct TcpResult {
+  double aggregate_mbps = 0.0;
+  double jain = 0.0;
+  double maxmin = 0.0;
+  std::vector<double> per_flow_mbps;
+  std::vector<std::pair<double, double>> series;  // (t seconds, Mbps)
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+};
+
+TcpResult run_tcp_trial(const TcpWorldOptions& options);
+
+// --- shared reporting ---------------------------------------------------------------------
+
+/// Frame sizes swept by the throughput/latency figures (wire bytes incl.
+/// preamble/IFG, 84 B minimum as in Sec 4.1).
+std::vector<int> frame_size_sweep();
+
+}  // namespace lvrm::exp

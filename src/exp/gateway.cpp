@@ -1,0 +1,91 @@
+#include "exp/gateway.hpp"
+
+namespace lvrm::exp {
+
+std::string to_string(Mechanism m) {
+  switch (m) {
+    case Mechanism::kNativeLinux: return "Linux IP fwd";
+    case Mechanism::kLvrmRawCpp: return "LVRM C++ raw-socket";
+    case Mechanism::kLvrmPfCpp: return "LVRM C++ PF_RING";
+    case Mechanism::kLvrmPfClick: return "LVRM Click PF_RING";
+    case Mechanism::kVmware: return "VMware Server";
+    case Mechanism::kKvm: return "QEMU-KVM";
+  }
+  return "?";
+}
+
+bool is_lvrm(Mechanism m) {
+  return m == Mechanism::kLvrmRawCpp || m == Mechanism::kLvrmPfCpp ||
+         m == Mechanism::kLvrmPfClick;
+}
+
+std::vector<Mechanism> all_mechanisms() {
+  return {Mechanism::kNativeLinux, Mechanism::kLvrmRawCpp,
+          Mechanism::kLvrmPfCpp,  Mechanism::kLvrmPfClick,
+          Mechanism::kVmware,     Mechanism::kKvm};
+}
+
+GatewayUnderTest::GatewayUnderTest(sim::Simulator& sim,
+                                   const sim::CpuTopology& topo,
+                                   Mechanism mechanism,
+                                   GatewayOptions options)
+    : mechanism_(mechanism) {
+  if (is_lvrm(mechanism)) {
+    LvrmConfig cfg = options.lvrm;
+    if (options.mechanism_overrides) {
+      cfg.adapter = mechanism == Mechanism::kLvrmRawCpp
+                        ? AdapterKind::kRawSocket
+                        : AdapterKind::kPfRing;
+    }
+    lvrm_ = std::make_unique<LvrmSystem>(sim, topo, cfg);
+    std::vector<VrConfig> vrs = options.vrs;
+    if (vrs.empty()) vrs.push_back(VrConfig{});
+    for (VrConfig& vr : vrs) {
+      if (options.mechanism_overrides)
+        vr.kind = mechanism == Mechanism::kLvrmPfClick ? VrKind::kClick
+                                                       : VrKind::kCpp;
+      lvrm_->add_vr(vr);
+    }
+    lvrm_->start();
+    return;
+  }
+
+  baseline::SimpleForwarder::Params params;
+  switch (mechanism) {
+    case Mechanism::kNativeLinux:
+      params = baseline::SimpleForwarder::linux_params();
+      break;
+    case Mechanism::kVmware:
+      params = baseline::SimpleForwarder::vmware_params();
+      break;
+    case Mechanism::kKvm:
+      params = baseline::SimpleForwarder::kvm_params();
+      break;
+    default:
+      break;
+  }
+  baseline_ = std::make_unique<baseline::SimpleForwarder>(sim, params);
+}
+
+bool GatewayUnderTest::ingress(net::FrameMeta frame) {
+  return lvrm_ ? lvrm_->ingress(frame) : baseline_->ingress(frame);
+}
+
+void GatewayUnderTest::set_egress(
+    std::function<void(net::FrameMeta&&)> egress) {
+  if (lvrm_) {
+    lvrm_->set_egress(std::move(egress));
+  } else {
+    baseline_->set_egress(std::move(egress));
+  }
+}
+
+std::uint64_t GatewayUnderTest::forwarded() const {
+  return lvrm_ ? lvrm_->forwarded() : baseline_->forwarded();
+}
+
+std::uint64_t GatewayUnderTest::rx_drops() const {
+  return lvrm_ ? lvrm_->rx_ring_drops() : baseline_->drops();
+}
+
+}  // namespace lvrm::exp

@@ -1,0 +1,67 @@
+// gateway.hpp — the forwarding mechanisms compared in Chapter 4, behind one
+// interface so the experiment harness can swap them.
+//
+// Experiment 1a's six mechanisms: native Linux IP forwarding; LVRM with
+// C++ VR over a raw socket; LVRM with C++ VR over PF_RING; LVRM with Click
+// VR over PF_RING; VMware Server; QEMU-KVM.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/forwarders.hpp"
+#include "lvrm/system.hpp"
+#include "net/frame.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+
+namespace lvrm::exp {
+
+enum class Mechanism {
+  kNativeLinux,
+  kLvrmRawCpp,
+  kLvrmPfCpp,
+  kLvrmPfClick,
+  kVmware,
+  kKvm,
+};
+
+std::string to_string(Mechanism m);
+bool is_lvrm(Mechanism m);
+std::vector<Mechanism> all_mechanisms();
+
+struct GatewayOptions {
+  LvrmConfig lvrm;
+  /// Hosted VRs; empty selects a single default VR. For LVRM mechanisms the
+  /// mechanism's adapter/VR kind override the configs unless
+  /// `mechanism_overrides` is cleared (custom experiments).
+  std::vector<VrConfig> vrs;
+  bool mechanism_overrides = true;
+};
+
+class GatewayUnderTest {
+ public:
+  GatewayUnderTest(sim::Simulator& sim, const sim::CpuTopology& topo,
+                   Mechanism mechanism, GatewayOptions options = {});
+
+  bool ingress(net::FrameMeta frame);
+  void set_egress(std::function<void(net::FrameMeta&&)> egress);
+
+  Mechanism mechanism() const { return mechanism_; }
+  /// Non-null for LVRM mechanisms.
+  LvrmSystem* lvrm() { return lvrm_.get(); }
+  /// Non-null for baseline mechanisms.
+  baseline::SimpleForwarder* fallback() { return baseline_.get(); }
+
+  std::uint64_t forwarded() const;
+  std::uint64_t rx_drops() const;
+
+ private:
+  Mechanism mechanism_;
+  std::unique_ptr<LvrmSystem> lvrm_;
+  std::unique_ptr<baseline::SimpleForwarder> baseline_;
+};
+
+}  // namespace lvrm::exp

@@ -1,0 +1,96 @@
+// config.hpp — configuration of LVRM and of each hosted VR.
+//
+// Defaults mirror Sec 4.1's "Default implementation of LVRM": PF_RING socket
+// adapter, dynamic core allocation with fixed thresholds, frame-based
+// join-the-shortest-queue balancing, 1-second re-allocation period.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "lvrm/types.hpp"
+#include "net/ip.hpp"
+#include "sim/costs.hpp"
+#include "sim/topology.hpp"
+
+namespace lvrm {
+
+struct LvrmConfig {
+  AdapterKind adapter = AdapterKind::kPfRing;
+  AllocatorKind allocator = AllocatorKind::kDynamicFixedThreshold;
+  BalancerKind balancer = BalancerKind::kJoinShortestQueue;
+  BalancerGranularity granularity = BalancerGranularity::kFrame;
+  EstimatorKind estimator = EstimatorKind::kQueueLength;
+  AffinityPolicy affinity = AffinityPolicy::kSibling;
+
+  /// Core the LVRM process itself is pinned to.
+  sim::CoreId lvrm_core = 0;
+
+  /// Minimum interval between core (de)allocation passes (Sec 3.2: "we set
+  /// the period to be 1 second, while this parameter is tunable").
+  Nanos realloc_period = sec(1);
+
+  /// Per-core capacity threshold for the fixed-threshold allocator. The
+  /// experiments use 60 Kfps, the service rate under the 1/60 ms dummy load.
+  double per_vri_capacity_fps = 60'000.0;
+
+  /// Destroy-side hysteresis keeping arrival == threshold from flapping.
+  double destroy_hysteresis = 0.97;
+
+  /// Weight of the Fig 3.4 EWMA recurrences.
+  double ewma_weight = 7.0;
+
+  /// Upper bound on VRIs per VR (the testbed has 7 cores besides LVRM's).
+  int max_vris_per_vr = 7;
+
+  std::size_t data_queue_capacity = sim::costs::kDataQueueCapacity;
+  std::size_t control_queue_capacity = sim::costs::kControlQueueCapacity;
+
+  /// Frames drained per poll-loop pass from the RX ring and from each VRI's
+  /// outgoing queue. Larger batches amortize the loop but delay control
+  /// events and (for TX) can reorder frames balanced across VRIs — see the
+  /// dispatch ablation bench.
+  std::size_t poll_batch = sim::costs::kPollBatch;
+
+  /// Seed for the random balancer, allocation-jitter and kernel-migration
+  /// draws; everything is deterministic given the seed.
+  std::uint64_t seed = 1;
+};
+
+struct VrConfig {
+  std::string name = "vr";
+
+  /// Source subnets owned by this VR: a frame whose source address falls in
+  /// one of them is dispatched to this VR (Sec 2.1 workflow step 2).
+  std::vector<net::Prefix> subnets;
+
+  VrKind kind = VrKind::kCpp;
+
+  /// Route map (parse_route_map format); empty selects default_route_map().
+  std::string route_map;
+
+  /// Artificial per-frame processing load, e.g. the experiments' 1/60 ms.
+  Nanos dummy_load = 0;
+
+  /// Scales all per-frame processing cost; Exp 2e uses 2.0 for the slow VR
+  /// (service-rate ratio 1:2).
+  double service_multiplier = 1.0;
+
+  /// VRIs activated at start(). The fixed allocator keeps exactly this
+  /// many; dynamic allocators treat it as the starting point (normally 1).
+  int initial_vris = 1;
+
+  /// When hosting a Click VR, whether frames traverse the real element
+  /// graph (tests/examples) or the equivalent LPM fallback (large sweeps).
+  bool click_use_graph = true;
+
+  /// Hand-written Click configuration for this VR (Click VRs only). Empty
+  /// selects the generated minimal forwarder. Must declare a FromHost named
+  /// "in" and at least one ToHost; a LookupIPRoute named "rt" participates
+  /// in dynamic route updates.
+  std::string click_script;
+};
+
+}  // namespace lvrm

@@ -1,0 +1,82 @@
+// core_allocator.hpp — the VR monitor's core allocation policies (Sec 3.2).
+//
+// Fig 3.2's "allocate()" runs on packet receipt at most once per second and,
+// per VR, compares the EWMA arrival rate against thresholds:
+//
+//   if arrival <= threshold(service rate with 1 less VRI)  -> destroy a VRI
+//   else if threshold(service rate) <= arrival             -> create a VRI
+//
+// The *fixed-threshold* variant uses a configured per-core capacity (the
+// experiments use 60 Kfps, matching the 1/60 ms dummy load); the
+// *dynamic-threshold* variant uses the per-VRI service rate measured by the
+// LVRM adapters (Sec 3.6), so VRs with heavier per-frame processing get
+// proportionally more cores (Exp 2e). A small hysteresis keeps the exact
+// boundary (arrival == threshold) from flapping between create and destroy.
+#pragma once
+
+#include <memory>
+
+#include "lvrm/types.hpp"
+
+namespace lvrm {
+
+/// The allocator's per-VR view at decision time.
+struct VrAllocView {
+  int active_vris = 1;
+  double arrival_rate_fps = 0.0;      // EWMA arrival rate estimate
+  double service_rate_per_vri = 0.0;  // measured capacity; 0 = not yet known
+};
+
+enum class AllocDecision { kHold, kCreate, kDestroy };
+
+class CoreAllocator {
+ public:
+  virtual ~CoreAllocator() = default;
+  virtual AllocatorKind kind() const = 0;
+  virtual AllocDecision decide(const VrAllocView& vr) const = 0;
+};
+
+/// Fixed approach: the core set is chosen at VR start and never changes.
+class FixedAllocator final : public CoreAllocator {
+ public:
+  AllocatorKind kind() const override { return AllocatorKind::kFixed; }
+  AllocDecision decide(const VrAllocView&) const override {
+    return AllocDecision::kHold;
+  }
+};
+
+class DynamicFixedThresholdAllocator final : public CoreAllocator {
+ public:
+  DynamicFixedThresholdAllocator(double per_vri_capacity_fps,
+                                 double destroy_hysteresis)
+      : per_vri_fps_(per_vri_capacity_fps), hysteresis_(destroy_hysteresis) {}
+
+  AllocatorKind kind() const override {
+    return AllocatorKind::kDynamicFixedThreshold;
+  }
+  AllocDecision decide(const VrAllocView& vr) const override;
+
+ private:
+  double per_vri_fps_;
+  double hysteresis_;
+};
+
+class DynamicDynamicThresholdAllocator final : public CoreAllocator {
+ public:
+  explicit DynamicDynamicThresholdAllocator(double destroy_hysteresis)
+      : hysteresis_(destroy_hysteresis) {}
+
+  AllocatorKind kind() const override {
+    return AllocatorKind::kDynamicDynamicThreshold;
+  }
+  AllocDecision decide(const VrAllocView& vr) const override;
+
+ private:
+  double hysteresis_;
+};
+
+std::unique_ptr<CoreAllocator> make_allocator(AllocatorKind kind,
+                                              double per_vri_capacity_fps,
+                                              double destroy_hysteresis);
+
+}  // namespace lvrm

@@ -1,0 +1,101 @@
+#include "lvrm/load_balancer.hpp"
+
+#include "sim/costs.hpp"
+
+namespace lvrm {
+
+namespace costs = sim::costs;
+
+// --- JSQ (Fig 3.3 "JSQ") -------------------------------------------------------
+
+int JsqBalancer::pick(std::span<const VriView> vris) {
+  // "for each VRI in this VR: remember the VRI with the current shortest
+  // queue load". First-wins on ties, matching the strict '<' in Fig 3.3.
+  const VriView* best = &vris[0];
+  for (const VriView& v : vris.subspan(1))
+    if (v.load < best->load) best = &v;
+  return best->index;
+}
+
+Nanos JsqBalancer::decision_cost(std::size_t n) const {
+  return static_cast<Nanos>(n) * costs::kJsqPerVri;
+}
+
+// --- Round-robin -----------------------------------------------------------------
+
+int RoundRobinBalancer::pick(std::span<const VriView> vris) {
+  // "return the next and valid VRI".
+  cursor_ = (cursor_ + 1) % vris.size();
+  return vris[cursor_].index;
+}
+
+Nanos RoundRobinBalancer::decision_cost(std::size_t) const {
+  return costs::kRoundRobinCost;
+}
+
+// --- Random ----------------------------------------------------------------------
+
+int RandomBalancer::pick(std::span<const VriView> vris) {
+  return vris[rng_.uniform(vris.size())].index;
+}
+
+Nanos RandomBalancer::decision_cost(std::size_t) const {
+  return costs::kRandomCost;
+}
+
+std::unique_ptr<LoadBalancer> make_balancer(BalancerKind kind,
+                                            std::uint64_t seed) {
+  switch (kind) {
+    case BalancerKind::kJoinShortestQueue:
+      return std::make_unique<JsqBalancer>();
+    case BalancerKind::kRoundRobin:
+      return std::make_unique<RoundRobinBalancer>();
+    case BalancerKind::kRandom:
+      return std::make_unique<RandomBalancer>(seed);
+  }
+  return nullptr;
+}
+
+// --- Dispatcher (Fig 3.3 "balance") -------------------------------------------------
+
+Dispatcher::Dispatcher(std::unique_ptr<LoadBalancer> inner,
+                       BalancerGranularity gran, Nanos flow_idle_timeout)
+    : inner_(std::move(inner)),
+      granularity_(gran),
+      flows_(4096, flow_idle_timeout) {}
+
+int Dispatcher::dispatch(const net::FrameMeta& frame,
+                         std::span<const VriView> vris, Nanos now) {
+  last_flow_hit_ = false;
+  if (granularity_ == BalancerGranularity::kFlow) {
+    const auto tuple = net::FiveTuple::from_frame(frame);
+    if (const auto pinned = flows_.lookup(tuple, now)) {
+      // "if the entry is found and the VRI of the entry is valid".
+      for (const VriView& v : vris) {
+        if (v.index == *pinned) {
+          last_flow_hit_ = true;
+          return *pinned;
+        }
+      }
+      // Pinned VRI no longer valid (destroyed): fall through to re-balance.
+    }
+    const int chosen = inner_->pick(vris);
+    flows_.insert(tuple, chosen, now);  // "VRI of added entry <- ..."
+    return chosen;
+  }
+  return inner_->pick(vris);
+}
+
+Nanos Dispatcher::decision_cost(std::size_t n_vris, bool flow_hit) const {
+  Nanos cost = 0;
+  if (granularity_ == BalancerGranularity::kFlow) {
+    // Hash-table probe plus the times() timestamp refresh per frame.
+    cost += costs::kFlowTableLookup + costs::kFlowTimestampSyscall;
+    if (flow_hit) return cost;  // pinned: inner scheme skipped
+  }
+  return cost + inner_->decision_cost(n_vris);
+}
+
+void Dispatcher::on_vri_destroyed(int vri) { flows_.evict_vri(vri); }
+
+}  // namespace lvrm

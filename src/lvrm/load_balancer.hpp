@@ -1,0 +1,109 @@
+// load_balancer.hpp — dispatching frames across a VR's VRIs (Sec 3.3).
+//
+// The VRI monitor picks a VRI for every incoming frame. Fig 3.3's three
+// schemes ship — join-the-shortest-queue (by the load estimator's
+// Average_Load), round-robin, and uniform random — and each can run
+// frame-based or flow-based: the flow-based wrapper consults the
+// connection-tracking FlowTable first and only falls through to the inner
+// scheme for a flow's first frame, whose chosen VRI is then pinned
+// ("VRI of added entry <- JSQ()/Rnd()/RR()").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "lvrm/types.hpp"
+#include "net/flow.hpp"
+#include "net/frame.hpp"
+
+namespace lvrm {
+
+/// What a balancer sees of each candidate VRI.
+struct VriView {
+  int index = -1;     // VRI slot index within the VR
+  double load = 0.0;  // estimator's Average_Load (bigger = more loaded)
+};
+
+class LoadBalancer {
+ public:
+  virtual ~LoadBalancer() = default;
+  virtual BalancerKind kind() const = 0;
+
+  /// Picks among `vris` (non-empty, all valid/active). Returns the chosen
+  /// element's `index`.
+  virtual int pick(std::span<const VriView> vris) = 0;
+
+  /// Dispatch-decision CPU cost on the LVRM core for `n` candidate VRIs.
+  virtual Nanos decision_cost(std::size_t n) const = 0;
+};
+
+class JsqBalancer final : public LoadBalancer {
+ public:
+  BalancerKind kind() const override {
+    return BalancerKind::kJoinShortestQueue;
+  }
+  int pick(std::span<const VriView> vris) override;
+  Nanos decision_cost(std::size_t n) const override;
+};
+
+class RoundRobinBalancer final : public LoadBalancer {
+ public:
+  BalancerKind kind() const override { return BalancerKind::kRoundRobin; }
+  int pick(std::span<const VriView> vris) override;
+  Nanos decision_cost(std::size_t n) const override;
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+class RandomBalancer final : public LoadBalancer {
+ public:
+  explicit RandomBalancer(std::uint64_t seed) : rng_(seed) {}
+  BalancerKind kind() const override { return BalancerKind::kRandom; }
+  int pick(std::span<const VriView> vris) override;
+  Nanos decision_cost(std::size_t n) const override;
+
+ private:
+  Rng rng_;
+};
+
+std::unique_ptr<LoadBalancer> make_balancer(BalancerKind kind,
+                                            std::uint64_t seed);
+
+/// Flow-aware dispatch wrapper implementing Fig 3.3's "balance(buffer)".
+/// In frame mode it simply delegates; in flow mode it tracks 5-tuples.
+class Dispatcher {
+ public:
+  Dispatcher(std::unique_ptr<LoadBalancer> inner, BalancerGranularity gran,
+             Nanos flow_idle_timeout = sec(30));
+
+  /// Chooses a VRI for `frame`. `vris` lists the active candidates with
+  /// their current loads.
+  int dispatch(const net::FrameMeta& frame, std::span<const VriView> vris,
+               Nanos now);
+
+  /// CPU cost of the decision just taken (includes flow-table work when in
+  /// flow mode; the thesis charges a times() timestamp update per lookup).
+  Nanos decision_cost(std::size_t n_vris, bool flow_hit) const;
+
+  /// Forgets pinned flows of a destroyed VRI.
+  void on_vri_destroyed(int vri);
+
+  BalancerGranularity granularity() const { return granularity_; }
+  const LoadBalancer& inner() const { return *inner_; }
+  bool last_was_flow_hit() const { return last_flow_hit_; }
+  const net::FlowTable& flow_table() const { return flows_; }
+
+ private:
+  std::unique_ptr<LoadBalancer> inner_;
+  BalancerGranularity granularity_;
+  net::FlowTable flows_;
+  bool last_flow_hit_ = false;
+};
+
+}  // namespace lvrm

@@ -1,0 +1,16 @@
+#include "lvrm/load_estimator.hpp"
+
+namespace lvrm {
+
+std::unique_ptr<LoadEstimator> make_estimator(EstimatorKind kind,
+                                              double weight) {
+  switch (kind) {
+    case EstimatorKind::kQueueLength:
+      return std::make_unique<QueueLengthEstimator>(weight);
+    case EstimatorKind::kArrivalTime:
+      return std::make_unique<ArrivalTimeEstimator>(weight);
+  }
+  return nullptr;
+}
+
+}  // namespace lvrm

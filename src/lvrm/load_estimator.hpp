@@ -1,0 +1,103 @@
+// load_estimator.hpp — per-VRI load estimation (Sec 3.4, Fig 3.4).
+//
+// The VRI adapter updates its estimator every time it forwards a frame to
+// its VRI ("Estimate: called upon receipt of a packet") using the paper's
+// EWMA recurrence. Two variants, as in Fig 3.4:
+//   * queue length — Average_Load over the incoming data queue's occupancy;
+//   * arrival time — Average_Load over inter-arrival gaps, reported here as
+//     an arrival *rate* so that "bigger = more loaded" holds for both
+//     variants and JSQ can compare them uniformly.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+
+#include "common/ewma.hpp"
+#include "common/units.hpp"
+#include "lvrm/types.hpp"
+
+namespace lvrm {
+
+class LoadEstimator {
+ public:
+  virtual ~LoadEstimator() = default;
+
+  virtual EstimatorKind kind() const = 0;
+
+  /// Fig 3.4 "estimate: called upon receipt of a packet": every VRI adapter
+  /// observes its queue when LVRM receives a frame, *before* the dispatch
+  /// decision. The queue-length variant samples here (a drained queue must
+  /// read as lightly loaded even if nothing was dispatched to it lately);
+  /// the arrival-time variant ignores it.
+  virtual void on_packet_observed(std::size_t queue_len, Nanos now) = 0;
+
+  /// Called on the one VRI the frame was dispatched to, with the occupancy
+  /// after the enqueue. The arrival-time variant samples its inter-arrival
+  /// gap here.
+  virtual void on_dispatch(std::size_t queue_len, Nanos now) = 0;
+
+  /// Fig 3.3 "get estimate": current Average_Load; bigger = more loaded.
+  virtual double load() const = 0;
+
+  /// Time-aware estimate used at dispatch. Defaults to load(); the
+  /// arrival-time variant overrides it so a VRI that stopped receiving does
+  /// not keep a stale high rate forever (which would lock it out of JSQ).
+  virtual double load_at(Nanos /*now*/) const { return load(); }
+
+  virtual void reset() = 0;
+};
+
+class QueueLengthEstimator final : public LoadEstimator {
+ public:
+  explicit QueueLengthEstimator(double weight) : ewma_(weight) {}
+  EstimatorKind kind() const override { return EstimatorKind::kQueueLength; }
+  void on_packet_observed(std::size_t queue_len, Nanos) override {
+    ewma_.update(static_cast<double>(queue_len));
+  }
+  void on_dispatch(std::size_t, Nanos) override {}
+  double load() const override { return ewma_.valid() ? ewma_.value() : 0.0; }
+  void reset() override { ewma_.reset(); }
+
+ private:
+  PaperEwma ewma_;
+};
+
+class ArrivalTimeEstimator final : public LoadEstimator {
+ public:
+  explicit ArrivalTimeEstimator(double weight) : ewma_(weight) {}
+  EstimatorKind kind() const override { return EstimatorKind::kArrivalTime; }
+  void on_packet_observed(std::size_t, Nanos) override {}
+  void on_dispatch(std::size_t, Nanos now) override {
+    // Fig 3.4 "arrival time": only update once a previous timestamp exists.
+    if (last_arrival_ >= 0) {
+      const Nanos gap = now - last_arrival_;
+      ewma_.update(static_cast<double>(gap > 0 ? gap : 1));
+    }
+    last_arrival_ = now;
+  }
+  double load() const override {
+    if (!ewma_.valid() || ewma_.value() <= 0.0) return 0.0;
+    return 1e9 / ewma_.value();  // frames/s; bigger = more loaded
+  }
+  double load_at(Nanos now) const override {
+    if (!ewma_.valid() || ewma_.value() <= 0.0) return 0.0;
+    // The true current gap is at least (now - last arrival): an idle VRI's
+    // estimated rate decays instead of freezing at its last busy value.
+    const double gap = std::max(
+        ewma_.value(), static_cast<double>(now - last_arrival_));
+    return 1e9 / (gap > 0.0 ? gap : 1.0);
+  }
+  void reset() override {
+    ewma_.reset();
+    last_arrival_ = -1;
+  }
+
+ private:
+  PaperEwma ewma_;
+  Nanos last_arrival_ = -1;
+};
+
+std::unique_ptr<LoadEstimator> make_estimator(EstimatorKind kind,
+                                              double weight);
+
+}  // namespace lvrm

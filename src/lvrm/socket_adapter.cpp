@@ -1,0 +1,53 @@
+#include "lvrm/socket_adapter.hpp"
+
+#include "sim/costs.hpp"
+
+namespace lvrm {
+
+namespace costs = sim::costs;
+
+namespace {
+Nanos scaled(Nanos fixed, double per_byte, int wire_bytes) {
+  return fixed + static_cast<Nanos>(per_byte * wire_bytes);
+}
+}  // namespace
+
+Nanos RawSocketAdapter::recv_cost(const net::FrameMeta& f) const {
+  return scaled(costs::kRawSocketRecv, costs::kRawSocketPerByte, f.wire_bytes);
+}
+Nanos RawSocketAdapter::send_cost(const net::FrameMeta& f) const {
+  return scaled(costs::kRawSocketSend, costs::kRawSocketPerByte, f.wire_bytes);
+}
+std::size_t RawSocketAdapter::ring_capacity() const {
+  return costs::kRawSocketRing;
+}
+
+Nanos PfRingAdapter::recv_cost(const net::FrameMeta& f) const {
+  return scaled(costs::kPfRingRecv, costs::kPfRingPerByte, f.wire_bytes);
+}
+Nanos PfRingAdapter::send_cost(const net::FrameMeta& f) const {
+  return scaled(costs::kPfRingSend, costs::kPfRingPerByte, f.wire_bytes);
+}
+std::size_t PfRingAdapter::ring_capacity() const { return costs::kPfRingRing; }
+
+Nanos MemoryAdapter::recv_cost(const net::FrameMeta& f) const {
+  return scaled(costs::kMemoryRecv, costs::kMemoryPerByte, f.wire_bytes);
+}
+Nanos MemoryAdapter::send_cost(const net::FrameMeta& f) const {
+  return scaled(costs::kMemorySend, 0.0, f.wire_bytes);
+}
+std::size_t MemoryAdapter::ring_capacity() const { return costs::kMemoryRing; }
+
+std::unique_ptr<SocketAdapter> make_adapter(AdapterKind kind) {
+  switch (kind) {
+    case AdapterKind::kRawSocket:
+      return std::make_unique<RawSocketAdapter>();
+    case AdapterKind::kPfRing:
+      return std::make_unique<PfRingAdapter>();
+    case AdapterKind::kMemory:
+      return std::make_unique<MemoryAdapter>();
+  }
+  return nullptr;
+}
+
+}  // namespace lvrm

@@ -1,0 +1,90 @@
+// socket_adapter.hpp — the pluggable frame I/O interface (Sec 3.1).
+//
+// "The socket adapter is the software interface that relays data frames via
+// LVRM" — it hides how frames reach user space. Three variants ship, as in
+// the thesis: the raw BSD socket (syscall per frame, kernel<->user copies),
+// PF_RING-style zero-copy polling (LVRM v1.1 also *sends* through PF_RING),
+// and a main-memory trace reader used to isolate LVRM's internal overhead.
+// In the simulation the variant determines the per-frame RX/TX costs, their
+// `top` accounting category, and the RX ring depth.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/units.hpp"
+#include "lvrm/types.hpp"
+#include "net/frame.hpp"
+#include "sim/core.hpp"
+
+namespace lvrm {
+
+class SocketAdapter {
+ public:
+  virtual ~SocketAdapter() = default;
+
+  virtual AdapterKind kind() const = 0;
+  std::string name() const { return to_string(kind()); }
+
+  /// CPU cost on the LVRM core to obtain one frame from the lower level.
+  virtual Nanos recv_cost(const net::FrameMeta& f) const = 0;
+  /// CPU cost on the LVRM core to hand one frame to the lower level.
+  virtual Nanos send_cost(const net::FrameMeta& f) const = 0;
+
+  /// `top` category the costs account to (syscalls vs user-space polling).
+  virtual sim::CostCategory recv_category() const = 0;
+  virtual sim::CostCategory send_category() const = 0;
+
+  /// Depth of the RX ring frames wait in before LVRM polls them.
+  virtual std::size_t ring_capacity() const = 0;
+};
+
+/// Raw BSD socket (non-blocking recvfrom()/send()).
+class RawSocketAdapter final : public SocketAdapter {
+ public:
+  AdapterKind kind() const override { return AdapterKind::kRawSocket; }
+  Nanos recv_cost(const net::FrameMeta& f) const override;
+  Nanos send_cost(const net::FrameMeta& f) const override;
+  sim::CostCategory recv_category() const override {
+    return sim::CostCategory::kSystem;
+  }
+  sim::CostCategory send_category() const override {
+    return sim::CostCategory::kSystem;
+  }
+  std::size_t ring_capacity() const override;
+};
+
+/// PF_RING-style zero-copy polling (both directions, as of LVRM v1.1).
+class PfRingAdapter final : public SocketAdapter {
+ public:
+  AdapterKind kind() const override { return AdapterKind::kPfRing; }
+  Nanos recv_cost(const net::FrameMeta& f) const override;
+  Nanos send_cost(const net::FrameMeta& f) const override;
+  sim::CostCategory recv_category() const override {
+    return sim::CostCategory::kUser;
+  }
+  sim::CostCategory send_category() const override {
+    return sim::CostCategory::kUser;
+  }
+  std::size_t ring_capacity() const override;
+};
+
+/// Main-memory trace replay with a discard sink (Exp 1c/1d).
+class MemoryAdapter final : public SocketAdapter {
+ public:
+  AdapterKind kind() const override { return AdapterKind::kMemory; }
+  Nanos recv_cost(const net::FrameMeta& f) const override;
+  Nanos send_cost(const net::FrameMeta& f) const override;
+  sim::CostCategory recv_category() const override {
+    return sim::CostCategory::kUser;
+  }
+  sim::CostCategory send_category() const override {
+    return sim::CostCategory::kUser;
+  }
+  std::size_t ring_capacity() const override;
+};
+
+std::unique_ptr<SocketAdapter> make_adapter(AdapterKind kind);
+
+}  // namespace lvrm

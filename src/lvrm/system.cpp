@@ -1,0 +1,724 @@
+#include "lvrm/system.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/costs.hpp"
+
+namespace lvrm {
+
+namespace costs = sim::costs;
+using sim::CostCategory;
+
+// --- internal structures --------------------------------------------------------
+
+/// VRI adapter + LVRM adapter + the VRI process itself: queues, estimator,
+/// service-rate measurement, and the poll loop pinned to the VRI's core.
+struct LvrmSystem::VriSlot {
+  int vr_id = -1;
+  int index = -1;
+  bool active = false;
+  sim::CoreId core_id = sim::kNoCore;
+  Nanos activated_at = 0;
+  Nanos cold_until = 0;  // post-migration cold-cache window (default policy)
+
+  std::unique_ptr<sim::BoundedQueue<net::FrameMeta>> data_in;
+  std::unique_ptr<sim::BoundedQueue<net::FrameMeta>> data_out;
+  std::unique_ptr<sim::BoundedQueue<net::FrameMeta>> ctrl_in;
+  std::unique_ptr<sim::BoundedQueue<net::FrameMeta>> ctrl_out;
+  std::unique_ptr<sim::PollServer<net::FrameMeta>> server;
+  std::unique_ptr<VirtualRouter> router;
+  std::unique_ptr<LoadEstimator> estimator;
+
+  /// Sec 3.6: the LVRM adapter estimates the VRI's service rate from the
+  /// time between consecutive fromLVRM() calls; here: EWMA of per-frame
+  /// service cost, inverted into frames/s on demand.
+  AlphaEwma service_time{0.2};
+
+  std::uint64_t processed = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t no_route = 0;
+  bool crashed = false;
+
+  queue::SegmentId shm_ids[4] = {queue::kInvalidSegment, queue::kInvalidSegment,
+                                 queue::kInvalidSegment, queue::kInvalidSegment};
+  sim::EventId migration_event = sim::kInvalidEvent;
+};
+
+/// VR monitor state: configuration, the VRI monitor's dispatcher, and the
+/// EWMA arrival-rate measurement driving core allocation.
+struct LvrmSystem::VrState {
+  int id = -1;
+  VrConfig cfg;
+  std::vector<std::unique_ptr<VriSlot>> slots;
+  std::vector<int> active_order;  // activation order; destroy pops the back
+  std::unique_ptr<Dispatcher> dispatcher;
+  PaperEwma arrival_gap{7.0};
+  Nanos last_arrival = -1;
+  Nanos pipeline_latency = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t data_drops = 0;
+};
+
+// --- construction -----------------------------------------------------------------
+
+LvrmSystem::LvrmSystem(sim::Simulator& sim, const sim::CpuTopology& topo,
+                       LvrmConfig config)
+    : sim_(sim),
+      topo_(topo),
+      config_(config),
+      rng_(config.seed),
+      rx_ring_(0, "rx-ring") {
+  for (sim::CoreId c = 0; c < topo_.total_cores(); ++c)
+    cores_.push_back(
+        std::make_unique<sim::Core>(sim_, c, costs::kContextSwitch));
+  core_used_.assign(static_cast<std::size_t>(topo_.total_cores()), false);
+  core_used_[static_cast<std::size_t>(config_.lvrm_core)] = true;
+
+  adapter_ = make_adapter(config_.adapter);
+  rx_ring_ = sim::BoundedQueue<net::FrameMeta>(adapter_->ring_capacity(),
+                                               "rx-ring");
+  allocator_ = make_allocator(config_.allocator, config_.per_vri_capacity_fps,
+                              config_.destroy_hysteresis);
+
+  lvrm_server_ = std::make_unique<sim::PollServer<net::FrameMeta>>(
+      sim_, lvrm_core(), /*owner=*/0, "lvrm", costs::kPollDiscovery);
+  // The RX ring and each VRI's outgoing queue are drained in bursts of
+  // poll_batch (PF_RING-style batched polls); control queues are serviced
+  // per item at higher priority.
+  lvrm_server_->add_input(
+      rx_ring_, /*priority=*/1,
+      [this](net::FrameMeta& f) { return rx_cost(f); },
+      [this](net::FrameMeta&& f) { rx_sink(std::move(f)); },
+      adapter_->recv_category(), config_.poll_batch);
+}
+
+LvrmSystem::~LvrmSystem() {
+  for (auto& vr : vrs_)
+    for (auto& slot : vr->slots)
+      if (slot->migration_event != sim::kInvalidEvent)
+        sim_.cancel(slot->migration_event);
+}
+
+int LvrmSystem::add_vr(VrConfig vr_config) {
+  assert(!started_ && "add_vr must be called before start()");
+  auto vr = std::make_unique<VrState>();
+  vr->id = static_cast<int>(vrs_.size());
+  vr->arrival_gap = PaperEwma(config_.ewma_weight);
+  vr->cfg = std::move(vr_config);
+  if (vr->cfg.route_map.empty()) vr->cfg.route_map = default_route_map();
+  if (vr->cfg.subnets.empty())
+    vr->cfg.subnets.push_back(net::Prefix{net::ipv4(10, 1, 0, 0), 16});
+
+  vr->dispatcher = std::make_unique<Dispatcher>(
+      make_balancer(config_.balancer,
+                    config_.seed + 17 * static_cast<std::uint64_t>(vr->id)),
+      config_.granularity);
+
+  const int max_vris = std::max(config_.max_vris_per_vr, vr->cfg.initial_vris);
+  for (int i = 0; i < max_vris; ++i) {
+    auto slot = std::make_unique<VriSlot>();
+    VriSlot* s = slot.get();
+    VrState* v = vr.get();
+    s->vr_id = vr->id;
+    s->index = i;
+    const std::string base =
+        vr->cfg.name + "/vri" + std::to_string(i);
+    s->data_in = std::make_unique<sim::BoundedQueue<net::FrameMeta>>(
+        config_.data_queue_capacity, base + "/data-in");
+    s->data_out = std::make_unique<sim::BoundedQueue<net::FrameMeta>>(
+        config_.data_queue_capacity, base + "/data-out");
+    s->ctrl_in = std::make_unique<sim::BoundedQueue<net::FrameMeta>>(
+        config_.control_queue_capacity, base + "/ctrl-in");
+    s->ctrl_out = std::make_unique<sim::BoundedQueue<net::FrameMeta>>(
+        config_.control_queue_capacity, base + "/ctrl-out");
+    // One shared-memory segment per queue, as in Sec 3.8: the identifiers
+    // are what a forked VRI would receive via its main() arguments.
+    for (int q = 0; q < 4; ++q)
+      s->shm_ids[q] = arena_.create(config_.data_queue_capacity *
+                                    sizeof(net::FrameMeta));
+
+    if (vr->cfg.kind == VrKind::kClick && !vr->cfg.click_script.empty()) {
+      s->router =
+          std::make_unique<ClickVr>(vr->cfg.route_map, vr->cfg.click_script);
+    } else {
+      s->router = make_vr(vr->cfg.kind, vr->cfg.route_map);
+    }
+    if (auto* click = dynamic_cast<ClickVr*>(s->router.get()))
+      click->set_use_graph(vr->cfg.click_use_graph);
+    if (i == 0) vr->pipeline_latency = s->router->pipeline_latency();
+    s->estimator = make_estimator(config_.estimator, config_.ewma_weight);
+
+    // The VRI's poll loop; parked on the LVRM core until activated (the
+    // placement is decided at activation time by the affinity policy).
+    s->server = std::make_unique<sim::PollServer<net::FrameMeta>>(
+        sim_, lvrm_core(), /*owner=*/100 + vr->id * 16 + i, base,
+        costs::kPollDiscovery);
+
+    // Control queue first: higher priority than data (Sec 2.1).
+    s->server->add_input(
+        *s->ctrl_in, /*priority=*/0,
+        [](net::FrameMeta& f) {
+          return costs::kControlEventFixed +
+                 static_cast<Nanos>(costs::kControlEventPerByte *
+                                    f.wire_bytes);
+        },
+        [this](net::FrameMeta&& f) {
+          const auto it = control_cbs_.find(f.id);
+          if (it != control_cbs_.end()) {
+            auto cb = std::move(it->second);
+            control_cbs_.erase(it);
+            if (cb) cb(sim_.now() - f.created_at);
+          }
+        },
+        CostCategory::kUser);
+
+    s->server->add_input(
+        *s->data_in, /*priority=*/1,
+        [this, s, v](net::FrameMeta& f) {
+          Nanos cost = costs::kDequeueCost;
+          if (cross_socket(s->core_id)) cost += costs::kCrossSocketQueueOp;
+          if (!s->router->process(f)) f.output_if = -1;
+          const Nanos work = static_cast<Nanos>(
+              static_cast<double>(s->router->process_cost(f) +
+                                  v->cfg.dummy_load) *
+              v->cfg.service_multiplier);
+          cost += work + costs::kEnqueueCost;
+          s->service_time.update(static_cast<double>(cost));
+          return cost;
+        },
+        [this, s, v](net::FrameMeta&& f) {
+          ++s->processed;
+          if (f.output_if < 0) {
+            ++s->no_route;
+            return;
+          }
+          if (v->pipeline_latency > 0) {
+            // The Click VR's internal Queue element delays the frame without
+            // consuming extra CPU (Fig 4.6's higher latency).
+            sim_.after(v->pipeline_latency, [this, s, v, f]() mutable {
+              if (!s->data_out->push(std::move(f))) ++v->data_drops;
+            });
+          } else if (!s->data_out->push(std::move(f))) {
+            ++v->data_drops;
+          }
+        },
+        CostCategory::kUser);
+
+    // LVRM-side inputs for this slot: control relay and TX.
+    lvrm_server_->add_input(
+        *s->ctrl_out, /*priority=*/0,
+        [this, s](net::FrameMeta& f) {
+          Nanos cost = costs::kDequeueCost + costs::kEnqueueCost +
+                       static_cast<Nanos>(costs::kControlRelayPerByte *
+                                          f.wire_bytes);
+          if (cross_socket(s->core_id)) cost += costs::kCrossSocketQueueOp;
+          return cost;
+        },
+        [this, v](net::FrameMeta&& f) {
+          const int dst = f.dispatch_vri;
+          if (dst < 0 || dst >= static_cast<int>(v->slots.size())) {
+            ++control_drops_;
+            control_cbs_.erase(f.id);
+            return;
+          }
+          VriSlot& target = *v->slots[static_cast<std::size_t>(dst)];
+          if (!target.ctrl_in->push(std::move(f))) {
+            ++control_drops_;
+          }
+        },
+        CostCategory::kUser);
+
+    lvrm_server_->add_input(
+        *s->data_out, /*priority=*/1,
+        [this, s](net::FrameMeta& f) {
+          Nanos cost = costs::kDequeueCost + adapter_->send_cost(f);
+          Nanos user_part = costs::kDequeueCost;
+          if (cross_socket(s->core_id)) {
+            cost += costs::kCrossSocketQueueOp;
+            user_part += costs::kCrossSocketQueueOp;
+          }
+          if (adapter_->send_category() != CostCategory::kUser)
+            lvrm_core().reclassify(adapter_->send_category(),
+                                   CostCategory::kUser, user_part);
+          return cost;
+        },
+        [this, s, v](net::FrameMeta&& f) {
+          f.gw_out_at = sim_.now();
+          ++forwarded_;
+          ++v->forwarded;
+          ++s->forwarded;
+          if (egress_) egress_(std::move(f));
+        },
+        adapter_->send_category(), config_.poll_batch);
+
+    vr->slots.push_back(std::move(slot));
+  }
+
+  vrs_.push_back(std::move(vr));
+  return static_cast<int>(vrs_.size()) - 1;
+}
+
+void LvrmSystem::start() {
+  assert(!started_);
+  started_ = true;
+  for (auto& vr : vrs_) {
+    const int initial = std::max(1, vr->cfg.initial_vris);
+    for (int i = 0; i < initial; ++i) activate_vri(*vr);
+  }
+  lvrm_server_->start();
+}
+
+// --- data path ----------------------------------------------------------------------
+
+bool LvrmSystem::ingress(net::FrameMeta frame) {
+  frame.gw_in_at = sim_.now();
+  return rx_ring_.push(frame);
+}
+
+LvrmSystem::VrState& LvrmSystem::classify(net::FrameMeta& frame) {
+  // "LVRM inspects the source IP address of the data frame, and determines
+  // the VR that will process the data frame" (Sec 2.1). Unmatched frames
+  // fall back to VR 0 so the single-VR experiments need no subnet setup.
+  for (auto& vr : vrs_) {
+    for (const auto& prefix : vr->cfg.subnets) {
+      if (net::in_prefix(frame.src_ip, prefix.network, prefix.length)) {
+        frame.dispatch_vr = static_cast<std::int16_t>(vr->id);
+        return *vr;
+      }
+    }
+  }
+  frame.dispatch_vr = 0;
+  return *vrs_.front();
+}
+
+Nanos LvrmSystem::rx_cost(net::FrameMeta& frame) {
+  VrState& vr = classify(frame);
+  const Nanos now = sim_.now();
+  if (vr.last_arrival >= 0) {
+    const Nanos gap = now - vr.last_arrival;
+    if (gap > 0) vr.arrival_gap.update(static_cast<double>(gap));
+  }
+  vr.last_arrival = now;
+  ++vr.frames_in;
+
+  Nanos cost =
+      adapter_->recv_cost(frame) + costs::kClassifyCost + costs::kDispatchFixed;
+  Nanos user_part = costs::kClassifyCost + costs::kDispatchFixed;
+
+  // Fig 3.4 "estimate: called upon receipt of a packet": each VRI adapter
+  // observes its current queue, then Fig 3.3's "get estimate" feeds JSQ.
+  std::vector<VriView> views;
+  views.reserve(vr.active_order.size());
+  for (int idx : vr.active_order) {
+    VriSlot& s = *vr.slots[static_cast<std::size_t>(idx)];
+    s.estimator->on_packet_observed(s.data_in->size(), now);
+    views.push_back(VriView{idx, s.estimator->load_at(now)});
+  }
+  if (views.empty()) {
+    frame.dispatch_vri = -1;
+    return cost;
+  }
+
+  const int chosen = vr.dispatcher->dispatch(frame, views, now);
+  frame.dispatch_vri = static_cast<std::int16_t>(chosen);
+  const Nanos decision = vr.dispatcher->decision_cost(
+      views.size(), vr.dispatcher->last_was_flow_hit());
+  cost += decision + costs::kEnqueueCost;
+  user_part += decision + costs::kEnqueueCost;
+
+  const VriSlot& target = *vr.slots[static_cast<std::size_t>(chosen)];
+  if (cross_socket(target.core_id)) {
+    cost += costs::kCrossSocketQueueOp;
+    user_part += costs::kCrossSocketQueueOp;
+  }
+  if (now < target.cold_until) {
+    cost += costs::kColdCacheSurcharge;
+    user_part += costs::kColdCacheSurcharge;
+  }
+
+  // The whole task is charged to the adapter's recv category; move the
+  // dispatch work to user time for the Fig 4.3 breakdown.
+  if (adapter_->recv_category() != CostCategory::kUser)
+    lvrm_core().reclassify(adapter_->recv_category(), CostCategory::kUser,
+                           user_part);
+  return cost;
+}
+
+void LvrmSystem::rx_sink(net::FrameMeta&& frame) {
+  // Fig 3.2: the allocation pass runs "upon receipt of a packet after 1s or
+  // more from the previous core allocation/deallocation process".
+  maybe_allocate();
+
+  if (frame.dispatch_vr < 0 || frame.dispatch_vri < 0) {
+    ++unclassified_drops_;
+    return;
+  }
+  VrState& vr = *vrs_[static_cast<std::size_t>(frame.dispatch_vr)];
+  VriSlot& slot = *vr.slots[static_cast<std::size_t>(frame.dispatch_vri)];
+  if (!slot.active) {
+    ++vr.data_drops;
+    return;
+  }
+  if (!slot.data_in->push(std::move(frame))) {
+    ++vr.data_drops;
+    return;
+  }
+  // Fig 3.4 "estimate": one sample per dispatched frame.
+  slot.estimator->on_dispatch(slot.data_in->size(), sim_.now());
+}
+
+// --- control events -------------------------------------------------------------------
+
+void LvrmSystem::send_control(int vr_id, int src_vri, int dst_vri,
+                              std::size_t bytes,
+                              std::function<void(Nanos)> on_delivered) {
+  VrState& vr = *vrs_.at(static_cast<std::size_t>(vr_id));
+  VriSlot& src = *vr.slots.at(static_cast<std::size_t>(src_vri));
+  net::FrameMeta f;
+  f.kind = net::FrameKind::kControl;
+  f.id = next_control_id_++;
+  f.wire_bytes = static_cast<int>(bytes);
+  f.created_at = sim_.now();
+  f.dispatch_vr = static_cast<std::int16_t>(vr_id);
+  f.dispatch_vri = static_cast<std::int16_t>(dst_vri);
+  control_cbs_.emplace(f.id, std::move(on_delivered));
+  if (!src.ctrl_out->push(std::move(f))) {
+    ++control_drops_;
+    control_cbs_.erase(next_control_id_ - 1);
+  }
+}
+
+void LvrmSystem::broadcast_route_update(int vr_id, int src_vri,
+                                        const route::RouteUpdate& update,
+                                        std::function<void(Nanos)> on_synced) {
+  VrState& vr = *vrs_.at(static_cast<std::size_t>(vr_id));
+
+  // The originator applies immediately; inactive siblings are updated in
+  // place so a later activation starts from consistent state.
+  for (auto& slot : vr.slots) {
+    if (slot->index == src_vri || !slot->active)
+      slot->router->apply_route_update(update);
+  }
+
+  struct SyncState {
+    int pending = 0;
+    Nanos worst = 0;
+    std::function<void(Nanos)> done;
+  };
+  auto sync = std::make_shared<SyncState>();
+  sync->done = std::move(on_synced);
+  for (const int idx : vr.active_order)
+    if (idx != src_vri) ++sync->pending;
+  if (sync->pending == 0) {
+    if (sync->done) sync->done(0);
+    return;
+  }
+
+  const std::size_t bytes = route::kRouteUpdateWireSize + 16;  // + header
+  for (const int idx : vr.active_order) {
+    if (idx == src_vri) continue;
+    VriSlot* slot = vr.slots[static_cast<std::size_t>(idx)].get();
+    send_control(vr_id, src_vri, idx, bytes,
+                 [slot, update, sync](Nanos latency) {
+                   slot->router->apply_route_update(update);
+                   sync->worst = std::max(sync->worst, latency);
+                   if (--sync->pending == 0 && sync->done)
+                     sync->done(sync->worst);
+                 });
+  }
+}
+
+// --- core allocation --------------------------------------------------------------------
+
+void LvrmSystem::inject_vri_crash(int vr_id, int vri) {
+  VrState& vr = *vrs_.at(static_cast<std::size_t>(vr_id));
+  VriSlot& slot = *vr.slots.at(static_cast<std::size_t>(vri));
+  if (!slot.active) return;
+  slot.crashed = true;
+  slot.server->stop();  // the process is gone; its queues go stale
+}
+
+void LvrmSystem::reap_crashed() {
+  for (auto& vrp : vrs_) {
+    VrState& vr = *vrp;
+    for (auto it = vr.active_order.begin(); it != vr.active_order.end();) {
+      VriSlot& slot = *vr.slots[static_cast<std::size_t>(*it)];
+      if (!slot.crashed) {
+        ++it;
+        continue;
+      }
+      // waitpid()-style reaping: free the core, discard the dead process'
+      // queued frames, drop its flow pins.
+      vr.data_drops += slot.data_in->size();
+      slot.data_in->clear();
+      slot.active = false;
+      slot.crashed = false;
+      if (slot.migration_event != sim::kInvalidEvent) {
+        sim_.cancel(slot.migration_event);
+        slot.migration_event = sim::kInvalidEvent;
+      }
+      release_core(slot.core_id);
+      slot.core_id = sim::kNoCore;
+      vr.dispatcher->on_vri_destroyed(slot.index);
+      it = vr.active_order.erase(it);
+      ++crashes_reaped_;
+    }
+    // The fixed allocator promised a fixed core set: respawn replacements.
+    if (allocator_->kind() == AllocatorKind::kFixed) {
+      while (static_cast<int>(vr.active_order.size()) <
+             std::max(1, vr.cfg.initial_vris))
+        activate_vri(vr);
+    }
+  }
+}
+
+void LvrmSystem::maybe_allocate() {
+  const Nanos now = sim_.now();
+  if (now - last_alloc_pass_ < config_.realloc_period) return;
+  last_alloc_pass_ = now;
+  reap_crashed();
+  if (allocator_->kind() == AllocatorKind::kFixed) return;
+
+  const Nanos iterate =
+      costs::kAllocIterateBase +
+      costs::kAllocIteratePerVri * total_active_vris();
+
+  for (auto& vrp : vrs_) {
+    VrState& vr = *vrp;
+    VrAllocView view;
+    view.active_vris = static_cast<int>(vr.active_order.size());
+    view.arrival_rate_fps = arrival_rate_estimate(vr.id);
+    view.service_rate_per_vri = measured_service_rate(vr);
+    const AllocDecision decision = allocator_->decide(view);
+
+    const double jitter =
+        1.0 + costs::kAllocJitter * (rng_.uniform01() * 2.0 - 1.0);
+
+    if (decision == AllocDecision::kCreate &&
+        view.active_vris < config_.max_vris_per_vr) {
+      activate_vri(vr);
+      const Nanos reaction = static_cast<Nanos>(
+          static_cast<double>(iterate + costs::kAllocateBase +
+                              costs::kAllocatePerVri * total_active_vris()) *
+          jitter);
+      lvrm_core().charge(reaction, CostCategory::kSystem);  // vfork + setup
+      alloc_log_.push_back(AllocationEvent{
+          now, vr.id, true, reaction,
+          static_cast<int>(vr.active_order.size()), total_active_vris()});
+      return;  // Fig 3.2: one action per pass
+    }
+    if (decision == AllocDecision::kDestroy && view.active_vris > 1) {
+      deactivate_vri(vr);
+      const Nanos reaction = static_cast<Nanos>(
+          static_cast<double>(iterate + costs::kDeallocateBase +
+                              costs::kDeallocatePerVri * total_active_vris()) *
+          jitter);
+      lvrm_core().charge(reaction, CostCategory::kSystem);  // kill + teardown
+      alloc_log_.push_back(AllocationEvent{
+          now, vr.id, false, reaction,
+          static_cast<int>(vr.active_order.size()), total_active_vris()});
+      return;
+    }
+  }
+}
+
+void LvrmSystem::activate_vri(VrState& vr) {
+  // First inactive slot.
+  VriSlot* slot = nullptr;
+  for (auto& s : vr.slots) {
+    if (!s->active) {
+      slot = s.get();
+      break;
+    }
+  }
+  if (!slot) return;  // every slot already active
+
+  const sim::CoreId core_id = pick_core();
+  slot->core_id = core_id;
+  slot->server->migrate(core(core_id), 0);
+  slot->estimator->reset();
+  slot->service_time.reset();
+  slot->active = true;
+  slot->activated_at = sim_.now();
+  vr.active_order.push_back(slot->index);
+  slot->server->start();
+  if (config_.affinity == AffinityPolicy::kDefault) schedule_migration(*slot);
+}
+
+void LvrmSystem::deactivate_vri(VrState& vr) {
+  if (vr.active_order.empty()) return;
+  const int idx = vr.active_order.back();
+  vr.active_order.pop_back();
+  VriSlot& slot = *vr.slots[static_cast<std::size_t>(idx)];
+  slot.active = false;
+  slot.server->stop();
+  // Fig 3.2 "destroy": queues are destroyed, so queued frames are lost.
+  vr.data_drops += slot.data_in->size();
+  slot.data_in->clear();
+  if (slot.migration_event != sim::kInvalidEvent) {
+    sim_.cancel(slot.migration_event);
+    slot.migration_event = sim::kInvalidEvent;
+  }
+  release_core(slot.core_id);
+  slot.core_id = sim::kNoCore;
+  vr.dispatcher->on_vri_destroyed(idx);
+}
+
+sim::CoreId LvrmSystem::pick_core() {
+  auto first_free = [this](const std::vector<sim::CoreId>& candidates) {
+    for (sim::CoreId c : candidates)
+      if (!core_used_[static_cast<std::size_t>(c)]) return c;
+    return sim::kNoCore;
+  };
+
+  sim::CoreId chosen = sim::kNoCore;
+  switch (config_.affinity) {
+    case AffinityPolicy::kSibling:
+      chosen = first_free(topo_.siblings_of(config_.lvrm_core));
+      if (chosen == sim::kNoCore)
+        chosen = first_free(topo_.non_siblings_of(config_.lvrm_core));
+      break;
+    case AffinityPolicy::kNonSibling:
+      chosen = first_free(topo_.non_siblings_of(config_.lvrm_core));
+      if (chosen == sim::kNoCore)
+        chosen = first_free(topo_.siblings_of(config_.lvrm_core));
+      break;
+    case AffinityPolicy::kSame:
+      return config_.lvrm_core;
+    case AffinityPolicy::kDefault: {
+      std::vector<sim::CoreId> free_cores;
+      for (sim::CoreId c = 0; c < topo_.total_cores(); ++c)
+        if (!core_used_[static_cast<std::size_t>(c)]) free_cores.push_back(c);
+      if (!free_cores.empty())
+        chosen = free_cores[rng_.uniform(free_cores.size())];
+      break;
+    }
+  }
+  if (chosen == sim::kNoCore) {
+    // Over-commit: the VRI lands on LVRM's own core and time-shares it
+    // (the contention Exp 2b observes past the available core count).
+    return config_.lvrm_core;
+  }
+  core_used_[static_cast<std::size_t>(chosen)] = true;
+  return chosen;
+}
+
+void LvrmSystem::release_core(sim::CoreId id) {
+  if (id == sim::kNoCore || id == config_.lvrm_core) return;
+  core_used_[static_cast<std::size_t>(id)] = false;
+}
+
+void LvrmSystem::schedule_migration(VriSlot& slot) {
+  const auto gap = static_cast<Nanos>(rng_.exponential(
+      static_cast<double>(costs::kMigrationMeanPeriod)));
+  slot.migration_event = sim_.after(std::max<Nanos>(gap, usec(50)), [this,
+                                                                     &slot] {
+    slot.migration_event = sim::kInvalidEvent;
+    if (!slot.active) return;
+    // The kernel rebalances the VRI onto some other free core when one
+    // exists; either way caches are cold afterwards.
+    std::vector<sim::CoreId> free_cores;
+    for (sim::CoreId c = 0; c < topo_.total_cores(); ++c)
+      if (!core_used_[static_cast<std::size_t>(c)] && c != slot.core_id)
+        free_cores.push_back(c);
+    if (!free_cores.empty()) {
+      const sim::CoreId next = free_cores[rng_.uniform(free_cores.size())];
+      release_core(slot.core_id);
+      core_used_[static_cast<std::size_t>(next)] = true;
+      slot.server->migrate(core(next), costs::kMigrationPenalty);
+      slot.core_id = next;
+    } else {
+      core(slot.core_id).charge(costs::kMigrationPenalty,
+                                CostCategory::kSystem);
+    }
+    slot.cold_until = sim_.now() + costs::kColdCacheWindow;
+    schedule_migration(slot);
+  });
+}
+
+// --- helpers / accessors ------------------------------------------------------------------
+
+bool LvrmSystem::cross_socket(sim::CoreId a) const {
+  return a != sim::kNoCore && !topo_.siblings(a, config_.lvrm_core);
+}
+
+int LvrmSystem::total_active_vris() const {
+  int total = 0;
+  for (const auto& vr : vrs_) total += static_cast<int>(vr->active_order.size());
+  return total;
+}
+
+double LvrmSystem::measured_service_rate(const VrState& vr) const {
+  double sum = 0.0;
+  int n = 0;
+  for (int idx : vr.active_order) {
+    const VriSlot& s = *vr.slots[static_cast<std::size_t>(idx)];
+    if (s.service_time.valid() && s.service_time.value() > 0.0) {
+      sum += 1e9 / s.service_time.value();
+      ++n;
+    }
+  }
+  return n ? sum / n : 0.0;
+}
+
+int LvrmSystem::active_vris(int vr) const {
+  return static_cast<int>(
+      vrs_.at(static_cast<std::size_t>(vr))->active_order.size());
+}
+
+std::vector<sim::CoreId> LvrmSystem::vri_cores(int vr) const {
+  std::vector<sim::CoreId> out;
+  const VrState& v = *vrs_.at(static_cast<std::size_t>(vr));
+  for (int idx : v.active_order)
+    out.push_back(v.slots[static_cast<std::size_t>(idx)]->core_id);
+  return out;
+}
+
+double LvrmSystem::arrival_rate_estimate(int vr) const {
+  const VrState& v = *vrs_.at(static_cast<std::size_t>(vr));
+  if (!v.arrival_gap.valid() || v.arrival_gap.value() <= 0.0) return 0.0;
+  return 1e9 / v.arrival_gap.value();
+}
+
+double LvrmSystem::service_rate_estimate(int vr) const {
+  return measured_service_rate(*vrs_.at(static_cast<std::size_t>(vr)));
+}
+
+std::uint64_t LvrmSystem::vr_forwarded(int vr) const {
+  return vrs_.at(static_cast<std::size_t>(vr))->forwarded;
+}
+
+std::uint64_t LvrmSystem::vri_forwarded(int vr, int vri) const {
+  return vrs_.at(static_cast<std::size_t>(vr))
+      ->slots.at(static_cast<std::size_t>(vri))
+      ->forwarded;
+}
+
+std::uint64_t LvrmSystem::data_queue_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& vr : vrs_) total += vr->data_drops;
+  return total;
+}
+
+std::uint64_t LvrmSystem::no_route_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& vr : vrs_)
+    for (const auto& slot : vr->slots) total += slot->no_route;
+  return total;
+}
+
+const Dispatcher& LvrmSystem::dispatcher(int vr) const {
+  return *vrs_.at(static_cast<std::size_t>(vr))->dispatcher;
+}
+
+void LvrmSystem::reset_accounting() {
+  for (auto& c : cores_) c->reset_accounting();
+}
+
+Nanos LvrmSystem::vr_pipeline_latency(int vr) const {
+  return vrs_.at(static_cast<std::size_t>(vr))->pipeline_latency;
+}
+
+}  // namespace lvrm

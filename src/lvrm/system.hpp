@@ -1,0 +1,192 @@
+// system.hpp — LvrmSystem: the assembled load-aware virtual router monitor.
+//
+// This wires every Chapter 3 component into the Fig 3.1 hierarchy on top of
+// the simulated gateway:
+//
+//   socket adapter -> [LVRM poll loop on its pinned core]
+//        |   classify by source IP -> VR monitor (core allocation, Fig 3.2)
+//        |   -> VRI monitor (load balancing, Fig 3.3)
+//        |   -> VRI adapter (load estimation, Fig 3.4) -> data queue
+//        v
+//   [VRI poll loops, one per allocated core] -> outgoing data queues
+//        -> LVRM TX -> socket adapter -> egress
+//
+// Control queues outrank data queues at both LVRM and the VRIs (Sec 2.1).
+// Shared-memory segment ids are allocated per queue through ShmArena,
+// following the shmget()-identifier protocol of Sec 3.8.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "lvrm/config.hpp"
+#include "lvrm/core_allocator.hpp"
+#include "lvrm/load_balancer.hpp"
+#include "lvrm/load_estimator.hpp"
+#include "lvrm/socket_adapter.hpp"
+#include "lvrm/vri.hpp"
+#include "net/frame.hpp"
+#include "queue/shm_arena.hpp"
+#include "sim/core.hpp"
+#include "sim/poll_server.hpp"
+#include "sim/queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+
+namespace lvrm {
+
+/// One entry of the allocation log (drives Figs 4.10-4.13).
+struct AllocationEvent {
+  Nanos time = 0;
+  int vr = -1;
+  bool create = false;       // false = deallocation
+  Nanos reaction = 0;        // begin-iterate .. end-create/destroy (Fig 4.11)
+  int vr_vris_after = 0;     // VRIs of this VR after the action
+  int total_vris_after = 0;  // VRIs across all VRs after the action
+};
+
+class LvrmSystem {
+ public:
+  LvrmSystem(sim::Simulator& sim, const sim::CpuTopology& topo,
+             LvrmConfig config);
+  ~LvrmSystem();
+  LvrmSystem(const LvrmSystem&) = delete;
+  LvrmSystem& operator=(const LvrmSystem&) = delete;
+
+  /// Registers a VR before start(). Returns the VR id.
+  int add_vr(VrConfig config);
+
+  /// Activates initial VRIs and starts the LVRM poll loop.
+  void start();
+
+  /// Frame arrival at the gateway's input (from the NIC ring / RAM trace).
+  /// Returns false when the adapter's RX ring is full (tail drop).
+  bool ingress(net::FrameMeta frame);
+
+  /// Invoked (at the TX completion time) for every forwarded frame.
+  void set_egress(std::function<void(net::FrameMeta&&)> egress) {
+    egress_ = std::move(egress);
+  }
+
+  /// Sends a control event from one VRI of `vr` to another through the
+  /// control queues; `on_delivered` receives the end-to-end latency when the
+  /// destination VRI consumes it (Exp 1e).
+  void send_control(int vr, int src_vri, int dst_vri, std::size_t bytes,
+                    std::function<void(Nanos)> on_delivered);
+
+  /// Failure injection: the VRI process dies (as if it crashed or was
+  /// OOM-killed). LVRM only notices at its next allocation pass — the same
+  /// once-per-period loop that runs Fig 3.2 — which reaps the corpse, frees
+  /// its core, evicts its flow pins, and (fixed allocator) respawns a
+  /// replacement; the dynamic allocators regrow capacity on their own.
+  /// Frames queued at the dead VRI are lost, as with Fig 3.2's destroy.
+  void inject_vri_crash(int vr, int vri);
+
+  /// VRIs reaped after crashes, across all VRs.
+  std::uint64_t crashed_vris_reaped() const { return crashes_reaped_; }
+
+  /// Dynamic routing (Sec 3.7): `src_vri` of `vr` learns a route update,
+  /// applies it locally, and synchronizes it to the sibling VRIs over the
+  /// control queues (the Sec 2.1 routing-state sync). Inactive VRIs receive
+  /// it directly so later activations start consistent. `on_synced` (may be
+  /// empty) fires when the slowest sibling has applied it, with that
+  /// worst-case latency.
+  void broadcast_route_update(int vr, int src_vri,
+                              const route::RouteUpdate& update,
+                              std::function<void(Nanos)> on_synced = {});
+
+  // --- introspection / statistics ------------------------------------------
+  int vr_count() const { return static_cast<int>(vrs_.size()); }
+  int active_vris(int vr) const;
+  /// Core ids currently running this VR's VRIs, in activation order.
+  std::vector<sim::CoreId> vri_cores(int vr) const;
+  double arrival_rate_estimate(int vr) const;   // frames/s (EWMA)
+  double service_rate_estimate(int vr) const;   // frames/s per VRI (measured)
+
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t vr_forwarded(int vr) const;
+  std::uint64_t vri_forwarded(int vr, int vri) const;
+  std::uint64_t rx_ring_drops() const { return rx_ring_.drops(); }
+  std::uint64_t data_queue_drops() const;
+  std::uint64_t no_route_drops() const;
+
+  const std::vector<AllocationEvent>& allocation_log() const {
+    return alloc_log_;
+  }
+
+  sim::Core& core(sim::CoreId id) { return *cores_.at(static_cast<std::size_t>(id)); }
+  const sim::Core& core(sim::CoreId id) const {
+    return *cores_.at(static_cast<std::size_t>(id));
+  }
+  sim::Core& lvrm_core() { return core(config_.lvrm_core); }
+  const SocketAdapter& adapter() const { return *adapter_; }
+  const LvrmConfig& config() const { return config_; }
+  const queue::ShmArena& shm() const { return arena_; }
+  const Dispatcher& dispatcher(int vr) const;
+
+  /// Zeroes all per-core accounting (for windowed CPU-usage measurements).
+  void reset_accounting();
+
+  /// Extra one-way latency of a given VR's implementation (Click pipeline).
+  Nanos vr_pipeline_latency(int vr) const;
+
+ private:
+  struct VriSlot;
+  struct VrState;
+
+  VrState& classify(net::FrameMeta& frame);
+  Nanos rx_cost(net::FrameMeta& frame);
+  void rx_sink(net::FrameMeta&& frame);
+  void maybe_allocate();
+  void reap_crashed();
+  void activate_vri(VrState& vr);
+  void deactivate_vri(VrState& vr);
+  sim::CoreId pick_core();
+  void release_core(sim::CoreId id);
+  void schedule_migration(VriSlot& slot);
+  bool cross_socket(sim::CoreId a) const;
+  int total_active_vris() const;
+  double measured_service_rate(const VrState& vr) const;
+
+  sim::Simulator& sim_;
+  sim::CpuTopology topo_;
+  LvrmConfig config_;
+  Rng rng_;
+
+  std::vector<std::unique_ptr<sim::Core>> cores_;
+  std::vector<bool> core_used_;
+  std::unique_ptr<SocketAdapter> adapter_;
+  queue::ShmArena arena_;
+
+  sim::BoundedQueue<net::FrameMeta> rx_ring_;
+  std::unique_ptr<sim::PollServer<net::FrameMeta>> lvrm_server_;
+  std::unique_ptr<CoreAllocator> allocator_;
+
+  std::vector<std::unique_ptr<VrState>> vrs_;
+  std::function<void(net::FrameMeta&&)> egress_;
+
+  // Initialized so the first allocation pass happens one full period after
+  // start ("after 1s or more from the previous core allocation process" —
+  // VR start counts as the previous process), by which time the arrival
+  // EWMA has real samples.
+  Nanos last_alloc_pass_ = 0;
+  std::vector<AllocationEvent> alloc_log_;
+
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t crashes_reaped_ = 0;
+  std::uint64_t unclassified_drops_ = 0;
+  std::uint64_t control_drops_ = 0;
+  std::uint64_t next_control_id_ = 1;
+  std::unordered_map<std::uint64_t, std::function<void(Nanos)>> control_cbs_;
+
+  bool started_ = false;
+};
+
+}  // namespace lvrm

@@ -1,0 +1,66 @@
+#include "lvrm/types.hpp"
+
+namespace lvrm {
+
+std::string to_string(AdapterKind k) {
+  switch (k) {
+    case AdapterKind::kRawSocket: return "raw-socket";
+    case AdapterKind::kPfRing: return "pf-ring";
+    case AdapterKind::kMemory: return "memory";
+  }
+  return "?";
+}
+
+std::string to_string(AllocatorKind k) {
+  switch (k) {
+    case AllocatorKind::kFixed: return "fixed";
+    case AllocatorKind::kDynamicFixedThreshold: return "dynamic-fixed";
+    case AllocatorKind::kDynamicDynamicThreshold: return "dynamic-dynamic";
+  }
+  return "?";
+}
+
+std::string to_string(BalancerKind k) {
+  switch (k) {
+    case BalancerKind::kJoinShortestQueue: return "jsq";
+    case BalancerKind::kRoundRobin: return "round-robin";
+    case BalancerKind::kRandom: return "random";
+  }
+  return "?";
+}
+
+std::string to_string(BalancerGranularity k) {
+  switch (k) {
+    case BalancerGranularity::kFrame: return "frame-based";
+    case BalancerGranularity::kFlow: return "flow-based";
+  }
+  return "?";
+}
+
+std::string to_string(EstimatorKind k) {
+  switch (k) {
+    case EstimatorKind::kQueueLength: return "queue-length";
+    case EstimatorKind::kArrivalTime: return "arrival-time";
+  }
+  return "?";
+}
+
+std::string to_string(AffinityPolicy k) {
+  switch (k) {
+    case AffinityPolicy::kSibling: return "sibling";
+    case AffinityPolicy::kNonSibling: return "non-sibling";
+    case AffinityPolicy::kDefault: return "default";
+    case AffinityPolicy::kSame: return "same";
+  }
+  return "?";
+}
+
+std::string to_string(VrKind k) {
+  switch (k) {
+    case VrKind::kCpp: return "c++";
+    case VrKind::kClick: return "click";
+  }
+  return "?";
+}
+
+}  // namespace lvrm

@@ -1,0 +1,69 @@
+// types.hpp — the enumerations naming LVRM's extensibility dimensions.
+//
+// Chapter 3 structures LVRM as a set of components each supporting "different
+// variants of implementation": the socket adapter (3.1), core allocation
+// (3.2), load balancing (3.3), load estimation (3.4) and the IPC queue (3.5).
+// Every dimension is an enum here plus an interface elsewhere in this
+// directory; the test suite asserts all combinations compose.
+#pragma once
+
+#include <string>
+
+namespace lvrm {
+
+/// Socket adapter variants (Sec 3.1).
+enum class AdapterKind {
+  kRawSocket,  // BSD raw socket, recvfrom()/send() syscalls
+  kPfRing,     // PF_RING-style zero-copy NIC polling (LVRM v1.1: both ways)
+  kMemory,     // trace replay from main memory (Exp 1c/1d)
+};
+
+/// Core allocation approaches (Sec 3.2, Fig 3.2).
+enum class AllocatorKind {
+  kFixed,                    // pre-assigned core set at VR start
+  kDynamicFixedThreshold,    // EWMA arrival rate vs. per-core rate thresholds
+  kDynamicDynamicThreshold,  // arrival rate vs. measured VRI service rate
+};
+
+/// Load balancing schemes (Sec 3.3, Fig 3.3).
+enum class BalancerKind {
+  kJoinShortestQueue,
+  kRoundRobin,
+  kRandom,
+};
+
+/// Frame-based vs flow-based dispatch (Sec 3.3).
+enum class BalancerGranularity {
+  kFrame,  // every frame balanced independently
+  kFlow,   // 5-tuple pinning via the connection-tracking table
+};
+
+/// Load estimation variants (Sec 3.4, Fig 3.4).
+enum class EstimatorKind {
+  kQueueLength,   // EWMA of the VRI's incoming data-queue length
+  kArrivalTime,   // EWMA of inter-arrival gaps (reported as a rate)
+};
+
+/// Core affinity policies examined by Exp 2a.
+enum class AffinityPolicy {
+  kSibling,     // prefer cores on LVRM's socket
+  kNonSibling,  // prefer cores on the other socket
+  kDefault,     // let the (simulated) kernel place and migrate the VRI
+  kSame,        // run the VRI on LVRM's own core
+};
+
+/// Hosted VR implementations (Sec 3.8).
+enum class VrKind {
+  kCpp,    // minimal C++ forwarder
+  kClick,  // Click Modular Router element graph
+};
+
+std::string to_string(AdapterKind k);
+std::string to_string(AllocatorKind k);
+std::string to_string(BalancerKind k);
+std::string to_string(BalancerGranularity k);
+std::string to_string(EstimatorKind k);
+std::string to_string(AffinityPolicy k);
+std::string to_string(VrKind k);
+
+}  // namespace lvrm

@@ -1,0 +1,22 @@
+// checksum.hpp — RFC 1071 Internet checksum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace lvrm::net {
+
+/// One's-complement sum folded to 16 bits over `data` (odd lengths padded
+/// with a zero byte), returned already complemented — i.e. the value to put
+/// in a header's checksum field. Verifying a buffer that includes a correct
+/// checksum field yields 0.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Incremental form: continues a running 32-bit sum (not yet folded).
+std::uint32_t checksum_accumulate(std::uint32_t sum,
+                                  std::span<const std::uint8_t> data);
+
+/// Folds and complements an accumulated sum.
+std::uint16_t checksum_finish(std::uint32_t sum);
+
+}  // namespace lvrm::net

@@ -1,0 +1,107 @@
+#include "net/flow.hpp"
+
+#include <bit>
+
+namespace lvrm::net {
+
+std::uint64_t hash_tuple(const FiveTuple& t) {
+  // Pack the tuple into two 64-bit words, then avalanche (xxhash finalizer).
+  std::uint64_t a = (static_cast<std::uint64_t>(t.src_ip) << 32) | t.dst_ip;
+  std::uint64_t b = (static_cast<std::uint64_t>(t.src_port) << 32) |
+                    (static_cast<std::uint64_t>(t.dst_port) << 16) |
+                    t.protocol;
+  std::uint64_t h = a * 0x9E3779B185EBCA87ULL;
+  h = std::rotl(h, 31) ^ (b * 0xC2B2AE3D27D4EB4FULL);
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+FlowTable::FlowTable(std::size_t capacity_hint, Nanos idle_timeout)
+    : idle_timeout_(idle_timeout) {
+  const std::size_t buckets = round_up_pow2(capacity_hint);
+  slots_.assign(buckets, Slot{});
+  mask_ = buckets - 1;
+}
+
+std::size_t FlowTable::probe(const FiveTuple& t) const {
+  std::size_t idx = hash_tuple(t) & mask_;
+  std::size_t first_free = slots_.size();  // sentinel: none seen yet
+  for (std::size_t step = 0; step < slots_.size(); ++step) {
+    const Slot& s = slots_[idx];
+    if (s.state == State::kEmpty)
+      return first_free != slots_.size() ? first_free : idx;
+    if (s.state == State::kTombstone) {
+      if (first_free == slots_.size()) first_free = idx;
+    } else if (s.tuple == t) {
+      return idx;
+    }
+    idx = (idx + 1) & mask_;
+  }
+  return first_free != slots_.size() ? first_free : 0;
+}
+
+std::optional<int> FlowTable::lookup(const FiveTuple& t, Nanos now) {
+  const std::size_t idx = probe(t);
+  Slot& s = slots_[idx];
+  if (s.state == State::kLive && s.tuple == t) {
+    if (expired(s, now)) {
+      s.state = State::kTombstone;
+      --live_;
+      ++misses_;
+      return std::nullopt;
+    }
+    s.last_seen = now;  // "add flag"/refresh step of Fig 3.3
+    ++hits_;
+    return s.vri;
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void FlowTable::insert(const FiveTuple& t, int vri, Nanos now) {
+  if ((live_ + 1) * 10 > slots_.size() * 7) grow();
+  const std::size_t idx = probe(t);
+  Slot& s = slots_[idx];
+  const bool was_live = s.state == State::kLive && s.tuple == t;
+  s.tuple = t;
+  s.vri = vri;
+  s.last_seen = now;
+  s.state = State::kLive;
+  if (!was_live) ++live_;
+}
+
+void FlowTable::evict_vri(int vri) {
+  for (Slot& s : slots_) {
+    if (s.state == State::kLive && s.vri == vri) {
+      s.state = State::kTombstone;
+      --live_;
+    }
+  }
+}
+
+void FlowTable::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  live_ = 0;
+  for (const Slot& s : old) {
+    if (s.state != State::kLive) continue;
+    const std::size_t idx = probe(s.tuple);
+    slots_[idx] = s;
+    ++live_;
+  }
+}
+
+}  // namespace lvrm::net

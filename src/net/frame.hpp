@@ -1,0 +1,51 @@
+// frame.hpp — FrameMeta: the unit that flows through the simulated data path.
+//
+// Real deployments move byte buffers; the simulator moves this POD, which
+// carries exactly what LVRM's data path inspects: the source IP (step 2 of
+// the Sec 2.1 workflow decides the owning VR from it), the 5-tuple (flow-based
+// balancing), the wire size (costs and link occupancy), and timestamps for
+// latency accounting. The byte-level codecs in headers.hpp are validated
+// against this fast path in tests (encode -> decode -> same FrameMeta).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "net/ip.hpp"
+
+namespace lvrm::net {
+
+enum class FrameKind : std::uint8_t {
+  kUdp = 0,
+  kTcpData,
+  kTcpAck,
+  kIcmpRequest,
+  kIcmpReply,
+  kControl,  // inter-VRI control event (travels on control queues)
+};
+
+struct FrameMeta {
+  std::uint64_t id = 0;        // globally unique sequence number
+  FrameKind kind = FrameKind::kUdp;
+  int wire_bytes = 84;         // size on the wire incl. preamble/IFG
+  std::uint8_t protocol = 17;  // IP protocol number
+  Ipv4Addr src_ip = 0;
+  Ipv4Addr dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  Nanos created_at = 0;  // when the sender generated it
+  Nanos gw_in_at = 0;    // arrival at the gateway input interface
+  Nanos gw_out_at = 0;   // departure from the gateway output interface
+
+  std::int32_t flow_index = -1;  // TCP experiments: index into the flow array
+  std::uint64_t tcp_seq = 0;     // model-level sequence/ack number
+  std::int32_t input_if = 0;     // gateway interface it arrived on
+  std::int32_t output_if = 1;    // interface a VR selected for forwarding
+
+  // Filled in by LVRM's dispatch step (step 2 of the Sec 2.1 workflow).
+  std::int16_t dispatch_vr = -1;   // owning VR decided from the source IP
+  std::int16_t dispatch_vri = -1;  // VRI chosen by the load balancer
+};
+
+}  // namespace lvrm::net

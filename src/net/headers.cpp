@@ -1,0 +1,207 @@
+#include "net/headers.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "net/checksum.hpp"
+
+namespace lvrm::net {
+
+namespace {
+
+void put16(std::span<std::uint8_t> out, std::size_t off, std::uint16_t v) {
+  out[off] = static_cast<std::uint8_t>(v >> 8);
+  out[off + 1] = static_cast<std::uint8_t>(v);
+}
+
+void put32(std::span<std::uint8_t> out, std::size_t off, std::uint32_t v) {
+  out[off] = static_cast<std::uint8_t>(v >> 24);
+  out[off + 1] = static_cast<std::uint8_t>(v >> 16);
+  out[off + 2] = static_cast<std::uint8_t>(v >> 8);
+  out[off + 3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint16_t get16(std::span<const std::uint8_t> in, std::size_t off) {
+  return static_cast<std::uint16_t>(in[off] << 8 | in[off + 1]);
+}
+
+std::uint32_t get32(std::span<const std::uint8_t> in, std::size_t off) {
+  return static_cast<std::uint32_t>(in[off]) << 24 |
+         static_cast<std::uint32_t>(in[off + 1]) << 16 |
+         static_cast<std::uint32_t>(in[off + 2]) << 8 | in[off + 3];
+}
+
+}  // namespace
+
+// --- Ethernet ---------------------------------------------------------------
+
+void EthernetHeader::encode(std::span<std::uint8_t> out) const {
+  std::copy(dst.bytes.begin(), dst.bytes.end(), out.begin());
+  std::copy(src.bytes.begin(), src.bytes.end(), out.begin() + 6);
+  put16(out, 12, ether_type);
+}
+
+std::optional<EthernetHeader> EthernetHeader::decode(
+    std::span<const std::uint8_t> in) {
+  if (in.size() < kEthernetHeaderLen) return std::nullopt;
+  EthernetHeader h;
+  std::copy(in.begin(), in.begin() + 6, h.dst.bytes.begin());
+  std::copy(in.begin() + 6, in.begin() + 12, h.src.bytes.begin());
+  h.ether_type = get16(in, 12);
+  return h;
+}
+
+// --- IPv4 --------------------------------------------------------------------
+
+void Ipv4Header::encode(std::span<std::uint8_t> out) const {
+  out[0] = 0x45;  // version 4, IHL 5
+  out[1] = dscp;
+  put16(out, 2, total_length);
+  put16(out, 4, identification);
+  put16(out, 6, 0);  // flags/fragment: DF not modelled
+  out[8] = ttl;
+  out[9] = protocol;
+  put16(out, 10, 0);  // checksum placeholder
+  put32(out, 12, src);
+  put32(out, 16, dst);
+  const std::uint16_t csum =
+      internet_checksum(out.subspan(0, kIpv4HeaderLen));
+  put16(out, 10, csum);
+}
+
+std::optional<Ipv4Header> Ipv4Header::decode(
+    std::span<const std::uint8_t> in) {
+  if (in.size() < kIpv4HeaderLen) return std::nullopt;
+  if ((in[0] >> 4) != 4) return std::nullopt;
+  if ((in[0] & 0x0F) < 5) return std::nullopt;
+  Ipv4Header h;
+  h.dscp = in[1];
+  h.total_length = get16(in, 2);
+  h.identification = get16(in, 4);
+  h.ttl = in[8];
+  h.protocol = in[9];
+  h.checksum = get16(in, 10);
+  h.src = get32(in, 12);
+  h.dst = get32(in, 16);
+  return h;
+}
+
+bool Ipv4Header::verify_checksum(std::span<const std::uint8_t> in) {
+  if (in.size() < kIpv4HeaderLen) return false;
+  const std::size_t ihl = static_cast<std::size_t>(in[0] & 0x0F) * 4;
+  if (ihl < kIpv4HeaderLen || in.size() < ihl) return false;
+  // A buffer containing a correct checksum sums (complemented) to 0.
+  return internet_checksum(in.subspan(0, ihl)) == 0;
+}
+
+// --- UDP ---------------------------------------------------------------------
+
+void UdpHeader::encode(std::span<std::uint8_t> out) const {
+  put16(out, 0, src_port);
+  put16(out, 2, dst_port);
+  put16(out, 4, length);
+  put16(out, 6, 0);  // checksum optional in IPv4; left zero
+}
+
+std::optional<UdpHeader> UdpHeader::decode(std::span<const std::uint8_t> in) {
+  if (in.size() < kUdpHeaderLen) return std::nullopt;
+  UdpHeader h;
+  h.src_port = get16(in, 0);
+  h.dst_port = get16(in, 2);
+  h.length = get16(in, 4);
+  return h;
+}
+
+// --- TCP ---------------------------------------------------------------------
+
+void TcpHeader::encode(std::span<std::uint8_t> out) const {
+  put16(out, 0, src_port);
+  put16(out, 2, dst_port);
+  put32(out, 4, seq);
+  put32(out, 8, ack);
+  out[12] = 5 << 4;  // data offset: 5 words
+  std::uint8_t flags = 0;
+  if (fin) flags |= 0x01;
+  if (syn) flags |= 0x02;
+  if (rst) flags |= 0x04;
+  if (psh) flags |= 0x08;
+  if (ack_flag) flags |= 0x10;
+  out[13] = flags;
+  put16(out, 14, window);
+  put16(out, 16, 0);  // checksum omitted (would need pseudo-header)
+  put16(out, 18, 0);  // urgent pointer
+}
+
+std::optional<TcpHeader> TcpHeader::decode(std::span<const std::uint8_t> in) {
+  if (in.size() < kTcpHeaderLen) return std::nullopt;
+  TcpHeader h;
+  h.src_port = get16(in, 0);
+  h.dst_port = get16(in, 2);
+  h.seq = get32(in, 4);
+  h.ack = get32(in, 8);
+  const std::uint8_t flags = in[13];
+  h.fin = flags & 0x01;
+  h.syn = flags & 0x02;
+  h.rst = flags & 0x04;
+  h.psh = flags & 0x08;
+  h.ack_flag = flags & 0x10;
+  h.window = get16(in, 14);
+  return h;
+}
+
+// --- ICMP echo ----------------------------------------------------------------
+
+void IcmpEcho::encode(std::span<std::uint8_t> out) const {
+  out[0] = is_reply ? 0 : 8;  // type
+  out[1] = 0;                 // code
+  put16(out, 2, 0);           // checksum placeholder
+  put16(out, 4, identifier);
+  put16(out, 6, sequence);
+  const std::uint16_t csum =
+      internet_checksum(out.subspan(0, kIcmpEchoHeaderLen));
+  put16(out, 2, csum);
+}
+
+std::optional<IcmpEcho> IcmpEcho::decode(std::span<const std::uint8_t> in) {
+  if (in.size() < kIcmpEchoHeaderLen) return std::nullopt;
+  if (in[0] != 0 && in[0] != 8) return std::nullopt;
+  IcmpEcho e;
+  e.is_reply = in[0] == 0;
+  e.identifier = get16(in, 4);
+  e.sequence = get16(in, 6);
+  return e;
+}
+
+// --- Frame builder -------------------------------------------------------------
+
+std::vector<std::uint8_t> build_udp_frame(const MacAddr& src_mac,
+                                          const MacAddr& dst_mac,
+                                          Ipv4Addr src_ip, Ipv4Addr dst_ip,
+                                          std::uint16_t src_port,
+                                          std::uint16_t dst_port,
+                                          std::size_t payload_len) {
+  const std::size_t total =
+      kEthernetHeaderLen + kIpv4HeaderLen + kUdpHeaderLen + payload_len;
+  std::vector<std::uint8_t> buf(total, 0);
+  std::span<std::uint8_t> out(buf);
+
+  EthernetHeader eth{dst_mac, src_mac, kEtherTypeIpv4};
+  eth.encode(out);
+
+  Ipv4Header ip;
+  ip.total_length =
+      static_cast<std::uint16_t>(kIpv4HeaderLen + kUdpHeaderLen + payload_len);
+  ip.protocol = kProtoUdp;
+  ip.src = src_ip;
+  ip.dst = dst_ip;
+  ip.encode(out.subspan(kEthernetHeaderLen));
+
+  UdpHeader udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  udp.length = static_cast<std::uint16_t>(kUdpHeaderLen + payload_len);
+  udp.encode(out.subspan(kEthernetHeaderLen + kIpv4HeaderLen));
+  return buf;
+}
+
+}  // namespace lvrm::net

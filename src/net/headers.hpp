@@ -1,0 +1,112 @@
+// headers.hpp — wire-format codecs for the protocols the testbed exercises.
+//
+// LVRM operates on raw layer-2 frames (Sec 2.1 workflow step 1), so the
+// repository carries honest big-endian encoders/decoders for Ethernet, IPv4,
+// UDP, TCP and ICMP echo. The Click VR elements (CheckIPHeader, DecIPTTL,
+// LookupIPRoute) parse these for real; the simulator's fast path uses the
+// pre-parsed FrameMeta instead but is validated against these codecs in the
+// test suite.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "net/mac.hpp"
+
+namespace lvrm::net {
+
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeArp = 0x0806;
+
+inline constexpr std::uint8_t kProtoIcmp = 1;
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+
+inline constexpr std::size_t kEthernetHeaderLen = 14;
+inline constexpr std::size_t kIpv4HeaderLen = 20;  // no options
+inline constexpr std::size_t kUdpHeaderLen = 8;
+inline constexpr std::size_t kTcpHeaderLen = 20;  // no options
+inline constexpr std::size_t kIcmpEchoHeaderLen = 8;
+
+/// Ethernet frame overhead that exists on the wire but not in the buffer:
+/// preamble(7) + SFD(1) + FCS(4) + inter-frame gap(12) = 24 bytes. The thesis
+/// counts frame sizes *including* this (84 B minimum), so conversions between
+/// buffer length and wire length go through these helpers.
+inline constexpr int kWireOverheadBytes = 24;
+constexpr int wire_bytes_for_buffer(std::size_t buffer_len) {
+  // 60 B is the minimum L2 payload+headers before FCS (64 B frame - FCS).
+  const auto padded = buffer_len < 60 ? std::size_t{60} : buffer_len;
+  return static_cast<int>(padded) + kWireOverheadBytes;
+}
+
+struct EthernetHeader {
+  MacAddr dst;
+  MacAddr src;
+  std::uint16_t ether_type = kEtherTypeIpv4;
+
+  void encode(std::span<std::uint8_t> out) const;  // needs >= 14 bytes
+  static std::optional<EthernetHeader> decode(
+      std::span<const std::uint8_t> in);
+};
+
+struct Ipv4Header {
+  std::uint8_t dscp = 0;
+  std::uint16_t total_length = 0;  // header + payload
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kProtoUdp;
+  std::uint16_t checksum = 0;  // filled by encode()
+  Ipv4Addr src = 0;
+  Ipv4Addr dst = 0;
+
+  /// Encodes with a freshly computed header checksum.
+  void encode(std::span<std::uint8_t> out) const;  // needs >= 20 bytes
+  /// Decodes and verifies version/IHL; does not verify the checksum (use
+  /// verify_checksum for that, mirroring Click's CheckIPHeader).
+  static std::optional<Ipv4Header> decode(std::span<const std::uint8_t> in);
+  static bool verify_checksum(std::span<const std::uint8_t> in);
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = kUdpHeaderLen;  // header + payload
+
+  void encode(std::span<std::uint8_t> out) const;  // needs >= 8 bytes
+  static std::optional<UdpHeader> decode(std::span<const std::uint8_t> in);
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  bool syn = false, fin = false, rst = false, ack_flag = false, psh = false;
+  std::uint16_t window = 0;
+
+  void encode(std::span<std::uint8_t> out) const;  // needs >= 20 bytes
+  static std::optional<TcpHeader> decode(std::span<const std::uint8_t> in);
+};
+
+struct IcmpEcho {
+  bool is_reply = false;
+  std::uint16_t identifier = 0;
+  std::uint16_t sequence = 0;
+
+  void encode(std::span<std::uint8_t> out) const;  // needs >= 8 bytes
+  static std::optional<IcmpEcho> decode(std::span<const std::uint8_t> in);
+};
+
+/// Builds a complete Ethernet+IPv4+UDP frame with a zero-filled payload of
+/// `payload_len` bytes. Convenience for tests, Click examples, and traces.
+std::vector<std::uint8_t> build_udp_frame(const MacAddr& src_mac,
+                                          const MacAddr& dst_mac,
+                                          Ipv4Addr src_ip, Ipv4Addr dst_ip,
+                                          std::uint16_t src_port,
+                                          std::uint16_t dst_port,
+                                          std::size_t payload_len);
+
+}  // namespace lvrm::net

@@ -1,0 +1,37 @@
+#include "net/ip.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lvrm::net {
+
+std::string format_ipv4(Ipv4Addr addr) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (addr >> 24) & 0xFF,
+                (addr >> 16) & 0xFF, (addr >> 8) & 0xFF, addr & 0xFF);
+  return buf;
+}
+
+std::optional<Ipv4Addr> parse_ipv4(const std::string& s) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char tail = 0;
+  const int n = std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) return std::nullopt;
+  return ipv4(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+              static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::optional<Prefix> parse_prefix(const std::string& s) {
+  const auto slash = s.find('/');
+  if (slash == std::string::npos) return std::nullopt;
+  const auto addr = parse_ipv4(s.substr(0, slash));
+  if (!addr) return std::nullopt;
+  char* end = nullptr;
+  const long len = std::strtol(s.c_str() + slash + 1, &end, 10);
+  if (end == s.c_str() + slash + 1 || *end != '\0' || len < 0 || len > 32)
+    return std::nullopt;
+  return Prefix{*addr & prefix_mask(static_cast<int>(len)),
+                static_cast<int>(len)};
+}
+
+}  // namespace lvrm::net

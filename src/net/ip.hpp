@@ -1,0 +1,48 @@
+// ip.hpp — IPv4 address helpers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace lvrm::net {
+
+/// IPv4 address in host byte order (so prefix arithmetic is plain math).
+using Ipv4Addr = std::uint32_t;
+
+/// Builds an address from dotted-quad components: ipv4(192,168,1,1).
+constexpr Ipv4Addr ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d) {
+  return (static_cast<std::uint32_t>(a) << 24) |
+         (static_cast<std::uint32_t>(b) << 16) |
+         (static_cast<std::uint32_t>(c) << 8) | d;
+}
+
+/// Network mask for a prefix length 0..32.
+constexpr Ipv4Addr prefix_mask(int len) {
+  if (len <= 0) return 0;
+  if (len >= 32) return 0xFFFF'FFFFu;
+  return ~((1u << (32 - len)) - 1u);
+}
+
+/// True when `addr` falls inside `net`/`len`.
+constexpr bool in_prefix(Ipv4Addr addr, Ipv4Addr net, int len) {
+  const Ipv4Addr mask = prefix_mask(len);
+  return (addr & mask) == (net & mask);
+}
+
+/// "a.b.c.d" rendering.
+std::string format_ipv4(Ipv4Addr addr);
+
+/// Parses "a.b.c.d"; nullopt on malformed input.
+std::optional<Ipv4Addr> parse_ipv4(const std::string& s);
+
+/// Parses "a.b.c.d/len"; nullopt on malformed input.
+struct Prefix {
+  Ipv4Addr network;
+  int length;
+  bool operator==(const Prefix&) const = default;
+};
+std::optional<Prefix> parse_prefix(const std::string& s);
+
+}  // namespace lvrm::net

@@ -1,0 +1,29 @@
+#include "net/mac.hpp"
+
+#include <cstdio>
+
+namespace lvrm::net {
+
+std::string format_mac(const MacAddr& mac) {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x",
+                mac.bytes[0], mac.bytes[1], mac.bytes[2], mac.bytes[3],
+                mac.bytes[4], mac.bytes[5]);
+  return buf;
+}
+
+std::optional<MacAddr> parse_mac(const std::string& s) {
+  unsigned b[6];
+  char tail = 0;
+  const int n = std::sscanf(s.c_str(), "%x:%x:%x:%x:%x:%x%c", &b[0], &b[1],
+                            &b[2], &b[3], &b[4], &b[5], &tail);
+  if (n != 6) return std::nullopt;
+  MacAddr mac;
+  for (int i = 0; i < 6; ++i) {
+    if (b[i] > 0xFF) return std::nullopt;
+    mac.bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(b[i]);
+  }
+  return mac;
+}
+
+}  // namespace lvrm::net

@@ -1,0 +1,34 @@
+// mac.hpp — Ethernet MAC addresses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace lvrm::net {
+
+struct MacAddr {
+  std::array<std::uint8_t, 6> bytes{};
+
+  bool operator==(const MacAddr&) const = default;
+
+  static constexpr MacAddr broadcast() {
+    return MacAddr{{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}};
+  }
+
+  /// Deterministic unicast address derived from a small integer id; used by
+  /// the simulated hosts/interfaces.
+  static constexpr MacAddr from_id(std::uint32_t id) {
+    return MacAddr{{0x02, 0x00,  // locally administered, unicast
+                    static_cast<std::uint8_t>(id >> 24),
+                    static_cast<std::uint8_t>(id >> 16),
+                    static_cast<std::uint8_t>(id >> 8),
+                    static_cast<std::uint8_t>(id)}};
+  }
+};
+
+std::string format_mac(const MacAddr& mac);
+std::optional<MacAddr> parse_mac(const std::string& s);
+
+}  // namespace lvrm::net

@@ -1,0 +1,155 @@
+#include "net/trace.hpp"
+
+#include "net/flow.hpp"
+#include "net/headers.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace lvrm::net {
+
+std::vector<FrameMeta> generate_trace(const TraceSpec& spec) {
+  std::vector<Prefix> subnets = spec.src_subnets;
+  if (subnets.empty()) subnets.push_back(Prefix{ipv4(10, 1, 0, 0), 16});
+
+  Rng rng(spec.seed);
+  std::vector<FrameMeta> out;
+  out.reserve(spec.frames);
+  for (std::uint64_t i = 0; i < spec.frames; ++i) {
+    const auto flow = static_cast<std::uint32_t>(i % static_cast<std::uint64_t>(
+        spec.flows > 0 ? spec.flows : 1));
+    const Prefix& net = subnets[i % subnets.size()];
+    FrameMeta f;
+    f.id = i;
+    f.kind = FrameKind::kUdp;
+    f.wire_bytes = spec.wire_bytes;
+    f.protocol = kProtoUdp;
+    // Hosts within the subnet: stable per flow so flow-based balancing sees
+    // repeat 5-tuples.
+    const Ipv4Addr host_bits =
+        static_cast<Ipv4Addr>(hash_tuple(FiveTuple{flow, 0, 0, 0, 0}) &
+                              ~prefix_mask(net.length));
+    f.src_ip = net.network | (host_bits == 0 ? 1 : host_bits);
+    f.dst_ip = spec.dst_base + flow % 250;
+    f.src_port = static_cast<std::uint16_t>(10000 + flow);
+    f.dst_port = 9;  // discard
+    f.flow_index = static_cast<std::int32_t>(flow);
+    (void)rng;
+    out.push_back(f);
+  }
+  return out;
+}
+
+namespace {
+constexpr char kMagic[8] = {'L', 'V', 'R', 'M', 'T', 'R', 'C', '1'};
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  os.write(buf, 8);
+}
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  os.write(buf, 4);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  unsigned char buf[8];
+  is.read(reinterpret_cast<char*>(buf), 8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  unsigned char buf[4];
+  is.read(reinterpret_cast<char*>(buf), 4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+  return v;
+}
+}  // namespace
+
+void write_trace(std::ostream& os,
+                 const std::vector<std::vector<std::uint8_t>>& frames) {
+  os.write(kMagic, sizeof kMagic);
+  write_u64(os, frames.size());
+  for (const auto& f : frames) {
+    write_u32(os, static_cast<std::uint32_t>(f.size()));
+    os.write(reinterpret_cast<const char*>(f.data()),
+             static_cast<std::streamsize>(f.size()));
+  }
+}
+
+void write_pcap(std::ostream& os,
+                const std::vector<std::vector<std::uint8_t>>& frames,
+                Nanos base, Nanos gap) {
+  // Global header: magic, version 2.4, zone 0, sigfigs 0, snaplen, linktype.
+  write_u32(os, 0xA1B2C3D4u);
+  write_u32(os, 2u | (4u << 16));  // u16 major=2, u16 minor=4, little-endian
+  write_u32(os, 0);
+  write_u32(os, 0);
+  write_u32(os, 65535);
+  write_u32(os, 1);  // LINKTYPE_ETHERNET
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const Nanos ts = base + gap * static_cast<Nanos>(i);
+    write_u32(os, static_cast<std::uint32_t>(ts / kNanosPerSec));
+    write_u32(os, static_cast<std::uint32_t>((ts % kNanosPerSec) / 1000));
+    write_u32(os, static_cast<std::uint32_t>(frames[i].size()));
+    write_u32(os, static_cast<std::uint32_t>(frames[i].size()));
+    os.write(reinterpret_cast<const char*>(frames[i].data()),
+             static_cast<std::streamsize>(frames[i].size()));
+  }
+}
+
+std::vector<PcapRecord> read_pcap(std::istream& is) {
+  if (read_u32(is) != 0xA1B2C3D4u || !is)
+    throw std::runtime_error("read_pcap: bad magic");
+  read_u32(is);  // version
+  read_u32(is);  // thiszone
+  read_u32(is);  // sigfigs
+  read_u32(is);  // snaplen
+  if (read_u32(is) != 1) throw std::runtime_error("read_pcap: not Ethernet");
+  std::vector<PcapRecord> out;
+  while (true) {
+    const std::uint32_t sec_part = read_u32(is);
+    if (!is) break;  // clean EOF at a record boundary
+    const std::uint32_t usec_part = read_u32(is);
+    const std::uint32_t incl = read_u32(is);
+    const std::uint32_t orig = read_u32(is);
+    (void)orig;
+    if (!is) throw std::runtime_error("read_pcap: truncated record header");
+    PcapRecord rec;
+    rec.timestamp = static_cast<Nanos>(sec_part) * kNanosPerSec +
+                    static_cast<Nanos>(usec_part) * 1000;
+    rec.frame.resize(incl);
+    is.read(reinterpret_cast<char*>(rec.frame.data()), incl);
+    if (!is) throw std::runtime_error("read_pcap: truncated frame");
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> read_trace(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof magic);
+  if (!is || std::string(magic, 8) != std::string(kMagic, 8))
+    throw std::runtime_error("read_trace: bad magic");
+  const std::uint64_t count = read_u64(is);
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint32_t len = read_u32(is);
+    std::vector<std::uint8_t> frame(len);
+    is.read(reinterpret_cast<char*>(frame.data()), len);
+    if (!is) throw std::runtime_error("read_trace: truncated trace");
+    out.push_back(std::move(frame));
+  }
+  return out;
+}
+
+}  // namespace lvrm::net

@@ -1,0 +1,27 @@
+// control_event.hpp — inter-VRI control messages.
+//
+// VRIs of one VR synchronize state (e.g. routing updates) by exchanging
+// control events over dedicated control queues that outrank data queues
+// (Sec 2.1). The thesis leaves the payload protocol to the user, "similar to
+// the UDP socket programming" — so the payload here is an opaque byte vector
+// plus the addressing and timing metadata the monitor needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace lvrm::queue {
+
+struct ControlEvent {
+  int src_vri = -1;
+  int dst_vri = -1;
+  std::uint32_t kind = 0;  // user-defined message type
+  std::vector<std::uint8_t> payload;
+  Nanos sent_at = 0;
+
+  std::size_t wire_size() const { return payload.size() + 16; }
+};
+
+}  // namespace lvrm::queue

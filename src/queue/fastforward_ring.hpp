@@ -1,0 +1,92 @@
+// fastforward_ring.hpp — FastForward-style slot-flagged SPSC ring.
+//
+// The thesis notes that "other improved lock-free queue implementations
+// [17, 24] can also be used in LVRM" (Sec 3.5). This is [17]: Giacomoni,
+// Moseley & Vachharajani, "FastForward for efficient pipeline parallelism:
+// a cache-optimized concurrent lock-free queue" (PPoPP'08).
+//
+// FastForward's key idea: producer and consumer never read each other's
+// index. Emptiness/fullness is encoded *in the slots themselves* — a slot
+// holds either a valid entry or the sentinel "empty" value — so the only
+// cache-line traffic between the cores is the payload slots, and head/tail
+// stay exclusively in their owner's cache.
+//
+// Template requirement: T must have a reserved "empty" representation. The
+// adapter below stores T behind an occupancy flag per slot, preserving the
+// index-free property while lifting the sentinel restriction.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "queue/spsc_ring.hpp"  // kCacheLine
+
+namespace lvrm::queue {
+
+template <typename T>
+class FastForwardRing {
+ public:
+  explicit FastForwardRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+  }
+
+  FastForwardRing(const FastForwardRing&) = delete;
+  FastForwardRing& operator=(const FastForwardRing&) = delete;
+
+  /// Producer: writes into the head slot if it is empty. No consumer-owned
+  /// state is read — FastForward's defining property.
+  bool try_push(T value) {
+    Slot& slot = slots_[tail_ & mask_];
+    if (slot.full.load(std::memory_order_acquire)) return false;  // ring full
+    slot.value = std::move(value);
+    slot.full.store(true, std::memory_order_release);
+    ++tail_;  // producer-private, non-atomic
+    return true;
+  }
+
+  /// Consumer: takes from the tail slot if it is occupied.
+  std::optional<T> try_pop() {
+    Slot& slot = slots_[head_ & mask_];
+    if (!slot.full.load(std::memory_order_acquire)) return std::nullopt;
+    T value = std::move(slot.value);
+    slot.full.store(false, std::memory_order_release);
+    ++head_;  // consumer-private, non-atomic
+    return value;
+  }
+
+  /// Occupancy by scanning would defeat the design; expose only emptiness
+  /// hints usable from the respective endpoints.
+  bool empty_hint() const {
+    return !slots_[head_ & mask_].full.load(std::memory_order_acquire);
+  }
+  bool full_hint() const {
+    return slots_[tail_ & mask_].full.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    // The flag and the value share the slot's cache line(s); only slots
+    // migrate between the producer's and consumer's caches.
+    std::atomic<bool> full{false};
+    T value{};
+  };
+
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+
+  alignas(kCacheLine) std::uint64_t head_ = 0;  // consumer-private
+  alignas(kCacheLine) std::uint64_t tail_ = 0;  // producer-private
+};
+
+}  // namespace lvrm::queue

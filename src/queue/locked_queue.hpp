@@ -1,0 +1,52 @@
+// locked_queue.hpp — mutex-based bounded MPMC queue.
+//
+// The lock-based alternative the thesis compares against ("it is more
+// efficient than the lock-based synchronization, in which only one process
+// can access the queue at one time", Sec 3.5). Kept API-compatible with
+// SpscRing so the ablation bench swaps implementations behind IpcQueue.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace lvrm::queue {
+
+template <typename T>
+class LockedQueue {
+ public:
+  explicit LockedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  bool try_push(T value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    return true;
+  }
+
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  std::size_t size_approx() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<T> items_;
+};
+
+}  // namespace lvrm::queue

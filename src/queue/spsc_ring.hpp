@@ -1,0 +1,99 @@
+// spsc_ring.hpp — Lamport-style lock-free single-producer/single-consumer ring.
+//
+// This is the thesis' IPC queue (Sec 3.5): the producer and consumer may run
+// concurrently "so long as they do not access the same queue entry", with no
+// locks — correctness follows Lamport's classic proof for a single producer
+// and single consumer. Each LVRM<->VRI pair owns exactly one direction of one
+// ring, so the SPSC restriction holds by construction.
+//
+// Implementation notes (the CP.free "only when you have to" case — this is a
+// hot per-frame path shared between two pinned processes):
+//   * head_ is written only by the consumer, tail_ only by the producer.
+//   * acquire/release pairs order payload writes against index publication.
+//   * indices monotonically increase and are masked on use, so full/empty are
+//     distinguishable without wasting a slot (capacity entries usable).
+//   * both indices live on their own cache line to avoid false sharing (the
+//     cache-optimized refinement of FastForward/MCRingBuffer cited as [17,24]).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <optional>
+#include <utility>
+
+namespace lvrm::queue {
+
+#ifdef __cpp_lib_hardware_interference_size
+inline constexpr std::size_t kCacheLine =
+    std::hardware_destructive_interference_size;
+#else
+inline constexpr std::size_t kCacheLine = 64;
+#endif
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<T[]>(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when the ring is full.
+  bool try_push(T value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= capacity_) return false;
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when the ring is empty.
+  std::optional<T> try_pop() {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return std::nullopt;
+    T value = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Consumer-side peek without consuming; nullptr when empty. The returned
+  /// pointer is valid until the next try_pop/pop on this ring.
+  const T* peek() const {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return nullptr;
+    return &slots_[head & mask_];
+  }
+
+  /// Approximate occupancy; exact when called from either endpoint's thread.
+  std::size_t size_approx() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  std::unique_ptr<T[]> slots_;
+
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};  // consumer-owned
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};  // producer-owned
+};
+
+}  // namespace lvrm::queue

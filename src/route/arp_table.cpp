@@ -1,0 +1,30 @@
+#include "route/arp_table.hpp"
+
+namespace lvrm::route {
+
+void ArpTable::learn(net::Ipv4Addr ip, const net::MacAddr& mac, Nanos now) {
+  entries_[ip] = Entry{mac, now};
+}
+
+std::optional<net::MacAddr> ArpTable::resolve(net::Ipv4Addr ip,
+                                              Nanos now) const {
+  const auto it = entries_.find(ip);
+  if (it == entries_.end()) return std::nullopt;
+  if (ttl_ > 0 && now - it->second.learned_at > ttl_) return std::nullopt;
+  return it->second.mac;
+}
+
+std::size_t ArpTable::expire(Nanos now) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (ttl_ > 0 && now - it->second.learned_at > ttl_) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace lvrm::route

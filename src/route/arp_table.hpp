@@ -1,0 +1,41 @@
+// arp_table.hpp — address-resolution cache.
+//
+// VRIs are "responsible for interpreting the address resolution" (Sec 3.7):
+// when a VR forwards a frame it must rewrite the destination MAC for the
+// next hop. ArpTable is the static/learned IP->MAC cache the C++ VR and the
+// Click VR's EtherEncap-style element consult.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "common/units.hpp"
+#include "net/ip.hpp"
+#include "net/mac.hpp"
+
+namespace lvrm::route {
+
+class ArpTable {
+ public:
+  explicit ArpTable(Nanos entry_ttl = sec(300)) : ttl_(entry_ttl) {}
+
+  void learn(net::Ipv4Addr ip, const net::MacAddr& mac, Nanos now);
+
+  /// Resolves an address; expired entries miss.
+  std::optional<net::MacAddr> resolve(net::Ipv4Addr ip, Nanos now) const;
+
+  /// Drops expired entries; returns how many were removed.
+  std::size_t expire(Nanos now);
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    net::MacAddr mac;
+    Nanos learned_at;
+  };
+  Nanos ttl_;
+  std::unordered_map<net::Ipv4Addr, Entry> entries_;
+};
+
+}  // namespace lvrm::route

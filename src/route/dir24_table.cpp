@@ -1,0 +1,87 @@
+#include "route/dir24_table.hpp"
+
+#include <algorithm>
+
+namespace lvrm::route {
+
+Dir24Table::Dir24Table() { rebuild({}); }
+
+Dir24Table::Dir24Table(const std::vector<RouteEntry>& routes) {
+  rebuild(routes);
+}
+
+void Dir24Table::rebuild(const std::vector<RouteEntry>& routes) {
+  top_.assign(1u << 24, 0);
+  second_.clear();
+  long_blocks_ = 0;
+
+  // Deduplicate by prefix (last one wins), then sort ascending by prefix
+  // length so longer prefixes overwrite shorter ones during expansion.
+  routes_.clear();
+  for (const RouteEntry& r : routes) {
+    RouteEntry canonical = r;
+    canonical.prefix.network &= net::prefix_mask(r.prefix.length);
+    const auto existing =
+        std::find_if(routes_.begin(), routes_.end(), [&](const RouteEntry& e) {
+          return e.prefix == canonical.prefix;
+        });
+    if (existing != routes_.end()) {
+      *existing = canonical;
+    } else {
+      routes_.push_back(canonical);
+    }
+  }
+  std::vector<std::size_t> order(routes_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return routes_[a].prefix.length <
+                            routes_[b].prefix.length;
+                   });
+
+  auto ensure_block = [this](Slot& slot) -> std::uint32_t* {
+    if ((slot & kIndirect) == 0) {
+      // Promote: fill a fresh block with the current short-route index.
+      const auto block = static_cast<std::uint32_t>(second_.size() / 256);
+      second_.insert(second_.end(), 256, slot);
+      ++long_blocks_;
+      slot = kIndirect | (block + 1);
+    }
+    return &second_[((slot & ~kIndirect) - 1) * 256];
+  };
+
+  for (const std::size_t idx : order) {
+    const RouteEntry& r = routes_[idx];
+    const auto route_ref = static_cast<Slot>(idx + 1);
+    if (r.prefix.length <= 24) {
+      // Expand into every covered /24 slot (and any existing sub-blocks).
+      const std::uint32_t first = r.prefix.network >> 8;
+      const std::uint32_t count = 1u << (24 - r.prefix.length);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        Slot& slot = top_[first + i];
+        if (slot & kIndirect) {
+          std::uint32_t* block = &second_[((slot & ~kIndirect) - 1) * 256];
+          for (int j = 0; j < 256; ++j) block[j] = route_ref;
+        } else {
+          slot = route_ref;
+        }
+      }
+    } else {
+      Slot& slot = top_[r.prefix.network >> 8];
+      std::uint32_t* block = ensure_block(slot);
+      const std::uint32_t first = r.prefix.network & 0xFF;
+      const std::uint32_t count = 1u << (32 - r.prefix.length);
+      for (std::uint32_t i = 0; i < count; ++i) block[first + i] = route_ref;
+    }
+  }
+}
+
+std::optional<RouteEntry> Dir24Table::lookup(net::Ipv4Addr dst) const {
+  Slot slot = top_[dst >> 8];
+  if (slot & kIndirect)
+    slot = second_[((slot & ~kIndirect) - 1) * 256 + (dst & 0xFF)];
+  if (slot == 0) return std::nullopt;
+  return routes_[slot - 1];
+}
+
+}  // namespace lvrm::route

@@ -1,0 +1,51 @@
+// dir24_table.hpp — DIR-24-8 full-expansion route lookup.
+//
+// An alternative longest-prefix-match implementation to the binary trie in
+// route_table.hpp, in the spirit of LVRM's "each component can support
+// different variants of implementation". DIR-24-8 (Gupta et al., the classic
+// line-rate software lookup) trades memory for speed: a 2^24-entry first
+// table resolves any prefix up to /24 in a single load; prefixes longer than
+// /24 indirect into per-/24 second-level tables of 256 entries.
+//
+// The table is built once from a route list (rebuild on change); lookup is
+// one or two array reads with no branching on prefix length.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "route/route_table.hpp"
+
+namespace lvrm::route {
+
+class Dir24Table {
+ public:
+  Dir24Table();
+
+  /// Builds from a route list; later duplicates of the same prefix replace
+  /// earlier ones (matching RouteTable::insert semantics).
+  explicit Dir24Table(const std::vector<RouteEntry>& routes);
+
+  void rebuild(const std::vector<RouteEntry>& routes);
+
+  /// Longest-prefix match; nullopt when nothing (not even a default) covers.
+  std::optional<RouteEntry> lookup(net::Ipv4Addr dst) const;
+
+  std::size_t route_count() const { return routes_.size(); }
+  /// Number of second-level /24 blocks allocated (memory diagnostics).
+  std::size_t overflow_blocks() const { return long_blocks_; }
+
+ private:
+  // A slot is either 0 (no route), (index+1) into routes_ with the high bit
+  // clear, or (block_index+1) with the high bit set -> second-level table.
+  using Slot = std::uint32_t;
+  static constexpr Slot kIndirect = 0x8000'0000u;
+
+  std::vector<Slot> top_;                  // 2^24 slots
+  std::vector<std::uint32_t> second_;      // blocks of 256 route indices (+1)
+  std::vector<RouteEntry> routes_;
+  std::size_t long_blocks_ = 0;
+};
+
+}  // namespace lvrm::route

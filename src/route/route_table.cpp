@@ -1,0 +1,137 @@
+#include "route/route_table.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace lvrm::route {
+
+struct RouteTable::Node {
+  std::unique_ptr<Node> child[2];
+  std::optional<RouteEntry> entry;
+};
+
+RouteTable::RouteTable() : root_(std::make_unique<Node>()) {}
+RouteTable::~RouteTable() = default;
+RouteTable::RouteTable(RouteTable&&) noexcept = default;
+RouteTable& RouteTable::operator=(RouteTable&&) noexcept = default;
+
+namespace {
+/// Bit `i` (0 = most significant) of an address.
+int bit_at(net::Ipv4Addr addr, int i) { return (addr >> (31 - i)) & 1; }
+}  // namespace
+
+void RouteTable::insert(const RouteEntry& entry) {
+  Node* node = root_.get();
+  for (int i = 0; i < entry.prefix.length; ++i) {
+    const int b = bit_at(entry.prefix.network, i);
+    if (!node->child[b]) node->child[b] = std::make_unique<Node>();
+    node = node->child[b].get();
+  }
+  if (!node->entry) ++size_;
+  RouteEntry canonical = entry;
+  canonical.prefix.network &= net::prefix_mask(entry.prefix.length);
+  node->entry = canonical;
+}
+
+bool RouteTable::remove(const net::Prefix& prefix) {
+  Node* node = root_.get();
+  for (int i = 0; i < prefix.length; ++i) {
+    const int b = bit_at(prefix.network, i);
+    if (!node->child[b]) return false;
+    node = node->child[b].get();
+  }
+  if (!node->entry) return false;
+  node->entry.reset();
+  --size_;
+  return true;  // empty branches are left in place; negligible for our sizes
+}
+
+std::optional<RouteEntry> RouteTable::lookup(net::Ipv4Addr dst) const {
+  const Node* node = root_.get();
+  std::optional<RouteEntry> best = node->entry;  // default route, if any
+  for (int i = 0; i < 32 && node; ++i) {
+    node = node->child[bit_at(dst, i)].get();
+    if (node && node->entry) best = node->entry;
+  }
+  return best;
+}
+
+std::optional<RouteEntry> RouteTable::find_exact(
+    const net::Prefix& prefix) const {
+  const Node* node = root_.get();
+  for (int i = 0; i < prefix.length; ++i) {
+    node = node->child[bit_at(prefix.network, i)].get();
+    if (!node) return std::nullopt;
+  }
+  return node->entry;
+}
+
+std::vector<RouteEntry> RouteTable::dump() const {
+  std::vector<RouteEntry> out;
+  // Depth-first walk; recursion depth bounded by 32.
+  struct Walker {
+    std::vector<RouteEntry>& out;
+    void walk(const Node* node) {
+      if (!node) return;
+      if (node->entry) out.push_back(*node->entry);
+      walk(node->child[0].get());
+      walk(node->child[1].get());
+    }
+  } walker{out};
+  walker.walk(root_.get());
+  std::sort(out.begin(), out.end(), [](const RouteEntry& a, const RouteEntry& b) {
+    if (a.prefix.network != b.prefix.network)
+      return a.prefix.network < b.prefix.network;
+    return a.prefix.length < b.prefix.length;
+  });
+  return out;
+}
+
+std::vector<RouteEntry> parse_route_map(const std::string& text) {
+  std::vector<RouteEntry> routes;
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string prefix_str;
+    if (!(fields >> prefix_str)) continue;  // blank/comment line
+
+    const auto prefix = net::parse_prefix(prefix_str);
+    if (!prefix)
+      throw std::runtime_error("route map line " + std::to_string(lineno) +
+                               ": bad prefix '" + prefix_str + "'");
+    RouteEntry entry;
+    entry.prefix = *prefix;
+    if (!(fields >> entry.output_if))
+      throw std::runtime_error("route map line " + std::to_string(lineno) +
+                               ": missing output interface");
+    std::string next_hop_str;
+    if (fields >> next_hop_str) {
+      const auto nh = net::parse_ipv4(next_hop_str);
+      if (!nh)
+        throw std::runtime_error("route map line " + std::to_string(lineno) +
+                                 ": bad next hop '" + next_hop_str + "'");
+      entry.next_hop = *nh;
+      fields >> entry.metric;  // optional; leave 0 when absent
+    }
+    routes.push_back(entry);
+  }
+  return routes;
+}
+
+std::string format_route_map(const std::vector<RouteEntry>& routes) {
+  std::ostringstream os;
+  for (const auto& r : routes) {
+    os << net::format_ipv4(r.prefix.network) << '/' << r.prefix.length << ' '
+       << r.output_if << ' ' << net::format_ipv4(r.next_hop) << ' ' << r.metric
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace lvrm::route

@@ -1,0 +1,72 @@
+// route_table.hpp — longest-prefix-match routing table.
+//
+// Each VRI interprets "the address resolution and routing information"
+// (Sec 3.7); its routes are "initialized with the map files, which pass the
+// static routes to the memories of the VRIs". RouteTable is a binary trie
+// keyed on destination prefixes — O(32) lookup, no allocation on the lookup
+// path — with the usual longest-match semantics plus an optional default
+// route (0.0.0.0/0).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ip.hpp"
+
+namespace lvrm::route {
+
+struct RouteEntry {
+  net::Prefix prefix;
+  int output_if = 0;            // gateway interface to forward on
+  net::Ipv4Addr next_hop = 0;   // 0 = directly connected
+  int metric = 0;
+
+  bool operator==(const RouteEntry&) const = default;
+};
+
+class RouteTable {
+ public:
+  RouteTable();
+  ~RouteTable();
+  RouteTable(RouteTable&&) noexcept;
+  RouteTable& operator=(RouteTable&&) noexcept;
+  RouteTable(const RouteTable&) = delete;
+  RouteTable& operator=(const RouteTable&) = delete;
+
+  /// Inserts or replaces the route for exactly this prefix.
+  void insert(const RouteEntry& entry);
+
+  /// Removes the route for exactly this prefix; false if absent.
+  bool remove(const net::Prefix& prefix);
+
+  /// Longest-prefix match; nullopt when no route (not even default) covers
+  /// the address.
+  std::optional<RouteEntry> lookup(net::Ipv4Addr dst) const;
+
+  /// Exact-prefix fetch (no LPM); for tests and management.
+  std::optional<RouteEntry> find_exact(const net::Prefix& prefix) const;
+
+  std::size_t size() const { return size_; }
+
+  /// All routes in ascending (network, length) order.
+  std::vector<RouteEntry> dump() const;
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+/// Parses the map-file format the VRIs load at start-up. One route per line:
+///     <prefix> <output-if> [next-hop] [metric]
+/// e.g. "10.2.0.0/16 1 0.0.0.0 5". '#' starts a comment; blank lines are
+/// skipped. Throws std::runtime_error naming the offending line on error.
+std::vector<RouteEntry> parse_route_map(const std::string& text);
+
+/// Serializes routes back into map-file form (round-trips parse_route_map).
+std::string format_route_map(const std::vector<RouteEntry>& routes);
+
+}  // namespace lvrm::route

@@ -1,0 +1,49 @@
+#include "route/route_update.hpp"
+
+namespace lvrm::route {
+
+namespace {
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t get32(std::span<const std::uint8_t> in, std::size_t off) {
+  return static_cast<std::uint32_t>(in[off]) << 24 |
+         static_cast<std::uint32_t>(in[off + 1]) << 16 |
+         static_cast<std::uint32_t>(in[off + 2]) << 8 | in[off + 3];
+}
+}  // namespace
+
+std::vector<std::uint8_t> encode_route_update(const RouteUpdate& update) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kRouteUpdateWireSize);
+  out.push_back(update.add ? 1 : 0);
+  put32(out, update.entry.prefix.network);
+  out.push_back(static_cast<std::uint8_t>(update.entry.prefix.length));
+  put32(out, update.entry.next_hop);
+  out.push_back(static_cast<std::uint8_t>(update.entry.output_if));
+  put32(out, static_cast<std::uint32_t>(update.entry.metric));
+  return out;
+}
+
+std::optional<RouteUpdate> decode_route_update(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < kRouteUpdateWireSize) return std::nullopt;
+  if (data[0] > 1) return std::nullopt;
+  RouteUpdate update;
+  update.add = data[0] == 1;
+  update.entry.prefix.network = get32(data, 1);
+  update.entry.prefix.length = data[5];
+  if (update.entry.prefix.length > 32) return std::nullopt;
+  update.entry.prefix.network &=
+      net::prefix_mask(update.entry.prefix.length);
+  update.entry.next_hop = get32(data, 6);
+  update.entry.output_if = data[10];
+  update.entry.metric = static_cast<int>(get32(data, 11));
+  return update;
+}
+
+}  // namespace lvrm::route

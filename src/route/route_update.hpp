@@ -1,0 +1,38 @@
+// route_update.hpp — dynamic route update messages.
+//
+// Sec 3.7: "If dynamic routes are used, the VRIs can be slightly changed to
+// support both static and dynamic routes without affecting the design of
+// LVRM" — and Sec 2.1's control queues exist precisely "to synchronize the
+// routing state" between the VRIs of one VR. RouteUpdate is that message: a
+// route add/withdraw with a compact wire encoding suitable for a control
+// event payload.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "route/route_table.hpp"
+
+namespace lvrm::route {
+
+struct RouteUpdate {
+  bool add = true;  // false = withdraw
+  RouteEntry entry;
+
+  bool operator==(const RouteUpdate&) const = default;
+};
+
+/// Fixed 15-byte wire format:
+///   u8 op (1=add, 0=withdraw), u32 network, u8 length,
+///   u32 next_hop, u8 output_if, u32 metric — all big-endian.
+inline constexpr std::size_t kRouteUpdateWireSize = 15;
+
+std::vector<std::uint8_t> encode_route_update(const RouteUpdate& update);
+
+/// Decodes; nullopt on short buffers or invalid fields (op > 1, length > 32).
+std::optional<RouteUpdate> decode_route_update(
+    std::span<const std::uint8_t> data);
+
+}  // namespace lvrm::route

@@ -1,0 +1,160 @@
+// costs.hpp — calibrated cost model of the paper's testbed.
+//
+// Every per-frame/per-operation cost the simulator charges lives here, in one
+// place, calibrated against the absolute numbers Chapter 4 reports (see
+// DESIGN.md "Calibration constants"). Changing a constant re-shapes every
+// dependent figure consistently, which is what makes the ablation benches
+// meaningful.
+//
+// Anchors from the thesis:
+//   * 1 Gbps links; minimum Ethernet frame 84 B incl. preamble/IFG (Sec 4.1)
+//   * each sender host caps at 224 Kfps -> 448 Kfps testbed ceiling (Sec 4.1)
+//   * PF_RING-based LVRM ~ native Linux forwarding; beats raw socket by ~50%
+//     at 84 B (Fig 4.2)
+//   * LVRM-only (RAM trace) with C++ VR: 3.7 Mfps @84 B, 922 Kfps @1538 B
+//     (Fig 4.5); latency <= 15 us C++, 25-35 us Click (Fig 4.6)
+//   * control-event latency 5-7 us no-load, 10-12 us full-load (Fig 4.7)
+//   * dummy VRI load 1/60 ms -> 60 Kfps per core (Exps 2b-3b)
+//   * allocation <= 900 us, deallocation <= 700 us (Fig 4.11)
+#pragma once
+
+#include "common/units.hpp"
+
+namespace lvrm::sim::costs {
+
+// --- Links and frames ------------------------------------------------------
+inline constexpr BitsPerSec kLinkRate = 1e9;            // 1 GbE
+inline constexpr Nanos kLinkPropagation = usec(2);      // host-switch-host
+inline constexpr std::size_t kLinkTxQueue = 128;        // NIC TX ring frames
+inline constexpr int kMinFrameBytes = 84;    // incl. preamble/IFG (Sec 4.1)
+inline constexpr int kMaxFrameBytes = 1538;  // 1500 MTU + eth + preamble/IFG
+
+// --- End hosts --------------------------------------------------------------
+// Sender kernel path: 1/224 Kfps per frame (the measured host ceiling).
+inline constexpr Nanos kSenderPerFrame = 4464;
+// Host stack latency contributions to RTT (each direction, each host).
+inline constexpr Nanos kHostTxLatency = usec(14);
+inline constexpr Nanos kHostRxLatency = usec(14);
+
+// --- Gateway kernel (native Linux IP forwarding baseline) -------------------
+// Softirq cost to forward one frame in-kernel: fixed + per-byte (copy/DMA).
+inline constexpr Nanos kKernelForwardFixed = 1900;
+inline constexpr double kKernelForwardPerByte = 0.25;  // ns per byte
+inline constexpr std::size_t kKernelRxRing = 512;
+
+// --- Socket adapters (LVRM RX/TX on the LVRM core) --------------------------
+// Raw BSD socket: recvfrom()/send() syscalls dominate; mostly system time.
+inline constexpr Nanos kRawSocketRecv = 2100;
+inline constexpr Nanos kRawSocketSend = 1150;
+inline constexpr double kRawSocketPerByte = 0.45;  // kernel<->user copies
+inline constexpr std::size_t kRawSocketRing = 256;
+
+// Kernel softirq work per frame on the RX side that the adapter cannot
+// bypass (interrupt handling, protocol demux for the socket path). Reported
+// as "si" in the Fig 4.3 CPU breakdown.
+inline constexpr Nanos kRawSocketSoftirq = 900;
+inline constexpr Nanos kPfRingSoftirq = 350;
+
+// PF_RING: polls the NIC ring zero-copy; cheap and mostly user time.
+inline constexpr Nanos kPfRingRecv = 1100;
+inline constexpr Nanos kPfRingSend = 1020;
+inline constexpr double kPfRingPerByte = 0.08;
+inline constexpr std::size_t kPfRingRing = 4096;
+
+// Main-memory adapter (Exp 1c/1d): sequential reads from a RAM trace and a
+// discard sink; only the copy into the IPC queue scales with size.
+inline constexpr Nanos kMemoryRecv = 40;
+inline constexpr Nanos kMemorySend = 20;
+inline constexpr double kMemoryPerByte = 0.55;
+inline constexpr std::size_t kMemoryRing = 65536;
+
+// --- LVRM internal per-frame work (user time on the LVRM core) --------------
+// One iteration of the non-blocking poll loop passes before newly arrived
+// work is noticed when a process was idle (affects latency, not capacity).
+inline constexpr Nanos kPollDiscovery = 1200;
+// LVRM drains a socket/ring in bursts of this many frames per loop pass.
+inline constexpr std::size_t kPollBatch = 6;
+inline constexpr Nanos kClassifyCost = 25;      // src-IP -> VR lookup
+inline constexpr Nanos kDispatchFixed = 20;     // bookkeeping per dispatch
+inline constexpr Nanos kEnqueueCost = 60;      // shm queue insert
+inline constexpr Nanos kDequeueCost = 50;      // shm queue extract
+inline constexpr Nanos kJsqPerVri = 10;         // JSQ scans each VRI's load
+inline constexpr Nanos kRoundRobinCost = 10;
+inline constexpr Nanos kRandomCost = 28;
+// Flow-based balancing: hash-table lookup plus the times() timestamp update
+// the thesis calls out as overhead (Exp 3c).
+inline constexpr Nanos kFlowTableLookup = 150;
+inline constexpr Nanos kFlowTimestampSyscall = 210;
+
+// Cross-socket penalty per queue operation when producer and consumer cores
+// are not siblings (cache-line transfer across the QPI); drives Exp 2a.
+inline constexpr Nanos kCrossSocketQueueOp = 200;
+
+// Context switch when two processes time-share one core ("same" affinity).
+inline constexpr Nanos kContextSwitch = 1600;
+// "default" affinity: kernel migrates the VRI between cores now and then;
+// after each migration the caches are cold for a window during which the
+// shared-queue operations pay a surcharge (Exp 2a: default < non-sibling).
+inline constexpr Nanos kMigrationPenalty = usec(35);  // stall at switch
+inline constexpr Nanos kMigrationMeanPeriod = msec(1);
+inline constexpr Nanos kColdCacheWindow = usec(400);
+inline constexpr Nanos kColdCacheSurcharge = 1200;  // per frame while cold
+
+// --- VRIs --------------------------------------------------------------------
+// Minimal C++ VR forwarding work per frame (route lookup + header rewrite).
+inline constexpr Nanos kCppVrForward = 130;
+inline constexpr double kCppVrPerByte = 0.03;
+// Click VR: element-graph traversal overhead on top of forwarding, plus the
+// internal Queue element adding pipeline latency (Fig 4.6: 25-35 us).
+inline constexpr Nanos kClickVrForward = 3400;
+inline constexpr double kClickVrPerByte = 0.12;
+inline constexpr Nanos kClickPipelineLatency = usec(18);
+// The dummy processing load used by Exps 2b-3b: 1/60 ms per frame.
+inline constexpr Nanos kDummyLoad = kNanosPerSec / 60'000;
+
+// IPC data queue between LVRM and each VRI (frames).
+inline constexpr std::size_t kDataQueueCapacity = 1024;
+inline constexpr std::size_t kControlQueueCapacity = 256;
+
+// Control events: enqueue/dequeue plus per-byte copy; receiver polls the
+// control queue before the data queue, so under full load the event waits
+// for the in-service data frame (Exp 1e: 5-7 us idle, 10-12 us loaded).
+inline constexpr Nanos kControlEventFixed = 2500;
+inline constexpr double kControlEventPerByte = 0.55;
+inline constexpr double kControlRelayPerByte = 0.15;
+
+// --- Core (de)allocation (Fig 4.11) -----------------------------------------
+// Allocation: vfork() + queue/shm setup; grows slightly with the number of
+// VR monitors/VRIs LVRM must iterate over. Deallocation: kill() + teardown.
+// The reaction time reported by Exp 2c includes iterating the VR monitors
+// and retrieving/comparing load estimates before the action itself.
+inline constexpr Nanos kAllocateBase = usec(610);
+inline constexpr Nanos kAllocatePerVri = usec(28);
+inline constexpr Nanos kDeallocateBase = usec(420);
+inline constexpr Nanos kDeallocatePerVri = usec(24);
+inline constexpr Nanos kAllocIterateBase = usec(2);
+inline constexpr Nanos kAllocIteratePerVri = usec(2);
+inline constexpr double kAllocJitter = 0.08;  // +/- fraction, deterministic rng
+
+// --- Hypervisor baselines (Exp 1a/1b) ---------------------------------------
+// Per-frame virtualization overhead (vmexits, virtual NIC emulation) and the
+// extra latency of traversing hypervisor + guest kernel both ways.
+inline constexpr Nanos kVmwarePerFrame = 11'500;
+inline constexpr double kVmwarePerByte = 0.9;
+inline constexpr Nanos kVmwareLatency = usec(160);
+inline constexpr Nanos kKvmPerFrame = 39'000;
+inline constexpr double kKvmPerByte = 2.1;
+inline constexpr Nanos kKvmLatency = usec(360);
+
+// --- TCP / FTP workload (Exps 3c, 4) ----------------------------------------
+inline constexpr int kTcpSegmentBytes = 1538;  // full-size data segment
+inline constexpr int kTcpAckBytes = 84;        // bare ACK at minimum size
+inline constexpr int kTcpInitialCwnd = 2;      // segments
+inline constexpr int kTcpRxWindowSegments = 44;  // ~64 KB window
+inline constexpr Nanos kTcpMinRto = msec(200);
+// FTP endpoints read from sockets and write files; the thesis notes this
+// schedulng limits source rates (Sec 4.5). Modelled as a per-connection
+// application drain rate below link speed.
+inline constexpr BitsPerSec kFtpAppDrainRate = 820e6;
+
+}  // namespace lvrm::sim::costs

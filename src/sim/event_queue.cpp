@@ -1,0 +1,39 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace lvrm::sim {
+
+EventId EventQueue::push(Nanos at, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+void EventQueue::cancel(EventId id) { callbacks_.erase(id); }
+
+void EventQueue::skip_cancelled() {
+  while (!heap_.empty() && callbacks_.find(heap_.top().id) == callbacks_.end())
+    heap_.pop();
+}
+
+Nanos EventQueue::next_time() {
+  skip_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skip_cancelled();
+  assert(!heap_.empty());
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  Fired fired{top.at, top.id, std::move(it->second)};
+  callbacks_.erase(it);
+  return fired;
+}
+
+}  // namespace lvrm::sim

@@ -1,0 +1,67 @@
+// event_queue.hpp — cancellable min-heap of timestamped events.
+//
+// Ties are broken by insertion sequence so simulation runs are fully
+// deterministic regardless of heap internals. Cancellation is lazy: cancelled
+// ids are skipped at pop time, which keeps cancel() O(1) — important for TCP
+// retransmission timers that are rescheduled on every ACK.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace lvrm::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Enqueues `cb` to fire at absolute time `at`. Returns a handle usable
+  /// with cancel().
+  EventId push(Nanos at, Callback cb);
+
+  /// Cancels a pending event; cancelling an already-fired or invalid id is a
+  /// harmless no-op.
+  void cancel(EventId id);
+
+  bool empty() const { return callbacks_.empty(); }
+  std::size_t size() const { return callbacks_.size(); }
+
+  /// Earliest pending event time; only valid when !empty().
+  Nanos next_time();
+
+  /// Pops and returns the earliest live event. Only valid when !empty().
+  struct Fired {
+    Nanos at;
+    EventId id;
+    Callback cb;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    Nanos at;
+    EventId id;
+    // min-heap on (at, id): earlier time first, then insertion order.
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return id > o.id;
+    }
+  };
+
+  /// Discards heap entries whose callback was cancelled.
+  void skip_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace lvrm::sim

@@ -1,0 +1,34 @@
+#include "sim/link.hpp"
+
+#include <algorithm>
+
+namespace lvrm::sim {
+
+bool Link::transmit(std::int64_t bytes, std::function<void()> deliver) {
+  // A frame whose serialization has not begun occupies a TX-ring slot.
+  const Nanos now = sim_.now();
+  const bool wire_busy = wire_free_at_ > now;
+  if (wire_busy && backlog_ >= queue_limit_) {
+    ++drops_;
+    return false;
+  }
+
+  const Nanos start = std::max(now, wire_free_at_);
+  const Nanos wire = wire_time(bytes, rate_);
+  wire_free_at_ = start + wire;
+  busy_time_ += wire;
+
+  if (wire_busy) {
+    ++backlog_;
+    sim_.at(start, [this] { --backlog_; });
+  }
+
+  sim_.at(wire_free_at_ + propagation_,
+          [this, deliver = std::move(deliver)]() mutable {
+            ++delivered_;
+            if (deliver) deliver();
+          });
+  return true;
+}
+
+}  // namespace lvrm::sim

@@ -1,0 +1,175 @@
+// poll_server.hpp — a pinned polling process serving prioritized queues.
+//
+// Both LVRM and every VRI are modelled as PollServers: a loop pinned to one
+// core that repeatedly (1) finds the highest-priority non-empty input queue,
+// (2) dequeues one item, (3) spends its service cost on the core, (4) hands
+// the item to the input's sink. This mirrors the thesis' non-blocking poll
+// loops: control queues are checked before data queues (Sec 2.1), and within
+// a priority class inputs are scanned round-robin so e.g. the TX queues of
+// many VRIs cannot be starved by a hot RX ring.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/core.hpp"
+#include "sim/queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace lvrm::sim {
+
+template <typename T>
+class PollServer {
+ public:
+  /// Cost of serving one item (may depend on the item, e.g. per-byte copy).
+  /// Receives a mutable reference: servers that must *decide* something to
+  /// know the cost (LVRM's dispatch step) record the decision in the item.
+  using CostFn = std::function<Nanos(T&)>;
+  /// Invoked when service of an item completes (at the completion time).
+  using Sink = std::function<void(T&&)>;
+
+  /// `pickup_latency` models the poll loop's discovery delay: when work
+  /// arrives while the server is idle, one loop iteration over its sockets
+  /// and queues passes before the item is noticed. Zero = immediate.
+  PollServer(Simulator& sim, Core& core, OwnerId owner, std::string name = {},
+             Nanos pickup_latency = 0)
+      : sim_(sim),
+        core_(&core),
+        owner_(owner),
+        name_(std::move(name)),
+        pickup_latency_(pickup_latency) {}
+
+  PollServer(const PollServer&) = delete;
+  PollServer& operator=(const PollServer&) = delete;
+
+  /// Registers an input queue. Lower `priority` is served first. The queue's
+  /// observer is captured by this server. `batch` > 1 lets the server drain
+  /// up to that many consecutive items from this input once selected (poll
+  /// loops read NIC rings in bursts) before re-scanning priorities. Returns
+  /// the input index.
+  std::size_t add_input(BoundedQueue<T>& q, int priority, CostFn cost,
+                        Sink sink, CostCategory category = CostCategory::kUser,
+                        std::size_t batch = 1) {
+    inputs_.push_back(Input{&q, priority, std::move(cost), std::move(sink),
+                            category, batch < 1 ? 1 : batch});
+    q.set_observer([this] {
+      if (pickup_latency_ > 0 && !serving_) {
+        sim_.after(pickup_latency_, [this] { maybe_serve(); });
+      } else {
+        maybe_serve();
+      }
+    });
+    return inputs_.size() - 1;
+  }
+
+  /// Starts/stops the loop. A stopped server leaves queued items in place.
+  void start() {
+    running_ = true;
+    maybe_serve();
+  }
+  void stop() { running_ = false; }
+  bool running() const { return running_; }
+
+  /// Moves the server to a different core (models kernel migration in the
+  /// "default" affinity policy). A migration penalty is charged to the new
+  /// core as system time.
+  void migrate(Core& new_core, Nanos penalty) {
+    core_ = &new_core;
+    core_->charge(penalty, CostCategory::kSystem);
+  }
+
+  Core& core() const { return *core_; }
+  OwnerId owner() const { return owner_; }
+  const std::string& name() const { return name_; }
+  std::uint64_t served() const { return served_; }
+  bool busy() const { return serving_; }
+
+  /// One-shot extra cost added to the next served item (used for e.g. a core
+  /// allocation pass that preempts the LVRM loop).
+  void add_oneshot_cost(Nanos cost) { oneshot_cost_ += cost; }
+
+  /// Kicks the serve loop; harmless to call at any time.
+  void maybe_serve() {
+    if (!running_ || serving_) return;
+    std::size_t idx = kNoInput;
+    if (batch_remaining_ > 0 && current_input_ != kNoInput &&
+        !inputs_[current_input_].queue->empty()) {
+      idx = current_input_;
+      --batch_remaining_;
+    } else {
+      idx = pick_input();
+      current_input_ = idx;
+      batch_remaining_ =
+          idx == kNoInput ? 0 : inputs_[idx].batch - 1;
+    }
+    if (idx == kNoInput) return;
+    Input& in = inputs_[idx];
+    T item = in.queue->pop();
+    Nanos cost = in.cost ? in.cost(item) : 0;
+    cost += oneshot_cost_;
+    oneshot_cost_ = 0;
+    serving_ = true;
+    // The callback owns the item; shared_ptr makes the lambda copyable for
+    // std::function without requiring T to be copyable.
+    auto boxed = std::make_shared<T>(std::move(item));
+    Input* input = &in;
+    core_->run(cost, in.category, owner_, [this, boxed, input] {
+      serving_ = false;
+      ++served_;
+      if (input->sink) input->sink(std::move(*boxed));
+      maybe_serve();
+    });
+  }
+
+ private:
+  struct Input {
+    BoundedQueue<T>* queue;
+    int priority;
+    CostFn cost;
+    Sink sink;
+    CostCategory category;
+    std::size_t batch = 1;
+  };
+
+  static constexpr std::size_t kNoInput =
+      std::numeric_limits<std::size_t>::max();
+
+  /// Highest-priority non-empty input, round-robin within a priority class.
+  std::size_t pick_input() {
+    std::size_t best = kNoInput;
+    int best_prio = std::numeric_limits<int>::max();
+    const std::size_t n = inputs_.size();
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t i = (rr_cursor_ + step) % n;
+      const Input& in = inputs_[i];
+      if (in.queue->empty()) continue;
+      if (in.priority < best_prio) {
+        best_prio = in.priority;
+        best = i;
+      }
+    }
+    if (best != kNoInput) rr_cursor_ = (best + 1) % n;
+    return best;
+  }
+
+  Simulator& sim_;
+  Core* core_;
+  OwnerId owner_;
+  std::string name_;
+  std::vector<Input> inputs_;
+  std::size_t rr_cursor_ = 0;
+  Nanos pickup_latency_ = 0;
+  std::size_t batch_remaining_ = 0;
+  std::size_t current_input_ = kNoInput;
+  bool running_ = false;
+  bool serving_ = false;
+  Nanos oneshot_cost_ = 0;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace lvrm::sim

@@ -1,0 +1,78 @@
+// queue.hpp — bounded FIFO used as NIC rings and (simulated) IPC queues.
+//
+// This is the *simulation-side* queue: a passive bounded buffer with drop
+// accounting and an observer hook that wakes the consuming PollServer. The
+// real lock-free SPSC ring that the thesis ships between processes lives in
+// src/queue/spsc_ring.hpp; inside the simulator, process placement is virtual
+// so a plain deque with the same FIFO/bounded semantics stands in for it
+// while queue *lengths*, drops and priorities behave identically.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/units.hpp"
+
+namespace lvrm::sim {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity, std::string name = {})
+      : capacity_(capacity), name_(std::move(name)) {}
+
+  /// Attempts to enqueue; returns false (and counts a drop) when full.
+  bool push(T item) {
+    if (items_.size() >= capacity_) {
+      ++drops_;
+      return false;
+    }
+    const bool was_empty = items_.empty();
+    items_.push_back(std::move(item));
+    ++enqueued_;
+    if (was_empty && on_nonempty_) on_nonempty_();
+    return true;
+  }
+
+  /// Pops the head; only valid when !empty().
+  T pop() {
+    T item = std::move(items_.front());
+    items_.pop_front();
+    ++dequeued_;
+    return item;
+  }
+
+  /// Peeks at the head without removing it; only valid when !empty().
+  const T& front() const { return items_.front(); }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t enqueued() const { return enqueued_; }
+  std::uint64_t dequeued() const { return dequeued_; }
+
+  const std::string& name() const { return name_; }
+
+  /// Registers the wake-up hook invoked when the queue transitions from
+  /// empty to non-empty (at most one observer; the consuming server).
+  void set_observer(std::function<void()> fn) { on_nonempty_ = std::move(fn); }
+
+  void clear() { items_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::string name_;
+  std::deque<T> items_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t dequeued_ = 0;
+  std::function<void()> on_nonempty_;
+};
+
+}  // namespace lvrm::sim

@@ -1,0 +1,19 @@
+#include "sim/topology.hpp"
+
+namespace lvrm::sim {
+
+std::vector<CoreId> CpuTopology::siblings_of(CoreId core) const {
+  std::vector<CoreId> out;
+  for (CoreId c = 0; c < total_cores(); ++c)
+    if (c != core && siblings(c, core)) out.push_back(c);
+  return out;
+}
+
+std::vector<CoreId> CpuTopology::non_siblings_of(CoreId core) const {
+  std::vector<CoreId> out;
+  for (CoreId c = 0; c < total_cores(); ++c)
+    if (!siblings(c, core)) out.push_back(c);
+  return out;
+}
+
+}  // namespace lvrm::sim

@@ -1,0 +1,45 @@
+// topology.hpp — model of the testbed gateway's CPU layout.
+//
+// The paper's gateway is a dual-socket machine with two quad-core Xeon E5530
+// CPUs (8 cores total). Core affinity matters to LVRM: allocating a VRI on a
+// *sibling* core (same socket as LVRM) avoids cross-socket cache-line
+// transfers on every shared-memory queue operation (Sec 3.2, Exp 2a).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lvrm::sim {
+
+using CoreId = int;
+inline constexpr CoreId kNoCore = -1;
+
+class CpuTopology {
+ public:
+  /// Default mirrors the paper's gateway: 2 sockets x 4 cores.
+  explicit CpuTopology(int sockets = 2, int cores_per_socket = 4)
+      : sockets_(sockets), cores_per_socket_(cores_per_socket) {}
+
+  int total_cores() const { return sockets_ * cores_per_socket_; }
+  int sockets() const { return sockets_; }
+  int cores_per_socket() const { return cores_per_socket_; }
+
+  int socket_of(CoreId core) const { return core / cores_per_socket_; }
+
+  /// True when both cores share a socket ("sibling" in the thesis' sense).
+  bool siblings(CoreId a, CoreId b) const {
+    return socket_of(a) == socket_of(b);
+  }
+
+  /// All core ids on the same socket as `core`, excluding `core` itself.
+  std::vector<CoreId> siblings_of(CoreId core) const;
+
+  /// All core ids on other sockets.
+  std::vector<CoreId> non_siblings_of(CoreId core) const;
+
+ private:
+  int sockets_;
+  int cores_per_socket_;
+};
+
+}  // namespace lvrm::sim

@@ -1,0 +1,89 @@
+#include "traffic/udp_sender.hpp"
+
+#include <algorithm>
+
+#include "net/headers.hpp"
+
+namespace lvrm::traffic {
+
+UdpSender::UdpSender(sim::Simulator& sim, Config config, Sink sink)
+    : sim_(sim), config_(std::move(config)), sink_(std::move(sink)) {}
+
+void UdpSender::start() {
+  if (config_.profile.empty()) return;
+  sim_.at(config_.profile.front().at, [this] { emit(); });
+}
+
+FramesPerSec UdpSender::rate_at(Nanos t) const {
+  FramesPerSec rate = 0.0;
+  for (const RateStep& step : config_.profile) {
+    if (step.at > t) break;
+    rate = step.rate;
+  }
+  return rate;
+}
+
+void UdpSender::emit() {
+  const Nanos now = sim_.now();
+  if (now >= config_.stop_at) return;
+  const FramesPerSec rate = rate_at(now);
+  if (rate > 0.0) {
+    net::FrameMeta f;
+    f.id = next_id_++;
+    f.kind = net::FrameKind::kUdp;
+    f.wire_bytes = config_.wire_bytes;
+    f.protocol = net::kProtoUdp;
+    f.src_ip = config_.src_ip;
+    f.dst_ip = config_.dst_ip;
+    f.src_port = static_cast<std::uint16_t>(
+        config_.src_port_base +
+        next_flow_ % static_cast<std::uint64_t>(std::max(config_.flows, 1)));
+    f.dst_port = config_.dst_port;
+    f.flow_index = static_cast<std::int32_t>(
+        next_flow_ % static_cast<std::uint64_t>(std::max(config_.flows, 1)));
+    ++next_flow_;
+    f.created_at = now;
+    ++sent_;
+    sink_(std::move(f));
+  }
+  schedule_next();
+}
+
+void UdpSender::schedule_next() {
+  const Nanos now = sim_.now();
+  const FramesPerSec rate = rate_at(now);
+  Nanos gap;
+  if (rate <= 0.0) {
+    // Paused: wake at the next profile step (or stop).
+    Nanos next_step = config_.stop_at;
+    for (const RateStep& step : config_.profile)
+      if (step.at > now) {
+        next_step = step.at;
+        break;
+      }
+    if (next_step >= config_.stop_at) return;
+    gap = next_step - now;
+  } else {
+    gap = std::max(interval_for_rate(rate), config_.min_gap);
+  }
+  sim_.after(gap, [this] { emit(); });
+}
+
+std::vector<RateStep> UdpSender::staircase(FramesPerSec step,
+                                           FramesPerSec peak, Nanos hold,
+                                           Nanos start) {
+  std::vector<RateStep> profile;
+  Nanos t = start;
+  for (FramesPerSec r = step; r < peak + step / 2; r += step) {
+    profile.push_back(RateStep{t, r});
+    t += hold;
+  }
+  for (FramesPerSec r = peak - step; r > 1.5 * step; r -= step) {
+    profile.push_back(RateStep{t, r});
+    t += hold;
+  }
+  profile.push_back(RateStep{t, step});
+  return profile;
+}
+
+}  // namespace lvrm::traffic

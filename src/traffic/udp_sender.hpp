@@ -1,0 +1,84 @@
+// udp_sender.hpp — constant-rate UDP/IP senders (Sec 4.1 traffic model).
+//
+// "The source models are constant departure": each sender emits frames at a
+// configured rate, generating "UDP/IP packets once it finds that the
+// aggregate source rate is lower than the specified source rate". A sender
+// host cannot exceed its kernel path's per-frame cost (the measured 224 Kfps
+// ceiling), which the emitter enforces as a minimum inter-frame gap. Rates
+// may follow a step profile — the staircases of Experiments 2c-2e.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/frame.hpp"
+#include "net/ip.hpp"
+#include "sim/costs.hpp"
+#include "sim/simulator.hpp"
+
+namespace lvrm::traffic {
+
+/// Piecewise-constant rate profile: rate(t) = rate of the last step at or
+/// before t; 0 before the first step.
+struct RateStep {
+  Nanos at = 0;
+  FramesPerSec rate = 0.0;
+};
+
+class UdpSender {
+ public:
+  struct Config {
+    net::Ipv4Addr src_ip = net::ipv4(10, 1, 0, 1);
+    net::Ipv4Addr dst_ip = net::ipv4(10, 2, 0, 1);
+    std::uint16_t src_port_base = 10000;
+    std::uint16_t dst_port = 9;  // discard
+    int wire_bytes = 84;
+    /// Distinct 5-tuples cycled through (>=1); flow-based balancing needs
+    /// repeats of the same tuple.
+    int flows = 16;
+    std::vector<RateStep> profile;  // required, at least one step
+    Nanos stop_at = sec(60);
+    /// Host kernel ceiling: minimum achievable gap between frames.
+    Nanos min_gap = sim::costs::kSenderPerFrame;
+  };
+
+  using Sink = std::function<void(net::FrameMeta&&)>;
+
+  UdpSender(sim::Simulator& sim, Config config, Sink sink);
+  UdpSender(const UdpSender&) = delete;
+  UdpSender& operator=(const UdpSender&) = delete;
+
+  void start();
+
+  std::uint64_t sent() const { return sent_; }
+  /// Snapshot support for steady-state measurement windows.
+  void mark() { mark_ = sent_; }
+  std::uint64_t sent_since_mark() const { return sent_ - mark_; }
+
+  /// Convenience: a single-rate profile.
+  static std::vector<RateStep> constant(FramesPerSec rate) {
+    return {RateStep{0, rate}};
+  }
+
+  /// The staircase of Exp 2c: up from `step` to `peak` then back down, one
+  /// step every `hold`, starting at `start`.
+  static std::vector<RateStep> staircase(FramesPerSec step, FramesPerSec peak,
+                                         Nanos hold, Nanos start = 0);
+
+ private:
+  FramesPerSec rate_at(Nanos t) const;
+  void emit();
+  void schedule_next();
+
+  sim::Simulator& sim_;
+  Config config_;
+  Sink sink_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t mark_ = 0;
+  std::uint64_t next_flow_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace lvrm::traffic

@@ -1,0 +1,108 @@
+#include "baseline/forwarders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/ip.hpp"
+
+namespace lvrm::baseline {
+namespace {
+
+net::FrameMeta frame(net::Ipv4Addr dst, int bytes = 84) {
+  net::FrameMeta f;
+  f.wire_bytes = bytes;
+  f.src_ip = net::ipv4(10, 1, 0, 1);
+  f.dst_ip = dst;
+  return f;
+}
+
+TEST(SimpleForwarder, ForwardsWithRouteLookup) {
+  sim::Simulator sim;
+  SimpleForwarder fwd(sim, SimpleForwarder::linux_params());
+  std::vector<int> outputs;
+  fwd.set_egress([&](net::FrameMeta&& f) { outputs.push_back(f.output_if); });
+  fwd.ingress(frame(net::ipv4(10, 2, 0, 1)));
+  fwd.ingress(frame(net::ipv4(10, 1, 0, 9)));
+  sim.run_all();
+  EXPECT_EQ(outputs, (std::vector<int>{1, 0}));
+  EXPECT_EQ(fwd.forwarded(), 2u);
+}
+
+TEST(SimpleForwarder, UnroutableDropped) {
+  sim::Simulator sim;
+  SimpleForwarder fwd(sim, SimpleForwarder::linux_params());
+  int delivered = 0;
+  fwd.set_egress([&](net::FrameMeta&&) { ++delivered; });
+  fwd.ingress(frame(net::ipv4(99, 0, 0, 1)));
+  sim.run_all();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(fwd.drops(), 1u);
+}
+
+TEST(SimpleForwarder, ServiceTimeMatchesCostModel) {
+  sim::Simulator sim;
+  auto params = SimpleForwarder::linux_params();
+  SimpleForwarder fwd(sim, params);
+  Nanos done = -1;
+  fwd.set_egress([&](net::FrameMeta&&) { done = sim.now(); });
+  fwd.ingress(frame(net::ipv4(10, 2, 0, 1), 84));
+  sim.run_all();
+  EXPECT_EQ(done, params.fixed_cost +
+                      static_cast<Nanos>(params.per_byte_cost * 84));
+}
+
+TEST(SimpleForwarder, KernelCapacityAroundCalibration) {
+  // The Linux path must sustain the 448 Kfps testbed ceiling at 84 B.
+  const auto params = SimpleForwarder::linux_params();
+  const double per_frame = static_cast<double>(params.fixed_cost) +
+                           params.per_byte_cost * 84;
+  EXPECT_GT(1e9 / per_frame, 450'000.0);
+}
+
+TEST(SimpleForwarder, HypervisorsCostMoreThanKernel) {
+  const auto linux_p = SimpleForwarder::linux_params();
+  const auto vmware = SimpleForwarder::vmware_params();
+  const auto kvm = SimpleForwarder::kvm_params();
+  EXPECT_GT(vmware.fixed_cost, linux_p.fixed_cost * 3);
+  EXPECT_GT(kvm.fixed_cost, vmware.fixed_cost * 2);
+  EXPECT_GT(vmware.extra_latency, usec(50));
+  EXPECT_GT(kvm.extra_latency, vmware.extra_latency);
+}
+
+TEST(SimpleForwarder, HypervisorExtraLatencyApplied) {
+  sim::Simulator sim;
+  const auto params = SimpleForwarder::vmware_params();
+  SimpleForwarder fwd(sim, params);
+  Nanos done = -1;
+  fwd.set_egress([&](net::FrameMeta&&) { done = sim.now(); });
+  fwd.ingress(frame(net::ipv4(10, 2, 0, 1), 84));
+  sim.run_all();
+  EXPECT_EQ(done, params.fixed_cost +
+                      static_cast<Nanos>(params.per_byte_cost * 84) +
+                      params.extra_latency);
+}
+
+TEST(SimpleForwarder, RingOverflowDrops) {
+  sim::Simulator sim;
+  auto params = SimpleForwarder::linux_params();
+  params.ring_capacity = 8;
+  SimpleForwarder fwd(sim, params, "10.2.0.0/16 1\n");
+  int accepted = 0;
+  for (int i = 0; i < 50; ++i)
+    if (fwd.ingress(frame(net::ipv4(10, 2, 0, 1)))) ++accepted;
+  // One may be in service plus eight queued.
+  EXPECT_LE(accepted, 10);
+  EXPECT_GT(fwd.drops(), 0u);
+}
+
+TEST(SimpleForwarder, SoftirqAccounting) {
+  sim::Simulator sim;
+  SimpleForwarder fwd(sim, SimpleForwarder::linux_params());
+  fwd.set_egress([](net::FrameMeta&&) {});
+  for (int i = 0; i < 10; ++i) fwd.ingress(frame(net::ipv4(10, 2, 0, 1)));
+  sim.run_all();
+  EXPECT_GT(fwd.core().busy(sim::CostCategory::kSoftirq), 0);
+  EXPECT_EQ(fwd.core().busy(sim::CostCategory::kUser), 0);
+}
+
+}  // namespace
+}  // namespace lvrm::baseline

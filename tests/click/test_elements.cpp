@@ -1,0 +1,338 @@
+// Per-element behaviour tests for the mini Click library.
+#include "click/elements.hpp"
+
+#include <gtest/gtest.h>
+
+#include "click/router.hpp"
+#include "net/headers.hpp"
+
+namespace lvrm::click {
+namespace {
+
+PacketPtr ip_packet(net::Ipv4Addr src, net::Ipv4Addr dst,
+                    std::uint8_t ttl = 64) {
+  net::Ipv4Header h;
+  h.total_length = net::kIpv4HeaderLen;
+  h.ttl = ttl;
+  h.src = src;
+  h.dst = dst;
+  std::vector<std::uint8_t> buf(net::kIpv4HeaderLen);
+  h.encode(buf);
+  return Packet::make(std::move(buf));
+}
+
+/// Test sink: records everything pushed into it.
+class Capture : public Element {
+ public:
+  std::string class_name() const override { return "Capture"; }
+  int n_outputs() const override { return 0; }
+  void push(int port, PacketPtr p) override {
+    ports.push_back(port);
+    packets.push_back(std::move(p));
+  }
+  std::vector<int> ports;
+  std::vector<PacketPtr> packets;
+};
+
+TEST(DiscardElement, CountsAndDrops) {
+  Discard d;
+  d.push(0, Packet::make({1, 2, 3}));
+  d.push(0, Packet::make({4}));
+  EXPECT_EQ(d.count(), 2u);
+}
+
+TEST(CounterElement, CountsPacketsAndBytes) {
+  Counter c;
+  Capture sink;
+  c.connect_output(0, &sink, 0);
+  c.push(0, Packet::make({1, 2, 3}));
+  c.push(0, Packet::make({4, 5}));
+  EXPECT_EQ(c.packets(), 2u);
+  EXPECT_EQ(c.bytes(), 5u);
+  EXPECT_EQ(sink.packets.size(), 2u);
+}
+
+TEST(StripElement, RemovesConfiguredBytes) {
+  Strip strip;
+  std::string err;
+  ASSERT_TRUE(strip.configure({"2"}, err));
+  Capture sink;
+  strip.connect_output(0, &sink, 0);
+  strip.push(0, Packet::make({9, 9, 1, 2}));
+  ASSERT_EQ(sink.packets.size(), 1u);
+  EXPECT_EQ(sink.packets[0]->size(), 2u);
+  EXPECT_EQ(sink.packets[0]->data()[0], 1);
+}
+
+TEST(StripElement, RejectsBadConfig) {
+  Strip strip;
+  std::string err;
+  EXPECT_FALSE(strip.configure({}, err));
+  EXPECT_FALSE(strip.configure({"banana"}, err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(UnstripElement, RestoresBytes) {
+  Unstrip unstrip;
+  std::string err;
+  ASSERT_TRUE(unstrip.configure({"2"}, err));
+  Capture sink;
+  unstrip.connect_output(0, &sink, 0);
+  auto p = Packet::make({7, 8, 1, 2});
+  p->pull(2);
+  unstrip.push(0, std::move(p));
+  ASSERT_EQ(sink.packets.size(), 1u);
+  EXPECT_EQ(sink.packets[0]->size(), 4u);
+  EXPECT_EQ(sink.packets[0]->data()[0], 7);
+}
+
+TEST(ClassifierElement, DispatchesByPattern) {
+  Classifier c;
+  std::string err;
+  // ethertype at offset 12: IPv4, ARP, anything else.
+  ASSERT_TRUE(c.configure({"12/0800", "12/0806", "-"}, err)) << err;
+  Capture ip, arp, rest;
+  c.connect_output(0, &ip, 0);
+  c.connect_output(1, &arp, 0);
+  c.connect_output(2, &rest, 0);
+
+  std::vector<std::uint8_t> ipv4_frame(14, 0);
+  ipv4_frame[12] = 0x08;
+  ipv4_frame[13] = 0x00;
+  std::vector<std::uint8_t> arp_frame(14, 0);
+  arp_frame[12] = 0x08;
+  arp_frame[13] = 0x06;
+  std::vector<std::uint8_t> other(14, 0);
+
+  c.push(0, Packet::make(ipv4_frame));
+  c.push(0, Packet::make(arp_frame));
+  c.push(0, Packet::make(other));
+  EXPECT_EQ(ip.packets.size(), 1u);
+  EXPECT_EQ(arp.packets.size(), 1u);
+  EXPECT_EQ(rest.packets.size(), 1u);
+}
+
+TEST(ClassifierElement, ShortPacketSkipsPattern) {
+  Classifier c;
+  std::string err;
+  ASSERT_TRUE(c.configure({"12/0800", "-"}, err));
+  Capture ip, rest;
+  c.connect_output(0, &ip, 0);
+  c.connect_output(1, &rest, 0);
+  c.push(0, Packet::make({1, 2, 3}));  // too short for offset 12
+  EXPECT_EQ(ip.packets.size(), 0u);
+  EXPECT_EQ(rest.packets.size(), 1u);
+}
+
+TEST(ClassifierElement, ConfigErrors) {
+  Classifier c;
+  std::string err;
+  EXPECT_FALSE(c.configure({}, err));
+  EXPECT_FALSE(c.configure({"nope"}, err));
+  EXPECT_FALSE(c.configure({"12/08F"}, err));  // odd hex length
+}
+
+TEST(CheckIPHeaderElement, GoodPacketPassesWithAnnotation) {
+  CheckIPHeader check;
+  Capture good;
+  check.connect_output(0, &good, 0);
+  check.push(0, ip_packet(net::ipv4(1, 1, 1, 1), net::ipv4(10, 2, 0, 5)));
+  ASSERT_EQ(good.packets.size(), 1u);
+  EXPECT_EQ(good.packets[0]->dst_ip_anno, net::ipv4(10, 2, 0, 5));
+}
+
+TEST(CheckIPHeaderElement, BadChecksumDroppedOrDiverted) {
+  CheckIPHeader check;
+  Capture good, bad;
+  check.connect_output(0, &good, 0);
+  auto p = ip_packet(net::ipv4(1, 1, 1, 1), net::ipv4(2, 2, 2, 2));
+  p->mutable_data()[8] ^= 1;  // corrupt TTL after checksum computed
+  check.push(0, std::move(p));
+  EXPECT_EQ(good.packets.size(), 0u);
+  EXPECT_EQ(check.drops(), 1u);
+
+  check.connect_output(1, &bad, 0);
+  auto p2 = ip_packet(net::ipv4(1, 1, 1, 1), net::ipv4(2, 2, 2, 2));
+  p2->mutable_data()[8] ^= 1;
+  check.push(0, std::move(p2));
+  EXPECT_EQ(bad.packets.size(), 1u);
+}
+
+TEST(DecIPTTLElement, DecrementsAndFixesChecksum) {
+  DecIPTTL dec;
+  Capture out;
+  dec.connect_output(0, &out, 0);
+  dec.push(0, ip_packet(net::ipv4(1, 1, 1, 1), net::ipv4(2, 2, 2, 2), 64));
+  ASSERT_EQ(out.packets.size(), 1u);
+  const auto header = net::Ipv4Header::decode(out.packets[0]->data());
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->ttl, 63);
+  EXPECT_TRUE(net::Ipv4Header::verify_checksum(out.packets[0]->data()));
+}
+
+TEST(DecIPTTLElement, ExpiredTtlDropped) {
+  DecIPTTL dec;
+  Capture out;
+  dec.connect_output(0, &out, 0);
+  dec.push(0, ip_packet(net::ipv4(1, 1, 1, 1), net::ipv4(2, 2, 2, 2), 1));
+  EXPECT_EQ(out.packets.size(), 0u);
+  EXPECT_EQ(dec.expired(), 1u);
+}
+
+TEST(GetIPAddressElement, ReadsDestinationAtOffset16) {
+  GetIPAddress get;
+  std::string err;
+  ASSERT_TRUE(get.configure({"16"}, err));
+  Capture out;
+  get.connect_output(0, &out, 0);
+  get.push(0, ip_packet(net::ipv4(1, 1, 1, 1), net::ipv4(10, 2, 3, 4)));
+  ASSERT_EQ(out.packets.size(), 1u);
+  EXPECT_EQ(out.packets[0]->dst_ip_anno, net::ipv4(10, 2, 3, 4));
+}
+
+TEST(LookupIPRouteElement, RoutesByAnnotation) {
+  LookupIPRoute rt;
+  std::string err;
+  ASSERT_TRUE(
+      rt.configure({"10.1.0.0/16 0", "10.2.0.0/16 1", "0.0.0.0/0 2"}, err))
+      << err;
+  EXPECT_EQ(rt.n_outputs(), 3);
+  Capture o0, o1, o2;
+  rt.connect_output(0, &o0, 0);
+  rt.connect_output(1, &o1, 0);
+  rt.connect_output(2, &o2, 0);
+
+  auto push_with_anno = [&rt](net::Ipv4Addr dst) {
+    auto p = Packet::make({0});
+    p->dst_ip_anno = dst;
+    rt.push(0, std::move(p));
+  };
+  push_with_anno(net::ipv4(10, 1, 1, 1));
+  push_with_anno(net::ipv4(10, 2, 1, 1));
+  push_with_anno(net::ipv4(8, 8, 8, 8));
+  EXPECT_EQ(o0.packets.size(), 1u);
+  EXPECT_EQ(o1.packets.size(), 1u);
+  EXPECT_EQ(o2.packets.size(), 1u);
+}
+
+TEST(LookupIPRouteElement, GatewayRewritesAnnotation) {
+  LookupIPRoute rt;
+  std::string err;
+  ASSERT_TRUE(rt.configure({"10.2.0.0/16 0 10.2.0.254"}, err));
+  Capture out;
+  rt.connect_output(0, &out, 0);
+  auto p = Packet::make({0});
+  p->dst_ip_anno = net::ipv4(10, 2, 5, 5);
+  rt.push(0, std::move(p));
+  ASSERT_EQ(out.packets.size(), 1u);
+  EXPECT_EQ(out.packets[0]->dst_ip_anno, net::ipv4(10, 2, 0, 254));
+}
+
+TEST(LookupIPRouteElement, NoRouteCounted) {
+  LookupIPRoute rt;
+  std::string err;
+  ASSERT_TRUE(rt.configure({"10.1.0.0/16 0"}, err));
+  auto p = Packet::make({0});
+  p->dst_ip_anno = net::ipv4(99, 0, 0, 1);
+  rt.push(0, std::move(p));
+  EXPECT_EQ(rt.no_route(), 1u);
+}
+
+TEST(EtherEncapElement, PrependsHeader) {
+  EtherEncap encap;
+  std::string err;
+  ASSERT_TRUE(encap.configure(
+      {"0x0800", "02:00:00:00:00:01", "02:00:00:00:00:02"}, err))
+      << err;
+  Capture out;
+  encap.connect_output(0, &out, 0);
+  encap.push(0, Packet::make({0xAA, 0xBB}));
+  ASSERT_EQ(out.packets.size(), 1u);
+  const auto& p = out.packets[0];
+  ASSERT_EQ(p->size(), net::kEthernetHeaderLen + 2);
+  const auto eth = net::EthernetHeader::decode(p->data());
+  ASSERT_TRUE(eth.has_value());
+  EXPECT_EQ(eth->ether_type, net::kEtherTypeIpv4);
+  EXPECT_EQ(p->data()[net::kEthernetHeaderLen], 0xAA);
+}
+
+TEST(EtherEncapElement, ReusesHeadroomAfterStrip) {
+  // Strip(14) then EtherEncap: the header slot is rewritten in place.
+  Strip strip;
+  EtherEncap encap;
+  std::string err;
+  ASSERT_TRUE(strip.configure({"14"}, err));
+  ASSERT_TRUE(encap.configure(
+      {"0x0800", "02:00:00:00:00:01", "02:00:00:00:00:02"}, err));
+  Capture out;
+  strip.connect_output(0, &encap, 0);
+  encap.connect_output(0, &out, 0);
+  std::vector<std::uint8_t> frame(20, 0x11);
+  strip.push(0, Packet::make(frame));
+  ASSERT_EQ(out.packets.size(), 1u);
+  EXPECT_EQ(out.packets[0]->size(), 20u);
+  const auto eth = net::EthernetHeader::decode(out.packets[0]->data());
+  ASSERT_TRUE(eth.has_value());
+  EXPECT_EQ(eth->src, *net::parse_mac("02:00:00:00:00:01"));
+}
+
+TEST(QueueElement, StoresUntilTaskRuns) {
+  Queue q;
+  std::string err;
+  ASSERT_TRUE(q.configure({"2"}, err));
+  Capture out;
+  q.connect_output(0, &out, 0);
+  q.push(0, Packet::make({1}));
+  q.push(0, Packet::make({2}));
+  q.push(0, Packet::make({3}));  // over capacity
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_EQ(out.packets.size(), 0u);
+  EXPECT_TRUE(q.run_task());
+  EXPECT_TRUE(q.run_task());
+  EXPECT_FALSE(q.run_task());
+  EXPECT_EQ(out.packets.size(), 2u);
+}
+
+TEST(TeeElement, ClonesToAllOutputs) {
+  Tee tee;
+  std::string err;
+  ASSERT_TRUE(tee.configure({"3"}, err));
+  Capture a, b, c;
+  tee.connect_output(0, &a, 0);
+  tee.connect_output(1, &b, 0);
+  tee.connect_output(2, &c, 0);
+  tee.push(0, Packet::make({1, 2}));
+  EXPECT_EQ(a.packets.size(), 1u);
+  EXPECT_EQ(b.packets.size(), 1u);
+  EXPECT_EQ(c.packets.size(), 1u);
+}
+
+TEST(PaintElement, StampsAnnotation) {
+  Paint paint;
+  std::string err;
+  ASSERT_TRUE(paint.configure({"5"}, err));
+  Capture out;
+  paint.connect_output(0, &out, 0);
+  paint.push(0, Packet::make({1}));
+  ASSERT_EQ(out.packets.size(), 1u);
+  EXPECT_EQ(out.packets[0]->paint, 5);
+}
+
+TEST(ToHostElement, BuffersWithoutSinkAndTagsInterface) {
+  ToHost to;
+  std::string err;
+  ASSERT_TRUE(to.configure({"1"}, err));
+  to.push(0, Packet::make({1}));
+  ASSERT_EQ(to.buffered().size(), 1u);
+  EXPECT_EQ(to.buffered()[0]->output_if, 1);
+  EXPECT_EQ(to.count(), 1u);
+}
+
+TEST(Element, UnconnectedOutputDropsSilently) {
+  Counter c;
+  c.push(0, Packet::make({1}));  // no downstream: must not crash
+  EXPECT_EQ(c.packets(), 1u);
+}
+
+}  // namespace
+}  // namespace lvrm::click

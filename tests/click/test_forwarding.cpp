@@ -1,0 +1,119 @@
+// End-to-end test of a Click IP-forwarder configuration: the graph the
+// thesis' Click VR runs, driven with real frames.
+#include <gtest/gtest.h>
+
+#include "click/router.hpp"
+#include "net/headers.hpp"
+
+namespace lvrm::click {
+namespace {
+
+constexpr const char* kForwarderConfig = R"(
+  // minimal IP forwarder, Sec 3.8 style
+  in :: FromHost;
+  rt :: LookupIPRoute(10.1.0.0/16 0, 10.2.0.0/16 1);
+  in -> Paint(0) -> Strip(14) -> check :: CheckIPHeader
+     -> GetIPAddress(16) -> ttl :: DecIPTTL -> cnt :: Counter -> rt;
+  rt[0] -> EtherEncap(0x0800, 02:00:00:00:00:fe, 02:00:00:00:00:00)
+        -> out0 :: ToHost(0);
+  rt[1] -> EtherEncap(0x0800, 02:00:00:00:00:fe, 02:00:00:00:00:01)
+        -> out1 :: ToHost(1);
+)";
+
+class ForwardingGraph : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string err;
+    ASSERT_TRUE(router_.configure(kForwarderConfig, err)) << err;
+  }
+
+  PacketPtr frame(net::Ipv4Addr src, net::Ipv4Addr dst,
+                  std::size_t payload = 18) {
+    return Packet::make(net::build_udp_frame(net::MacAddr::from_id(1),
+                                             net::MacAddr::from_id(2), src,
+                                             dst, 1234, 9, payload));
+  }
+
+  Router router_;
+};
+
+TEST_F(ForwardingGraph, ForwardsToCorrectInterface) {
+  router_.push_input("in", frame(net::ipv4(10, 1, 0, 1), net::ipv4(10, 2, 0, 1)));
+  router_.push_input("in", frame(net::ipv4(10, 2, 0, 1), net::ipv4(10, 1, 0, 1)));
+  auto* out0 = router_.find_as<ToHost>("out0");
+  auto* out1 = router_.find_as<ToHost>("out1");
+  EXPECT_EQ(out1->count(), 1u);
+  EXPECT_EQ(out0->count(), 1u);
+}
+
+TEST_F(ForwardingGraph, TtlDecrementedAndChecksumValid) {
+  router_.push_input("in", frame(net::ipv4(10, 1, 0, 1), net::ipv4(10, 2, 0, 9)));
+  auto* out1 = router_.find_as<ToHost>("out1");
+  ASSERT_EQ(out1->buffered().size(), 1u);
+  const auto& p = out1->buffered()[0];
+  const auto ip_part = p->data().subspan(net::kEthernetHeaderLen);
+  const auto header = net::Ipv4Header::decode(ip_part);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->ttl, 63);
+  EXPECT_TRUE(net::Ipv4Header::verify_checksum(ip_part));
+}
+
+TEST_F(ForwardingGraph, OutputHasFreshEthernetHeader) {
+  router_.push_input("in", frame(net::ipv4(10, 1, 0, 1), net::ipv4(10, 2, 0, 9)));
+  auto* out1 = router_.find_as<ToHost>("out1");
+  ASSERT_EQ(out1->buffered().size(), 1u);
+  const auto eth = net::EthernetHeader::decode(out1->buffered()[0]->data());
+  ASSERT_TRUE(eth.has_value());
+  EXPECT_EQ(eth->src, *net::parse_mac("02:00:00:00:00:fe"));
+  EXPECT_EQ(eth->dst, *net::parse_mac("02:00:00:00:00:01"));
+}
+
+TEST_F(ForwardingGraph, CorruptedFrameDropped) {
+  auto bad = frame(net::ipv4(10, 1, 0, 1), net::ipv4(10, 2, 0, 1));
+  bad->mutable_data()[net::kEthernetHeaderLen + 8] ^= 0x40;  // break checksum
+  router_.push_input("in", std::move(bad));
+  EXPECT_EQ(router_.find_as<ToHost>("out1")->count(), 0u);
+  EXPECT_EQ(router_.find_as<CheckIPHeader>("check")->drops(), 1u);
+}
+
+TEST_F(ForwardingGraph, ExpiringTtlDropped) {
+  net::Ipv4Header h;
+  h.total_length = net::kIpv4HeaderLen + net::kUdpHeaderLen;
+  h.ttl = 1;
+  h.src = net::ipv4(10, 1, 0, 1);
+  h.dst = net::ipv4(10, 2, 0, 1);
+  std::vector<std::uint8_t> buf(net::kEthernetHeaderLen + net::kIpv4HeaderLen +
+                                net::kUdpHeaderLen);
+  net::EthernetHeader eth{net::MacAddr::from_id(2), net::MacAddr::from_id(1),
+                          net::kEtherTypeIpv4};
+  eth.encode(buf);
+  h.encode(std::span(buf).subspan(net::kEthernetHeaderLen));
+  router_.push_input("in", Packet::make(std::move(buf)));
+  EXPECT_EQ(router_.find_as<ToHost>("out1")->count(), 0u);
+  EXPECT_EQ(router_.find_as<DecIPTTL>("ttl")->expired(), 1u);
+}
+
+TEST_F(ForwardingGraph, UnroutableDropped) {
+  router_.push_input("in", frame(net::ipv4(10, 1, 0, 1), net::ipv4(99, 9, 9, 9)));
+  EXPECT_EQ(router_.find_as<ToHost>("out0")->count(), 0u);
+  EXPECT_EQ(router_.find_as<ToHost>("out1")->count(), 0u);
+  EXPECT_EQ(router_.find_as<LookupIPRoute>("rt")->no_route(), 1u);
+}
+
+TEST_F(ForwardingGraph, CounterSeesForwardedTraffic) {
+  for (int i = 0; i < 5; ++i)
+    router_.push_input("in",
+                       frame(net::ipv4(10, 1, 0, 1), net::ipv4(10, 2, 0, 1)));
+  EXPECT_EQ(router_.find_as<Counter>("cnt")->packets(), 5u);
+}
+
+TEST_F(ForwardingGraph, SinkCallbackReceivesPackets) {
+  int delivered = 0;
+  router_.find_as<ToHost>("out1")->set_sink(
+      [&delivered](PacketPtr) { ++delivered; });
+  router_.push_input("in", frame(net::ipv4(10, 1, 0, 1), net::ipv4(10, 2, 0, 1)));
+  EXPECT_EQ(delivered, 1);
+}
+
+}  // namespace
+}  // namespace lvrm::click

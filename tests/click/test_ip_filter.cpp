@@ -1,0 +1,150 @@
+#include "click/ip_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "click/router.hpp"
+#include "net/headers.hpp"
+
+namespace lvrm::click {
+namespace {
+
+PacketPtr ip_packet(net::Ipv4Addr src, net::Ipv4Addr dst,
+                    std::uint8_t proto = net::kProtoUdp) {
+  net::Ipv4Header h;
+  h.total_length = net::kIpv4HeaderLen;
+  h.src = src;
+  h.dst = dst;
+  h.protocol = proto;
+  std::vector<std::uint8_t> buf(net::kIpv4HeaderLen);
+  h.encode(buf);
+  return Packet::make(std::move(buf));
+}
+
+class Capture : public Element {
+ public:
+  std::string class_name() const override { return "Capture"; }
+  int n_outputs() const override { return 0; }
+  void push(int, PacketPtr p) override { packets.push_back(std::move(p)); }
+  std::vector<PacketPtr> packets;
+};
+
+TEST(IPFilterRule, ParseForms) {
+  auto r = IPFilter::parse_rule("allow src 10.1.0.0/16");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->allow);
+  EXPECT_EQ(r->field, IPFilter::Field::kSrc);
+  EXPECT_EQ(r->prefix.network, net::ipv4(10, 1, 0, 0));
+
+  r = IPFilter::parse_rule("deny dst 192.168.0.0/24");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->allow);
+  EXPECT_EQ(r->field, IPFilter::Field::kDst);
+
+  r = IPFilter::parse_rule("deny proto 17");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->field, IPFilter::Field::kProto);
+  EXPECT_EQ(r->protocol, 17);
+
+  r = IPFilter::parse_rule("allow all");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->field, IPFilter::Field::kAll);
+}
+
+TEST(IPFilterRule, ParseRejectsMalformed) {
+  EXPECT_FALSE(IPFilter::parse_rule("").has_value());
+  EXPECT_FALSE(IPFilter::parse_rule("permit all").has_value());
+  EXPECT_FALSE(IPFilter::parse_rule("allow src banana").has_value());
+  EXPECT_FALSE(IPFilter::parse_rule("allow src").has_value());
+  EXPECT_FALSE(IPFilter::parse_rule("deny proto 300").has_value());
+  EXPECT_FALSE(IPFilter::parse_rule("deny port 80").has_value());
+}
+
+TEST(IPFilter, FirstMatchWins) {
+  IPFilter filter;
+  std::string err;
+  ASSERT_TRUE(filter.configure(
+      {"deny src 10.1.7.0/24", "allow src 10.1.0.0/16", "deny all"}, err))
+      << err;
+  Capture allowed;
+  filter.connect_output(0, &allowed, 0);
+
+  filter.push(0, ip_packet(net::ipv4(10, 1, 7, 5), net::ipv4(10, 2, 0, 1)));
+  EXPECT_EQ(filter.denied(), 1u);  // the /24 deny shadows the /16 allow
+  filter.push(0, ip_packet(net::ipv4(10, 1, 8, 5), net::ipv4(10, 2, 0, 1)));
+  EXPECT_EQ(filter.allowed(), 1u);
+  filter.push(0, ip_packet(net::ipv4(9, 9, 9, 9), net::ipv4(10, 2, 0, 1)));
+  EXPECT_EQ(filter.denied(), 2u);
+  EXPECT_EQ(allowed.packets.size(), 1u);
+}
+
+TEST(IPFilter, DefaultDenyWhenNoRuleMatches) {
+  IPFilter filter;
+  std::string err;
+  ASSERT_TRUE(filter.configure({"allow src 10.1.0.0/16"}, err));
+  filter.push(0, ip_packet(net::ipv4(172, 16, 0, 1), net::ipv4(10, 2, 0, 1)));
+  EXPECT_EQ(filter.denied(), 1u);
+}
+
+TEST(IPFilter, ProtocolRules) {
+  IPFilter filter;
+  std::string err;
+  ASSERT_TRUE(filter.configure({"deny proto 17", "allow all"}, err));
+  filter.push(0,
+              ip_packet(net::ipv4(1, 1, 1, 1), net::ipv4(2, 2, 2, 2),
+                        net::kProtoUdp));
+  filter.push(0,
+              ip_packet(net::ipv4(1, 1, 1, 1), net::ipv4(2, 2, 2, 2),
+                        net::kProtoTcp));
+  EXPECT_EQ(filter.denied(), 1u);
+  EXPECT_EQ(filter.allowed(), 1u);
+}
+
+TEST(IPFilter, DeniedDivertedToPortOneWhenConnected) {
+  IPFilter filter;
+  std::string err;
+  ASSERT_TRUE(filter.configure({"deny all"}, err));
+  Capture reject_log;
+  filter.connect_output(1, &reject_log, 0);
+  filter.push(0, ip_packet(net::ipv4(1, 1, 1, 1), net::ipv4(2, 2, 2, 2)));
+  EXPECT_EQ(reject_log.packets.size(), 1u);
+}
+
+TEST(IPFilter, NonIpDenied) {
+  IPFilter filter;
+  std::string err;
+  ASSERT_TRUE(filter.configure({"allow all"}, err));
+  filter.push(0, Packet::make({0x00, 0x01, 0x02}));
+  EXPECT_EQ(filter.denied(), 1u);
+}
+
+TEST(IPFilter, ConfigErrors) {
+  IPFilter filter;
+  std::string err;
+  EXPECT_FALSE(filter.configure({}, err));
+  EXPECT_FALSE(filter.configure({"nonsense"}, err));
+  EXPECT_NE(err.find("IPFilter"), std::string::npos);
+}
+
+TEST(IPFilter, WorksInsideAParsedGraph) {
+  Router router;
+  std::string err;
+  ASSERT_TRUE(router.configure(
+      "in :: FromHost;\n"
+      "f :: IPFilter(deny src 10.1.66.0/24, allow all);\n"
+      "in -> Strip(14) -> f -> good :: Discard;\n"
+      "f[1] -> bad :: Discard;\n",
+      err))
+      << err;
+  auto frame = [](net::Ipv4Addr src) {
+    return Packet::make(net::build_udp_frame(net::MacAddr::from_id(1),
+                                             net::MacAddr::from_id(2), src,
+                                             net::ipv4(10, 2, 0, 1), 1, 2, 8));
+  };
+  router.push_input("in", frame(net::ipv4(10, 1, 66, 9)));
+  router.push_input("in", frame(net::ipv4(10, 1, 1, 9)));
+  EXPECT_EQ(router.find_as<Discard>("bad")->count(), 1u);
+  EXPECT_EQ(router.find_as<Discard>("good")->count(), 1u);
+}
+
+}  // namespace
+}  // namespace lvrm::click

@@ -1,0 +1,71 @@
+#include "click/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lvrm::click {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> xs) {
+  std::vector<std::uint8_t> out;
+  for (int x : xs) out.push_back(static_cast<std::uint8_t>(x));
+  return out;
+}
+
+TEST(Packet, DataAndSize) {
+  Packet p(bytes({1, 2, 3, 4}));
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.data()[0], 1);
+}
+
+TEST(Packet, PullStripsFront) {
+  Packet p(bytes({1, 2, 3, 4}));
+  p.pull(2);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.data()[0], 3);
+}
+
+TEST(Packet, PullClampsToSize) {
+  Packet p(bytes({1, 2}));
+  p.pull(10);
+  EXPECT_EQ(p.size(), 0u);
+}
+
+TEST(Packet, PushRestoresPulledBytes) {
+  Packet p(bytes({1, 2, 3, 4}));
+  p.pull(3);
+  p.push(2);
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.data()[0], 2);
+}
+
+TEST(Packet, PushClampsToHeadroom) {
+  Packet p(bytes({1, 2}));
+  p.push(5);  // no headroom: no-op
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.data()[0], 1);
+}
+
+TEST(Packet, MutableDataWritesThrough) {
+  Packet p(bytes({1, 2, 3}));
+  p.mutable_data()[1] = 99;
+  EXPECT_EQ(p.data()[1], 99);
+}
+
+TEST(Packet, CloneCopiesBytesAndAnnotations) {
+  Packet p(bytes({1, 2, 3, 4}));
+  p.pull(1);
+  p.input_if = 3;
+  p.output_if = 1;
+  p.dst_ip_anno = 0x0A020001;
+  p.paint = 7;
+  const auto q = p.clone();
+  EXPECT_EQ(q->size(), 3u);
+  EXPECT_EQ(q->data()[0], 2);
+  EXPECT_EQ(q->input_if, 3);
+  EXPECT_EQ(q->output_if, 1);
+  EXPECT_EQ(q->dst_ip_anno, 0x0A020001u);
+  EXPECT_EQ(q->paint, 7);
+}
+
+}  // namespace
+}  // namespace lvrm::click

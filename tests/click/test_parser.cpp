@@ -1,0 +1,166 @@
+// Tests for the Click configuration-language parser.
+#include <gtest/gtest.h>
+
+#include "click/router.hpp"
+
+namespace lvrm::click {
+namespace {
+
+TEST(Registry, KnowsStandardElements) {
+  auto& reg = ElementRegistry::instance();
+  for (const char* name :
+       {"FromHost", "ToHost", "Discard", "Counter", "Strip", "Unstrip",
+        "Classifier", "CheckIPHeader", "DecIPTTL", "GetIPAddress",
+        "LookupIPRoute", "EtherEncap", "Queue", "Tee", "Paint"}) {
+    EXPECT_TRUE(reg.known(name)) << name;
+    EXPECT_NE(reg.create(name), nullptr) << name;
+  }
+  EXPECT_FALSE(reg.known("NoSuchElement"));
+  EXPECT_EQ(reg.create("NoSuchElement"), nullptr);
+}
+
+TEST(Registry, UserClassesCanBeRegistered) {
+  class Nop : public Element {
+   public:
+    std::string class_name() const override { return "Nop"; }
+    void push(int, PacketPtr p) override { output(0, std::move(p)); }
+  };
+  ElementRegistry::instance().register_class(
+      "Nop", [] { return ElementPtr(std::make_unique<Nop>()); });
+  Router router;
+  std::string err;
+  EXPECT_TRUE(router.configure("in :: FromHost; in -> Nop -> Discard;", err))
+      << err;
+}
+
+TEST(Parser, DeclarationAndConnection) {
+  Router router;
+  std::string err;
+  ASSERT_TRUE(router.configure(
+      "in :: FromHost;\n"
+      "cnt :: Counter;\n"
+      "sink :: Discard;\n"
+      "in -> cnt -> sink;\n",
+      err))
+      << err;
+  EXPECT_EQ(router.element_count(), 3u);
+  EXPECT_NE(router.find("cnt"), nullptr);
+  EXPECT_EQ(router.find("nope"), nullptr);
+}
+
+TEST(Parser, AnonymousInlineElements) {
+  Router router;
+  std::string err;
+  ASSERT_TRUE(router.configure(
+      "in :: FromHost; in -> Strip(2) -> Counter -> Discard;", err))
+      << err;
+  EXPECT_EQ(router.element_count(), 4u);
+}
+
+TEST(Parser, InlineDeclarationWithinChain) {
+  Router router;
+  std::string err;
+  ASSERT_TRUE(router.configure(
+      "in :: FromHost; in -> c :: Counter -> Discard;", err))
+      << err;
+  EXPECT_NE(router.find_as<Counter>("c"), nullptr);
+}
+
+TEST(Parser, PortBrackets) {
+  Router router;
+  std::string err;
+  ASSERT_TRUE(router.configure(
+      "in :: FromHost;\n"
+      "cl :: Classifier(12/0800, -);\n"
+      "ip :: Discard; other :: Discard;\n"
+      "in -> cl;\n"
+      "cl[0] -> ip;\n"
+      "cl[1] -> other;\n",
+      err))
+      << err;
+  auto* cl = router.find("cl");
+  ASSERT_NE(cl, nullptr);
+  EXPECT_TRUE(cl->output_connected(0));
+  EXPECT_TRUE(cl->output_connected(1));
+}
+
+TEST(Parser, CommentsStripped) {
+  Router router;
+  std::string err;
+  ASSERT_TRUE(router.configure(
+      "// line comment\n"
+      "in :: FromHost; /* block\n comment */ in -> Discard;\n",
+      err))
+      << err;
+  EXPECT_EQ(router.element_count(), 2u);
+}
+
+TEST(Parser, ErrorUnknownClass) {
+  Router router;
+  std::string err;
+  EXPECT_FALSE(router.configure("x :: Bogus;", err));
+  EXPECT_NE(err.find("Bogus"), std::string::npos);
+}
+
+TEST(Parser, ErrorDuplicateName) {
+  Router router;
+  std::string err;
+  EXPECT_FALSE(router.configure("a :: Counter; a :: Discard;", err));
+  EXPECT_NE(err.find("duplicate"), std::string::npos);
+}
+
+TEST(Parser, ErrorBadElementConfig) {
+  Router router;
+  std::string err;
+  EXPECT_FALSE(router.configure("s :: Strip(banana);", err));
+  EXPECT_NE(err.find("Strip"), std::string::npos);
+}
+
+TEST(Parser, ErrorUnknownEndpointInChain) {
+  Router router;
+  std::string err;
+  EXPECT_FALSE(router.configure("in :: FromHost; in -> ghost;", err));
+  EXPECT_NE(err.find("ghost"), std::string::npos);
+}
+
+TEST(Parser, ErrorGarbageStatement) {
+  Router router;
+  std::string err;
+  EXPECT_FALSE(router.configure("just some words;", err));
+}
+
+TEST(Parser, ArgsWithSpacesAndCommas) {
+  Router router;
+  std::string err;
+  ASSERT_TRUE(router.configure(
+      "rt :: LookupIPRoute(10.1.0.0/16 0, 10.2.0.0/16 1);", err))
+      << err;
+  auto* rt = router.find_as<LookupIPRoute>("rt");
+  ASSERT_NE(rt, nullptr);
+  EXPECT_EQ(rt->table().size(), 2u);
+}
+
+TEST(Parser, PushInputRequiresFromHost) {
+  Router router;
+  std::string err;
+  ASSERT_TRUE(router.configure("in :: FromHost; in -> Discard;", err));
+  EXPECT_TRUE(router.push_input("in", Packet::make({1})));
+  EXPECT_FALSE(router.push_input("missing", Packet::make({1})));
+}
+
+TEST(Parser, QueueRegistersTask) {
+  Router router;
+  std::string err;
+  ASSERT_TRUE(router.configure(
+      "in :: FromHost; in -> Queue(4) -> cnt :: Counter -> Discard;", err))
+      << err;
+  router.push_input("in", Packet::make({1}));
+  auto* cnt = router.find_as<Counter>("cnt");
+  EXPECT_EQ(cnt->packets(), 0u);  // parked in the Queue
+  EXPECT_EQ(router.run_tasks(), 1u);
+  EXPECT_EQ(cnt->packets(), 1u);
+  EXPECT_EQ(router.run_tasks(), 0u);
+}
+
+}  // namespace
+}  // namespace lvrm::click

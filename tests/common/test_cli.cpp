@@ -1,0 +1,69 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lvrm {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv(args);
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsForm) {
+  const Cli cli = make({"prog", "--rate=60000", "--name=vr1"});
+  EXPECT_EQ(cli.get_int("rate", 0), 60000);
+  EXPECT_EQ(cli.get_string("name", ""), "vr1");
+}
+
+TEST(Cli, SpaceSeparatedForm) {
+  const Cli cli = make({"prog", "--rate", "125", "--mode", "jsq"});
+  EXPECT_EQ(cli.get_int("rate", 0), 125);
+  EXPECT_EQ(cli.get_string("mode", ""), "jsq");
+}
+
+TEST(Cli, BooleanFlags) {
+  const Cli cli = make({"prog", "--csv", "--verbose"});
+  EXPECT_TRUE(cli.get_bool("csv", false));
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_FALSE(cli.get_bool("absent", false));
+  EXPECT_TRUE(cli.get_bool("absent", true));
+}
+
+TEST(Cli, ExplicitBooleanValues) {
+  const Cli cli = make({"prog", "--a=true", "--b=false", "--c=1", "--d=0"});
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_FALSE(cli.get_bool("b", true));
+  EXPECT_TRUE(cli.get_bool("c", false));
+  EXPECT_FALSE(cli.get_bool("d", true));
+}
+
+TEST(Cli, Positional) {
+  const Cli cli = make({"prog", "input.txt", "--n", "3", "out.txt"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+  EXPECT_EQ(cli.positional()[1], "out.txt");
+}
+
+TEST(Cli, DoubleDashStopsParsing) {
+  const Cli cli = make({"prog", "--", "--not-a-flag"});
+  EXPECT_FALSE(cli.has("not-a-flag"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "--not-a-flag");
+}
+
+TEST(Cli, Doubles) {
+  const Cli cli = make({"prog", "--tol=0.02"});
+  EXPECT_DOUBLE_EQ(cli.get_double("tol", 1.0), 0.02);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 3.5), 3.5);
+}
+
+TEST(Cli, FallbacksWhenMissing) {
+  const Cli cli = make({"prog"});
+  EXPECT_EQ(cli.get_int("x", -7), -7);
+  EXPECT_EQ(cli.get_string("y", "dflt"), "dflt");
+  EXPECT_FALSE(cli.has("x"));
+}
+
+}  // namespace
+}  // namespace lvrm

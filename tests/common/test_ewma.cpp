@@ -1,0 +1,90 @@
+// Tests for the Fig 3.4 EWMA recurrence and the conventional alpha-EWMA.
+#include "common/ewma.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lvrm {
+namespace {
+
+TEST(PaperEwma, FirstSampleInitializes) {
+  PaperEwma e(7.0);
+  EXPECT_FALSE(e.valid());
+  e.update(12.0);
+  EXPECT_TRUE(e.valid());
+  EXPECT_DOUBLE_EQ(e.value(), 12.0);
+}
+
+TEST(PaperEwma, MatchesFig34Recurrence) {
+  // Average_Load <- (current + weight * Average_Load) / (1 + weight).
+  PaperEwma e(7.0);
+  e.update(8.0);
+  e.update(16.0);
+  EXPECT_DOUBLE_EQ(e.value(), (16.0 + 7.0 * 8.0) / 8.0);
+  const double prev = e.value();
+  e.update(0.0);
+  EXPECT_DOUBLE_EQ(e.value(), (0.0 + 7.0 * prev) / 8.0);
+}
+
+TEST(PaperEwma, ConvergesToConstantInput) {
+  PaperEwma e(7.0);
+  for (int i = 0; i < 200; ++i) e.update(42.0);
+  EXPECT_NEAR(e.value(), 42.0, 1e-9);
+}
+
+TEST(PaperEwma, LargerWeightIsSmoother) {
+  PaperEwma smooth(31.0);
+  PaperEwma twitchy(1.0);
+  smooth.update(0.0);
+  twitchy.update(0.0);
+  smooth.update(100.0);
+  twitchy.update(100.0);
+  EXPECT_LT(smooth.value(), twitchy.value());
+}
+
+TEST(PaperEwma, ResetClearsState) {
+  PaperEwma e(7.0);
+  e.update(5.0);
+  e.reset();
+  EXPECT_FALSE(e.valid());
+  e.update(9.0);
+  EXPECT_DOUBLE_EQ(e.value(), 9.0);
+}
+
+TEST(AlphaEwma, StandardUpdate) {
+  AlphaEwma e(0.25);
+  e.update(4.0);
+  e.update(8.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.25 * 8.0 + 0.75 * 4.0);
+}
+
+TEST(AlphaEwma, AlphaOneTracksInput) {
+  AlphaEwma e(1.0);
+  e.update(3.0);
+  e.update(11.0);
+  EXPECT_DOUBLE_EQ(e.value(), 11.0);
+}
+
+// Property: the EWMA always stays within the [min, max] of its inputs.
+class EwmaBounds : public ::testing::TestWithParam<double> {};
+
+TEST_P(EwmaBounds, StaysWithinInputRange) {
+  PaperEwma e(GetParam());
+  double lo = 1e300;
+  double hi = -1e300;
+  std::uint64_t state = 123;
+  for (int i = 0; i < 500; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double x = static_cast<double>(state >> 40);
+    lo = x < lo ? x : lo;
+    hi = x > hi ? x : hi;
+    e.update(x);
+    EXPECT_GE(e.value(), lo - 1e-9);
+    EXPECT_LE(e.value(), hi + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, EwmaBounds,
+                         ::testing::Values(0.5, 1.0, 3.0, 7.0, 15.0, 63.0));
+
+}  // namespace
+}  // namespace lvrm

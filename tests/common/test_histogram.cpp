@@ -1,0 +1,63 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lvrm {
+namespace {
+
+TEST(Histogram, BucketsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bucket_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 8.0);
+}
+
+TEST(Histogram, CountsFallIntoCorrectBuckets) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(1.9);
+  h.add(2.0);  // exactly on an edge goes to the upper bucket
+  h.add(9.99);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Histogram, UnderflowOverflowTracked) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(10.0);  // hi edge is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+}
+
+TEST(Histogram, DegenerateParamsClamped) {
+  Histogram h(5.0, 5.0, 0);  // invalid; clamps to one bucket of width 1
+  h.add(5.5);
+  EXPECT_EQ(h.bucket_count(), 1u);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, RenderListsNonEmptyBuckets) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(0.7);
+  h.add(3.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("2"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lvrm

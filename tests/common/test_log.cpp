@@ -1,0 +1,63 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lvrm {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrip) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, EnabledRespectsThreshold) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(detail::log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(detail::log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(detail::log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(detail::log_enabled(LogLevel::kError));
+}
+
+TEST(Log, OffDisablesEverything) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(detail::log_enabled(LogLevel::kError));
+  EXPECT_FALSE(detail::log_enabled(LogLevel::kOff));
+}
+
+TEST(Log, DisabledBodyNotEvaluated) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  LVRM_LOG(kDebug) << "value=" << expensive();
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(LogLevel::kOff);  // silence the next statement's output
+  LVRM_LOG(kError) << "value=" << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Log, EnabledStatementEmitsWithoutCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kTrace);
+  LVRM_LOG(kInfo) << "covering the emit path " << 123 << ' ' << 4.5;
+}
+
+}  // namespace
+}  // namespace lvrm

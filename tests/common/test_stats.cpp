@@ -1,0 +1,155 @@
+// Tests for RunningStats and the Chapter 4 fairness indices.
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lvrm {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MatchesTwoPassComputation) {
+  Rng rng(99);
+  std::vector<double> xs;
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-50.0, 150.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(JainIndex, EqualAllocationsAreFair) {
+  std::vector<double> xs(10, 3.5);
+  EXPECT_DOUBLE_EQ(jain_index(xs), 1.0);
+}
+
+TEST(JainIndex, SingleUserTakingAllIsOneOverN) {
+  std::vector<double> xs(8, 0.0);
+  xs[3] = 100.0;
+  EXPECT_NEAR(jain_index(xs), 1.0 / 8.0, 1e-12);
+}
+
+TEST(JainIndex, EmptyAndAllZeroAreOne) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  std::vector<double> zeros(5, 0.0);
+  EXPECT_DOUBLE_EQ(jain_index(zeros), 1.0);
+}
+
+TEST(JainIndex, KnownValue) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};  // 36 / (3*14)
+  EXPECT_NEAR(jain_index(xs), 36.0 / 42.0, 1e-12);
+}
+
+TEST(MaxMinIndex, EqualIsOne) {
+  std::vector<double> xs(6, 2.0);
+  EXPECT_DOUBLE_EQ(maxmin_index(xs), 1.0);
+}
+
+TEST(MaxMinIndex, WorstOffFlowRelativeToEqualShare) {
+  // min = 1, equal share = 2 -> 0.5.
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_NEAR(maxmin_index(xs), 0.5, 1e-12);
+}
+
+TEST(MaxMinIndex, ZeroFlowGivesZero) {
+  const std::vector<double> xs{0.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(maxmin_index(xs), 0.0);
+}
+
+// Property: both indices live in [0, 1] and hit 1 exactly on equal inputs.
+class FairnessProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairnessProperty, IndicesBoundedAndScaleInvariant) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> xs;
+  const int n = 1 + GetParam() % 37;
+  for (int i = 0; i < n; ++i) xs.push_back(rng.uniform(0.0, 100.0));
+
+  const double jain = jain_index(xs);
+  const double maxmin = maxmin_index(xs);
+  EXPECT_GE(jain, 0.0);
+  EXPECT_LE(jain, 1.0 + 1e-12);
+  EXPECT_GE(maxmin, 0.0);
+  // maxmin can only reach 1 when all are equal; never exceeds it.
+  EXPECT_LE(maxmin, 1.0 + 1e-12);
+
+  // Scale invariance: multiplying all allocations by a constant changes
+  // nothing about fairness.
+  std::vector<double> scaled = xs;
+  for (double& x : scaled) x *= 7.25;
+  EXPECT_NEAR(jain_index(scaled), jain, 1e-9);
+  EXPECT_NEAR(maxmin_index(scaled), maxmin, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FairnessProperty, ::testing::Range(1, 25));
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  const std::vector<double> xs{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+}
+
+TEST(RelativeDiff, TwoPercentRule) {
+  // The achievable-throughput rule: sending vs receiving within 2%.
+  EXPECT_LE(relative_diff(100.0, 98.5), 0.02);
+  EXPECT_GT(relative_diff(100.0, 97.0), 0.02);
+  EXPECT_DOUBLE_EQ(relative_diff(0.0, 0.0), 0.0);
+}
+
+TEST(MeanSum, Basics) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(sum_of(xs), 6.0);
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.0);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+}
+
+}  // namespace
+}  // namespace lvrm

@@ -1,0 +1,42 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lvrm {
+namespace {
+
+TEST(TablePrinter, CsvMode) {
+  TablePrinter t({"size", "fps"}, /*csv=*/true);
+  t.add_row({"84", "448000"});
+  t.add_row({"1538", "81274"});
+  EXPECT_EQ(t.to_string(), "size,fps\n84,448000\n1538,81274\n");
+}
+
+TEST(TablePrinter, AlignedModeContainsAllCells) {
+  TablePrinter t({"mechanism", "Mbps"});
+  t.add_row({"Linux IP fwd", "301.06"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("mechanism"), std::string::npos);
+  EXPECT_NE(out.find("Linux IP fwd"), std::string::npos);
+  EXPECT_NE(out.find("301.06"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, RaggedRowsTolerated) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"1"});
+  t.add_row({"1", "2", "3"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find('3'), std::string::npos);
+}
+
+TEST(TablePrinter, NumFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(3.14159, 4), "3.1416");
+  EXPECT_EQ(TablePrinter::num(static_cast<std::int64_t>(42)), "42");
+}
+
+}  // namespace
+}  // namespace lvrm

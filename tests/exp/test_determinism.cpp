@@ -1,0 +1,91 @@
+// Determinism guarantees: identical configurations reproduce figures
+// bit-for-bit; seeds meaningfully perturb stochastic components.
+#include <gtest/gtest.h>
+
+#include "exp/experiments.hpp"
+
+namespace lvrm::exp {
+namespace {
+
+TEST(Determinism, UdpTrialsReproduceExactly) {
+  WorldOptions opts;
+  opts.warmup = msec(20);
+  opts.measure = msec(50);
+  const auto a = run_udp_trial(opts, 150'000.0);
+  const auto b = run_udp_trial(opts, 150'000.0);
+  EXPECT_EQ(a.sent, b.sent);
+  EXPECT_EQ(a.received, b.received);
+  EXPECT_EQ(a.gateway_rx_drops, b.gateway_rx_drops);
+  EXPECT_EQ(a.queue_drops, b.queue_drops);
+}
+
+TEST(Determinism, TcpTrialsReproduceExactly) {
+  TcpWorldOptions opts;
+  opts.flow_pairs = 6;
+  opts.warmup = msec(500);
+  opts.measure = sec(1);
+  const auto a = run_tcp_trial(opts);
+  const auto b = run_tcp_trial(opts);
+  ASSERT_EQ(a.per_flow_mbps.size(), b.per_flow_mbps.size());
+  for (std::size_t i = 0; i < a.per_flow_mbps.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.per_flow_mbps[i], b.per_flow_mbps[i]) << i;
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+}
+
+TEST(Determinism, SeedChangesRandomBalancerOutcome) {
+  WorldOptions opts;
+  opts.warmup = msec(20);
+  opts.measure = msec(50);
+  opts.gw.lvrm.balancer = BalancerKind::kRandom;
+  opts.gw.lvrm.allocator = AllocatorKind::kFixed;
+  VrConfig vr;
+  vr.initial_vris = 4;
+  opts.gw.vrs = {vr};
+
+  auto trial = [&](std::uint64_t seed) {
+    WorldOptions o = opts;
+    o.gw.lvrm.seed = seed;
+    return run_udp_trial(o, 120'000.0);
+  };
+  const auto a = trial(1);
+  const auto b = trial(1);
+  EXPECT_EQ(a.received, b.received);  // same seed -> identical
+}
+
+TEST(Determinism, MemoryWorldsReproduce) {
+  const auto a = run_memory_throughput(VrKind::kCpp, 84, false);
+  const auto b = run_memory_throughput(VrKind::kCpp, 84, false);
+  EXPECT_DOUBLE_EQ(a.delivered_fps, b.delivered_fps);
+}
+
+TEST(Determinism, RttMeasurementReproduces) {
+  WorldOptions opts;
+  const auto a = measure_rtt(opts, 40);
+  const auto b = measure_rtt(opts, 40);
+  EXPECT_DOUBLE_EQ(a.avg_us, b.avg_us);
+  EXPECT_EQ(a.replies, b.replies);
+}
+
+TEST(Determinism, AllocationTracesReproduce) {
+  WorldOptions opts;
+  opts.gw.lvrm.allocator = AllocatorKind::kDynamicFixedThreshold;
+  VrConfig vr;
+  vr.dummy_load = sim::costs::kDummyLoad;
+  opts.gw.vrs = {vr};
+  SenderSpec spec;
+  spec.src_ip = net::ipv4(10, 1, 1, 1);
+  spec.dst_ip = net::ipv4(10, 2, 1, 1);
+  spec.profile = {{0, 100'000.0}};
+  opts.senders = {spec};
+  const auto a = run_allocation_trace(opts, sec(3), msec(500));
+  const auto b = run_allocation_trace(opts, sec(3), msec(500));
+  ASSERT_EQ(a.log.size(), b.log.size());
+  for (std::size_t i = 0; i < a.log.size(); ++i) {
+    EXPECT_EQ(a.log[i].time, b.log[i].time);
+    EXPECT_EQ(a.log[i].reaction, b.log[i].reaction);
+  }
+}
+
+}  // namespace
+}  // namespace lvrm::exp

@@ -1,0 +1,86 @@
+// GatewayUnderTest wrapper behaviour across mechanisms.
+#include <gtest/gtest.h>
+
+#include "exp/gateway.hpp"
+
+namespace lvrm::exp {
+namespace {
+
+net::FrameMeta frame(net::Ipv4Addr dst = net::ipv4(10, 2, 0, 1)) {
+  net::FrameMeta f;
+  f.src_ip = net::ipv4(10, 1, 0, 1);
+  f.dst_ip = dst;
+  return f;
+}
+
+TEST(GatewayUnderTest, LvrmAccessorsOnlyForLvrmMechanisms) {
+  sim::Simulator sim;
+  sim::CpuTopology topo;
+  GatewayUnderTest lvrm_gw(sim, topo, Mechanism::kLvrmPfCpp);
+  EXPECT_NE(lvrm_gw.lvrm(), nullptr);
+  EXPECT_EQ(lvrm_gw.fallback(), nullptr);
+
+  sim::Simulator sim2;
+  GatewayUnderTest native(sim2, topo, Mechanism::kNativeLinux);
+  EXPECT_EQ(native.lvrm(), nullptr);
+  EXPECT_NE(native.fallback(), nullptr);
+}
+
+TEST(GatewayUnderTest, MechanismOverridesAdapterAndVrKind) {
+  sim::Simulator sim;
+  sim::CpuTopology topo;
+  GatewayOptions options;
+  options.lvrm.adapter = AdapterKind::kMemory;  // should be overridden
+  GatewayUnderTest gw(sim, topo, Mechanism::kLvrmRawCpp, options);
+  EXPECT_EQ(gw.lvrm()->adapter().kind(), AdapterKind::kRawSocket);
+
+  sim::Simulator sim2;
+  GatewayUnderTest pf(sim2, topo, Mechanism::kLvrmPfClick, options);
+  EXPECT_EQ(pf.lvrm()->adapter().kind(), AdapterKind::kPfRing);
+  EXPECT_GT(pf.lvrm()->vr_pipeline_latency(0), 0);  // Click VR installed
+}
+
+TEST(GatewayUnderTest, OverridesCanBeDisabled) {
+  sim::Simulator sim;
+  sim::CpuTopology topo;
+  GatewayOptions options;
+  options.mechanism_overrides = false;
+  options.lvrm.adapter = AdapterKind::kMemory;
+  VrConfig vr;
+  vr.kind = VrKind::kCpp;
+  options.vrs = {vr};
+  GatewayUnderTest gw(sim, topo, Mechanism::kLvrmPfClick, options);
+  EXPECT_EQ(gw.lvrm()->adapter().kind(), AdapterKind::kMemory);
+  EXPECT_EQ(gw.lvrm()->vr_pipeline_latency(0), 0);  // stayed a C++ VR
+}
+
+TEST(GatewayUnderTest, ForwardedAndDropCountersDelegate) {
+  for (const auto mech : {Mechanism::kNativeLinux, Mechanism::kLvrmPfCpp}) {
+    sim::Simulator sim;
+    sim::CpuTopology topo;
+    GatewayUnderTest gw(sim, topo, mech);
+    gw.set_egress([](net::FrameMeta&&) {});
+    gw.ingress(frame());
+    gw.ingress(frame(net::ipv4(99, 9, 9, 9)));  // unroutable
+    sim.run_all();
+    EXPECT_EQ(gw.forwarded(), 1u) << to_string(mech);
+  }
+}
+
+TEST(GatewayUnderTest, MultipleVrsInstalledInOrder) {
+  sim::Simulator sim;
+  sim::CpuTopology topo;
+  GatewayOptions options;
+  VrConfig a;
+  a.name = "a";
+  a.subnets = {net::Prefix{net::ipv4(10, 1, 0, 0), 16}};
+  VrConfig b;
+  b.name = "b";
+  b.subnets = {net::Prefix{net::ipv4(10, 3, 0, 0), 16}};
+  options.vrs = {a, b};
+  GatewayUnderTest gw(sim, topo, Mechanism::kLvrmPfCpp, options);
+  EXPECT_EQ(gw.lvrm()->vr_count(), 2);
+}
+
+}  // namespace
+}  // namespace lvrm::exp

@@ -1,0 +1,94 @@
+#include "lvrm/load_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lvrm {
+namespace {
+
+TEST(Estimators, FactoryProducesKinds) {
+  EXPECT_EQ(make_estimator(EstimatorKind::kQueueLength, 7.0)->kind(),
+            EstimatorKind::kQueueLength);
+  EXPECT_EQ(make_estimator(EstimatorKind::kArrivalTime, 7.0)->kind(),
+            EstimatorKind::kArrivalTime);
+}
+
+TEST(QueueLengthEstimator, TracksEwmaOfOccupancy) {
+  QueueLengthEstimator est(7.0);
+  EXPECT_DOUBLE_EQ(est.load(), 0.0);
+  est.on_packet_observed(8, 0);
+  EXPECT_DOUBLE_EQ(est.load(), 8.0);
+  est.on_packet_observed(16, 1);
+  EXPECT_DOUBLE_EQ(est.load(), (16.0 + 7.0 * 8.0) / 8.0);
+}
+
+TEST(QueueLengthEstimator, DispatchHookIsInert) {
+  // The queue-length variant samples on packet receipt, not on dispatch, so
+  // a drained queue can never be locked out behind a stale estimate.
+  QueueLengthEstimator est(7.0);
+  est.on_packet_observed(100, 0);
+  est.on_dispatch(0, 1);
+  EXPECT_DOUBLE_EQ(est.load(), 100.0);
+  est.on_packet_observed(0, 2);
+  EXPECT_LT(est.load(), 100.0);
+}
+
+TEST(QueueLengthEstimator, HigherOccupancyMeansMoreLoad) {
+  QueueLengthEstimator light(7.0);
+  QueueLengthEstimator heavy(7.0);
+  for (int i = 0; i < 20; ++i) {
+    light.on_packet_observed(2, i);
+    heavy.on_packet_observed(40, i);
+  }
+  EXPECT_LT(light.load(), heavy.load());
+}
+
+TEST(ArrivalTimeEstimator, FirstSampleOnlySetsTimestamp) {
+  ArrivalTimeEstimator est(7.0);
+  est.on_dispatch(0, usec(100));
+  EXPECT_DOUBLE_EQ(est.load(), 0.0);  // no gap yet ("if valid" in Fig 3.4)
+}
+
+TEST(ArrivalTimeEstimator, ObservationHookIsInert) {
+  ArrivalTimeEstimator est(7.0);
+  est.on_dispatch(0, 0);
+  est.on_dispatch(0, usec(10));
+  const double before = est.load();
+  est.on_packet_observed(50, usec(20));
+  EXPECT_DOUBLE_EQ(est.load(), before);
+}
+
+TEST(ArrivalTimeEstimator, ReportsRate) {
+  ArrivalTimeEstimator est(7.0);
+  // 10 us gaps -> 100 Kfps.
+  for (int i = 0; i <= 50; ++i) est.on_dispatch(0, usec(10) * i);
+  EXPECT_NEAR(est.load(), 100'000.0, 1.0);
+}
+
+TEST(ArrivalTimeEstimator, FasterArrivalsMeanMoreLoad) {
+  ArrivalTimeEstimator slow(7.0);
+  ArrivalTimeEstimator fast(7.0);
+  for (int i = 0; i <= 50; ++i) {
+    slow.on_dispatch(0, usec(100) * i);
+    fast.on_dispatch(0, usec(5) * i);
+  }
+  EXPECT_LT(slow.load(), fast.load());
+}
+
+TEST(Estimators, ResetClears) {
+  QueueLengthEstimator ql(7.0);
+  ql.on_packet_observed(10, 0);
+  ql.reset();
+  EXPECT_DOUBLE_EQ(ql.load(), 0.0);
+
+  ArrivalTimeEstimator at(7.0);
+  at.on_dispatch(0, 0);
+  at.on_dispatch(0, 10);
+  at.reset();
+  EXPECT_DOUBLE_EQ(at.load(), 0.0);
+  // After reset, the first sample is again timestamp-only.
+  at.on_dispatch(0, usec(500));
+  EXPECT_DOUBLE_EQ(at.load(), 0.0);
+}
+
+}  // namespace
+}  // namespace lvrm

@@ -1,0 +1,32 @@
+#include "lvrm/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lvrm {
+namespace {
+
+TEST(Types, NamesAreStableAndDistinct) {
+  EXPECT_EQ(to_string(AdapterKind::kPfRing), "pf-ring");
+  EXPECT_EQ(to_string(AdapterKind::kRawSocket), "raw-socket");
+  EXPECT_EQ(to_string(AdapterKind::kMemory), "memory");
+  EXPECT_EQ(to_string(AllocatorKind::kFixed), "fixed");
+  EXPECT_EQ(to_string(AllocatorKind::kDynamicFixedThreshold), "dynamic-fixed");
+  EXPECT_EQ(to_string(AllocatorKind::kDynamicDynamicThreshold),
+            "dynamic-dynamic");
+  EXPECT_EQ(to_string(BalancerKind::kJoinShortestQueue), "jsq");
+  EXPECT_EQ(to_string(BalancerKind::kRoundRobin), "round-robin");
+  EXPECT_EQ(to_string(BalancerKind::kRandom), "random");
+  EXPECT_EQ(to_string(BalancerGranularity::kFrame), "frame-based");
+  EXPECT_EQ(to_string(BalancerGranularity::kFlow), "flow-based");
+  EXPECT_EQ(to_string(EstimatorKind::kQueueLength), "queue-length");
+  EXPECT_EQ(to_string(EstimatorKind::kArrivalTime), "arrival-time");
+  EXPECT_EQ(to_string(AffinityPolicy::kSibling), "sibling");
+  EXPECT_EQ(to_string(AffinityPolicy::kNonSibling), "non-sibling");
+  EXPECT_EQ(to_string(AffinityPolicy::kDefault), "default");
+  EXPECT_EQ(to_string(AffinityPolicy::kSame), "same");
+  EXPECT_EQ(to_string(VrKind::kCpp), "c++");
+  EXPECT_EQ(to_string(VrKind::kClick), "click");
+}
+
+}  // namespace
+}  // namespace lvrm

@@ -1,0 +1,56 @@
+#include "net/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lvrm::net {
+namespace {
+
+TEST(Checksum, Rfc1071WorkedExample) {
+  // Classic example from RFC 1071 Sec 3: bytes 00 01 f2 03 f4 f5 f6 f7.
+  const std::vector<std::uint8_t> data{0x00, 0x01, 0xF2, 0x03,
+                                       0xF4, 0xF5, 0xF6, 0xF7};
+  // Sum = 0x0001 + 0xF203 + 0xF4F5 + 0xF6F7 = 0x2DDF0 -> fold 0xDDF2,
+  // complement 0x220D.
+  EXPECT_EQ(internet_checksum(data), 0x220D);
+}
+
+TEST(Checksum, ZeroBufferChecksumIsAllOnes) {
+  const std::vector<std::uint8_t> data(20, 0);
+  EXPECT_EQ(internet_checksum(data), 0xFFFF);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::vector<std::uint8_t> odd{0x12, 0x34, 0x56};
+  const std::vector<std::uint8_t> even{0x12, 0x34, 0x56, 0x00};
+  EXPECT_EQ(internet_checksum(odd), internet_checksum(even));
+}
+
+TEST(Checksum, BufferIncludingChecksumVerifiesToZero) {
+  std::vector<std::uint8_t> data{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x00};
+  const std::uint16_t csum = internet_checksum(data);
+  data[4] = static_cast<std::uint8_t>(csum >> 8);
+  data[5] = static_cast<std::uint8_t>(csum & 0xFF);
+  EXPECT_EQ(internet_checksum(data), 0);
+}
+
+TEST(Checksum, IncrementalMatchesOneShot) {
+  const std::vector<std::uint8_t> data{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::uint32_t sum = 0;
+  sum = checksum_accumulate(sum, std::span(data).subspan(0, 4));
+  sum = checksum_accumulate(sum, std::span(data).subspan(4));
+  EXPECT_EQ(checksum_finish(sum), internet_checksum(data));
+}
+
+TEST(Checksum, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> data(40);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  const std::uint16_t before = internet_checksum(data);
+  data[13] ^= 0x10;
+  EXPECT_NE(internet_checksum(data), before);
+}
+
+}  // namespace
+}  // namespace lvrm::net

@@ -1,0 +1,156 @@
+#include "net/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace lvrm::net {
+namespace {
+
+FiveTuple tuple(std::uint32_t a, std::uint32_t b, std::uint16_t p,
+                std::uint16_t q, std::uint8_t proto = 6) {
+  return FiveTuple{a, b, p, q, proto};
+}
+
+TEST(HashTuple, EqualTuplesHashEqual) {
+  EXPECT_EQ(hash_tuple(tuple(1, 2, 3, 4)), hash_tuple(tuple(1, 2, 3, 4)));
+}
+
+TEST(HashTuple, FieldSensitivity) {
+  const auto base = hash_tuple(tuple(1, 2, 3, 4, 6));
+  EXPECT_NE(hash_tuple(tuple(9, 2, 3, 4, 6)), base);
+  EXPECT_NE(hash_tuple(tuple(1, 9, 3, 4, 6)), base);
+  EXPECT_NE(hash_tuple(tuple(1, 2, 9, 4, 6)), base);
+  EXPECT_NE(hash_tuple(tuple(1, 2, 3, 9, 6)), base);
+  EXPECT_NE(hash_tuple(tuple(1, 2, 3, 4, 17)), base);
+}
+
+TEST(FlowTable, InsertAndLookup) {
+  FlowTable table(64, sec(30));
+  table.insert(tuple(1, 2, 3, 4), 5, 0);
+  const auto hit = table.lookup(tuple(1, 2, 3, 4), 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 5);
+  EXPECT_FALSE(table.lookup(tuple(9, 9, 9, 9), 1).has_value());
+}
+
+TEST(FlowTable, LookupRefreshesTimestamp) {
+  FlowTable table(64, sec(10));
+  table.insert(tuple(1, 2, 3, 4), 1, 0);
+  // Touch it at t=8s; it should then still be alive at t=15s.
+  EXPECT_TRUE(table.lookup(tuple(1, 2, 3, 4), sec(8)).has_value());
+  EXPECT_TRUE(table.lookup(tuple(1, 2, 3, 4), sec(15)).has_value());
+}
+
+TEST(FlowTable, IdleEntriesExpire) {
+  FlowTable table(64, sec(10));
+  table.insert(tuple(1, 2, 3, 4), 1, 0);
+  EXPECT_FALSE(table.lookup(tuple(1, 2, 3, 4), sec(11)).has_value());
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTable, OverwriteUpdatesVri) {
+  FlowTable table(64, sec(30));
+  table.insert(tuple(1, 2, 3, 4), 1, 0);
+  table.insert(tuple(1, 2, 3, 4), 2, 1);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(*table.lookup(tuple(1, 2, 3, 4), 2), 2);
+}
+
+TEST(FlowTable, EvictVriRemovesOnlyThatVri) {
+  FlowTable table(64, sec(30));
+  table.insert(tuple(1, 1, 1, 1), 0, 0);
+  table.insert(tuple(2, 2, 2, 2), 1, 0);
+  table.insert(tuple(3, 3, 3, 3), 1, 0);
+  table.evict_vri(1);
+  EXPECT_TRUE(table.lookup(tuple(1, 1, 1, 1), 1).has_value());
+  EXPECT_FALSE(table.lookup(tuple(2, 2, 2, 2), 1).has_value());
+  EXPECT_FALSE(table.lookup(tuple(3, 3, 3, 3), 1).has_value());
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTable, GrowsBeyondInitialCapacity) {
+  FlowTable table(16, sec(1000));
+  for (std::uint32_t i = 0; i < 500; ++i)
+    table.insert(tuple(i, i + 1, 80, 443), static_cast<int>(i % 6), 0);
+  EXPECT_EQ(table.size(), 500u);
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const auto hit = table.lookup(tuple(i, i + 1, 80, 443), 1);
+    ASSERT_TRUE(hit.has_value()) << i;
+    EXPECT_EQ(*hit, static_cast<int>(i % 6));
+  }
+}
+
+TEST(FlowTable, HitMissCounters) {
+  FlowTable table(64, sec(30));
+  table.insert(tuple(1, 2, 3, 4), 0, 0);
+  table.lookup(tuple(1, 2, 3, 4), 1);
+  table.lookup(tuple(5, 6, 7, 8), 1);
+  EXPECT_EQ(table.hits(), 1u);
+  EXPECT_EQ(table.misses(), 1u);
+}
+
+// Property: FlowTable agrees with a std::map reference model under a random
+// workload of inserts, lookups and evictions (the connection-tracking
+// correctness the flow-based balancer depends on).
+class FlowTableModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowTableModel, MatchesReferenceModel) {
+  FlowTable table(16, sec(5));
+  struct Ref {
+    int vri;
+    Nanos last_seen;
+  };
+  auto key = [](const FiveTuple& t) {
+    return std::tuple{t.src_ip, t.dst_ip, t.src_port, t.dst_port, t.protocol};
+  };
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint16_t,
+                      std::uint16_t, std::uint8_t>,
+           Ref>
+      ref;
+
+  Rng rng(GetParam());
+  Nanos now = 0;
+  for (int step = 0; step < 3000; ++step) {
+    now += static_cast<Nanos>(rng.uniform(200'000'000));  // up to 0.2 s
+    const FiveTuple t =
+        tuple(static_cast<std::uint32_t>(rng.uniform(20)),
+              static_cast<std::uint32_t>(rng.uniform(20)),
+              static_cast<std::uint16_t>(rng.uniform(4)),
+              static_cast<std::uint16_t>(rng.uniform(4)));
+    const auto op = rng.uniform(10);
+    if (op < 4) {
+      const int vri = static_cast<int>(rng.uniform(6));
+      table.insert(t, vri, now);
+      ref[key(t)] = Ref{vri, now};
+    } else if (op < 9) {
+      const auto got = table.lookup(t, now);
+      const auto it = ref.find(key(t));
+      std::optional<int> want;
+      if (it != ref.end()) {
+        if (now - it->second.last_seen > sec(5)) {
+          ref.erase(it);
+        } else {
+          it->second.last_seen = now;
+          want = it->second.vri;
+        }
+      }
+      EXPECT_EQ(got, want) << "step " << step;
+    } else {
+      const int vri = static_cast<int>(rng.uniform(6));
+      table.evict_vri(vri);
+      for (auto it = ref.begin(); it != ref.end();)
+        it = it->second.vri == vri ? ref.erase(it) : std::next(it);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowTableModel,
+                         ::testing::Values(1, 2, 3, 4, 5, 42, 1234));
+
+}  // namespace
+}  // namespace lvrm::net

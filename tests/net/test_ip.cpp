@@ -1,0 +1,67 @@
+#include "net/ip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lvrm::net {
+namespace {
+
+TEST(Ipv4, BuildAndFormat) {
+  const Ipv4Addr a = ipv4(192, 168, 1, 20);
+  EXPECT_EQ(a, 0xC0A80114u);
+  EXPECT_EQ(format_ipv4(a), "192.168.1.20");
+}
+
+TEST(Ipv4, ParseRoundTrip) {
+  for (const char* s : {"0.0.0.0", "10.1.2.3", "255.255.255.255", "1.2.3.4"}) {
+    const auto a = parse_ipv4(s);
+    ASSERT_TRUE(a.has_value()) << s;
+    EXPECT_EQ(format_ipv4(*a), s);
+  }
+}
+
+TEST(Ipv4, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_ipv4("10.1.2"));
+  EXPECT_FALSE(parse_ipv4("10.1.2.256"));
+  EXPECT_FALSE(parse_ipv4("10.1.2.3.4"));
+  EXPECT_FALSE(parse_ipv4("banana"));
+  EXPECT_FALSE(parse_ipv4(""));
+}
+
+TEST(PrefixMask, Lengths) {
+  EXPECT_EQ(prefix_mask(0), 0u);
+  EXPECT_EQ(prefix_mask(8), 0xFF000000u);
+  EXPECT_EQ(prefix_mask(16), 0xFFFF0000u);
+  EXPECT_EQ(prefix_mask(24), 0xFFFFFF00u);
+  EXPECT_EQ(prefix_mask(32), 0xFFFFFFFFu);
+}
+
+TEST(InPrefix, Membership) {
+  EXPECT_TRUE(in_prefix(ipv4(10, 1, 5, 9), ipv4(10, 1, 0, 0), 16));
+  EXPECT_FALSE(in_prefix(ipv4(10, 2, 5, 9), ipv4(10, 1, 0, 0), 16));
+  EXPECT_TRUE(in_prefix(ipv4(1, 2, 3, 4), 0, 0));  // default route
+  EXPECT_TRUE(in_prefix(ipv4(9, 9, 9, 9), ipv4(9, 9, 9, 9), 32));
+}
+
+TEST(ParsePrefix, ValidForms) {
+  const auto p = parse_prefix("10.2.0.0/16");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->network, ipv4(10, 2, 0, 0));
+  EXPECT_EQ(p->length, 16);
+}
+
+TEST(ParsePrefix, CanonicalizesHostBits) {
+  const auto p = parse_prefix("10.2.3.4/16");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->network, ipv4(10, 2, 0, 0));  // host bits masked off
+}
+
+TEST(ParsePrefix, RejectsMalformed) {
+  EXPECT_FALSE(parse_prefix("10.2.0.0"));
+  EXPECT_FALSE(parse_prefix("10.2.0.0/33"));
+  EXPECT_FALSE(parse_prefix("10.2.0.0/-1"));
+  EXPECT_FALSE(parse_prefix("10.2.0.0/banana"));
+  EXPECT_FALSE(parse_prefix("bad/16"));
+}
+
+}  // namespace
+}  // namespace lvrm::net

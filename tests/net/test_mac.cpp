@@ -1,0 +1,37 @@
+#include "net/mac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lvrm::net {
+namespace {
+
+TEST(Mac, FormatAndParseRoundTrip) {
+  const MacAddr mac{{0x02, 0x1A, 0x2B, 0x3C, 0x4D, 0x5E}};
+  const std::string s = format_mac(mac);
+  EXPECT_EQ(s, "02:1a:2b:3c:4d:5e");
+  const auto parsed = parse_mac(s);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, mac);
+}
+
+TEST(Mac, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_mac("02:1a:2b:3c:4d"));
+  EXPECT_FALSE(parse_mac("hello"));
+  EXPECT_FALSE(parse_mac(""));
+}
+
+TEST(Mac, Broadcast) {
+  const MacAddr b = MacAddr::broadcast();
+  for (auto byte : b.bytes) EXPECT_EQ(byte, 0xFF);
+}
+
+TEST(Mac, FromIdIsLocallyAdministeredUnicast) {
+  const MacAddr m = MacAddr::from_id(0x01020304);
+  EXPECT_EQ(m.bytes[0], 0x02);  // locally administered, unicast bit clear
+  EXPECT_EQ(m.bytes[2], 0x01);
+  EXPECT_EQ(m.bytes[5], 0x04);
+  EXPECT_NE(MacAddr::from_id(1), MacAddr::from_id(2));
+}
+
+}  // namespace
+}  // namespace lvrm::net

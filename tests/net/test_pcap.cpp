@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/headers.hpp"
+#include "net/trace.hpp"
+
+namespace lvrm::net {
+namespace {
+
+std::vector<std::vector<std::uint8_t>> sample_frames() {
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (int i = 0; i < 3; ++i)
+    frames.push_back(build_udp_frame(
+        MacAddr::from_id(1), MacAddr::from_id(2), ipv4(10, 1, 0, 1),
+        ipv4(10, 2, 0, static_cast<std::uint8_t>(1 + i)), 1000, 9,
+        static_cast<std::size_t>(10 + i)));
+  return frames;
+}
+
+TEST(Pcap, RoundTripPreservesFramesAndTimestamps) {
+  const auto frames = sample_frames();
+  std::stringstream ss;
+  write_pcap(ss, frames, /*base=*/sec(100), /*gap=*/usec(50));
+  const auto records = read_pcap(ss);
+  ASSERT_EQ(records.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(records[i].frame, frames[i]);
+    EXPECT_EQ(records[i].timestamp,
+              sec(100) + usec(50) * static_cast<Nanos>(i));
+  }
+}
+
+TEST(Pcap, GlobalHeaderFields) {
+  std::stringstream ss;
+  write_pcap(ss, sample_frames());
+  const std::string data = ss.str();
+  ASSERT_GE(data.size(), 24u);
+  // Little-endian magic, version 2.4, linktype 1 (Ethernet).
+  EXPECT_EQ(static_cast<unsigned char>(data[0]), 0xD4);
+  EXPECT_EQ(static_cast<unsigned char>(data[3]), 0xA1);
+  EXPECT_EQ(static_cast<unsigned char>(data[4]), 2);   // version major
+  EXPECT_EQ(static_cast<unsigned char>(data[6]), 4);   // version minor
+  EXPECT_EQ(static_cast<unsigned char>(data[20]), 1);  // linktype
+}
+
+TEST(Pcap, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "this is not a pcap file at all........";
+  EXPECT_THROW(read_pcap(ss), std::runtime_error);
+}
+
+TEST(Pcap, RejectsTruncatedFrame) {
+  std::stringstream ss;
+  write_pcap(ss, sample_frames());
+  std::string data = ss.str();
+  data.resize(data.size() - 5);
+  std::stringstream cut(data);
+  EXPECT_THROW(read_pcap(cut), std::runtime_error);
+}
+
+TEST(Pcap, EmptyTraceRoundTrips) {
+  std::stringstream ss;
+  write_pcap(ss, {});
+  EXPECT_TRUE(read_pcap(ss).empty());
+}
+
+}  // namespace
+}  // namespace lvrm::net

@@ -1,0 +1,78 @@
+#include "net/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/headers.hpp"
+
+namespace lvrm::net {
+namespace {
+
+TEST(GenerateTrace, DeterministicAndSized) {
+  TraceSpec spec;
+  spec.frames = 1000;
+  spec.wire_bytes = 84;
+  const auto a = generate_trace(spec);
+  const auto b = generate_trace(spec);
+  ASSERT_EQ(a.size(), 1000u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src_ip, b[i].src_ip);
+    EXPECT_EQ(a[i].wire_bytes, 84);
+  }
+}
+
+TEST(GenerateTrace, FlowsRepeat) {
+  TraceSpec spec;
+  spec.frames = 128;
+  spec.flows = 4;
+  const auto t = generate_trace(spec);
+  // Frame i and i+4 belong to the same flow (same 5-tuple).
+  EXPECT_EQ(t[0].src_ip, t[4].src_ip);
+  EXPECT_EQ(t[0].src_port, t[4].src_port);
+  EXPECT_EQ(t[1].flow_index, t[5].flow_index);
+}
+
+TEST(GenerateTrace, SourcesDrawnFromSubnets) {
+  TraceSpec spec;
+  spec.frames = 50;
+  spec.src_subnets = {Prefix{ipv4(172, 16, 0, 0), 12}};
+  for (const auto& f : generate_trace(spec))
+    EXPECT_TRUE(in_prefix(f.src_ip, ipv4(172, 16, 0, 0), 12));
+}
+
+TEST(TraceIo, RoundTrip) {
+  std::vector<std::vector<std::uint8_t>> frames;
+  frames.push_back(build_udp_frame(MacAddr::from_id(1), MacAddr::from_id(2),
+                                   ipv4(10, 1, 0, 1), ipv4(10, 2, 0, 1), 1000,
+                                   9, 18));
+  frames.push_back({0xDE, 0xAD});
+  frames.push_back({});
+
+  std::stringstream ss;
+  write_trace(ss, frames);
+  const auto loaded = read_trace(ss);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[0], frames[0]);
+  EXPECT_EQ(loaded[1], frames[1]);
+  EXPECT_TRUE(loaded[2].empty());
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "NOTATRACE........";
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncated) {
+  std::vector<std::vector<std::uint8_t>> frames{{1, 2, 3, 4, 5}};
+  std::stringstream ss;
+  write_trace(ss, frames);
+  std::string data = ss.str();
+  data.resize(data.size() - 3);  // cut the payload short
+  std::stringstream truncated(data);
+  EXPECT_THROW(read_trace(truncated), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lvrm::net

@@ -1,0 +1,49 @@
+#include "queue/shm_arena.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lvrm::queue {
+namespace {
+
+TEST(ShmArena, CreateAndAttach) {
+  ShmArena arena;
+  const SegmentId id = arena.create(128);
+  const auto span = arena.attach(id);
+  ASSERT_EQ(span.size(), 128u);
+  // Segments start zeroed (like shmget with IPC_CREAT).
+  for (auto b : span) EXPECT_EQ(b, 0);
+}
+
+TEST(ShmArena, DistinctIds) {
+  ShmArena arena;
+  const SegmentId a = arena.create(16);
+  const SegmentId b = arena.create(16);
+  EXPECT_NE(a, b);
+}
+
+TEST(ShmArena, WritesVisibleThroughReattach) {
+  ShmArena arena;
+  const SegmentId id = arena.create(8);
+  arena.attach(id)[3] = 0xAB;
+  EXPECT_EQ(arena.attach(id)[3], 0xAB);
+}
+
+TEST(ShmArena, AttachUnknownIdFails) {
+  ShmArena arena;
+  EXPECT_TRUE(arena.attach(12345).empty());
+  EXPECT_TRUE(arena.attach(kInvalidSegment).empty());
+}
+
+TEST(ShmArena, DestroyReleases) {
+  ShmArena arena;
+  const SegmentId id = arena.create(64);
+  EXPECT_EQ(arena.total_bytes(), 64u);
+  arena.destroy(id);
+  EXPECT_TRUE(arena.attach(id).empty());
+  EXPECT_EQ(arena.total_bytes(), 0u);
+  EXPECT_EQ(arena.segment_count(), 0u);
+  arena.destroy(id);  // double destroy is a no-op
+}
+
+}  // namespace
+}  // namespace lvrm::queue

@@ -1,0 +1,46 @@
+#include "route/arp_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lvrm::route {
+namespace {
+
+TEST(ArpTable, LearnAndResolve) {
+  ArpTable arp(sec(300));
+  arp.learn(net::ipv4(10, 1, 0, 1), net::MacAddr::from_id(1), 0);
+  const auto mac = arp.resolve(net::ipv4(10, 1, 0, 1), sec(1));
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(*mac, net::MacAddr::from_id(1));
+}
+
+TEST(ArpTable, UnknownAddressMisses) {
+  ArpTable arp;
+  EXPECT_FALSE(arp.resolve(net::ipv4(1, 2, 3, 4), 0).has_value());
+}
+
+TEST(ArpTable, EntriesExpire) {
+  ArpTable arp(sec(10));
+  arp.learn(net::ipv4(10, 1, 0, 1), net::MacAddr::from_id(1), 0);
+  EXPECT_TRUE(arp.resolve(net::ipv4(10, 1, 0, 1), sec(9)).has_value());
+  EXPECT_FALSE(arp.resolve(net::ipv4(10, 1, 0, 1), sec(11)).has_value());
+}
+
+TEST(ArpTable, RelearnRefreshes) {
+  ArpTable arp(sec(10));
+  arp.learn(net::ipv4(10, 1, 0, 1), net::MacAddr::from_id(1), 0);
+  arp.learn(net::ipv4(10, 1, 0, 1), net::MacAddr::from_id(2), sec(8));
+  const auto mac = arp.resolve(net::ipv4(10, 1, 0, 1), sec(15));
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(*mac, net::MacAddr::from_id(2));
+}
+
+TEST(ArpTable, ExpireSweep) {
+  ArpTable arp(sec(10));
+  arp.learn(net::ipv4(10, 1, 0, 1), net::MacAddr::from_id(1), 0);
+  arp.learn(net::ipv4(10, 1, 0, 2), net::MacAddr::from_id(2), sec(20));
+  EXPECT_EQ(arp.expire(sec(25)), 1u);
+  EXPECT_EQ(arp.size(), 1u);
+}
+
+}  // namespace
+}  // namespace lvrm::route

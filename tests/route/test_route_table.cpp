@@ -1,0 +1,168 @@
+#include "route/route_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lvrm::route {
+namespace {
+
+RouteEntry route(const char* prefix, int out, const char* gw = "0.0.0.0",
+                 int metric = 0) {
+  RouteEntry e;
+  e.prefix = *net::parse_prefix(prefix);
+  e.output_if = out;
+  e.next_hop = *net::parse_ipv4(gw);
+  e.metric = metric;
+  return e;
+}
+
+TEST(RouteTable, ExactLookup) {
+  RouteTable t;
+  t.insert(route("10.1.0.0/16", 0));
+  t.insert(route("10.2.0.0/16", 1));
+  EXPECT_EQ(t.lookup(net::ipv4(10, 1, 3, 4))->output_if, 0);
+  EXPECT_EQ(t.lookup(net::ipv4(10, 2, 3, 4))->output_if, 1);
+  EXPECT_FALSE(t.lookup(net::ipv4(10, 3, 0, 1)).has_value());
+}
+
+TEST(RouteTable, LongestPrefixWins) {
+  RouteTable t;
+  t.insert(route("10.0.0.0/8", 0));
+  t.insert(route("10.1.0.0/16", 1));
+  t.insert(route("10.1.2.0/24", 2));
+  t.insert(route("10.1.2.3/32", 3));
+  EXPECT_EQ(t.lookup(net::ipv4(10, 9, 9, 9))->output_if, 0);
+  EXPECT_EQ(t.lookup(net::ipv4(10, 1, 9, 9))->output_if, 1);
+  EXPECT_EQ(t.lookup(net::ipv4(10, 1, 2, 9))->output_if, 2);
+  EXPECT_EQ(t.lookup(net::ipv4(10, 1, 2, 3))->output_if, 3);
+}
+
+TEST(RouteTable, DefaultRoute) {
+  RouteTable t;
+  t.insert(route("0.0.0.0/0", 7));
+  t.insert(route("10.1.0.0/16", 1));
+  EXPECT_EQ(t.lookup(net::ipv4(8, 8, 8, 8))->output_if, 7);
+  EXPECT_EQ(t.lookup(net::ipv4(10, 1, 1, 1))->output_if, 1);
+}
+
+TEST(RouteTable, InsertReplacesSamePrefix) {
+  RouteTable t;
+  t.insert(route("10.1.0.0/16", 1));
+  t.insert(route("10.1.0.0/16", 5));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.lookup(net::ipv4(10, 1, 0, 1))->output_if, 5);
+}
+
+TEST(RouteTable, Remove) {
+  RouteTable t;
+  t.insert(route("10.0.0.0/8", 0));
+  t.insert(route("10.1.0.0/16", 1));
+  EXPECT_TRUE(t.remove(net::Prefix{net::ipv4(10, 1, 0, 0), 16}));
+  EXPECT_EQ(t.lookup(net::ipv4(10, 1, 5, 5))->output_if, 0);  // falls back
+  EXPECT_FALSE(t.remove(net::Prefix{net::ipv4(10, 1, 0, 0), 16}));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(RouteTable, FindExactDoesNotMatchCoveringPrefix) {
+  RouteTable t;
+  t.insert(route("10.0.0.0/8", 0));
+  EXPECT_FALSE(t.find_exact(net::Prefix{net::ipv4(10, 1, 0, 0), 16}).has_value());
+  EXPECT_TRUE(t.find_exact(net::Prefix{net::ipv4(10, 0, 0, 0), 8}).has_value());
+}
+
+TEST(RouteTable, DumpSorted) {
+  RouteTable t;
+  t.insert(route("10.2.0.0/16", 1));
+  t.insert(route("10.1.0.0/16", 0));
+  const auto all = t.dump();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_LT(all[0].prefix.network, all[1].prefix.network);
+}
+
+// Property: trie lookup agrees with a brute-force longest-match scan over
+// random route sets.
+class LpmProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpmProperty, MatchesLinearScan) {
+  Rng rng(GetParam());
+  RouteTable t;
+  std::vector<RouteEntry> routes;
+  for (int i = 0; i < 200; ++i) {
+    RouteEntry e;
+    const int len = static_cast<int>(rng.uniform(33));
+    e.prefix.network =
+        static_cast<net::Ipv4Addr>(rng.next()) & net::prefix_mask(len);
+    e.prefix.length = len;
+    e.output_if = static_cast<int>(rng.uniform(8));
+    // Skip duplicate prefixes so trie replace-semantics don't diverge from
+    // the vector reference.
+    bool dup = false;
+    for (const auto& r : routes)
+      if (r.prefix == e.prefix) dup = true;
+    if (dup) continue;
+    routes.push_back(e);
+    t.insert(e);
+  }
+
+  for (int q = 0; q < 2000; ++q) {
+    const auto addr = static_cast<net::Ipv4Addr>(rng.next());
+    const RouteEntry* best = nullptr;
+    for (const auto& r : routes) {
+      if (!net::in_prefix(addr, r.prefix.network, r.prefix.length)) continue;
+      if (!best || r.prefix.length > best->prefix.length) best = &r;
+    }
+    const auto got = t.lookup(addr);
+    if (best == nullptr) {
+      EXPECT_FALSE(got.has_value());
+    } else {
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(got->prefix, best->prefix);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpmProperty,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(RouteMap, ParseBasic) {
+  const auto routes = parse_route_map(
+      "# comment line\n"
+      "10.1.0.0/16 0\n"
+      "10.2.0.0/16 1 10.2.0.254 5\n"
+      "\n"
+      "0.0.0.0/0 2 10.0.0.1\n");
+  ASSERT_EQ(routes.size(), 3u);
+  EXPECT_EQ(routes[0].output_if, 0);
+  EXPECT_EQ(routes[1].next_hop, net::ipv4(10, 2, 0, 254));
+  EXPECT_EQ(routes[1].metric, 5);
+  EXPECT_EQ(routes[2].prefix.length, 0);
+}
+
+TEST(RouteMap, TrailingCommentOnLine) {
+  const auto routes = parse_route_map("10.1.0.0/16 0 # sender subnet\n");
+  ASSERT_EQ(routes.size(), 1u);
+}
+
+TEST(RouteMap, ErrorsNameTheLine) {
+  try {
+    parse_route_map("10.1.0.0/16 0\nbanana 1\n");
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(parse_route_map("10.1.0.0/16\n"), std::runtime_error);
+  EXPECT_THROW(parse_route_map("10.1.0.0/16 1 notanip\n"),
+               std::runtime_error);
+}
+
+TEST(RouteMap, FormatParsesBack) {
+  const auto routes = parse_route_map("10.1.0.0/16 0\n10.2.0.0/16 1\n");
+  const auto again = parse_route_map(format_route_map(routes));
+  EXPECT_EQ(again, routes);
+}
+
+}  // namespace
+}  // namespace lvrm::route

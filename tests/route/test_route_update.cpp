@@ -1,0 +1,55 @@
+#include "route/route_update.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lvrm::route {
+namespace {
+
+RouteUpdate sample(bool add = true) {
+  RouteUpdate u;
+  u.add = add;
+  u.entry.prefix = *net::parse_prefix("10.3.0.0/16");
+  u.entry.output_if = 2;
+  u.entry.next_hop = net::ipv4(10, 3, 0, 254);
+  u.entry.metric = 7;
+  return u;
+}
+
+TEST(RouteUpdate, EncodeDecodeRoundTrip) {
+  for (bool add : {true, false}) {
+    const RouteUpdate u = sample(add);
+    const auto wire = encode_route_update(u);
+    EXPECT_EQ(wire.size(), kRouteUpdateWireSize);
+    const auto decoded = decode_route_update(wire);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, u);
+  }
+}
+
+TEST(RouteUpdate, DecodeRejectsShortBuffer) {
+  const auto wire = encode_route_update(sample());
+  EXPECT_FALSE(
+      decode_route_update(std::span(wire).subspan(0, wire.size() - 1))
+          .has_value());
+}
+
+TEST(RouteUpdate, DecodeRejectsBadFields) {
+  auto wire = encode_route_update(sample());
+  wire[0] = 7;  // invalid op
+  EXPECT_FALSE(decode_route_update(wire).has_value());
+  wire[0] = 1;
+  wire[5] = 40;  // prefix length > 32
+  EXPECT_FALSE(decode_route_update(wire).has_value());
+}
+
+TEST(RouteUpdate, DecodeCanonicalizesHostBits) {
+  RouteUpdate u = sample();
+  u.entry.prefix.network = net::ipv4(10, 3, 9, 9);  // host bits set
+  u.entry.prefix.length = 16;
+  const auto decoded = decode_route_update(encode_route_update(u));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->entry.prefix.network, net::ipv4(10, 3, 0, 0));
+}
+
+}  // namespace
+}  // namespace lvrm::route

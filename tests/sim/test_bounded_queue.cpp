@@ -1,0 +1,72 @@
+#include "sim/queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lvrm::sim {
+namespace {
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedQueue, DropsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_FALSE(q.push(3));
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueue, ObserverFiresOnEmptyToNonEmptyOnly) {
+  BoundedQueue<int> q(8);
+  int wakeups = 0;
+  q.set_observer([&] { ++wakeups; });
+  q.push(1);
+  q.push(2);  // queue already non-empty: no wakeup
+  EXPECT_EQ(wakeups, 1);
+  q.pop();
+  q.pop();
+  q.push(3);
+  EXPECT_EQ(wakeups, 2);
+}
+
+TEST(BoundedQueue, CountersTrackThroughput) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) q.push(i);
+  for (int i = 0; i < 3; ++i) q.pop();
+  EXPECT_EQ(q.enqueued(), 5u);
+  EXPECT_EQ(q.dequeued(), 3u);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueue, FrontPeeks) {
+  BoundedQueue<int> q(4);
+  q.push(42);
+  EXPECT_EQ(q.front(), 42);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BoundedQueue, ClearEmpties) {
+  BoundedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueue, MoveOnlyItems) {
+  BoundedQueue<std::unique_ptr<int>> q(2);
+  q.push(std::make_unique<int>(9));
+  auto p = q.pop();
+  EXPECT_EQ(*p, 9);
+}
+
+}  // namespace
+}  // namespace lvrm::sim

@@ -1,0 +1,72 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lvrm::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) q.push(5, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().cb();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  int fired = 0;
+  q.push(1, [&] { ++fired; });
+  const EventId victim = q.push(2, [&] { fired += 100; });
+  q.push(3, [&] { ++fired; });
+  q.cancel(victim);
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CancelInvalidIdIsNoop) {
+  EventQueue q;
+  q.push(1, [] {});
+  q.cancel(9999);
+  q.cancel(kInvalidEvent);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, SizeReflectsLiveEvents) {
+  EventQueue q;
+  const EventId a = q.push(1, [] {});
+  q.push(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId first = q.push(1, [] {});
+  q.push(7, [] {});
+  q.cancel(first);
+  EXPECT_EQ(q.next_time(), 7);
+}
+
+TEST(EventQueue, FiredCarriesTimestamp) {
+  EventQueue q;
+  q.push(123, [] {});
+  const auto fired = q.pop();
+  EXPECT_EQ(fired.at, 123);
+}
+
+}  // namespace
+}  // namespace lvrm::sim

@@ -1,0 +1,114 @@
+// Model-based property tests for the simulation primitives.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/core.hpp"
+#include "sim/queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace lvrm::sim {
+namespace {
+
+// Property: BoundedQueue behaves exactly like a capacity-capped std::deque
+// under random push/pop/clear sequences.
+class BoundedQueueModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundedQueueModel, MatchesDequeModel) {
+  Rng rng(GetParam());
+  const std::size_t capacity = 1 + rng.uniform(16);
+  BoundedQueue<std::uint64_t> queue(capacity);
+  std::deque<std::uint64_t> model;
+  std::uint64_t drops = 0;
+
+  for (int step = 0; step < 4000; ++step) {
+    const auto op = rng.uniform(10);
+    if (op < 5) {
+      const std::uint64_t v = rng.next();
+      const bool accepted = queue.push(v);
+      if (model.size() < capacity) {
+        EXPECT_TRUE(accepted);
+        model.push_back(v);
+      } else {
+        EXPECT_FALSE(accepted);
+        ++drops;
+      }
+    } else if (op < 9) {
+      ASSERT_EQ(queue.empty(), model.empty());
+      if (!model.empty()) {
+        EXPECT_EQ(queue.pop(), model.front());
+        model.pop_front();
+      }
+    } else if (op == 9 && rng.uniform(8) == 0) {
+      queue.clear();
+      model.clear();
+    }
+    ASSERT_EQ(queue.size(), model.size());
+  }
+  EXPECT_EQ(queue.drops(), drops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundedQueueModel,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+// Property: events fire in nondecreasing time order, FIFO within a
+// timestamp, regardless of the insertion pattern.
+class EventOrdering : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventOrdering, TimeThenInsertionOrder) {
+  Rng rng(GetParam());
+  Simulator sim;
+  struct Fired {
+    Nanos at;
+    int seq;
+  };
+  std::vector<Fired> fired;
+  int seq = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto at = static_cast<Nanos>(rng.uniform(50));  // many collisions
+    const int s = seq++;
+    sim.at(at, [&fired, at, s, &sim] {
+      fired.push_back(Fired{at, s});
+      EXPECT_EQ(sim.now(), at);
+    });
+  }
+  sim.run_all();
+  ASSERT_EQ(fired.size(), 500u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_GE(fired[i].at, fired[i - 1].at);
+    if (fired[i].at == fired[i - 1].at)
+      EXPECT_GT(fired[i].seq, fired[i - 1].seq);  // FIFO within a timestamp
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventOrdering,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+// Property: a core's busy_total never exceeds elapsed time and accounting
+// categories sum to the total (work conservation).
+TEST(CoreConservation, BusyNeverExceedsElapsed) {
+  Rng rng(77);
+  Simulator sim;
+  Core core(sim, 0, /*ctx=*/100);
+  Nanos charged = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto cost = static_cast<Nanos>(1 + rng.uniform(500));
+    const auto cat = static_cast<CostCategory>(rng.uniform(3));
+    const auto owner = static_cast<OwnerId>(rng.uniform(3));
+    core.run(cost, cat, owner, nullptr);
+    charged += cost;
+  }
+  sim.run_all();
+  EXPECT_GE(core.busy_total(), charged);  // includes context switches
+  // All work was queued back-to-back from t=0: the busy chain's end equals
+  // the accounted busy time (no idle gaps slipped into the accounting).
+  EXPECT_EQ(core.busy_until(), core.busy_total());
+  EXPECT_EQ(core.busy_total(),
+            core.busy(CostCategory::kUser) + core.busy(CostCategory::kSystem) +
+                core.busy(CostCategory::kSoftirq));
+}
+
+}  // namespace
+}  // namespace lvrm::sim

@@ -1,0 +1,98 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lvrm::sim {
+namespace {
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<Nanos> seen;
+  sim.at(100, [&] { seen.push_back(sim.now()); });
+  sim.at(50, [&] { seen.push_back(sim.now()); });
+  sim.run_all();
+  EXPECT_EQ(seen, (std::vector<Nanos>{50, 100}));
+}
+
+TEST(Simulator, AfterIsRelative) {
+  Simulator sim;
+  Nanos fired_at = -1;
+  sim.at(1000, [&] {
+    sim.after(500, [&] { fired_at = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_EQ(fired_at, 1500);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(10, [&] { ++fired; });
+  sim.at(20, [&] { ++fired; });
+  sim.at(30, [&] { ++fired; });
+  sim.run_until(20);  // events at the deadline still fire
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+  sim.run_until(100);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWhenIdle) {
+  Simulator sim;
+  sim.run_until(777);
+  EXPECT_EQ(sim.now(), 777);
+}
+
+TEST(Simulator, PastSchedulesClampToNow) {
+  Simulator sim;
+  sim.run_until(100);
+  Nanos fired_at = -1;
+  sim.at(10, [&] { fired_at = sim.now(); });  // in the past
+  sim.run_all();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.at(10, [&] { ++fired; });
+  sim.cancel(id);
+  sim.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) sim.after(1, chain);
+  };
+  sim.at(0, chain);
+  sim.run_all();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), 9);
+}
+
+TEST(Simulator, StepFiresExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1, [&] { ++fired; });
+  sim.at(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, DeterministicEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 100; ++i) sim.at(i, [] {});
+  sim.run_all();
+  EXPECT_EQ(sim.events_processed(), 100u);
+}
+
+}  // namespace
+}  // namespace lvrm::sim

@@ -1,0 +1,63 @@
+#include "sim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lvrm::sim {
+namespace {
+
+TEST(CpuTopology, DefaultMirrorsTestbedGateway) {
+  const CpuTopology topo;  // 2 sockets x 4 cores (dual Xeon E5530)
+  EXPECT_EQ(topo.total_cores(), 8);
+  EXPECT_EQ(topo.sockets(), 2);
+  EXPECT_EQ(topo.cores_per_socket(), 4);
+}
+
+TEST(CpuTopology, SocketAssignment) {
+  const CpuTopology topo(2, 4);
+  EXPECT_EQ(topo.socket_of(0), 0);
+  EXPECT_EQ(topo.socket_of(3), 0);
+  EXPECT_EQ(topo.socket_of(4), 1);
+  EXPECT_EQ(topo.socket_of(7), 1);
+}
+
+TEST(CpuTopology, SiblingRelation) {
+  const CpuTopology topo(2, 4);
+  EXPECT_TRUE(topo.siblings(0, 3));
+  EXPECT_TRUE(topo.siblings(5, 7));
+  EXPECT_FALSE(topo.siblings(3, 4));
+  EXPECT_TRUE(topo.siblings(2, 2));
+}
+
+TEST(CpuTopology, SiblingsOfExcludesSelf) {
+  const CpuTopology topo(2, 4);
+  const auto sibs = topo.siblings_of(0);
+  EXPECT_EQ(sibs, (std::vector<CoreId>{1, 2, 3}));
+}
+
+TEST(CpuTopology, NonSiblingsOf) {
+  const CpuTopology topo(2, 4);
+  const auto non = topo.non_siblings_of(0);
+  EXPECT_EQ(non, (std::vector<CoreId>{4, 5, 6, 7}));
+}
+
+class TopologyShapes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(TopologyShapes, PartitionIsComplete) {
+  const auto [sockets, per] = GetParam();
+  const CpuTopology topo(sockets, per);
+  for (CoreId c = 0; c < topo.total_cores(); ++c) {
+    const auto sibs = topo.siblings_of(c);
+    const auto non = topo.non_siblings_of(c);
+    // self + siblings + non-siblings partition all cores.
+    EXPECT_EQ(1 + sibs.size() + non.size(),
+              static_cast<std::size_t>(topo.total_cores()));
+    EXPECT_EQ(sibs.size(), static_cast<std::size_t>(per - 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TopologyShapes,
+                         ::testing::Values(std::pair{1, 4}, std::pair{2, 4},
+                                           std::pair{2, 2}, std::pair{4, 8}));
+
+}  // namespace
+}  // namespace lvrm::sim

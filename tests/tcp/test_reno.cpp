@@ -1,0 +1,243 @@
+// Tests for the TCP Reno flow model over small hand-built networks.
+#include "tcp/reno.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/link.hpp"
+
+namespace lvrm::tcp {
+namespace {
+
+/// Perfect bidirectional pipe with a fixed one-way delay.
+struct Pipe {
+  sim::Simulator sim;
+  Nanos delay = usec(100);
+  std::unique_ptr<RenoFlow> flow;
+
+  explicit Pipe(RenoConfig config = {}) {
+    flow = std::make_unique<RenoFlow>(
+        sim, config,
+        [this](net::FrameMeta f) {
+          sim.after(delay, [this, f] { flow->on_data_at_receiver(f); });
+        },
+        [this](net::FrameMeta f) {
+          sim.after(delay, [this, f] { flow->on_ack_at_sender(f); });
+        });
+  }
+};
+
+TEST(Reno, DeliversBoundedFileCompletely) {
+  RenoConfig cfg;
+  cfg.file_segments = 500;
+  Pipe pipe(cfg);
+  pipe.flow->start(0);
+  pipe.sim.run_all();
+  EXPECT_TRUE(pipe.flow->finished());
+  EXPECT_EQ(pipe.flow->segments_delivered(), 500u);
+  EXPECT_EQ(pipe.flow->retransmits(), 0u);
+  EXPECT_EQ(pipe.flow->timeouts(), 0u);
+}
+
+TEST(Reno, SlowStartDoublesPerRtt) {
+  RenoConfig cfg;
+  cfg.initial_cwnd = 2.0;
+  Pipe pipe(cfg);
+  pipe.flow->start(0);
+  // After one RTT (200 us) the two initial segments are acked: cwnd = 4.
+  pipe.sim.run_until(usec(250));
+  EXPECT_NEAR(pipe.flow->cwnd(), 4.0, 0.01);
+  pipe.sim.run_until(usec(450));
+  EXPECT_NEAR(pipe.flow->cwnd(), 8.0, 0.01);
+}
+
+TEST(Reno, WindowNeverExceedsReceiverWindow) {
+  RenoConfig cfg;
+  cfg.rwnd_segments = 10;
+  Pipe pipe(cfg);
+  pipe.flow->start(0);
+  pipe.sim.run_until(msec(20));
+  // cwnd may grow beyond rwnd, but in-flight data must not.
+  EXPECT_LE(pipe.flow->segments_sent() - pipe.flow->segments_delivered(), 11u);
+}
+
+TEST(Reno, SingleLossTriggersFastRetransmit) {
+  RenoConfig cfg;
+  cfg.file_segments = 200;
+  sim::Simulator sim;
+  std::unique_ptr<RenoFlow> flow;
+  std::uint64_t data_count = 0;
+  flow = std::make_unique<RenoFlow>(
+      sim, cfg,
+      [&](net::FrameMeta f) {
+        // Drop exactly the 30th data transmission.
+        if (++data_count == 30) return;
+        sim.after(usec(100), [&, f] { flow->on_data_at_receiver(f); });
+      },
+      [&](net::FrameMeta f) {
+        sim.after(usec(100), [&, f] { flow->on_ack_at_sender(f); });
+      });
+  flow->start(0);
+  sim.run_all();
+  EXPECT_EQ(flow->segments_delivered(), 200u);  // loss recovered
+  EXPECT_GE(flow->retransmits(), 1u);
+  EXPECT_EQ(flow->timeouts(), 0u);  // dup-ACKs suffice, no RTO
+}
+
+TEST(Reno, TotalBlackoutRecoversViaRto) {
+  RenoConfig cfg;
+  cfg.file_segments = 50;
+  cfg.min_rto = msec(50);
+  sim::Simulator sim;
+  std::unique_ptr<RenoFlow> flow;
+  bool blackout = true;
+  flow = std::make_unique<RenoFlow>(
+      sim, cfg,
+      [&](net::FrameMeta f) {
+        if (blackout) return;  // everything lost
+        sim.after(usec(100), [&, f] { flow->on_data_at_receiver(f); });
+      },
+      [&](net::FrameMeta f) {
+        sim.after(usec(100), [&, f] { flow->on_ack_at_sender(f); });
+      });
+  flow->start(0);
+  sim.at(msec(400), [&] { blackout = false; });
+  sim.run_all();
+  EXPECT_TRUE(flow->finished());
+  EXPECT_GE(flow->timeouts(), 1u);
+}
+
+TEST(Reno, LossHalvesWindow) {
+  RenoConfig cfg;
+  sim::Simulator sim;
+  std::unique_ptr<RenoFlow> flow;
+  std::uint64_t count = 0;
+  flow = std::make_unique<RenoFlow>(
+      sim, cfg,
+      [&](net::FrameMeta f) {
+        if (++count == 40) return;  // one drop
+        sim.after(usec(100), [&, f] { flow->on_data_at_receiver(f); });
+      },
+      [&](net::FrameMeta f) {
+        sim.after(usec(100), [&, f] { flow->on_ack_at_sender(f); });
+      });
+  flow->start(0);
+  // Sample cwnd finely; after the fast retransmit the window must collapse
+  // to about half its peak (multiplicative decrease).
+  std::vector<double> samples;
+  for (int t = 1; t <= 600; ++t) {
+    sim.run_until(usec(50) * t);
+    samples.push_back(flow->cwnd());
+  }
+  EXPECT_GE(flow->retransmits(), 1u);
+  // Maximum drawdown: at the loss, cwnd must fall to about half of the
+  // running peak (cwnd otherwise only grows, so the drawdown isolates the
+  // multiplicative decrease).
+  double running_peak = 0.0;
+  double worst_ratio = 1.0;
+  for (double s : samples) {
+    running_peak = std::max(running_peak, s);
+    worst_ratio = std::min(worst_ratio, s / running_peak);
+  }
+  EXPECT_LT(worst_ratio, 0.7);
+}
+
+TEST(Reno, ReceiverReordersOutOfOrderSegments) {
+  RenoConfig cfg;
+  cfg.file_segments = 4;
+  sim::Simulator sim;
+  std::unique_ptr<RenoFlow> flow;
+  std::vector<net::FrameMeta> held;
+  int sent_count = 0;
+  flow = std::make_unique<RenoFlow>(
+      sim, cfg,
+      [&](net::FrameMeta f) {
+        // Deliver the first two data segments in swapped order.
+        ++sent_count;
+        if (sent_count == 1) {
+          held.push_back(f);
+          return;
+        }
+        sim.after(usec(10), [&, f] { flow->on_data_at_receiver(f); });
+        if (sent_count == 2 && !held.empty()) {
+          const auto first = held.back();
+          held.clear();
+          sim.after(usec(20), [&, first] { flow->on_data_at_receiver(first); });
+        }
+      },
+      [&](net::FrameMeta f) {
+        sim.after(usec(10), [&, f] { flow->on_ack_at_sender(f); });
+      });
+  flow->start(0);
+  sim.run_all();
+  EXPECT_EQ(flow->segments_delivered(), 4u);
+}
+
+TEST(Reno, AppDrainRateLimitsThroughput) {
+  RenoConfig cfg;
+  cfg.app_drain_rate = 100e6;  // 100 Mbps application ceiling
+  Pipe pipe(cfg);
+  pipe.flow->start(0);
+  pipe.sim.run_until(msec(50));
+  pipe.flow->begin_measurement(pipe.sim.now());
+  pipe.sim.run_until(msec(250));
+  const double bps = static_cast<double>(pipe.flow->delivered_since_mark()) *
+                     cfg.payload_bytes * 8.0 / 0.2;
+  EXPECT_LT(bps, 115e6);
+  EXPECT_GT(bps, 60e6);
+}
+
+TEST(Reno, TwoFlowsShareBottleneckFairly) {
+  // Two flows over one shared 1-Gbps link with a small buffer: Reno should
+  // give them roughly equal goodput (the Exp 3c/4 fairness mechanism).
+  sim::Simulator sim;
+  sim::Link bottleneck(sim, 1e9, usec(10), 32);
+  std::vector<std::unique_ptr<RenoFlow>> flows(2);
+  for (int i = 0; i < 2; ++i) {
+    RenoConfig cfg;
+    cfg.flow_index = i;
+    flows[static_cast<std::size_t>(i)] = std::make_unique<RenoFlow>(
+        sim, cfg,
+        [&sim, &bottleneck, &flows](net::FrameMeta f) {
+          bottleneck.transmit(f.wire_bytes, [&flows, f] {
+            flows[static_cast<std::size_t>(f.flow_index)]->on_data_at_receiver(
+                f);
+          });
+        },
+        [&sim, &flows](net::FrameMeta f) {
+          sim.after(usec(30), [&flows, f] {
+            flows[static_cast<std::size_t>(f.flow_index)]->on_ack_at_sender(f);
+          });
+        });
+  }
+  flows[0]->start(0);
+  flows[1]->start(usec(500));
+  sim.run_until(sec(1));
+  for (auto& f : flows) f->begin_measurement(sim.now());
+  sim.run_until(sec(3));
+
+  std::vector<double> rates;
+  for (auto& f : flows)
+    rates.push_back(static_cast<double>(f->delivered_since_mark()));
+  EXPECT_GT(jain_index(rates), 0.9);
+  // Combined they should use most of the link.
+  const double total_bps = (rates[0] + rates[1]) * 1538 * 8 / 2.0;
+  EXPECT_GT(total_bps, 0.7e9);
+}
+
+TEST(Reno, GoodputAccountsPayloadBytes) {
+  RenoConfig cfg;
+  cfg.file_segments = 100;
+  Pipe pipe(cfg);
+  pipe.flow->start(0);
+  pipe.sim.run_all();
+  const double goodput = pipe.flow->goodput(0, pipe.sim.now());
+  EXPECT_GT(goodput, 0.0);
+}
+
+}  // namespace
+}  // namespace lvrm::tcp

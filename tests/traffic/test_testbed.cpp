@@ -1,0 +1,123 @@
+#include "traffic/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lvrm::traffic {
+namespace {
+
+net::FrameMeta frame(int bytes = 84, int output_if = 1) {
+  net::FrameMeta f;
+  f.wire_bytes = bytes;
+  f.output_if = output_if;
+  return f;
+}
+
+TEST(Testbed, ForwardPathReachesGatewayAndReceiver) {
+  sim::Simulator sim;
+  Testbed bed(sim, Testbed::Config{});
+  int at_gateway = 0;
+  int at_receiver = 0;
+  bed.set_gateway([&](net::FrameMeta f) {
+    ++at_gateway;
+    f.output_if = 1;
+    // Immediately bounce out (a zero-cost gateway).
+    bed.gateway_egress(std::move(f));
+    return true;
+  });
+  bed.set_to_receiver([&](net::FrameMeta&&) { ++at_receiver; });
+  bed.from_sender(0, frame());
+  sim.run_all();
+  EXPECT_EQ(at_gateway, 1);
+  EXPECT_EQ(at_receiver, 1);
+  EXPECT_EQ(bed.delivered_to_receivers(), 1u);
+}
+
+TEST(Testbed, ReversePathReachesSenderSide) {
+  sim::Simulator sim;
+  Testbed bed(sim, Testbed::Config{});
+  int at_sender = 0;
+  bed.set_gateway([&](net::FrameMeta f) {
+    f.output_if = 0;  // back toward the sender sub-network
+    bed.gateway_egress(std::move(f));
+    return true;
+  });
+  bed.set_to_sender([&](net::FrameMeta&&) { ++at_sender; });
+  bed.from_receiver(1, frame());
+  sim.run_all();
+  EXPECT_EQ(at_sender, 1);
+  EXPECT_EQ(bed.delivered_to_senders(), 1u);
+}
+
+TEST(Testbed, EndToEndLatencyIncludesHostsAndWire) {
+  sim::Simulator sim;
+  Testbed::Config cfg;
+  Testbed bed(sim, cfg);
+  bed.set_gateway([&](net::FrameMeta f) {
+    f.output_if = 1;
+    bed.gateway_egress(std::move(f));
+    return true;
+  });
+  Nanos delivered_at = -1;
+  bed.set_to_receiver(
+      [&](net::FrameMeta&&) { delivered_at = sim.now(); });
+  bed.from_sender(0, frame(84));
+  sim.run_all();
+  // host tx + 2 wire hops in + 1 hop out + host rx + propagation x3.
+  const Nanos wire = wire_time(84, cfg.link_rate);
+  const Nanos expected = cfg.host_tx_latency + 3 * (wire + cfg.propagation) +
+                         cfg.host_rx_latency;
+  EXPECT_EQ(delivered_at, expected);
+}
+
+TEST(Testbed, GatewayRefusalCountsAsDrop) {
+  sim::Simulator sim;
+  Testbed bed(sim, Testbed::Config{});
+  bed.set_gateway([](net::FrameMeta) { return false; });
+  bed.from_sender(0, frame());
+  sim.run_all();
+  EXPECT_EQ(bed.gateway_rx_drops(), 1u);
+}
+
+TEST(Testbed, TrunkSaturationTailDrops) {
+  sim::Simulator sim;
+  Testbed::Config cfg;
+  cfg.tx_queue = 4;
+  Testbed bed(sim, cfg);
+  int at_gateway = 0;
+  bed.set_gateway([&](net::FrameMeta) {
+    ++at_gateway;
+    return true;
+  });
+  // Two senders each blast 100 full-size frames instantly: the shared trunk
+  // must tail-drop most of the burst beyond its queue.
+  for (int i = 0; i < 100; ++i) {
+    bed.from_sender(0, frame(1538));
+    bed.from_sender(1, frame(1538));
+  }
+  sim.run_all();
+  EXPECT_GT(bed.link_drops(), 0u);
+  EXPECT_LT(at_gateway, 200);
+}
+
+TEST(Testbed, MarkWindowsCountDeliveries) {
+  sim::Simulator sim;
+  Testbed bed(sim, Testbed::Config{});
+  bed.set_gateway([&](net::FrameMeta f) {
+    f.output_if = 1;
+    bed.gateway_egress(std::move(f));
+    return true;
+  });
+  bed.from_sender(0, frame());
+  sim.run_all();
+  bed.mark();
+  bed.from_sender(0, frame());
+  bed.from_sender(1, frame());
+  sim.run_all();
+  EXPECT_EQ(bed.delivered_to_receivers(), 3u);
+  EXPECT_EQ(bed.delivered_to_receivers_since_mark(), 2u);
+}
+
+}  // namespace
+}  // namespace lvrm::traffic

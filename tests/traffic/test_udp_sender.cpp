@@ -1,0 +1,134 @@
+#include "traffic/udp_sender.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lvrm::traffic {
+namespace {
+
+TEST(UdpSender, ConstantRateEmitsExpectedCount) {
+  sim::Simulator sim;
+  UdpSender::Config cfg;
+  cfg.profile = UdpSender::constant(100'000.0);
+  cfg.stop_at = msec(100);
+  std::uint64_t got = 0;
+  UdpSender sender(sim, cfg, [&](net::FrameMeta&&) { ++got; });
+  sender.start();
+  sim.run_all();
+  EXPECT_NEAR(static_cast<double>(got), 10'000.0, 50.0);
+  EXPECT_EQ(sender.sent(), got);
+}
+
+TEST(UdpSender, HostCeilingCapsRate) {
+  sim::Simulator sim;
+  UdpSender::Config cfg;
+  cfg.profile = UdpSender::constant(1'000'000.0);  // above the 224 Kfps cap
+  cfg.stop_at = msec(100);
+  std::uint64_t got = 0;
+  UdpSender sender(sim, cfg, [&](net::FrameMeta&&) { ++got; });
+  sender.start();
+  sim.run_all();
+  const double fps = static_cast<double>(got) / 0.1;
+  EXPECT_NEAR(fps, 1e9 / static_cast<double>(sim::costs::kSenderPerFrame),
+              3000.0);
+}
+
+TEST(UdpSender, FramesCarryConfiguredFields) {
+  sim::Simulator sim;
+  UdpSender::Config cfg;
+  cfg.src_ip = net::ipv4(10, 1, 7, 7);
+  cfg.dst_ip = net::ipv4(10, 2, 7, 7);
+  cfg.wire_bytes = 400;
+  cfg.profile = UdpSender::constant(1000.0);
+  cfg.stop_at = msec(10);
+  std::vector<net::FrameMeta> frames;
+  UdpSender sender(sim, cfg, [&](net::FrameMeta&& f) { frames.push_back(f); });
+  sender.start();
+  sim.run_all();
+  ASSERT_FALSE(frames.empty());
+  EXPECT_EQ(frames[0].src_ip, net::ipv4(10, 1, 7, 7));
+  EXPECT_EQ(frames[0].dst_ip, net::ipv4(10, 2, 7, 7));
+  EXPECT_EQ(frames[0].wire_bytes, 400);
+  EXPECT_EQ(frames[0].kind, net::FrameKind::kUdp);
+}
+
+TEST(UdpSender, FlowsCycle) {
+  sim::Simulator sim;
+  UdpSender::Config cfg;
+  cfg.flows = 3;
+  cfg.profile = UdpSender::constant(10'000.0);
+  cfg.stop_at = msec(2);
+  std::vector<net::FrameMeta> frames;
+  UdpSender sender(sim, cfg, [&](net::FrameMeta&& f) { frames.push_back(f); });
+  sender.start();
+  sim.run_all();
+  ASSERT_GE(frames.size(), 6u);
+  EXPECT_EQ(frames[0].flow_index, 0);
+  EXPECT_EQ(frames[1].flow_index, 1);
+  EXPECT_EQ(frames[2].flow_index, 2);
+  EXPECT_EQ(frames[3].flow_index, 0);
+  EXPECT_EQ(frames[0].src_port, frames[3].src_port);
+}
+
+TEST(UdpSender, ProfileStepsChangeRate) {
+  sim::Simulator sim;
+  UdpSender::Config cfg;
+  cfg.profile = {{0, 10'000.0}, {msec(50), 50'000.0}};
+  cfg.stop_at = msec(100);
+  std::vector<Nanos> times;
+  UdpSender sender(sim, cfg, [&](net::FrameMeta&& f) {
+    times.push_back(f.created_at);
+  });
+  sender.start();
+  sim.run_all();
+  std::uint64_t first_half = 0;
+  std::uint64_t second_half = 0;
+  for (Nanos t : times) (t < msec(50) ? first_half : second_half) += 1;
+  EXPECT_NEAR(static_cast<double>(first_half), 500.0, 10.0);
+  EXPECT_NEAR(static_cast<double>(second_half), 2500.0, 20.0);
+}
+
+TEST(UdpSender, ZeroRatePausesUntilNextStep) {
+  sim::Simulator sim;
+  UdpSender::Config cfg;
+  cfg.profile = {{0, 1000.0}, {msec(10), 0.0}, {msec(20), 1000.0}};
+  cfg.stop_at = msec(30);
+  std::vector<Nanos> times;
+  UdpSender sender(sim, cfg,
+                   [&](net::FrameMeta&& f) { times.push_back(f.created_at); });
+  sender.start();
+  sim.run_all();
+  for (Nanos t : times) EXPECT_FALSE(t > msec(10) && t < msec(20)) << t;
+  EXPECT_FALSE(times.empty());
+  EXPECT_GT(times.back(), msec(20));
+}
+
+TEST(UdpSender, StaircaseProfileShape) {
+  const auto steps = UdpSender::staircase(60'000.0, 360'000.0, sec(5));
+  // Up: 60..360 (6 steps), down: 300..120 (4 steps), final 60.
+  ASSERT_EQ(steps.size(), 11u);
+  EXPECT_DOUBLE_EQ(steps[0].rate, 60'000.0);
+  EXPECT_DOUBLE_EQ(steps[5].rate, 360'000.0);
+  EXPECT_DOUBLE_EQ(steps[6].rate, 300'000.0);
+  EXPECT_DOUBLE_EQ(steps.back().rate, 60'000.0);
+  for (std::size_t i = 1; i < steps.size(); ++i)
+    EXPECT_EQ(steps[i].at - steps[i - 1].at, sec(5));
+}
+
+TEST(UdpSender, MarkSnapshotsCount) {
+  sim::Simulator sim;
+  UdpSender::Config cfg;
+  cfg.profile = UdpSender::constant(10'000.0);
+  cfg.stop_at = msec(20);
+  UdpSender sender(sim, cfg, [](net::FrameMeta&&) {});
+  sender.start();
+  sim.run_until(msec(10));
+  sender.mark();
+  sim.run_all();
+  EXPECT_LT(sender.sent_since_mark(), sender.sent());
+  EXPECT_NEAR(static_cast<double>(sender.sent_since_mark()), 100.0, 5.0);
+}
+
+}  // namespace
+}  // namespace lvrm::traffic
