@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp1a_cpu.dir/bench_exp1a_cpu.cpp.o"
+  "CMakeFiles/bench_exp1a_cpu.dir/bench_exp1a_cpu.cpp.o.d"
+  "bench_exp1a_cpu"
+  "bench_exp1a_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp1a_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

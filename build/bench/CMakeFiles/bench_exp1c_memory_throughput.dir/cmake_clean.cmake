@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp1c_memory_throughput.dir/bench_exp1c_memory_throughput.cpp.o"
+  "CMakeFiles/bench_exp1c_memory_throughput.dir/bench_exp1c_memory_throughput.cpp.o.d"
+  "bench_exp1c_memory_throughput"
+  "bench_exp1c_memory_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp1c_memory_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

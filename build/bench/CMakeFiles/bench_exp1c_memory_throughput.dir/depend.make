@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_exp1c_memory_throughput.
+# This may be replaced when dependencies are built.

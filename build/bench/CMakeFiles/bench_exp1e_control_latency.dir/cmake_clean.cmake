@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp1e_control_latency.dir/bench_exp1e_control_latency.cpp.o"
+  "CMakeFiles/bench_exp1e_control_latency.dir/bench_exp1e_control_latency.cpp.o.d"
+  "bench_exp1e_control_latency"
+  "bench_exp1e_control_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp1e_control_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_exp1e_control_latency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp2a_affinity.dir/bench_exp2a_affinity.cpp.o"
+  "CMakeFiles/bench_exp2a_affinity.dir/bench_exp2a_affinity.cpp.o.d"
+  "bench_exp2a_affinity"
+  "bench_exp2a_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp2a_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

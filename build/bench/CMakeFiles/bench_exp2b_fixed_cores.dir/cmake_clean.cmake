@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp2b_fixed_cores.dir/bench_exp2b_fixed_cores.cpp.o"
+  "CMakeFiles/bench_exp2b_fixed_cores.dir/bench_exp2b_fixed_cores.cpp.o.d"
+  "bench_exp2b_fixed_cores"
+  "bench_exp2b_fixed_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp2b_fixed_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

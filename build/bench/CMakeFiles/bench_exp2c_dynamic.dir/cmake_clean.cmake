@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp2c_dynamic.dir/bench_exp2c_dynamic.cpp.o"
+  "CMakeFiles/bench_exp2c_dynamic.dir/bench_exp2c_dynamic.cpp.o.d"
+  "bench_exp2c_dynamic"
+  "bench_exp2c_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp2c_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp2d_two_vrs.dir/bench_exp2d_two_vrs.cpp.o"
+  "CMakeFiles/bench_exp2d_two_vrs.dir/bench_exp2d_two_vrs.cpp.o.d"
+  "bench_exp2d_two_vrs"
+  "bench_exp2d_two_vrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp2d_two_vrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_exp2d_two_vrs.
+# This may be replaced when dependencies are built.

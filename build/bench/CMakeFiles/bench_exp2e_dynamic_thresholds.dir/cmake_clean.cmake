@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp2e_dynamic_thresholds.dir/bench_exp2e_dynamic_thresholds.cpp.o"
+  "CMakeFiles/bench_exp2e_dynamic_thresholds.dir/bench_exp2e_dynamic_thresholds.cpp.o.d"
+  "bench_exp2e_dynamic_thresholds"
+  "bench_exp2e_dynamic_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp2e_dynamic_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

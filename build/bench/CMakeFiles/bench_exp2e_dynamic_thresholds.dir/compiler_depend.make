@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_exp2e_dynamic_thresholds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_exp2e_dynamic_thresholds.
+# This may be replaced when dependencies are built.

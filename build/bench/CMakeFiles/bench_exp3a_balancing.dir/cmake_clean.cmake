@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp3a_balancing.dir/bench_exp3a_balancing.cpp.o"
+  "CMakeFiles/bench_exp3a_balancing.dir/bench_exp3a_balancing.cpp.o.d"
+  "bench_exp3a_balancing"
+  "bench_exp3a_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp3a_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

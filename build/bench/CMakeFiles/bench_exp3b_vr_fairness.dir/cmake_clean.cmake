@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp3b_vr_fairness.dir/bench_exp3b_vr_fairness.cpp.o"
+  "CMakeFiles/bench_exp3b_vr_fairness.dir/bench_exp3b_vr_fairness.cpp.o.d"
+  "bench_exp3b_vr_fairness"
+  "bench_exp3b_vr_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp3b_vr_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

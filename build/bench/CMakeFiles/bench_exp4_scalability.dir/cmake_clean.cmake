@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp4_scalability.dir/bench_exp4_scalability.cpp.o"
+  "CMakeFiles/bench_exp4_scalability.dir/bench_exp4_scalability.cpp.o.d"
+  "bench_exp4_scalability"
+  "bench_exp4_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp4_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_backbone.dir/campus_backbone.cpp.o"
+  "CMakeFiles/campus_backbone.dir/campus_backbone.cpp.o.d"
+  "campus_backbone"
+  "campus_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

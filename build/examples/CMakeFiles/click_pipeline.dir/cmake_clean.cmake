@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/click_pipeline.dir/click_pipeline.cpp.o"
+  "CMakeFiles/click_pipeline.dir/click_pipeline.cpp.o.d"
+  "click_pipeline"
+  "click_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/click_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

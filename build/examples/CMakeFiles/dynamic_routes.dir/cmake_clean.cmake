@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_routes.dir/dynamic_routes.cpp.o"
+  "CMakeFiles/dynamic_routes.dir/dynamic_routes.cpp.o.d"
+  "dynamic_routes"
+  "dynamic_routes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_fairness.dir/tcp_fairness.cpp.o"
+  "CMakeFiles/tcp_fairness.dir/tcp_fairness.cpp.o.d"
+  "tcp_fairness"
+  "tcp_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

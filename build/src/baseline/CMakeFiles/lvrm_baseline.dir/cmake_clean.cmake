@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvrm_baseline.dir/forwarders.cpp.o"
+  "CMakeFiles/lvrm_baseline.dir/forwarders.cpp.o.d"
+  "liblvrm_baseline.a"
+  "liblvrm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvrm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

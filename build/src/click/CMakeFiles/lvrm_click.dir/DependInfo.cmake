@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/click/elements.cpp" "src/click/CMakeFiles/lvrm_click.dir/elements.cpp.o" "gcc" "src/click/CMakeFiles/lvrm_click.dir/elements.cpp.o.d"
+  "/root/repo/src/click/ip_filter.cpp" "src/click/CMakeFiles/lvrm_click.dir/ip_filter.cpp.o" "gcc" "src/click/CMakeFiles/lvrm_click.dir/ip_filter.cpp.o.d"
+  "/root/repo/src/click/router.cpp" "src/click/CMakeFiles/lvrm_click.dir/router.cpp.o" "gcc" "src/click/CMakeFiles/lvrm_click.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lvrm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/lvrm_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lvrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvrm_click.dir/elements.cpp.o"
+  "CMakeFiles/lvrm_click.dir/elements.cpp.o.d"
+  "CMakeFiles/lvrm_click.dir/ip_filter.cpp.o"
+  "CMakeFiles/lvrm_click.dir/ip_filter.cpp.o.d"
+  "CMakeFiles/lvrm_click.dir/router.cpp.o"
+  "CMakeFiles/lvrm_click.dir/router.cpp.o.d"
+  "liblvrm_click.a"
+  "liblvrm_click.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvrm_click.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

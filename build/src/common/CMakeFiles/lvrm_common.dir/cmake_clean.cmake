@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvrm_common.dir/cli.cpp.o"
+  "CMakeFiles/lvrm_common.dir/cli.cpp.o.d"
+  "CMakeFiles/lvrm_common.dir/histogram.cpp.o"
+  "CMakeFiles/lvrm_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/lvrm_common.dir/log.cpp.o"
+  "CMakeFiles/lvrm_common.dir/log.cpp.o.d"
+  "CMakeFiles/lvrm_common.dir/stats.cpp.o"
+  "CMakeFiles/lvrm_common.dir/stats.cpp.o.d"
+  "CMakeFiles/lvrm_common.dir/table.cpp.o"
+  "CMakeFiles/lvrm_common.dir/table.cpp.o.d"
+  "liblvrm_common.a"
+  "liblvrm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvrm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvrm_exp.dir/experiments.cpp.o"
+  "CMakeFiles/lvrm_exp.dir/experiments.cpp.o.d"
+  "CMakeFiles/lvrm_exp.dir/gateway.cpp.o"
+  "CMakeFiles/lvrm_exp.dir/gateway.cpp.o.d"
+  "liblvrm_exp.a"
+  "liblvrm_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvrm_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

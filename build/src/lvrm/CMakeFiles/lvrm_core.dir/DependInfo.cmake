@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lvrm/core_allocator.cpp" "src/lvrm/CMakeFiles/lvrm_core.dir/core_allocator.cpp.o" "gcc" "src/lvrm/CMakeFiles/lvrm_core.dir/core_allocator.cpp.o.d"
+  "/root/repo/src/lvrm/load_balancer.cpp" "src/lvrm/CMakeFiles/lvrm_core.dir/load_balancer.cpp.o" "gcc" "src/lvrm/CMakeFiles/lvrm_core.dir/load_balancer.cpp.o.d"
+  "/root/repo/src/lvrm/load_estimator.cpp" "src/lvrm/CMakeFiles/lvrm_core.dir/load_estimator.cpp.o" "gcc" "src/lvrm/CMakeFiles/lvrm_core.dir/load_estimator.cpp.o.d"
+  "/root/repo/src/lvrm/socket_adapter.cpp" "src/lvrm/CMakeFiles/lvrm_core.dir/socket_adapter.cpp.o" "gcc" "src/lvrm/CMakeFiles/lvrm_core.dir/socket_adapter.cpp.o.d"
+  "/root/repo/src/lvrm/system.cpp" "src/lvrm/CMakeFiles/lvrm_core.dir/system.cpp.o" "gcc" "src/lvrm/CMakeFiles/lvrm_core.dir/system.cpp.o.d"
+  "/root/repo/src/lvrm/types.cpp" "src/lvrm/CMakeFiles/lvrm_core.dir/types.cpp.o" "gcc" "src/lvrm/CMakeFiles/lvrm_core.dir/types.cpp.o.d"
+  "/root/repo/src/lvrm/vri.cpp" "src/lvrm/CMakeFiles/lvrm_core.dir/vri.cpp.o" "gcc" "src/lvrm/CMakeFiles/lvrm_core.dir/vri.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lvrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lvrm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/lvrm_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/lvrm_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/click/CMakeFiles/lvrm_click.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lvrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvrm_core.dir/core_allocator.cpp.o"
+  "CMakeFiles/lvrm_core.dir/core_allocator.cpp.o.d"
+  "CMakeFiles/lvrm_core.dir/load_balancer.cpp.o"
+  "CMakeFiles/lvrm_core.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/lvrm_core.dir/load_estimator.cpp.o"
+  "CMakeFiles/lvrm_core.dir/load_estimator.cpp.o.d"
+  "CMakeFiles/lvrm_core.dir/socket_adapter.cpp.o"
+  "CMakeFiles/lvrm_core.dir/socket_adapter.cpp.o.d"
+  "CMakeFiles/lvrm_core.dir/system.cpp.o"
+  "CMakeFiles/lvrm_core.dir/system.cpp.o.d"
+  "CMakeFiles/lvrm_core.dir/types.cpp.o"
+  "CMakeFiles/lvrm_core.dir/types.cpp.o.d"
+  "CMakeFiles/lvrm_core.dir/vri.cpp.o"
+  "CMakeFiles/lvrm_core.dir/vri.cpp.o.d"
+  "liblvrm_core.a"
+  "liblvrm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvrm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvrm_net.dir/checksum.cpp.o"
+  "CMakeFiles/lvrm_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/lvrm_net.dir/flow.cpp.o"
+  "CMakeFiles/lvrm_net.dir/flow.cpp.o.d"
+  "CMakeFiles/lvrm_net.dir/headers.cpp.o"
+  "CMakeFiles/lvrm_net.dir/headers.cpp.o.d"
+  "CMakeFiles/lvrm_net.dir/ip.cpp.o"
+  "CMakeFiles/lvrm_net.dir/ip.cpp.o.d"
+  "CMakeFiles/lvrm_net.dir/mac.cpp.o"
+  "CMakeFiles/lvrm_net.dir/mac.cpp.o.d"
+  "CMakeFiles/lvrm_net.dir/trace.cpp.o"
+  "CMakeFiles/lvrm_net.dir/trace.cpp.o.d"
+  "liblvrm_net.a"
+  "liblvrm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvrm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvrm_queue.dir/shm_arena.cpp.o"
+  "CMakeFiles/lvrm_queue.dir/shm_arena.cpp.o.d"
+  "liblvrm_queue.a"
+  "liblvrm_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvrm_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblvrm_queue.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/arp_table.cpp" "src/route/CMakeFiles/lvrm_route.dir/arp_table.cpp.o" "gcc" "src/route/CMakeFiles/lvrm_route.dir/arp_table.cpp.o.d"
+  "/root/repo/src/route/dir24_table.cpp" "src/route/CMakeFiles/lvrm_route.dir/dir24_table.cpp.o" "gcc" "src/route/CMakeFiles/lvrm_route.dir/dir24_table.cpp.o.d"
+  "/root/repo/src/route/route_table.cpp" "src/route/CMakeFiles/lvrm_route.dir/route_table.cpp.o" "gcc" "src/route/CMakeFiles/lvrm_route.dir/route_table.cpp.o.d"
+  "/root/repo/src/route/route_update.cpp" "src/route/CMakeFiles/lvrm_route.dir/route_update.cpp.o" "gcc" "src/route/CMakeFiles/lvrm_route.dir/route_update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lvrm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lvrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

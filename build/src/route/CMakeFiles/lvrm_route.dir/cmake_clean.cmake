@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvrm_route.dir/arp_table.cpp.o"
+  "CMakeFiles/lvrm_route.dir/arp_table.cpp.o.d"
+  "CMakeFiles/lvrm_route.dir/dir24_table.cpp.o"
+  "CMakeFiles/lvrm_route.dir/dir24_table.cpp.o.d"
+  "CMakeFiles/lvrm_route.dir/route_table.cpp.o"
+  "CMakeFiles/lvrm_route.dir/route_table.cpp.o.d"
+  "CMakeFiles/lvrm_route.dir/route_update.cpp.o"
+  "CMakeFiles/lvrm_route.dir/route_update.cpp.o.d"
+  "liblvrm_route.a"
+  "liblvrm_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvrm_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

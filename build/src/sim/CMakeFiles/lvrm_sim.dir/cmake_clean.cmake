@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvrm_sim.dir/core.cpp.o"
+  "CMakeFiles/lvrm_sim.dir/core.cpp.o.d"
+  "CMakeFiles/lvrm_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/lvrm_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/lvrm_sim.dir/link.cpp.o"
+  "CMakeFiles/lvrm_sim.dir/link.cpp.o.d"
+  "CMakeFiles/lvrm_sim.dir/simulator.cpp.o"
+  "CMakeFiles/lvrm_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/lvrm_sim.dir/topology.cpp.o"
+  "CMakeFiles/lvrm_sim.dir/topology.cpp.o.d"
+  "liblvrm_sim.a"
+  "liblvrm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvrm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvrm_tcp.dir/reno.cpp.o"
+  "CMakeFiles/lvrm_tcp.dir/reno.cpp.o.d"
+  "liblvrm_tcp.a"
+  "liblvrm_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvrm_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

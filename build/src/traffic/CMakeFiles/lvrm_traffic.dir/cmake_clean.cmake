@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvrm_traffic.dir/testbed.cpp.o"
+  "CMakeFiles/lvrm_traffic.dir/testbed.cpp.o.d"
+  "CMakeFiles/lvrm_traffic.dir/udp_sender.cpp.o"
+  "CMakeFiles/lvrm_traffic.dir/udp_sender.cpp.o.d"
+  "liblvrm_traffic.a"
+  "liblvrm_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvrm_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_cli.cpp" "tests/CMakeFiles/tests_foundation.dir/common/test_cli.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/common/test_cli.cpp.o.d"
+  "/root/repo/tests/common/test_ewma.cpp" "tests/CMakeFiles/tests_foundation.dir/common/test_ewma.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/common/test_ewma.cpp.o.d"
+  "/root/repo/tests/common/test_histogram.cpp" "tests/CMakeFiles/tests_foundation.dir/common/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/common/test_histogram.cpp.o.d"
+  "/root/repo/tests/common/test_log.cpp" "tests/CMakeFiles/tests_foundation.dir/common/test_log.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/common/test_log.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/tests_foundation.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/tests_foundation.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_table.cpp" "tests/CMakeFiles/tests_foundation.dir/common/test_table.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/common/test_table.cpp.o.d"
+  "/root/repo/tests/net/test_checksum.cpp" "tests/CMakeFiles/tests_foundation.dir/net/test_checksum.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/net/test_checksum.cpp.o.d"
+  "/root/repo/tests/net/test_flow.cpp" "tests/CMakeFiles/tests_foundation.dir/net/test_flow.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/net/test_flow.cpp.o.d"
+  "/root/repo/tests/net/test_headers.cpp" "tests/CMakeFiles/tests_foundation.dir/net/test_headers.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/net/test_headers.cpp.o.d"
+  "/root/repo/tests/net/test_ip.cpp" "tests/CMakeFiles/tests_foundation.dir/net/test_ip.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/net/test_ip.cpp.o.d"
+  "/root/repo/tests/net/test_mac.cpp" "tests/CMakeFiles/tests_foundation.dir/net/test_mac.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/net/test_mac.cpp.o.d"
+  "/root/repo/tests/net/test_pcap.cpp" "tests/CMakeFiles/tests_foundation.dir/net/test_pcap.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/net/test_pcap.cpp.o.d"
+  "/root/repo/tests/net/test_trace.cpp" "tests/CMakeFiles/tests_foundation.dir/net/test_trace.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/net/test_trace.cpp.o.d"
+  "/root/repo/tests/queue/test_locked_queue.cpp" "tests/CMakeFiles/tests_foundation.dir/queue/test_locked_queue.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/queue/test_locked_queue.cpp.o.d"
+  "/root/repo/tests/queue/test_queue_variants.cpp" "tests/CMakeFiles/tests_foundation.dir/queue/test_queue_variants.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/queue/test_queue_variants.cpp.o.d"
+  "/root/repo/tests/queue/test_shm_arena.cpp" "tests/CMakeFiles/tests_foundation.dir/queue/test_shm_arena.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/queue/test_shm_arena.cpp.o.d"
+  "/root/repo/tests/queue/test_spsc_ring.cpp" "tests/CMakeFiles/tests_foundation.dir/queue/test_spsc_ring.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/queue/test_spsc_ring.cpp.o.d"
+  "/root/repo/tests/route/test_arp_table.cpp" "tests/CMakeFiles/tests_foundation.dir/route/test_arp_table.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/route/test_arp_table.cpp.o.d"
+  "/root/repo/tests/route/test_dir24_table.cpp" "tests/CMakeFiles/tests_foundation.dir/route/test_dir24_table.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/route/test_dir24_table.cpp.o.d"
+  "/root/repo/tests/route/test_route_table.cpp" "tests/CMakeFiles/tests_foundation.dir/route/test_route_table.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/route/test_route_table.cpp.o.d"
+  "/root/repo/tests/route/test_route_update.cpp" "tests/CMakeFiles/tests_foundation.dir/route/test_route_update.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/route/test_route_update.cpp.o.d"
+  "/root/repo/tests/sim/test_bounded_queue.cpp" "tests/CMakeFiles/tests_foundation.dir/sim/test_bounded_queue.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/sim/test_bounded_queue.cpp.o.d"
+  "/root/repo/tests/sim/test_core.cpp" "tests/CMakeFiles/tests_foundation.dir/sim/test_core.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/sim/test_core.cpp.o.d"
+  "/root/repo/tests/sim/test_event_queue.cpp" "tests/CMakeFiles/tests_foundation.dir/sim/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/sim/test_event_queue.cpp.o.d"
+  "/root/repo/tests/sim/test_link.cpp" "tests/CMakeFiles/tests_foundation.dir/sim/test_link.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/sim/test_link.cpp.o.d"
+  "/root/repo/tests/sim/test_poll_server.cpp" "tests/CMakeFiles/tests_foundation.dir/sim/test_poll_server.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/sim/test_poll_server.cpp.o.d"
+  "/root/repo/tests/sim/test_poll_server_batch.cpp" "tests/CMakeFiles/tests_foundation.dir/sim/test_poll_server_batch.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/sim/test_poll_server_batch.cpp.o.d"
+  "/root/repo/tests/sim/test_sim_properties.cpp" "tests/CMakeFiles/tests_foundation.dir/sim/test_sim_properties.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/sim/test_sim_properties.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/tests_foundation.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/sim/test_simulator.cpp.o.d"
+  "/root/repo/tests/sim/test_topology.cpp" "tests/CMakeFiles/tests_foundation.dir/sim/test_topology.cpp.o" "gcc" "tests/CMakeFiles/tests_foundation.dir/sim/test_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/lvrm_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lvrm/CMakeFiles/lvrm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lvrm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/lvrm_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/lvrm_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/click/CMakeFiles/lvrm_click.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/lvrm_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/lvrm_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lvrm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lvrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lvrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

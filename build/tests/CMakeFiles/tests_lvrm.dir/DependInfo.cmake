@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exp/test_determinism.cpp" "tests/CMakeFiles/tests_lvrm.dir/exp/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/tests_lvrm.dir/exp/test_determinism.cpp.o.d"
+  "/root/repo/tests/exp/test_experiments.cpp" "tests/CMakeFiles/tests_lvrm.dir/exp/test_experiments.cpp.o" "gcc" "tests/CMakeFiles/tests_lvrm.dir/exp/test_experiments.cpp.o.d"
+  "/root/repo/tests/exp/test_gateway.cpp" "tests/CMakeFiles/tests_lvrm.dir/exp/test_gateway.cpp.o" "gcc" "tests/CMakeFiles/tests_lvrm.dir/exp/test_gateway.cpp.o.d"
+  "/root/repo/tests/lvrm/test_allocators.cpp" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_allocators.cpp.o" "gcc" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_allocators.cpp.o.d"
+  "/root/repo/tests/lvrm/test_balancers.cpp" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_balancers.cpp.o" "gcc" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_balancers.cpp.o.d"
+  "/root/repo/tests/lvrm/test_custom_click.cpp" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_custom_click.cpp.o" "gcc" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_custom_click.cpp.o.d"
+  "/root/repo/tests/lvrm/test_dynamic_routes.cpp" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_dynamic_routes.cpp.o" "gcc" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_dynamic_routes.cpp.o.d"
+  "/root/repo/tests/lvrm/test_estimators.cpp" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_estimators.cpp.o" "gcc" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_estimators.cpp.o.d"
+  "/root/repo/tests/lvrm/test_failure_injection.cpp" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/lvrm/test_socket_adapter.cpp" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_socket_adapter.cpp.o" "gcc" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_socket_adapter.cpp.o.d"
+  "/root/repo/tests/lvrm/test_system.cpp" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_system.cpp.o" "gcc" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_system.cpp.o.d"
+  "/root/repo/tests/lvrm/test_system_dynamic.cpp" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_system_dynamic.cpp.o" "gcc" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_system_dynamic.cpp.o.d"
+  "/root/repo/tests/lvrm/test_system_flow.cpp" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_system_flow.cpp.o" "gcc" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_system_flow.cpp.o.d"
+  "/root/repo/tests/lvrm/test_types.cpp" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_types.cpp.o" "gcc" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_types.cpp.o.d"
+  "/root/repo/tests/lvrm/test_vri.cpp" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_vri.cpp.o" "gcc" "tests/CMakeFiles/tests_lvrm.dir/lvrm/test_vri.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/lvrm_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lvrm/CMakeFiles/lvrm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lvrm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/lvrm_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/lvrm_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/click/CMakeFiles/lvrm_click.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/lvrm_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/lvrm_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lvrm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lvrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lvrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline/test_forwarders.cpp" "tests/CMakeFiles/tests_router.dir/baseline/test_forwarders.cpp.o" "gcc" "tests/CMakeFiles/tests_router.dir/baseline/test_forwarders.cpp.o.d"
+  "/root/repo/tests/click/test_elements.cpp" "tests/CMakeFiles/tests_router.dir/click/test_elements.cpp.o" "gcc" "tests/CMakeFiles/tests_router.dir/click/test_elements.cpp.o.d"
+  "/root/repo/tests/click/test_forwarding.cpp" "tests/CMakeFiles/tests_router.dir/click/test_forwarding.cpp.o" "gcc" "tests/CMakeFiles/tests_router.dir/click/test_forwarding.cpp.o.d"
+  "/root/repo/tests/click/test_ip_filter.cpp" "tests/CMakeFiles/tests_router.dir/click/test_ip_filter.cpp.o" "gcc" "tests/CMakeFiles/tests_router.dir/click/test_ip_filter.cpp.o.d"
+  "/root/repo/tests/click/test_packet.cpp" "tests/CMakeFiles/tests_router.dir/click/test_packet.cpp.o" "gcc" "tests/CMakeFiles/tests_router.dir/click/test_packet.cpp.o.d"
+  "/root/repo/tests/click/test_parser.cpp" "tests/CMakeFiles/tests_router.dir/click/test_parser.cpp.o" "gcc" "tests/CMakeFiles/tests_router.dir/click/test_parser.cpp.o.d"
+  "/root/repo/tests/click/test_router_tasks.cpp" "tests/CMakeFiles/tests_router.dir/click/test_router_tasks.cpp.o" "gcc" "tests/CMakeFiles/tests_router.dir/click/test_router_tasks.cpp.o.d"
+  "/root/repo/tests/tcp/test_reno.cpp" "tests/CMakeFiles/tests_router.dir/tcp/test_reno.cpp.o" "gcc" "tests/CMakeFiles/tests_router.dir/tcp/test_reno.cpp.o.d"
+  "/root/repo/tests/traffic/test_testbed.cpp" "tests/CMakeFiles/tests_router.dir/traffic/test_testbed.cpp.o" "gcc" "tests/CMakeFiles/tests_router.dir/traffic/test_testbed.cpp.o.d"
+  "/root/repo/tests/traffic/test_udp_sender.cpp" "tests/CMakeFiles/tests_router.dir/traffic/test_udp_sender.cpp.o" "gcc" "tests/CMakeFiles/tests_router.dir/traffic/test_udp_sender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/lvrm_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lvrm/CMakeFiles/lvrm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lvrm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/lvrm_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/lvrm_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/click/CMakeFiles/lvrm_click.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/lvrm_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/lvrm_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lvrm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lvrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lvrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

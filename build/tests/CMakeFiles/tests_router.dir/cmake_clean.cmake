@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_router.dir/baseline/test_forwarders.cpp.o"
+  "CMakeFiles/tests_router.dir/baseline/test_forwarders.cpp.o.d"
+  "CMakeFiles/tests_router.dir/click/test_elements.cpp.o"
+  "CMakeFiles/tests_router.dir/click/test_elements.cpp.o.d"
+  "CMakeFiles/tests_router.dir/click/test_forwarding.cpp.o"
+  "CMakeFiles/tests_router.dir/click/test_forwarding.cpp.o.d"
+  "CMakeFiles/tests_router.dir/click/test_ip_filter.cpp.o"
+  "CMakeFiles/tests_router.dir/click/test_ip_filter.cpp.o.d"
+  "CMakeFiles/tests_router.dir/click/test_packet.cpp.o"
+  "CMakeFiles/tests_router.dir/click/test_packet.cpp.o.d"
+  "CMakeFiles/tests_router.dir/click/test_parser.cpp.o"
+  "CMakeFiles/tests_router.dir/click/test_parser.cpp.o.d"
+  "CMakeFiles/tests_router.dir/click/test_router_tasks.cpp.o"
+  "CMakeFiles/tests_router.dir/click/test_router_tasks.cpp.o.d"
+  "CMakeFiles/tests_router.dir/tcp/test_reno.cpp.o"
+  "CMakeFiles/tests_router.dir/tcp/test_reno.cpp.o.d"
+  "CMakeFiles/tests_router.dir/traffic/test_testbed.cpp.o"
+  "CMakeFiles/tests_router.dir/traffic/test_testbed.cpp.o.d"
+  "CMakeFiles/tests_router.dir/traffic/test_udp_sender.cpp.o"
+  "CMakeFiles/tests_router.dir/traffic/test_udp_sender.cpp.o.d"
+  "tests_router"
+  "tests_router.pdb"
+  "tests_router[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

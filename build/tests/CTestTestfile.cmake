@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_foundation[1]_include.cmake")
+include("/root/repo/build/tests/tests_router[1]_include.cmake")
+include("/root/repo/build/tests/tests_lvrm[1]_include.cmake")
