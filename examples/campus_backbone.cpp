@@ -8,6 +8,8 @@
 // allocator follows it. The example prints an hourly view of cores per VR.
 //
 // Usage: campus_backbone [--hours=8] [--dynamic-thresholds]
+#include <deque>
+#include <functional>
 #include <iomanip>
 #include <iostream>
 
@@ -68,10 +70,13 @@ int main(int argc, char** argv) {
 
   // Per-department emitters following the hourly load plan.
   std::uint64_t next_id = 0;
+  // Emitters live in a deque and recurse through references to their own
+  // slots (a self-capturing shared_ptr would be a leaked cycle).
+  std::deque<std::function<void()>> emitters;
   for (std::size_t d = 0; d < departments.size(); ++d) {
     const Department& dept = departments[d];
-    auto emit = std::make_shared<std::function<void()>>();
-    *emit = [&, d, emit] {
+    std::function<void()>& emit = emitters.emplace_back();
+    emit = [&, d] {
       const auto slot = static_cast<std::size_t>(sim.now() / hour);
       if (slot >= static_cast<std::size_t>(hours)) return;
       const double kfps =
@@ -82,9 +87,9 @@ int main(int argc, char** argv) {
       frame.src_ip = departments[d].subnet + 1;
       frame.dst_ip = departments[d].dst;
       lvrm.ingress(frame);
-      sim.after(interval_for_rate(kfps * 1e3), *emit);
+      sim.after(interval_for_rate(kfps * 1e3), emit);
     };
-    sim.at(0, *emit);
+    sim.at(0, emit);
     (void)dept;
   }
 

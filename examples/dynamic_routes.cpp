@@ -7,6 +7,7 @@
 // and clean forwarding afterwards — then the withdraw.
 //
 // Usage: dynamic_routes [--vris=4]
+#include <functional>
 #include <iostream>
 
 #include "common/cli.hpp"
@@ -48,17 +49,17 @@ int main(int argc, char** argv) {
 
   // Customer traffic: one frame every 100 us toward the new prefix.
   std::uint64_t next_id = 0;
-  auto emit = std::make_shared<std::function<void()>>();
-  *emit = [&, emit] {
+  std::function<void()> emit;
+  emit = [&] {
     if (sim.now() >= msec(30)) return;
     net::FrameMeta f;
     f.id = next_id++;
     f.src_ip = net::ipv4(10, 1, 0, 1);
     f.dst_ip = net::ipv4(203, 0, 113, 7);
     lvrm.ingress(f);
-    sim.after(usec(100), *emit);
+    sim.after(usec(100), emit);
   };
-  sim.at(0, *emit);
+  sim.at(0, emit);
 
   auto report = [&](const char* phase) {
     std::cout << phase << ": forwarded=" << delivered

@@ -23,6 +23,10 @@ class RunningStats {
 
   void reset() { *this = RunningStats{}; }
 
+  /// Folds another accumulator into this one (Chan et al. parallel-variance
+  /// merge); used to aggregate per-trial recovery metrics across seeds.
+  void merge(const RunningStats& other);
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

@@ -17,6 +17,32 @@
 
 namespace lvrm {
 
+/// Health-monitoring layer (heartbeats + fail-slow watchdog). Disabled by
+/// default so the stock Sec 3.2 supervision (the 1 s allocation pass) is the
+/// baseline; every existing experiment is bit-for-bit unchanged with it off.
+struct HealthConfig {
+  bool enabled = false;
+
+  /// Heartbeat sampling period of the LVRM poll loop — decoupled from (and
+  /// much shorter than) the 1 s re-allocation period.
+  Nanos probe_period = msec(100);
+
+  /// A VRI whose progress counter has not advanced for this long while its
+  /// data queue is non-empty is declared hung.
+  Nanos heartbeat_timeout = msec(250);
+
+  /// Fail-slow watchdog: a VRI is struck when its measured departure rate
+  /// falls below this fraction of its siblings' median.
+  double fail_slow_fraction = 0.5;
+
+  /// Consecutive strikes before a fail-slow verdict (rides out transients).
+  int fail_slow_grace = 3;
+
+  /// Rescue frames stranded in a dead/hung VRI's incoming data queue and
+  /// re-dispatch them across the surviving VRIs instead of dropping them.
+  bool redispatch_stranded = true;
+};
+
 struct LvrmConfig {
   AdapterKind adapter = AdapterKind::kPfRing;
   AllocatorKind allocator = AllocatorKind::kDynamicFixedThreshold;
@@ -57,6 +83,16 @@ struct LvrmConfig {
   /// Seed for the random balancer, allocation-jitter and kernel-migration
   /// draws; everything is deterministic given the seed.
   std::uint64_t seed = 1;
+
+  /// Health monitoring & fault tolerance (heartbeats, fail-slow watchdog,
+  /// quarantine-and-respawn, stranded-frame re-dispatch).
+  HealthConfig health;
+
+  /// Overload shedding: drop policy applied per VR once it can grow no
+  /// further (max VRIs or no free cores) and its chosen data queue passes
+  /// `shed_watermark` of capacity. kNone keeps the legacy tail-drop.
+  ShedPolicy shed_policy = ShedPolicy::kNone;
+  double shed_watermark = 0.9;
 };
 
 struct VrConfig {

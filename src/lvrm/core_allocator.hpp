@@ -34,6 +34,12 @@ class CoreAllocator {
   virtual ~CoreAllocator() = default;
   virtual AllocatorKind kind() const = 0;
   virtual AllocDecision decide(const VrAllocView& vr) const = 0;
+
+  /// Aggregate capacity (frames/s) this allocator credits the VR with at its
+  /// current VRI count — the threshold side of Fig 3.2's comparison. The
+  /// overload-shedding and respawn-after-fault paths use it to ask "does the
+  /// arrival rate exceed what is allocated?". 0 when not yet measurable.
+  virtual double capacity_fps(const VrAllocView& vr) const = 0;
 };
 
 /// Fixed approach: the core set is chosen at VR start and never changes.
@@ -42,6 +48,10 @@ class FixedAllocator final : public CoreAllocator {
   AllocatorKind kind() const override { return AllocatorKind::kFixed; }
   AllocDecision decide(const VrAllocView&) const override {
     return AllocDecision::kHold;
+  }
+  double capacity_fps(const VrAllocView& vr) const override {
+    // No configured threshold: the measured per-VRI service rate stands in.
+    return vr.service_rate_per_vri * vr.active_vris;
   }
 };
 
@@ -55,6 +65,9 @@ class DynamicFixedThresholdAllocator final : public CoreAllocator {
     return AllocatorKind::kDynamicFixedThreshold;
   }
   AllocDecision decide(const VrAllocView& vr) const override;
+  double capacity_fps(const VrAllocView& vr) const override {
+    return per_vri_fps_ * vr.active_vris;
+  }
 
  private:
   double per_vri_fps_;
@@ -70,6 +83,9 @@ class DynamicDynamicThresholdAllocator final : public CoreAllocator {
     return AllocatorKind::kDynamicDynamicThreshold;
   }
   AllocDecision decide(const VrAllocView& vr) const override;
+  double capacity_fps(const VrAllocView& vr) const override {
+    return vr.service_rate_per_vri * vr.active_vris;
+  }
 
  private:
   double hysteresis_;

@@ -1,0 +1,51 @@
+#include "lvrm/fault_injector.hpp"
+
+#include "lvrm/system.hpp"
+
+namespace lvrm {
+
+void FaultInjector::inject(const FaultSpec& spec) {
+  apply(spec);
+  if (spec.duration > 0 && spec.kind != FaultKind::kCrash)
+    sim_.after(spec.duration, [this, spec] { clear(spec); });
+}
+
+void FaultInjector::schedule(const FaultSpec& spec) {
+  sim_.at(spec.at, [this, spec] { inject(spec); });
+}
+
+void FaultInjector::apply(const FaultSpec& spec) {
+  switch (spec.kind) {
+    case FaultKind::kCrash:
+      system_.inject_vri_crash(spec.vr, spec.vri);
+      break;
+    case FaultKind::kHang:
+      system_.inject_vri_hang(spec.vr, spec.vri);
+      break;
+    case FaultKind::kSlowdown:
+      system_.inject_vri_slowdown(spec.vr, spec.vri, spec.magnitude);
+      break;
+    case FaultKind::kControlLoss:
+      system_.inject_control_loss(spec.vr, spec.vri, spec.magnitude);
+      break;
+  }
+  log_.push_back(spec);
+}
+
+void FaultInjector::clear(const FaultSpec& spec) {
+  switch (spec.kind) {
+    case FaultKind::kCrash:
+      break;  // death is permanent
+    case FaultKind::kHang:
+      system_.clear_vri_hang(spec.vr, spec.vri);
+      break;
+    case FaultKind::kSlowdown:
+      system_.inject_vri_slowdown(spec.vr, spec.vri, 1.0);
+      break;
+    case FaultKind::kControlLoss:
+      system_.inject_control_loss(spec.vr, spec.vri, 0.0);
+      break;
+  }
+}
+
+}  // namespace lvrm

@@ -1,0 +1,66 @@
+// fault_injector.hpp — scriptable fault injection against a running system.
+//
+// Generalizes the original crash-only `LvrmSystem::inject_vri_crash` into a
+// small fault-injection harness for tests and the recovery benches. Four
+// fault kinds (types.hpp FaultKind):
+//
+//   * kCrash       — the VRI process dies; its queues go stale until reaped.
+//   * kHang        — the process stalls (deadlock, livelock, SIGSTOP) but
+//                    stays alive: without the health monitor it is *never*
+//                    detected, since waitpid() has nothing to reap.
+//   * kSlowdown    — the incarnation's per-frame service cost is multiplied
+//                    by `magnitude` (a sick process: leaking, swapping,
+//                    contending); feeds the fail-slow watchdog.
+//   * kControlLoss — control events relayed *to* this VRI are dropped with
+//                    probability `magnitude` (lossy control path).
+//
+// Faults are injected immediately or scheduled at an absolute virtual time;
+// `duration > 0` makes hang/slowdown/control-loss transient (the fault
+// clears by itself — a GC pause rather than a deadlock). Crashes are always
+// permanent: recovery is the supervisor's job, not the corpse's.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "lvrm/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace lvrm {
+
+class LvrmSystem;
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kCrash;
+  int vr = 0;
+  int vri = 0;
+  Nanos at = 0;            // absolute injection time (schedule())
+  Nanos duration = 0;      // 0 = permanent; ignored for kCrash
+  double magnitude = 4.0;  // slowdown multiplier / control-loss probability
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator& sim, LvrmSystem& system)
+      : sim_(sim), system_(system) {}
+
+  /// Applies the fault right now (spec.at is ignored).
+  void inject(const FaultSpec& spec);
+
+  /// Schedules the fault at virtual time `spec.at` (and, for transient
+  /// faults, its clearing at `spec.at + spec.duration`).
+  void schedule(const FaultSpec& spec);
+
+  /// Every fault injected so far, in injection order.
+  const std::vector<FaultSpec>& log() const { return log_; }
+
+ private:
+  void apply(const FaultSpec& spec);
+  void clear(const FaultSpec& spec);
+
+  sim::Simulator& sim_;
+  LvrmSystem& system_;
+  std::vector<FaultSpec> log_;
+};
+
+}  // namespace lvrm

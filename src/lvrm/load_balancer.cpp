@@ -67,23 +67,38 @@ Dispatcher::Dispatcher(std::unique_ptr<LoadBalancer> inner,
 int Dispatcher::dispatch(const net::FrameMeta& frame,
                          std::span<const VriView> vris, Nanos now) {
   last_flow_hit_ = false;
+
+  // Health layer: while the watchdog has a VRI under fail-slow suspicion,
+  // steer new work to healthy siblings (the suspect keeps draining its
+  // queue, which is exactly what either clears or confirms the suspicion).
+  // With no healthy alternative the full set is used unchanged.
+  std::vector<VriView> healthy;
+  std::span<const VriView> pool = vris;
+  bool any_suspect = false;
+  for (const VriView& v : vris) any_suspect |= v.suspect;
+  if (any_suspect) {
+    for (const VriView& v : vris)
+      if (!v.suspect) healthy.push_back(v);
+    if (!healthy.empty()) pool = healthy;
+  }
+
   if (granularity_ == BalancerGranularity::kFlow) {
     const auto tuple = net::FiveTuple::from_frame(frame);
     if (const auto pinned = flows_.lookup(tuple, now)) {
       // "if the entry is found and the VRI of the entry is valid".
-      for (const VriView& v : vris) {
+      for (const VriView& v : pool) {
         if (v.index == *pinned) {
           last_flow_hit_ = true;
           return *pinned;
         }
       }
-      // Pinned VRI no longer valid (destroyed): fall through to re-balance.
+      // Pinned VRI no longer valid (destroyed or suspect): re-balance.
     }
-    const int chosen = inner_->pick(vris);
+    const int chosen = inner_->pick(pool);
     flows_.insert(tuple, chosen, now);  // "VRI of added entry <- ..."
     return chosen;
   }
-  return inner_->pick(vris);
+  return inner_->pick(pool);
 }
 
 Nanos Dispatcher::decision_cost(std::size_t n_vris, bool flow_hit) const {

@@ -25,8 +25,9 @@ namespace lvrm {
 
 /// What a balancer sees of each candidate VRI.
 struct VriView {
-  int index = -1;     // VRI slot index within the VR
-  double load = 0.0;  // estimator's Average_Load (bigger = more loaded)
+  int index = -1;        // VRI slot index within the VR
+  double load = 0.0;     // estimator's Average_Load (bigger = more loaded)
+  bool suspect = false;  // health monitor: inside the fail-slow grace window
 };
 
 class LoadBalancer {

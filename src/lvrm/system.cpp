@@ -40,6 +40,13 @@ struct LvrmSystem::VriSlot {
   std::uint64_t no_route = 0;
   bool crashed = false;
 
+  // Fault-injection / health state (robustness layer).
+  bool hung = false;            // process alive but frozen (never reaped)
+  double degrade = 1.0;         // injected service-cost multiplier
+  double ctrl_loss_prob = 0.0;  // injected control-relay drop probability
+  bool suspect = false;         // inside the fail-slow grace window
+  bool needs_rebuild = false;   // next activation forks a fresh process
+
   queue::SegmentId shm_ids[4] = {queue::kInvalidSegment, queue::kInvalidSegment,
                                  queue::kInvalidSegment, queue::kInvalidSegment};
   sim::EventId migration_event = sim::kInvalidEvent;
@@ -59,6 +66,11 @@ struct LvrmSystem::VrState {
   std::uint64_t frames_in = 0;
   std::uint64_t forwarded = 0;
   std::uint64_t data_drops = 0;
+  std::uint64_t shed_drops = 0;
+
+  /// Every dynamic route update applied since start, in order; replayed into
+  /// respawned VRIs so a fresh process starts consistent with its siblings.
+  std::vector<route::RouteUpdate> route_log;
 };
 
 // --- construction -----------------------------------------------------------------
@@ -81,6 +93,8 @@ LvrmSystem::LvrmSystem(sim::Simulator& sim, const sim::CpuTopology& topo,
                                                "rx-ring");
   allocator_ = make_allocator(config_.allocator, config_.per_vri_capacity_fps,
                               config_.destroy_hysteresis);
+  if (config_.health.enabled)
+    health_ = std::make_unique<HealthMonitor>(config_.health);
 
   lvrm_server_ = std::make_unique<sim::PollServer<net::FrameMeta>>(
       sim_, lvrm_core(), /*owner=*/0, "lvrm", costs::kPollDiscovery);
@@ -183,7 +197,7 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
           const Nanos work = static_cast<Nanos>(
               static_cast<double>(s->router->process_cost(f) +
                                   v->cfg.dummy_load) *
-              v->cfg.service_multiplier);
+              v->cfg.service_multiplier * s->degrade);
           cost += work + costs::kEnqueueCost;
           s->service_time.update(static_cast<double>(cost));
           return cost;
@@ -224,6 +238,13 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
             return;
           }
           VriSlot& target = *v->slots[static_cast<std::size_t>(dst)];
+          if (target.ctrl_loss_prob > 0.0 &&
+              rng_.uniform01() < target.ctrl_loss_prob) {
+            // Injected lossy control path: the event vanishes in transit.
+            ++control_drops_;
+            control_cbs_.erase(f.id);
+            return;
+          }
           if (!target.ctrl_in->push(std::move(f))) {
             ++control_drops_;
           }
@@ -314,7 +335,7 @@ Nanos LvrmSystem::rx_cost(net::FrameMeta& frame) {
   for (int idx : vr.active_order) {
     VriSlot& s = *vr.slots[static_cast<std::size_t>(idx)];
     s.estimator->on_packet_observed(s.data_in->size(), now);
-    views.push_back(VriView{idx, s.estimator->load_at(now)});
+    views.push_back(VriView{idx, s.estimator->load_at(now), s.suspect});
   }
   if (views.empty()) {
     frame.dispatch_vri = -1;
@@ -350,6 +371,9 @@ void LvrmSystem::rx_sink(net::FrameMeta&& frame) {
   // Fig 3.2: the allocation pass runs "upon receipt of a packet after 1s or
   // more from the previous core allocation/deallocation process".
   maybe_allocate();
+  // The heartbeat pass rides the same poll loop but on its own (much
+  // shorter) period, so faults are noticed well inside the 1 s window.
+  maybe_health_probe();
 
   if (frame.dispatch_vr < 0 || frame.dispatch_vri < 0) {
     ++unclassified_drops_;
@@ -361,12 +385,38 @@ void LvrmSystem::rx_sink(net::FrameMeta&& frame) {
     ++vr.data_drops;
     return;
   }
+  if (maybe_shed(vr, slot, frame)) return;
   if (!slot.data_in->push(std::move(frame))) {
     ++vr.data_drops;
     return;
   }
   // Fig 3.4 "estimate": one sample per dispatched frame.
   slot.estimator->on_dispatch(slot.data_in->size(), sim_.now());
+}
+
+bool LvrmSystem::maybe_shed(VrState& vr, VriSlot& slot,
+                            net::FrameMeta& frame) {
+  if (config_.shed_policy == ShedPolicy::kNone) return false;
+  // Shed only when the VR cannot grow out of the overload — it is at its
+  // VRI cap or no cores remain — and even its *chosen* (shortest for JSQ)
+  // queue is past the watermark, i.e. arrival has exceeded the allocated
+  // capacity for long enough to back every queue up.
+  if (static_cast<int>(vr.active_order.size()) < config_.max_vris_per_vr &&
+      any_free_core())
+    return false;
+  const auto watermark = static_cast<std::size_t>(
+      config_.shed_watermark * static_cast<double>(slot.data_in->capacity()));
+  if (slot.data_in->size() < watermark) return false;
+
+  ++vr.shed_drops;
+  if (config_.shed_policy == ShedPolicy::kDropOldest &&
+      !slot.data_in->empty()) {
+    // Evict the stalest queued frame to admit the fresh one.
+    slot.data_in->pop();
+    if (slot.data_in->push(std::move(frame)))
+      slot.estimator->on_dispatch(slot.data_in->size(), sim_.now());
+  }
+  return true;  // kDropNewest: the arriving frame is shed before the enqueue
 }
 
 // --- control events -------------------------------------------------------------------
@@ -401,6 +451,10 @@ void LvrmSystem::broadcast_route_update(int vr_id, int src_vri,
     if (slot->index == src_vri || !slot->active)
       slot->router->apply_route_update(update);
   }
+
+  // Logged so a respawned (fresh-process) VRI can replay every update it
+  // would otherwise have missed — part of the Sec 2.1 routing-state sync.
+  vr.route_log.push_back(update);
 
   struct SyncState {
     int pending = 0;
@@ -440,21 +494,59 @@ void LvrmSystem::inject_vri_crash(int vr_id, int vri) {
   slot.server->stop();  // the process is gone; its queues go stale
 }
 
+void LvrmSystem::inject_vri_hang(int vr_id, int vri) {
+  VrState& vr = *vrs_.at(static_cast<std::size_t>(vr_id));
+  VriSlot& slot = *vr.slots.at(static_cast<std::size_t>(vri));
+  if (!slot.active || slot.crashed) return;
+  slot.hung = true;
+  slot.server->stop();  // alive but frozen; queues keep filling
+}
+
+void LvrmSystem::clear_vri_hang(int vr_id, int vri) {
+  VrState& vr = *vrs_.at(static_cast<std::size_t>(vr_id));
+  VriSlot& slot = *vr.slots.at(static_cast<std::size_t>(vri));
+  // If the health layer already quarantined and respawned the slot, the
+  // stall is over anyway and there is nothing to resume.
+  if (!slot.active || !slot.hung) return;
+  slot.hung = false;
+  slot.server->start();
+}
+
+void LvrmSystem::inject_vri_slowdown(int vr_id, int vri, double multiplier) {
+  VrState& vr = *vrs_.at(static_cast<std::size_t>(vr_id));
+  VriSlot& slot = *vr.slots.at(static_cast<std::size_t>(vri));
+  slot.degrade = multiplier > 0.0 ? multiplier : 1.0;
+}
+
+void LvrmSystem::inject_control_loss(int vr_id, int vri,
+                                     double drop_probability) {
+  VrState& vr = *vrs_.at(static_cast<std::size_t>(vr_id));
+  VriSlot& slot = *vr.slots.at(static_cast<std::size_t>(vri));
+  slot.ctrl_loss_prob = drop_probability;
+}
+
 void LvrmSystem::reap_crashed() {
   for (auto& vrp : vrs_) {
     VrState& vr = *vrp;
+    std::vector<net::FrameMeta> stranded;
     for (auto it = vr.active_order.begin(); it != vr.active_order.end();) {
       VriSlot& slot = *vr.slots[static_cast<std::size_t>(*it)];
       if (!slot.crashed) {
         ++it;
         continue;
       }
-      // waitpid()-style reaping: free the core, discard the dead process'
-      // queued frames, drop its flow pins.
-      vr.data_drops += slot.data_in->size();
-      slot.data_in->clear();
+      // waitpid()-style reaping: free the core, rescue (health layer) or
+      // discard the dead process' queued frames, drop its flow pins.
+      if (health_ && config_.health.redispatch_stranded) {
+        while (!slot.data_in->empty()) stranded.push_back(slot.data_in->pop());
+      } else {
+        vr.data_drops += slot.data_in->size();
+        slot.data_in->clear();
+      }
+      discard_stale_control(slot);
       slot.active = false;
       slot.crashed = false;
+      slot.needs_rebuild = true;  // a replacement is a fresh fork
       if (slot.migration_event != sim::kInvalidEvent) {
         sim_.cancel(slot.migration_event);
         slot.migration_event = sim::kInvalidEvent;
@@ -462,6 +554,7 @@ void LvrmSystem::reap_crashed() {
       release_core(slot.core_id);
       slot.core_id = sim::kNoCore;
       vr.dispatcher->on_vri_destroyed(slot.index);
+      if (health_) health_->forget(vr.id, slot.index);
       it = vr.active_order.erase(it);
       ++crashes_reaped_;
     }
@@ -471,7 +564,56 @@ void LvrmSystem::reap_crashed() {
              std::max(1, vr.cfg.initial_vris))
         activate_vri(vr);
     }
+    if (!stranded.empty()) {
+      if (vr.active_order.empty())
+        vr.data_drops += stranded.size();
+      else
+        redispatched_ += redispatch(vr, stranded);
+    }
   }
+}
+
+void LvrmSystem::discard_stale_control(VriSlot& slot) {
+  // The dead incarnation's control queues die with it (fresh segments are
+  // allocated at respawn): in-flight events are lost, and their delivery
+  // callbacks with them. Counted as control drops, never silent.
+  while (!slot.ctrl_in->empty()) {
+    const net::FrameMeta f = slot.ctrl_in->pop();
+    control_cbs_.erase(f.id);
+    ++control_drops_;
+  }
+  while (!slot.ctrl_out->empty()) {
+    const net::FrameMeta f = slot.ctrl_out->pop();
+    control_cbs_.erase(f.id);
+    ++control_drops_;
+  }
+}
+
+std::size_t LvrmSystem::redispatch(VrState& vr,
+                                   std::vector<net::FrameMeta>& frames) {
+  const Nanos now = sim_.now();
+  std::vector<VriView> views;
+  views.reserve(vr.active_order.size());
+  for (int idx : vr.active_order) {
+    VriSlot& s = *vr.slots[static_cast<std::size_t>(idx)];
+    views.push_back(VriView{idx, s.estimator->load_at(now), s.suspect});
+  }
+  std::size_t admitted = 0;
+  for (net::FrameMeta& f : frames) {
+    const int chosen = vr.dispatcher->dispatch(f, views, now);
+    f.dispatch_vri = static_cast<std::int16_t>(chosen);
+    VriSlot& target = *vr.slots[static_cast<std::size_t>(chosen)];
+    if (target.data_in->push(std::move(f))) {
+      target.estimator->on_dispatch(target.data_in->size(), now);
+      ++admitted;
+    } else {
+      ++vr.data_drops;  // survivors saturated: tail-drop the overflow
+    }
+  }
+  lvrm_core().charge(
+      static_cast<Nanos>(frames.size()) * costs::kRedispatchPerFrame,
+      CostCategory::kSystem);
+  return admitted;
 }
 
 void LvrmSystem::maybe_allocate() {
@@ -487,10 +629,7 @@ void LvrmSystem::maybe_allocate() {
 
   for (auto& vrp : vrs_) {
     VrState& vr = *vrp;
-    VrAllocView view;
-    view.active_vris = static_cast<int>(vr.active_order.size());
-    view.arrival_rate_fps = arrival_rate_estimate(vr.id);
-    view.service_rate_per_vri = measured_service_rate(vr);
+    const VrAllocView view = alloc_view(vr);
     const AllocDecision decision = allocator_->decide(view);
 
     const double jitter =
@@ -524,6 +663,118 @@ void LvrmSystem::maybe_allocate() {
   }
 }
 
+// --- health monitoring & recovery -------------------------------------------------
+
+void LvrmSystem::maybe_health_probe() {
+  if (!health_) return;
+  const Nanos now = sim_.now();
+  if (now - last_health_probe_ < config_.health.probe_period) return;
+  last_health_probe_ = now;
+  // The probe itself: LVRM reads each VRI's progress counter and queue
+  // depth out of the shared segments — cheap, hence the short period.
+  lvrm_core().charge(costs::kHealthProbeBase +
+                         costs::kHealthProbePerVri * total_active_vris(),
+                     CostCategory::kSystem);
+
+  for (auto& vrp : vrs_) {
+    VrState& vr = *vrp;
+    if (vr.active_order.empty()) continue;
+    std::vector<VriProbe> probes;
+    probes.reserve(vr.active_order.size());
+    for (int idx : vr.active_order) {
+      VriSlot& s = *vr.slots[static_cast<std::size_t>(idx)];
+      probes.push_back(VriProbe{idx, !s.crashed, s.server->served(),
+                                s.data_in->size(), vri_departure_rate(s)});
+    }
+    const auto verdicts = health_->probe(vr.id, probes, now);
+    for (const HealthVerdict& v : verdicts)
+      recover_slot(vr, *vr.slots[static_cast<std::size_t>(v.vri)], v.state,
+                   v.stalled_for);
+    // Refresh the grace-window marks the dispatcher steers around.
+    for (int idx : vr.active_order) {
+      VriSlot& s = *vr.slots[static_cast<std::size_t>(idx)];
+      s.suspect = health_->is_suspect(vr.id, idx);
+    }
+  }
+}
+
+void LvrmSystem::recover_slot(VrState& vr, VriSlot& slot, VriHealth reason,
+                              Nanos stalled_for) {
+  const Nanos now = sim_.now();
+  RecoveryEvent ev;
+  ev.time = now;
+  ev.vr = vr.id;
+  ev.vri = slot.index;
+  ev.reason = reason;
+  ev.stalled_for = stalled_for;
+  ev.stranded = slot.data_in->size();
+
+  // Quarantine: kill the incarnation (hung/slow processes get SIGKILL; a
+  // dead one needs no kill) and take it out of the dispatch set.
+  slot.server->stop();
+  slot.crashed = false;
+  slot.hung = false;
+  slot.degrade = 1.0;  // the sickness dies with the process
+  slot.ctrl_loss_prob = 0.0;
+  slot.suspect = false;
+  slot.needs_rebuild = true;
+
+  // Rescue the frames stranded in the dead incarnation's incoming queue
+  // before its segments are torn down.
+  std::vector<net::FrameMeta> stranded;
+  if (config_.health.redispatch_stranded) {
+    while (!slot.data_in->empty()) stranded.push_back(slot.data_in->pop());
+  } else {
+    vr.data_drops += slot.data_in->size();
+    slot.data_in->clear();
+  }
+  discard_stale_control(slot);
+
+  slot.active = false;
+  std::erase(vr.active_order, slot.index);
+  if (slot.migration_event != sim::kInvalidEvent) {
+    sim_.cancel(slot.migration_event);
+    slot.migration_event = sim::kInvalidEvent;
+  }
+  release_core(slot.core_id);
+  slot.core_id = sim::kNoCore;
+  vr.dispatcher->on_vri_destroyed(slot.index);
+  health_->forget(vr.id, slot.index);
+
+  // Respawn policy: the fixed allocator promised a fixed set; the dynamic
+  // allocators respawn when the arrival rate still demands the lost
+  // capacity (else the Fig 3.2 pass regrows on its own schedule). A VR is
+  // never left with zero VRIs.
+  bool respawn = vr.active_order.empty();
+  if (allocator_->kind() == AllocatorKind::kFixed) {
+    respawn = respawn || static_cast<int>(vr.active_order.size()) <
+                             std::max(1, vr.cfg.initial_vris);
+  } else {
+    const VrAllocView view = alloc_view(vr);
+    respawn =
+        respawn || view.arrival_rate_fps > allocator_->capacity_fps(view);
+  }
+  if (respawn) {
+    activate_slot(vr, slot);
+    const Nanos reaction =
+        costs::kAllocateBase + costs::kAllocatePerVri * total_active_vris() +
+        static_cast<Nanos>(vr.route_log.size()) * costs::kRouteReplayPerUpdate;
+    lvrm_core().charge(reaction, CostCategory::kSystem);  // vfork + replay
+    ev.respawned = true;
+  }
+
+  // Re-dispatch rescued frames across the (possibly regrown) active set.
+  if (!stranded.empty()) {
+    if (vr.active_order.empty()) {
+      vr.data_drops += stranded.size();
+    } else {
+      ev.redispatched = redispatch(vr, stranded);
+      redispatched_ += ev.redispatched;
+    }
+  }
+  recovery_log_.push_back(ev);
+}
+
 void LvrmSystem::activate_vri(VrState& vr) {
   // First inactive slot.
   VriSlot* slot = nullptr;
@@ -534,17 +785,46 @@ void LvrmSystem::activate_vri(VrState& vr) {
     }
   }
   if (!slot) return;  // every slot already active
+  activate_slot(vr, *slot);
+}
 
+void LvrmSystem::activate_slot(VrState& vr, VriSlot& slot) {
+  // A slot whose previous incarnation died is a *fresh fork*: it starts
+  // from the VR's static configuration, so the dynamic route updates
+  // applied since start are replayed into it before it serves traffic.
+  if (slot.needs_rebuild) rebuild_router(vr, slot);
   const sim::CoreId core_id = pick_core();
-  slot->core_id = core_id;
-  slot->server->migrate(core(core_id), 0);
-  slot->estimator->reset();
-  slot->service_time.reset();
-  slot->active = true;
-  slot->activated_at = sim_.now();
-  vr.active_order.push_back(slot->index);
-  slot->server->start();
-  if (config_.affinity == AffinityPolicy::kDefault) schedule_migration(*slot);
+  slot.core_id = core_id;
+  slot.server->migrate(core(core_id), 0);
+  slot.estimator->reset();
+  slot.service_time.reset();
+  slot.active = true;
+  slot.activated_at = sim_.now();
+  vr.active_order.push_back(slot.index);
+  slot.server->start();
+  if (config_.affinity == AffinityPolicy::kDefault) schedule_migration(slot);
+}
+
+void LvrmSystem::rebuild_router(VrState& vr, VriSlot& slot) {
+  if (vr.cfg.kind == VrKind::kClick && !vr.cfg.click_script.empty()) {
+    slot.router =
+        std::make_unique<ClickVr>(vr.cfg.route_map, vr.cfg.click_script);
+  } else {
+    slot.router = make_vr(vr.cfg.kind, vr.cfg.route_map);
+  }
+  if (auto* click = dynamic_cast<ClickVr*>(slot.router.get()))
+    click->set_use_graph(vr.cfg.click_use_graph);
+  // Routing-state resync (Sec 2.1): replay the dynamic updates the previous
+  // incarnation had applied, so the replacement matches its siblings.
+  for (const route::RouteUpdate& u : vr.route_log)
+    slot.router->apply_route_update(u);
+  // Fresh shared-memory segments for the new process' queues (Sec 3.8).
+  for (int q = 0; q < 4; ++q) {
+    arena_.destroy(slot.shm_ids[q]);
+    slot.shm_ids[q] =
+        arena_.create(config_.data_queue_capacity * sizeof(net::FrameMeta));
+  }
+  slot.needs_rebuild = false;
 }
 
 void LvrmSystem::deactivate_vri(VrState& vr) {
@@ -663,6 +943,27 @@ double LvrmSystem::measured_service_rate(const VrState& vr) const {
   return n ? sum / n : 0.0;
 }
 
+double LvrmSystem::vri_departure_rate(const VriSlot& slot) const {
+  if (!slot.service_time.valid() || slot.service_time.value() <= 0.0)
+    return 0.0;
+  return 1e9 / slot.service_time.value();
+}
+
+VrAllocView LvrmSystem::alloc_view(const VrState& vr) const {
+  VrAllocView view;
+  view.active_vris = static_cast<int>(vr.active_order.size());
+  view.arrival_rate_fps = arrival_rate_estimate(vr.id);
+  view.service_rate_per_vri = measured_service_rate(vr);
+  return view;
+}
+
+bool LvrmSystem::any_free_core() const {
+  for (std::size_t c = 0; c < core_used_.size(); ++c)
+    if (!core_used_[c] && static_cast<sim::CoreId>(c) != config_.lvrm_core)
+      return true;
+  return false;
+}
+
 int LvrmSystem::active_vris(int vr) const {
   return static_cast<int>(
       vrs_.at(static_cast<std::size_t>(vr))->active_order.size());
@@ -707,6 +1008,21 @@ std::uint64_t LvrmSystem::no_route_drops() const {
   for (const auto& vr : vrs_)
     for (const auto& slot : vr->slots) total += slot->no_route;
   return total;
+}
+
+std::uint64_t LvrmSystem::shed_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& vr : vrs_) total += vr->shed_drops;
+  return total;
+}
+
+std::uint64_t LvrmSystem::vr_shed_drops(int vr) const {
+  return vrs_.at(static_cast<std::size_t>(vr))->shed_drops;
+}
+
+double LvrmSystem::capacity_estimate(int vr) const {
+  return allocator_->capacity_fps(
+      alloc_view(*vrs_.at(static_cast<std::size_t>(vr))));
 }
 
 const Dispatcher& LvrmSystem::dispatcher(int vr) const {

@@ -28,6 +28,7 @@
 #include "common/units.hpp"
 #include "lvrm/config.hpp"
 #include "lvrm/core_allocator.hpp"
+#include "lvrm/health_monitor.hpp"
 #include "lvrm/load_balancer.hpp"
 #include "lvrm/load_estimator.hpp"
 #include "lvrm/socket_adapter.hpp"
@@ -50,6 +51,18 @@ struct AllocationEvent {
   Nanos reaction = 0;        // begin-iterate .. end-create/destroy (Fig 4.11)
   int vr_vris_after = 0;     // VRIs of this VR after the action
   int total_vris_after = 0;  // VRIs across all VRs after the action
+};
+
+/// One health-monitor recovery action (drives the MTTR bench).
+struct RecoveryEvent {
+  Nanos time = 0;  // detection time (the health pass that fired the verdict)
+  int vr = -1;
+  int vri = -1;
+  VriHealth reason = VriHealth::kHealthy;
+  Nanos stalled_for = 0;        // progress-stall age at detection
+  std::size_t stranded = 0;     // frames found in the dead incarnation's queue
+  std::size_t redispatched = 0; // of those, rescued onto surviving VRIs
+  bool respawned = false;       // a replacement incarnation was started
 };
 
 class LvrmSystem {
@@ -89,8 +102,32 @@ class LvrmSystem {
   /// Frames queued at the dead VRI are lost, as with Fig 3.2's destroy.
   void inject_vri_crash(int vr, int vri);
 
+  /// Failure injection (fail-slow family; see fault_injector.hpp): the VRI
+  /// process stalls but stays alive — waitpid() never reaps it, so only the
+  /// health monitor's heartbeat can notice. clear_vri_hang models a
+  /// transient stall (e.g. a long GC pause) resolving on its own.
+  void inject_vri_hang(int vr, int vri);
+  void clear_vri_hang(int vr, int vri);
+
+  /// Multiplies the VRI incarnation's per-frame service cost (a sick
+  /// process); 1.0 restores full speed. Cleared by a respawn.
+  void inject_vri_slowdown(int vr, int vri, double multiplier);
+
+  /// Control events relayed to this VRI are dropped with this probability
+  /// (lossy control path); 0 restores reliability. Cleared by a respawn.
+  void inject_control_loss(int vr, int vri, double drop_probability);
+
   /// VRIs reaped after crashes, across all VRs.
   std::uint64_t crashed_vris_reaped() const { return crashes_reaped_; }
+
+  /// Health-monitor recovery actions (empty unless config.health.enabled).
+  const std::vector<RecoveryEvent>& recovery_log() const {
+    return recovery_log_;
+  }
+  /// Frames rescued from dead/hung VRIs' queues and re-dispatched.
+  std::uint64_t redispatched_frames() const { return redispatched_; }
+  /// The health monitor, or nullptr when disabled.
+  const HealthMonitor* health() const { return health_.get(); }
 
   /// Dynamic routing (Sec 3.7): `src_vri` of `vr` learns a route update,
   /// applies it locally, and synchronizes it to the sibling VRIs over the
@@ -116,6 +153,11 @@ class LvrmSystem {
   std::uint64_t rx_ring_drops() const { return rx_ring_.drops(); }
   std::uint64_t data_queue_drops() const;
   std::uint64_t no_route_drops() const;
+  /// Frames shed by the overload drop policy (documented, not silent).
+  std::uint64_t shed_drops() const;
+  std::uint64_t vr_shed_drops(int vr) const;
+  /// The allocator's aggregate capacity estimate for this VR (frames/s).
+  double capacity_estimate(int vr) const;
 
   const std::vector<AllocationEvent>& allocation_log() const {
     return alloc_log_;
@@ -147,6 +189,7 @@ class LvrmSystem {
   void maybe_allocate();
   void reap_crashed();
   void activate_vri(VrState& vr);
+  void activate_slot(VrState& vr, VriSlot& slot);
   void deactivate_vri(VrState& vr);
   sim::CoreId pick_core();
   void release_core(sim::CoreId id);
@@ -154,6 +197,18 @@ class LvrmSystem {
   bool cross_socket(sim::CoreId a) const;
   int total_active_vris() const;
   double measured_service_rate(const VrState& vr) const;
+  double vri_departure_rate(const VriSlot& slot) const;
+  VrAllocView alloc_view(const VrState& vr) const;
+  bool any_free_core() const;
+  // Health monitoring & recovery.
+  void maybe_health_probe();
+  void recover_slot(VrState& vr, VriSlot& slot, VriHealth reason,
+                    Nanos stalled_for);
+  void rebuild_router(VrState& vr, VriSlot& slot);
+  void discard_stale_control(VriSlot& slot);
+  std::size_t redispatch(VrState& vr, std::vector<net::FrameMeta>& frames);
+  // Overload shedding; returns true when the frame was handled (shed).
+  bool maybe_shed(VrState& vr, VriSlot& slot, net::FrameMeta& frame);
 
   sim::Simulator& sim_;
   sim::CpuTopology topo_;
@@ -178,6 +233,11 @@ class LvrmSystem {
   // EWMA has real samples.
   Nanos last_alloc_pass_ = 0;
   std::vector<AllocationEvent> alloc_log_;
+
+  std::unique_ptr<HealthMonitor> health_;
+  Nanos last_health_probe_ = 0;
+  std::vector<RecoveryEvent> recovery_log_;
+  std::uint64_t redispatched_ = 0;
 
   std::uint64_t forwarded_ = 0;
   std::uint64_t crashes_reaped_ = 0;

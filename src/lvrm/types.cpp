@@ -63,4 +63,33 @@ std::string to_string(VrKind k) {
   return "?";
 }
 
+std::string to_string(VriHealth k) {
+  switch (k) {
+    case VriHealth::kHealthy: return "healthy";
+    case VriHealth::kDead: return "dead";
+    case VriHealth::kHung: return "hung";
+    case VriHealth::kFailSlow: return "fail-slow";
+  }
+  return "?";
+}
+
+std::string to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kHang: return "hang";
+    case FaultKind::kSlowdown: return "slowdown";
+    case FaultKind::kControlLoss: return "control-loss";
+  }
+  return "?";
+}
+
+std::string to_string(ShedPolicy k) {
+  switch (k) {
+    case ShedPolicy::kNone: return "none";
+    case ShedPolicy::kDropNewest: return "drop-newest";
+    case ShedPolicy::kDropOldest: return "drop-oldest";
+  }
+  return "?";
+}
+
 }  // namespace lvrm

@@ -58,6 +58,30 @@ enum class VrKind {
   kClick,  // Click Modular Router element graph
 };
 
+/// Health states the monitor can assign to a VRI (robustness layer).
+enum class VriHealth {
+  kHealthy,
+  kDead,      // process gone (crash / OOM-kill); probe unreachable
+  kHung,      // process alive, progress counter frozen with work pending
+  kFailSlow,  // progressing, but persistently slower than its siblings
+};
+
+/// Injectable fault kinds (fault_injector.hpp).
+enum class FaultKind {
+  kCrash,        // process dies; queues go stale
+  kHang,         // process stalls (deadlock / SIGSTOP) but stays alive
+  kSlowdown,     // per-frame service cost multiplied (sick process)
+  kControlLoss,  // control events to this VRI are dropped in the relay
+};
+
+/// Per-VR load-shedding policy once arrival exceeds allocated capacity and
+/// no cores remain to grow into (graceful degradation under overload).
+enum class ShedPolicy {
+  kNone,        // legacy behaviour: tail-drop only when a queue is full
+  kDropNewest,  // shed the arriving frame at LVRM before the enqueue
+  kDropOldest,  // evict the head of the chosen queue to admit the new frame
+};
+
 std::string to_string(AdapterKind k);
 std::string to_string(AllocatorKind k);
 std::string to_string(BalancerKind k);
@@ -65,5 +89,8 @@ std::string to_string(BalancerGranularity k);
 std::string to_string(EstimatorKind k);
 std::string to_string(AffinityPolicy k);
 std::string to_string(VrKind k);
+std::string to_string(VriHealth k);
+std::string to_string(FaultKind k);
+std::string to_string(ShedPolicy k);
 
 }  // namespace lvrm

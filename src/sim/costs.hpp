@@ -136,6 +136,17 @@ inline constexpr Nanos kAllocIterateBase = usec(2);
 inline constexpr Nanos kAllocIteratePerVri = usec(2);
 inline constexpr double kAllocJitter = 0.08;  // +/- fraction, deterministic rng
 
+// --- Health monitoring & recovery (robustness layer) ------------------------
+// One heartbeat pass: LVRM reads each VRI's progress counter and queue depth
+// out of the shared-memory segments — a handful of cache lines per VRI.
+inline constexpr Nanos kHealthProbeBase = usec(1);
+inline constexpr Nanos kHealthProbePerVri = 300;
+// Respawning a quarantined VRI replays the VR's dynamic route-update log
+// into the fresh process so it starts consistent with its siblings.
+inline constexpr Nanos kRouteReplayPerUpdate = 500;
+// Re-dispatching one stranded frame from a dead VRI's queue to a survivor.
+inline constexpr Nanos kRedispatchPerFrame = kDequeueCost + kEnqueueCost;
+
 // --- Hypervisor baselines (Exp 1a/1b) ---------------------------------------
 // Per-frame virtualization overhead (vmexits, virtual NIC emulation) and the
 // extra latency of traversing hypervisor + guest kernel both ways.

@@ -2,6 +2,7 @@
 // application and the control-queue synchronization across VRIs.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
 
 #include "lvrm/system.hpp"
@@ -144,15 +145,15 @@ TEST(DynamicRoutes, LateActivatedVriInheritsUpdates) {
 
   // Drive enough load (to the new prefix) that the allocator adds VRIs,
   // then verify nothing is dropped for lack of the route.
-  auto emit = std::make_shared<std::function<void()>>();
   std::uint64_t sent = 0;
-  *emit = [&, emit] {
+  std::function<void()> emit;
+  emit = [&] {
     if (sim.now() >= sec(3)) return;
     ++sent;
     sys.ingress(frame(net::ipv4(10, 9, 0, 7)));
-    sim.after(interval_for_rate(500'000.0), *emit);
+    sim.after(interval_for_rate(500'000.0), emit);
   };
-  sim.at(0, *emit);
+  sim.at(0, emit);
   sim.run_all();
   EXPECT_GT(sys.active_vris(0), 1);
   EXPECT_EQ(sys.no_route_drops(), 0u);

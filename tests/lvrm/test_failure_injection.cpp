@@ -2,6 +2,8 @@
 // reaps it and restores capacity.
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <functional>
 #include <memory>
 
 #include "lvrm/system.hpp"
@@ -30,9 +32,11 @@ struct CrashRig {
   }
 
   void offer(double fps, Nanos until) {
-    auto emit = std::make_shared<std::function<void()>>();
+    // Rig-owned emitter recursing through a reference to its own slot, so
+    // no shared_ptr cycle is leaked.
+    std::function<void()>& emit = emitters.emplace_back();
     const Nanos gap = interval_for_rate(fps);
-    *emit = [this, gap, until, emit] {
+    emit = [this, gap, until, &emit] {
       if (sim.now() >= until) return;
       net::FrameMeta f;
       f.id = next_id++;
@@ -40,10 +44,12 @@ struct CrashRig {
       f.dst_ip = net::ipv4(10, 2, 0, 1);
       f.src_port = static_cast<std::uint16_t>(1000 + next_id % 32);
       sys->ingress(f);
-      sim.after(gap, *emit);
+      sim.after(gap, emit);
     };
-    sim.at(0, *emit);
+    sim.at(0, emit);
   }
+
+  std::deque<std::function<void()>> emitters;
 };
 
 TEST(FailureInjection, FixedAllocatorRespawnsCrashedVri) {

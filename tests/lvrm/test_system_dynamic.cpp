@@ -2,6 +2,8 @@
 // the thesis) driven with synthetic arrival processes.
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <functional>
 #include <memory>
 
 #include "lvrm/system.hpp"
@@ -44,8 +46,10 @@ struct DynRig {
   void offer(double fps, Nanos from, Nanos to,
              net::Ipv4Addr src = net::ipv4(10, 1, 0, 1)) {
     const Nanos gap = interval_for_rate(fps);
-    auto emit = std::make_shared<std::function<void()>>();
-    *emit = [this, gap, to, src, emit] {
+    // Rig-owned emitter recursing through a reference to its own slot, so
+    // no shared_ptr cycle is leaked.
+    std::function<void()>& emit = emitters.emplace_back();
+    emit = [this, gap, to, src, &emit] {
       if (sim.now() >= to) return;
       net::FrameMeta f;
       f.id = next_id++;
@@ -53,10 +57,12 @@ struct DynRig {
       f.src_ip = src;
       f.dst_ip = net::ipv4(10, 2, 0, 1);
       sys->ingress(f);
-      sim.after(gap, *emit);
+      sim.after(gap, emit);
     };
-    sim.at(from, *emit);
+    sim.at(from, emit);
   }
+
+  std::deque<std::function<void()>> emitters;
 };
 
 TEST(DynamicAllocation, GrowsUnderLoad) {

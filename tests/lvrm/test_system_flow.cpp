@@ -1,6 +1,7 @@
 // End-to-end flow-based balancing through the assembled LvrmSystem.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
 #include <memory>
 
@@ -121,9 +122,9 @@ TEST(SystemFlowBased, FlowsRebalanceAfterVriDestroyed) {
   sys.set_egress([&](net::FrameMeta&&) { ++delivered; });
 
   // Phase 1: high load grows the VR to 3 VRIs; phase 2: low load shrinks it.
-  auto emit = std::make_shared<std::function<void()>>();
   std::uint64_t id = 0;
-  *emit = [&, emit] {
+  std::function<void()> emit;
+  emit = [&] {
     if (sim.now() >= sec(10)) return;
     const double rate = sim.now() < sec(4) ? 150'000.0 : 20'000.0;
     net::FrameMeta f;
@@ -133,9 +134,9 @@ TEST(SystemFlowBased, FlowsRebalanceAfterVriDestroyed) {
     f.src_port = static_cast<std::uint16_t>(1000 + id % 12);
     f.protocol = 17;
     sys.ingress(f);
-    sim.after(interval_for_rate(rate), *emit);
+    sim.after(interval_for_rate(rate), emit);
   };
-  sim.at(0, *emit);
+  sim.at(0, emit);
   sim.run_all();
 
   EXPECT_EQ(sys.active_vris(0), 1);
