@@ -80,6 +80,14 @@ struct LvrmConfig {
   /// dispatch ablation bench.
   std::size_t poll_batch = sim::costs::kPollBatch;
 
+  /// Batched hot path (DESIGN.md §9): LVRM's RX and TX inputs drain their
+  /// poll_batch burst as ONE coalesced core event — batch dispatch collapses
+  /// repeated flow-table probes within the burst, and all frames of a burst
+  /// complete together at its summed-cost completion time. Off by default:
+  /// the classic per-frame serve order is the reference behavior every
+  /// experiment is calibrated against (bit-identical results).
+  bool batched_hot_path = false;
+
   /// Seed for the random balancer, allocation-jitter and kernel-migration
   /// draws; everything is deterministic given the seed.
   std::uint64_t seed = 1;

@@ -1,5 +1,8 @@
 #include "lvrm/load_balancer.hpp"
 
+#include <algorithm>
+#include <tuple>
+
 #include "sim/costs.hpp"
 
 namespace lvrm {
@@ -64,23 +67,26 @@ Dispatcher::Dispatcher(std::unique_ptr<LoadBalancer> inner,
       granularity_(gran),
       flows_(4096, flow_idle_timeout) {}
 
-int Dispatcher::dispatch(const net::FrameMeta& frame,
-                         std::span<const VriView> vris, Nanos now) {
-  last_flow_hit_ = false;
-
+std::span<const VriView> Dispatcher::healthy_pool(
+    std::span<const VriView> vris) {
   // Health layer: while the watchdog has a VRI under fail-slow suspicion,
   // steer new work to healthy siblings (the suspect keeps draining its
   // queue, which is exactly what either clears or confirms the suspicion).
   // With no healthy alternative the full set is used unchanged.
-  std::vector<VriView> healthy;
-  std::span<const VriView> pool = vris;
   bool any_suspect = false;
   for (const VriView& v : vris) any_suspect |= v.suspect;
-  if (any_suspect) {
-    for (const VriView& v : vris)
-      if (!v.suspect) healthy.push_back(v);
-    if (!healthy.empty()) pool = healthy;
-  }
+  if (!any_suspect) return vris;
+  pool_scratch_.clear();
+  for (const VriView& v : vris)
+    if (!v.suspect) pool_scratch_.push_back(v);
+  return pool_scratch_.empty() ? vris
+                               : std::span<const VriView>(pool_scratch_);
+}
+
+int Dispatcher::dispatch(const net::FrameMeta& frame,
+                         std::span<const VriView> vris, Nanos now) {
+  last_flow_hit_ = false;
+  const std::span<const VriView> pool = healthy_pool(vris);
 
   if (granularity_ == BalancerGranularity::kFlow) {
     const auto tuple = net::FiveTuple::from_frame(frame);
@@ -99,6 +105,74 @@ int Dispatcher::dispatch(const net::FrameMeta& frame,
     return chosen;
   }
   return inner_->pick(pool);
+}
+
+Nanos Dispatcher::dispatch_batch(std::span<net::FrameMeta* const> frames,
+                                 std::span<const VriView> vris, Nanos now) {
+  last_flow_hit_ = false;
+  if (frames.empty()) return 0;
+  const std::span<const VriView> pool = healthy_pool(vris);
+
+  if (granularity_ != BalancerGranularity::kFlow) {
+    // Frame mode has no per-flow state to amortize: one inner pick each,
+    // exactly as the per-frame path would do.
+    Nanos cost = 0;
+    for (net::FrameMeta* f : frames) {
+      f->dispatch_vri = static_cast<std::int16_t>(inner_->pick(pool));
+      cost += inner_->decision_cost(vris.size());
+    }
+    return cost;
+  }
+
+  // Flow mode: order the burst by 5-tuple (stable via the original index)
+  // so frames of one flow form a contiguous run, then probe the flow table
+  // once per run. The frames themselves are not reordered — only the
+  // decision pass walks in sorted order — so queue order is preserved.
+  order_scratch_.clear();
+  for (std::uint32_t i = 0; i < frames.size(); ++i) order_scratch_.push_back(i);
+  auto key = [&frames](std::uint32_t i) {
+    const net::FrameMeta& f = *frames[i];
+    return std::make_tuple(f.src_ip, f.dst_ip, f.src_port, f.dst_port,
+                           f.protocol);
+  };
+  std::sort(order_scratch_.begin(), order_scratch_.end(),
+            [&key](std::uint32_t a, std::uint32_t b) {
+              const auto ka = key(a), kb = key(b);
+              return ka != kb ? ka < kb : a < b;
+            });
+
+  Nanos cost = 0;
+  std::size_t i = 0;
+  while (i < order_scratch_.size()) {
+    const auto tuple =
+        net::FiveTuple::from_frame(*frames[order_scratch_[i]]);
+    std::size_t j = i + 1;
+    while (j < order_scratch_.size() &&
+           net::FiveTuple::from_frame(*frames[order_scratch_[j]]) == tuple)
+      ++j;
+    // One probe + times() refresh for the whole run.
+    cost += costs::kFlowTableLookup + costs::kFlowTimestampSyscall;
+    int chosen = -1;
+    if (const auto pinned = flows_.lookup(tuple, now)) {
+      for (const VriView& v : pool) {
+        if (v.index == *pinned) {
+          chosen = *pinned;
+          last_flow_hit_ = true;
+          break;
+        }
+      }
+    }
+    if (chosen < 0) {
+      chosen = inner_->pick(pool);
+      flows_.insert(tuple, chosen, now);
+      cost += inner_->decision_cost(vris.size());
+    }
+    for (std::size_t k = i; k < j; ++k)
+      frames[order_scratch_[k]]->dispatch_vri =
+          static_cast<std::int16_t>(chosen);
+    i = j;
+  }
+  return cost;
 }
 
 Nanos Dispatcher::decision_cost(std::size_t n_vris, bool flow_hit) const {

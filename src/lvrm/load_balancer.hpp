@@ -88,6 +88,19 @@ class Dispatcher {
   int dispatch(const net::FrameMeta& frame, std::span<const VriView> vris,
                Nanos now);
 
+  /// Batch variant: decides for every frame of a drained burst in one pass,
+  /// writing each frame's `dispatch_vri`, and returns the summed decision
+  /// cost. Takes pointers so a mixed burst can be regrouped per VR without
+  /// moving frames. In flow mode the burst is sorted (by index, frames stay
+  /// in place) so frames of the same 5-tuple are adjacent and collapse to
+  /// ONE flow-table probe + timestamp refresh — at line rate a burst is
+  /// usually dominated by a handful of hot flows. Inner picks still happen
+  /// once per distinct flow (or per frame in frame mode), so RR/random
+  /// distributions and JSQ tie-breaking are unchanged; only redundant
+  /// probes are elided.
+  Nanos dispatch_batch(std::span<net::FrameMeta* const> frames,
+                       std::span<const VriView> vris, Nanos now);
+
   /// CPU cost of the decision just taken (includes flow-table work when in
   /// flow mode; the thesis charges a times() timestamp update per lookup).
   Nanos decision_cost(std::size_t n_vris, bool flow_hit) const;
@@ -101,10 +114,18 @@ class Dispatcher {
   const net::FlowTable& flow_table() const { return flows_; }
 
  private:
+  /// Suspect-aware candidate filtering shared by both dispatch paths: while
+  /// any VRI is under fail-slow suspicion, steer to healthy siblings (fall
+  /// back to the full set if none remain).
+  std::span<const VriView> healthy_pool(std::span<const VriView> vris);
+
   std::unique_ptr<LoadBalancer> inner_;
   BalancerGranularity granularity_;
   net::FlowTable flows_;
   bool last_flow_hit_ = false;
+  // Reused across bursts so batch dispatch allocates nothing after warm-up.
+  std::vector<VriView> pool_scratch_;
+  std::vector<std::uint32_t> order_scratch_;
 };
 
 }  // namespace lvrm

@@ -100,12 +100,21 @@ LvrmSystem::LvrmSystem(sim::Simulator& sim, const sim::CpuTopology& topo,
       sim_, lvrm_core(), /*owner=*/0, "lvrm", costs::kPollDiscovery);
   // The RX ring and each VRI's outgoing queue are drained in bursts of
   // poll_batch (PF_RING-style batched polls); control queues are serviced
-  // per item at higher priority.
+  // per item at higher priority. With the batched hot path the burst is
+  // coalesced into one core event and dispatched through
+  // Dispatcher::dispatch_batch (DESIGN.md §9).
   lvrm_server_->add_input(
       rx_ring_, /*priority=*/1,
       [this](net::FrameMeta& f) { return rx_cost(f); },
       [this](net::FrameMeta&& f) { rx_sink(std::move(f)); },
-      adapter_->recv_category(), config_.poll_batch);
+      adapter_->recv_category(), config_.poll_batch,
+      /*coalesce=*/config_.batched_hot_path,
+      config_.batched_hot_path
+          ? sim::PollServer<net::FrameMeta>::BatchCostFn(
+                [this](std::span<net::FrameMeta> fs) {
+                  return rx_cost_batch(fs);
+                })
+          : sim::PollServer<net::FrameMeta>::BatchCostFn{});
 }
 
 LvrmSystem::~LvrmSystem() {
@@ -272,7 +281,10 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
           ++s->forwarded;
           if (egress_) egress_(std::move(f));
         },
-        adapter_->send_category(), config_.poll_batch);
+        adapter_->send_category(), config_.poll_batch,
+        // Batched hot path: the TX burst is one coalesced core event; the
+        // per-item cost fn above is summed over the drained frames.
+        /*coalesce=*/config_.batched_hot_path);
 
     vr->slots.push_back(std::move(slot));
   }
@@ -361,6 +373,78 @@ Nanos LvrmSystem::rx_cost(net::FrameMeta& frame) {
 
   // The whole task is charged to the adapter's recv category; move the
   // dispatch work to user time for the Fig 4.3 breakdown.
+  if (adapter_->recv_category() != CostCategory::kUser)
+    lvrm_core().reclassify(adapter_->recv_category(), CostCategory::kUser,
+                           user_part);
+  return cost;
+}
+
+Nanos LvrmSystem::rx_cost_batch(std::span<net::FrameMeta> frames) {
+  // Batched-hot-path equivalent of rx_cost over a whole drained burst
+  // (DESIGN.md §9): classification and adapter receive stay per-frame, the
+  // load-estimator observation and VriView construction happen once per VR
+  // per burst (the burst is served at one instant), and the dispatch
+  // decisions go through Dispatcher::dispatch_batch so same-flow frames
+  // share one flow-table probe.
+  const Nanos now = sim_.now();
+  Nanos cost = 0;
+  Nanos user_part = 0;
+
+  if (rx_groups_.size() < vrs_.size()) rx_groups_.resize(vrs_.size());
+  for (auto& g : rx_groups_) g.clear();
+
+  for (net::FrameMeta& f : frames) {
+    VrState& vr = classify(f);
+    if (vr.last_arrival >= 0) {
+      const Nanos gap = now - vr.last_arrival;
+      if (gap > 0) vr.arrival_gap.update(static_cast<double>(gap));
+    }
+    vr.last_arrival = now;
+    ++vr.frames_in;
+    cost += adapter_->recv_cost(f) + costs::kClassifyCost +
+            costs::kDispatchFixed;
+    user_part += costs::kClassifyCost + costs::kDispatchFixed;
+    rx_groups_[static_cast<std::size_t>(f.dispatch_vr)].push_back(&f);
+  }
+
+  for (std::size_t vid = 0; vid < vrs_.size(); ++vid) {
+    auto& group = rx_groups_[vid];
+    if (group.empty()) continue;
+    VrState& vr = *vrs_[vid];
+
+    views_scratch_.clear();
+    for (int idx : vr.active_order) {
+      VriSlot& s = *vr.slots[static_cast<std::size_t>(idx)];
+      s.estimator->on_packet_observed(s.data_in->size(), now);
+      views_scratch_.push_back(
+          VriView{idx, s.estimator->load_at(now), s.suspect});
+    }
+    if (views_scratch_.empty()) {
+      for (net::FrameMeta* f : group) f->dispatch_vri = -1;
+      continue;
+    }
+
+    const Nanos decision =
+        vr.dispatcher->dispatch_batch(group, views_scratch_, now);
+    cost += decision;
+    user_part += decision;
+
+    for (const net::FrameMeta* f : group) {
+      cost += costs::kEnqueueCost;
+      user_part += costs::kEnqueueCost;
+      const VriSlot& target =
+          *vr.slots[static_cast<std::size_t>(f->dispatch_vri)];
+      if (cross_socket(target.core_id)) {
+        cost += costs::kCrossSocketQueueOp;
+        user_part += costs::kCrossSocketQueueOp;
+      }
+      if (now < target.cold_until) {
+        cost += costs::kColdCacheSurcharge;
+        user_part += costs::kColdCacheSurcharge;
+      }
+    }
+  }
+
   if (adapter_->recv_category() != CostCategory::kUser)
     lvrm_core().reclassify(adapter_->recv_category(), CostCategory::kUser,
                            user_part);

@@ -20,6 +20,7 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -185,6 +186,7 @@ class LvrmSystem {
 
   VrState& classify(net::FrameMeta& frame);
   Nanos rx_cost(net::FrameMeta& frame);
+  Nanos rx_cost_batch(std::span<net::FrameMeta> frames);
   void rx_sink(net::FrameMeta&& frame);
   void maybe_allocate();
   void reap_crashed();
@@ -238,6 +240,11 @@ class LvrmSystem {
   Nanos last_health_probe_ = 0;
   std::vector<RecoveryEvent> recovery_log_;
   std::uint64_t redispatched_ = 0;
+
+  // Batched-hot-path scratch (reused per burst; no allocation after warm-up):
+  // per-VR pointer groups of the current RX burst, and the VriView set.
+  std::vector<std::vector<net::FrameMeta*>> rx_groups_;
+  std::vector<VriView> views_scratch_;
 
   std::uint64_t forwarded_ = 0;
   std::uint64_t crashes_reaped_ = 0;

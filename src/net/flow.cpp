@@ -59,6 +59,7 @@ std::optional<int> FlowTable::lookup(const FiveTuple& t, Nanos now) {
     if (expired(s, now)) {
       s.state = State::kTombstone;
       --live_;
+      ++tombstones_;
       ++misses_;
       return std::nullopt;
     }
@@ -71,10 +72,18 @@ std::optional<int> FlowTable::lookup(const FiveTuple& t, Nanos now) {
 }
 
 void FlowTable::insert(const FiveTuple& t, int vri, Nanos now) {
-  if ((live_ + 1) * 10 > slots_.size() * 7) grow();
+  // Tombstones count toward the rehash trigger: a probe chain does not stop
+  // at a tombstone, so a churned table with few live entries can still
+  // degrade to O(n) probes if dead slots pile up. Double only when live
+  // entries alone pass load factor 0.5; otherwise rebuild at the same size,
+  // which just purges the tombstones.
+  if ((live_ + tombstones_ + 1) * 10 > slots_.size() * 7) {
+    rehash(live_ * 10 > slots_.size() * 5 ? slots_.size() * 2 : slots_.size());
+  }
   const std::size_t idx = probe(t);
   Slot& s = slots_[idx];
   const bool was_live = s.state == State::kLive && s.tuple == t;
+  if (s.state == State::kTombstone) --tombstones_;  // slot reused
   s.tuple = t;
   s.vri = vri;
   s.last_seen = now;
@@ -87,15 +96,17 @@ void FlowTable::evict_vri(int vri) {
     if (s.state == State::kLive && s.vri == vri) {
       s.state = State::kTombstone;
       --live_;
+      ++tombstones_;
     }
   }
 }
 
-void FlowTable::grow() {
+void FlowTable::rehash(std::size_t buckets) {
   std::vector<Slot> old = std::move(slots_);
-  slots_.assign(old.size() * 2, Slot{});
+  slots_.assign(buckets, Slot{});
   mask_ = slots_.size() - 1;
   live_ = 0;
+  tombstones_ = 0;
   for (const Slot& s : old) {
     if (s.state != State::kLive) continue;
     const std::size_t idx = probe(s.tuple);

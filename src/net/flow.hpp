@@ -40,9 +40,14 @@ std::uint64_t hash_tuple(const FiveTuple& t);
 /// Connection-tracking table mapping flows to VRI indices.
 class FlowTable {
  public:
-  /// `capacity_hint` is rounded up to a power of two; the table grows when
-  /// load factor exceeds 0.7. `idle_timeout` expires entries not seen for
-  /// that long (expired entries are reclaimed lazily on probe).
+  /// `capacity_hint` is rounded up to a power of two; the table rehashes
+  /// when live entries PLUS tombstones exceed load factor 0.7 — tombstones
+  /// lengthen probe chains exactly like live entries, so a churned table
+  /// (connect/disconnect cycles) must rebuild even when `size()` stays
+  /// small. The rebuild doubles only when live entries alone warrant it;
+  /// otherwise it rehashes at the same size, purging tombstones.
+  /// `idle_timeout` expires entries not seen for that long (expired entries
+  /// are reclaimed lazily on probe).
   explicit FlowTable(std::size_t capacity_hint = 1024,
                      Nanos idle_timeout = sec(30));
 
@@ -57,6 +62,7 @@ class FlowTable {
   void evict_vri(int vri);
 
   std::size_t size() const { return live_; }
+  std::size_t tombstones() const { return tombstones_; }
   std::size_t bucket_count() const { return slots_.size(); }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
@@ -71,14 +77,15 @@ class FlowTable {
     State state = State::kEmpty;
   };
 
-  std::size_t probe(const FiveTuple& t) const;  // slot of t or of first empty
-  void grow();
+  std::size_t probe(const FiveTuple& t) const;  // slot of t or of first free
+  void rehash(std::size_t buckets);
   bool expired(const Slot& s, Nanos now) const {
     return idle_timeout_ > 0 && now - s.last_seen > idle_timeout_;
   }
 
   std::vector<Slot> slots_;
   std::size_t live_ = 0;
+  std::size_t tombstones_ = 0;
   std::size_t mask_ = 0;
   Nanos idle_timeout_;
   std::uint64_t hits_ = 0;

@@ -62,6 +62,36 @@ class FastForwardRing {
     return value;
   }
 
+  /// Producer-side batch push: stops at the first occupied slot (ring full),
+  /// returns the number accepted. Each slot still carries its own flag —
+  /// FastForward has no shared index to amortize — but the loop keeps the
+  /// occupancy checks and payload writes in one streaming pass.
+  std::size_t try_push_batch(T* items, std::size_t n) {
+    std::size_t k = 0;
+    for (; k < n; ++k) {
+      Slot& slot = slots_[(tail_ + k) & mask_];
+      if (slot.full.load(std::memory_order_acquire)) break;
+      slot.value = std::move(items[k]);
+      slot.full.store(true, std::memory_order_release);
+    }
+    tail_ += k;
+    return k;
+  }
+
+  /// Consumer-side batch pop: stops at the first empty slot, returns the
+  /// number taken.
+  std::size_t try_pop_batch(T* out, std::size_t n) {
+    std::size_t k = 0;
+    for (; k < n; ++k) {
+      Slot& slot = slots_[(head_ + k) & mask_];
+      if (!slot.full.load(std::memory_order_acquire)) break;
+      out[k] = std::move(slot.value);
+      slot.full.store(false, std::memory_order_release);
+    }
+    head_ += k;
+    return k;
+  }
+
   /// Occupancy by scanning would defeat the design; expose only emptiness
   /// hints usable from the respective endpoints.
   bool empty_hint() const {

@@ -17,6 +17,7 @@
 // publication, used at shutdown/idle).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -66,6 +67,43 @@ class McRingBuffer {
     ++local_head_;
     if (local_head_ - published_head_ >= batch_) publish_head();
     return value;
+  }
+
+  /// Producer-side batch push: up to `n` items from `items[0..n)` in FIFO
+  /// order; returns the number accepted. Publishes the shared tail exactly
+  /// once on return (a batch is a natural publication boundary), so the
+  /// whole burst becomes visible to the consumer atomically.
+  std::size_t try_push_batch(T* items, std::size_t n) {
+    std::uint64_t free = capacity_ - (local_tail_ - head_snapshot_);
+    if (free < n) {
+      head_snapshot_ = head_.load(std::memory_order_acquire);
+      free = capacity_ - (local_tail_ - head_snapshot_);
+    }
+    const std::size_t k =
+        static_cast<std::size_t>(std::min<std::uint64_t>(n, free));
+    for (std::size_t i = 0; i < k; ++i)
+      slots_[(local_tail_ + i) & mask_] = std::move(items[i]);
+    local_tail_ += k;
+    if (k > 0) publish_tail();
+    return k;
+  }
+
+  /// Consumer-side batch pop: up to `n` items into `out[0..n)`; returns the
+  /// number taken. Releases the consumed slots to the producer exactly once
+  /// on return.
+  std::size_t try_pop_batch(T* out, std::size_t n) {
+    std::uint64_t avail = tail_snapshot_ - local_head_;
+    if (avail < n) {
+      tail_snapshot_ = tail_.load(std::memory_order_acquire);
+      avail = tail_snapshot_ - local_head_;
+    }
+    const std::size_t k =
+        static_cast<std::size_t>(std::min<std::uint64_t>(n, avail));
+    for (std::size_t i = 0; i < k; ++i)
+      out[i] = std::move(slots_[(local_head_ + i) & mask_]);
+    local_head_ += k;
+    if (k > 0) publish_head();
+    return k;
   }
 
   /// Producer-side: make all pushed elements visible now (idle/shutdown).

@@ -14,8 +14,17 @@
 //     distinguishable without wasting a slot (capacity entries usable).
 //   * both indices live on their own cache line to avoid false sharing (the
 //     cache-optimized refinement of FastForward/MCRingBuffer cited as [17,24]).
+//   * each endpoint keeps a private *cache* of the peer's index on its own
+//     line and refreshes it from the shared atomic only when the cache says
+//     "apparently full/empty" — so a push usually touches no consumer-owned
+//     line at all, and a pop no producer-owned line (the same trick
+//     MCRingBuffer applies to its batched publication).
+//   * try_push_batch/try_pop_batch move a whole burst per acquire/release
+//     pair, amortizing the coherence traffic the per-frame hop otherwise
+//     pays once per element.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -48,39 +57,95 @@ class SpscRing {
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 
-  /// Producer side. Returns false when the ring is full.
+  /// Producer side. Returns false when the ring is full. Reads the shared
+  /// head only when the cached copy says the ring is apparently full.
   bool try_push(T value) {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
-    const std::uint64_t head = head_.load(std::memory_order_acquire);
-    if (tail - head >= capacity_) return false;
+    if (tail - head_cache_ >= capacity_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= capacity_) return false;
+    }
     slots_[tail & mask_] = std::move(value);
     tail_.store(tail + 1, std::memory_order_release);
     return true;
   }
 
-  /// Consumer side. Returns nullopt when the ring is empty.
+  /// Producer side: pushes up to `n` items from `items[0..n)` (moved-from on
+  /// success) in FIFO order and returns how many were accepted — fewer than
+  /// `n` iff the ring filled up (partial push). One refresh of the cached
+  /// head at most and exactly one release publication for the whole burst.
+  std::size_t try_push_batch(T* items, std::size_t n) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    std::uint64_t free = capacity_ - (tail - head_cache_);
+    if (free < n) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      free = capacity_ - (tail - head_cache_);
+    }
+    const std::size_t k = static_cast<std::size_t>(
+        std::min<std::uint64_t>(n, free));
+    // Masked per-slot moves beat a two-chunk split here: the chunk loops
+    // become memmove libcalls whose fixed cost exceeds a burst's worth of
+    // inline moves at typical batch sizes.
+    for (std::size_t i = 0; i < k; ++i)
+      slots_[(tail + i) & mask_] = std::move(items[i]);
+    if (k > 0) tail_.store(tail + k, std::memory_order_release);
+    return k;
+  }
+
+  /// Consumer side. Returns nullopt when the ring is empty. Reads the shared
+  /// tail only when the cached copy says the ring is apparently empty.
   std::optional<T> try_pop() {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
-    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
-    if (head == tail) return std::nullopt;
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return std::nullopt;
+    }
     T value = std::move(slots_[head & mask_]);
     head_.store(head + 1, std::memory_order_release);
     return value;
   }
 
+  /// Consumer side: pops up to `n` items into `out[0..n)` in FIFO order and
+  /// returns how many were taken — fewer than `n` iff the ring drained
+  /// (partial pop). One refresh of the cached tail at most and exactly one
+  /// release of the consumed slots for the whole burst.
+  std::size_t try_pop_batch(T* out, std::size_t n) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    std::uint64_t avail = tail_cache_ - head;
+    if (avail < n) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      avail = tail_cache_ - head;
+    }
+    const std::size_t k = static_cast<std::size_t>(
+        std::min<std::uint64_t>(n, avail));
+    for (std::size_t i = 0; i < k; ++i)
+      out[i] = std::move(slots_[(head + i) & mask_]);
+    if (k > 0) head_.store(head + k, std::memory_order_release);
+    return k;
+  }
+
   /// Consumer-side peek without consuming; nullptr when empty. The returned
-  /// pointer is valid until the next try_pop/pop on this ring.
+  /// pointer is valid until the next try_pop/try_pop_batch on this ring
+  /// (a batch pop advances the head past the peeked slot).
   const T* peek() const {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
-    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
-    if (head == tail) return nullptr;
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return nullptr;
+    }
     return &slots_[head & mask_];
   }
 
-  /// Approximate occupancy; exact when called from either endpoint's thread.
+  /// Approximate occupancy. May be called from the CONSUMER endpoint only
+  /// (the endpoint that reads depths in LVRM: JSQ load estimation and the
+  /// health probes): the consumer is the sole writer of head_, so a relaxed
+  /// load of its own index suffices; only the producer's tail_ needs acquire
+  /// to observe the latest publication. The result is exact at the call and
+  /// can only under-count concurrent pushes (never phantom entries). The
+  /// producer must derive occupancy from its own accepted-push count.
   std::size_t size_approx() const {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
     const std::uint64_t tail = tail_.load(std::memory_order_acquire);
-    const std::uint64_t head = head_.load(std::memory_order_acquire);
     return static_cast<std::size_t>(tail - head);
   }
 
@@ -92,8 +157,15 @@ class SpscRing {
   std::size_t mask_ = 0;
   std::unique_ptr<T[]> slots_;
 
-  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};  // consumer-owned
-  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};  // producer-owned
+  // Consumer-owned line: its index plus its private cache of the producer's
+  // (mutable so the logically-const peek() can refresh it; single-consumer,
+  // so the mutation is unshared).
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};
+  mutable std::uint64_t tail_cache_ = 0;
+
+  // Producer-owned line: its index plus its private cache of the consumer's.
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t head_cache_ = 0;
 };
 
 }  // namespace lvrm::queue

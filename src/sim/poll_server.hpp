@@ -7,13 +7,24 @@
 // loops: control queues are checked before data queues (Sec 2.1), and within
 // a priority class inputs are scanned round-robin so e.g. the TX queues of
 // many VRIs cannot be starved by a hot RX ring.
+//
+// Hot-path memory model (DESIGN.md §9): serving an item performs no heap
+// allocation. The in-service item lives in a member slot and the completion
+// callback captures only `this` (fits std::function's small-buffer storage),
+// so the simulated host overhead of a frame is not polluted by allocator
+// noise. Input selection consults per-priority non-empty hints instead of
+// scanning every queue: a control (priority 0) input with pending work is
+// found without ever touching the data queues.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <memory>
+#include <optional>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
@@ -32,6 +43,10 @@ class PollServer {
   using CostFn = std::function<Nanos(T&)>;
   /// Invoked when service of an item completes (at the completion time).
   using Sink = std::function<void(T&&)>;
+  /// Cost of serving a whole coalesced batch in one pass. Receives the batch
+  /// mutably, like CostFn; may be cheaper than the sum of per-item costs
+  /// (amortized lookups, one syscall for the burst).
+  using BatchCostFn = std::function<Nanos(std::span<T>)>;
 
   /// `pickup_latency` models the poll loop's discovery delay: when work
   /// arrives while the server is idle, one loop iteration over its sockets
@@ -50,21 +65,33 @@ class PollServer {
   /// Registers an input queue. Lower `priority` is served first. The queue's
   /// observer is captured by this server. `batch` > 1 lets the server drain
   /// up to that many consecutive items from this input once selected (poll
-  /// loops read NIC rings in bursts) before re-scanning priorities. Returns
-  /// the input index.
+  /// loops read NIC rings in bursts) before re-scanning priorities.
+  ///
+  /// With `coalesce` set, the burst is instead drained up-front and served
+  /// as ONE core event: the costs of all drained items (or `batch_cost` of
+  /// the whole span, when provided) are summed and charged once, and every
+  /// sink fires at the batch completion time in FIFO order. Items that
+  /// arrive after the drain wait for the next batch — a coalesced burst is
+  /// fixed at pick time. Returns the input index.
   std::size_t add_input(BoundedQueue<T>& q, int priority, CostFn cost,
                         Sink sink, CostCategory category = CostCategory::kUser,
-                        std::size_t batch = 1) {
+                        std::size_t batch = 1, bool coalesce = false,
+                        BatchCostFn batch_cost = {}) {
     inputs_.push_back(Input{&q, priority, std::move(cost), std::move(sink),
-                            category, batch < 1 ? 1 : batch});
-    q.set_observer([this] {
+                            category, batch < 1 ? 1 : batch, coalesce,
+                            std::move(batch_cost),
+                            /*nonempty=*/!q.empty(), /*class_idx=*/0});
+    rebuild_classes();
+    const std::size_t idx = inputs_.size() - 1;
+    q.set_observer([this, idx] {
+      note_nonempty(idx);
       if (pickup_latency_ > 0 && !serving_) {
         sim_.after(pickup_latency_, [this] { maybe_serve(); });
       } else {
         maybe_serve();
       }
     });
-    return inputs_.size() - 1;
+    return idx;
   }
 
   /// Starts/stops the loop. A stopped server leaves queued items in place.
@@ -104,26 +131,25 @@ class PollServer {
     } else {
       idx = pick_input();
       current_input_ = idx;
-      batch_remaining_ =
-          idx == kNoInput ? 0 : inputs_[idx].batch - 1;
+      // Coalesced inputs consume their whole burst in one serve; the
+      // item-by-item continuation applies only to the classic mode.
+      batch_remaining_ = (idx == kNoInput || inputs_[idx].coalesce)
+                             ? 0
+                             : inputs_[idx].batch - 1;
     }
     if (idx == kNoInput) return;
     Input& in = inputs_[idx];
-    T item = in.queue->pop();
-    Nanos cost = in.cost ? in.cost(item) : 0;
+    if (in.coalesce) {
+      serve_batch(in);
+      return;
+    }
+    in_service_ = in.queue->pop();
+    Nanos cost = in.cost ? in.cost(*in_service_) : 0;
     cost += oneshot_cost_;
     oneshot_cost_ = 0;
     serving_ = true;
-    // The callback owns the item; shared_ptr makes the lambda copyable for
-    // std::function without requiring T to be copyable.
-    auto boxed = std::make_shared<T>(std::move(item));
-    Input* input = &in;
-    core_->run(cost, in.category, owner_, [this, boxed, input] {
-      serving_ = false;
-      ++served_;
-      if (input->sink) input->sink(std::move(*boxed));
-      maybe_serve();
-    });
+    in_service_input_ = &in;
+    core_->run(cost, in.category, owner_, [this] { complete_one(); });
   }
 
  private:
@@ -134,27 +160,138 @@ class PollServer {
     Sink sink;
     CostCategory category;
     std::size_t batch = 1;
+    bool coalesce = false;
+    BatchCostFn batch_cost;
+    // Non-empty hint: set by the queue observer (which fires on every
+    // empty->non-empty transition), cleared only when a scan observes the
+    // queue actually empty. The hint can therefore be stale-HIGH (external
+    // actors — recovery, shedding — pop/clear queues without telling us)
+    // but never stale-LOW, so a set hint is always safe to probe and a
+    // cleared hint is always safe to skip.
+    bool nonempty = false;
+    std::size_t class_idx = 0;
+  };
+
+  struct PrioClass {
+    int priority;
+    std::vector<std::size_t> members;  // input indices, ascending
+    std::size_t nonempty_count = 0;    // inputs with the hint set
   };
 
   static constexpr std::size_t kNoInput =
       std::numeric_limits<std::size_t>::max();
 
-  /// Highest-priority non-empty input, round-robin within a priority class.
-  std::size_t pick_input() {
-    std::size_t best = kNoInput;
-    int best_prio = std::numeric_limits<int>::max();
-    const std::size_t n = inputs_.size();
-    for (std::size_t step = 0; step < n; ++step) {
-      const std::size_t i = (rr_cursor_ + step) % n;
-      const Input& in = inputs_[i];
-      if (in.queue->empty()) continue;
-      if (in.priority < best_prio) {
-        best_prio = in.priority;
-        best = i;
+  void note_nonempty(std::size_t idx) {
+    Input& in = inputs_[idx];
+    if (!in.nonempty) {
+      in.nonempty = true;
+      ++classes_[in.class_idx].nonempty_count;
+    }
+  }
+
+  void rebuild_classes() {
+    classes_.clear();
+    for (const Input& in : inputs_) {
+      bool found = false;
+      for (const PrioClass& c : classes_)
+        if (c.priority == in.priority) found = true;
+      if (!found) classes_.push_back(PrioClass{in.priority, {}, 0});
+    }
+    std::sort(classes_.begin(), classes_.end(),
+              [](const PrioClass& a, const PrioClass& b) {
+                return a.priority < b.priority;
+              });
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+      for (std::size_t c = 0; c < classes_.size(); ++c) {
+        if (classes_[c].priority == inputs_[i].priority) {
+          inputs_[i].class_idx = c;
+          classes_[c].members.push_back(i);
+          if (inputs_[i].nonempty) ++classes_[c].nonempty_count;
+          break;
+        }
       }
     }
-    if (best != kNoInput) rr_cursor_ = (best + 1) % n;
-    return best;
+  }
+
+  /// Highest-priority non-empty input, round-robin within a priority class.
+  /// Classes are scanned in ascending priority and the scan stops at the
+  /// first class with genuinely pending work — a non-empty control input is
+  /// found without inspecting any data queue. Within the class, the member
+  /// closest to `rr_cursor_` in cyclic order wins, which is exactly the
+  /// input the previous full cyclic scan would have selected.
+  std::size_t pick_input() {
+    const std::size_t n = inputs_.size();
+    for (PrioClass& cls : classes_) {
+      if (cls.nonempty_count == 0) continue;
+      std::size_t best = kNoInput;
+      std::size_t best_rank = n;
+      for (std::size_t i : cls.members) {
+        Input& in = inputs_[i];
+        if (!in.nonempty) continue;
+        if (in.queue->empty()) {  // stale-high hint: repair and skip
+          in.nonempty = false;
+          --cls.nonempty_count;
+          continue;
+        }
+        const std::size_t rank = (i + n - rr_cursor_) % n;
+        if (rank < best_rank) {
+          best_rank = rank;
+          best = i;
+        }
+      }
+      if (best != kNoInput) {
+        rr_cursor_ = (best + 1) % n;
+        return best;
+      }
+    }
+    return kNoInput;
+  }
+
+  /// Classic completion: move the item out of the in-service slot before
+  /// invoking the sink, so a reentrant maybe_serve() from inside the sink
+  /// can safely refill the slot.
+  void complete_one() {
+    serving_ = false;
+    ++served_;
+    Input* in = in_service_input_;
+    T item = std::move(*in_service_);
+    in_service_.reset();
+    if (in->sink) in->sink(std::move(item));
+    maybe_serve();
+  }
+
+  /// Coalesced serving: drain up to `in.batch` items now, charge their
+  /// summed (or batch-fn) cost as ONE core event — N event-queue insertions
+  /// collapse into 1 — and deliver every item at the completion time.
+  void serve_batch(Input& in) {
+    batch_buf_.clear();
+    while (batch_buf_.size() < in.batch && !in.queue->empty())
+      batch_buf_.push_back(in.queue->pop());
+    Nanos cost = 0;
+    if (in.batch_cost) {
+      cost = in.batch_cost(std::span<T>(batch_buf_));
+    } else if (in.cost) {
+      for (T& item : batch_buf_) cost += in.cost(item);
+    }
+    cost += oneshot_cost_;
+    oneshot_cost_ = 0;
+    serving_ = true;
+    in_service_input_ = &in;
+    core_->run(cost, in.category, owner_, [this] { complete_batch(); });
+  }
+
+  void complete_batch() {
+    serving_ = false;
+    Input* in = in_service_input_;
+    // Swap into the drain buffer first: a sink may push into one of our own
+    // inputs and reentrantly start the next batch, which refills batch_buf_.
+    sink_buf_.clear();
+    std::swap(sink_buf_, batch_buf_);
+    served_ += sink_buf_.size();
+    if (in->sink)
+      for (T& item : sink_buf_) in->sink(std::move(item));
+    sink_buf_.clear();
+    maybe_serve();
   }
 
   Simulator& sim_;
@@ -162,6 +299,7 @@ class PollServer {
   OwnerId owner_;
   std::string name_;
   std::vector<Input> inputs_;
+  std::vector<PrioClass> classes_;
   std::size_t rr_cursor_ = 0;
   Nanos pickup_latency_ = 0;
   std::size_t batch_remaining_ = 0;
@@ -170,6 +308,13 @@ class PollServer {
   bool serving_ = false;
   Nanos oneshot_cost_ = 0;
   std::uint64_t served_ = 0;
+  // Zero-alloc serving state: the classic path parks the in-service item in
+  // `in_service_`; the coalesced path reuses `batch_buf_`/`sink_buf_`
+  // capacity across batches. No per-item heap allocation after warm-up.
+  std::optional<T> in_service_;
+  Input* in_service_input_ = nullptr;
+  std::vector<T> batch_buf_;
+  std::vector<T> sink_buf_;
 };
 
 }  // namespace lvrm::sim

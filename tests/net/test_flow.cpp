@@ -85,6 +85,43 @@ TEST(FlowTable, GrowsBeyondInitialCapacity) {
   }
 }
 
+TEST(FlowTable, TombstoneReusedOnReinsert) {
+  FlowTable table(16, sec(1000));
+  table.insert(tuple(1, 2, 3, 4), 0, 0);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.tombstones(), 0u);
+  table.evict_vri(0);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.tombstones(), 1u);
+  // Reinserting the same tuple must reclaim the tombstoned slot, not chain
+  // past it.
+  table.insert(tuple(1, 2, 3, 4), 1, 0);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.tombstones(), 0u);
+  EXPECT_EQ(table.lookup(tuple(1, 2, 3, 4), 1).value(), 1);
+}
+
+// Regression test for tombstone accumulation: a table under connect/
+// disconnect churn (insert then evict, live count always tiny) must not let
+// dead slots pile up and degrade every probe into a long chain walk.
+TEST(FlowTable, ChurnDoesNotGrowProbeChains) {
+  FlowTable table(64, sec(1000));
+  for (std::uint32_t i = 0; i < 20'000; ++i) {
+    // Unique tuple per round so each insert probes fresh slots.
+    table.insert(tuple(i, i * 7 + 1, 80, 443), static_cast<int>(i % 4), 0);
+    table.evict_vri(static_cast<int>(i % 4));  // immediate disconnect
+    // The rehash policy must keep live+tombstones under the load factor at
+    // all times...
+    EXPECT_LE((table.size() + table.tombstones()) * 10,
+              table.bucket_count() * 7)
+        << "round " << i;
+    // ...and, since live entries never exceed 1, purge at the same size
+    // instead of doubling: the table must not grow under pure churn.
+    EXPECT_LE(table.bucket_count(), 64u) << "round " << i;
+  }
+  EXPECT_EQ(table.size(), 0u);
+}
+
 TEST(FlowTable, HitMissCounters) {
   FlowTable table(64, sec(30));
   table.insert(tuple(1, 2, 3, 4), 0, 0);
