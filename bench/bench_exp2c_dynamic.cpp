@@ -13,6 +13,12 @@ using namespace lvrm::exp;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  // --telemetry-dir=DIR: export the run's telemetry triple (Prometheus /
+  // CSV / Chrome trace). The trace shows the allocation staircase as a
+  // counter track plus one instant per (de)allocation — see README
+  // "Watching an allocation timeline in Perfetto".
+  const std::string telemetry_dir =
+      Cli(argc, argv).get_string("telemetry-dir", "");
   // The thesis holds each step 5 s; the step/period ratio is what matters,
   // so the default here holds 2 s per step (scale with --scale).
   const Nanos hold = args.scaled(sec(2));
@@ -44,6 +50,9 @@ int main(int argc, char** argv) {
   opts.senders = {s1, s2};
   std::vector<traffic::RateStep> aggregate =
       traffic::UdpSender::staircase(60'000.0, 360'000.0, hold, 0);
+
+  if (!telemetry_dir.empty())
+    opts.telemetry_export_prefix = telemetry_dir + "/exp2c_dynamic";
 
   const Nanos duration = hold * 12;
   const auto trace = run_allocation_trace(opts, duration, hold / 4);

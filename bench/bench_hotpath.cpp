@@ -21,8 +21,14 @@
 // loop so the check is machine-independent) against the committed baseline
 // and exits non-zero on regression beyond --tolerance (default 0.25).
 //
+//   telemetry: the same poll workload with the obs-layer hot-path touches
+//              (pre-registered counter adds + sampled histogram records) on
+//              vs off, interleaved; --check-telemetry-overhead=0.03 turns
+//              the measured fraction into a CI gate.
+//
 // Usage: bench_hotpath [--quick] [--out=BENCH_hotpath.json]
 //                      [--baseline=FILE] [--tolerance=0.25]
+//                      [--check-telemetry-overhead=FRAC]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -39,6 +45,7 @@
 #include "common/cli.hpp"
 #include "lvrm/load_balancer.hpp"
 #include "net/frame.hpp"
+#include "obs/telemetry.hpp"
 #include "queue/mc_ring.hpp"
 #include "queue/spsc_ring.hpp"
 #include "sim/costs.hpp"
@@ -226,6 +233,61 @@ double poll_host_ns(std::uint64_t frames, bool coalesce) {
   return elapsed / static_cast<double>(frames);
 }
 
+// --- telemetry: hot-path overhead of the obs layer -------------------------------
+
+/// The exact per-frame work LvrmSystem adds when telemetry is on: one
+/// pre-registered counter add at RX and TX, the deterministic 1-in-N sample
+/// tick at RX, and — for the sampled subset — three histogram records at TX.
+struct TelemetryHooks {
+  obs::Counter rx, tx;
+  obs::LogHistogram wait_ns, svc_ns, e2e_ns;
+};
+
+/// Same workload as poll_host_ns(frames, /*coalesce=*/false), with the
+/// telemetry touches LvrmSystem's RX cost fn and TX sink make. `hooks` null
+/// reproduces the telemetry-off configuration: the branch is still there
+/// (LvrmSystem always pays one null check) but nothing else is.
+double poll_host_ns_telemetry(std::uint64_t frames, obs::Telemetry* tel,
+                              TelemetryHooks* hooks) {
+  sim::Simulator sim;
+  sim::Core core(sim, 0, 0);
+  sim::BoundedQueue<net::FrameMeta> q(frames + 1, "bench-q");
+  sim::PollServer<net::FrameMeta> server(sim, core, 0, "bench");
+  std::uint64_t sunk = 0;
+  server.add_input(
+      q, /*priority=*/1,
+      [tel, hooks](net::FrameMeta& f) {
+        if (hooks) {
+          hooks->rx.inc();
+          if (tel->should_sample()) f.obs_sampled = 1;
+        }
+        return Nanos{100};
+      },
+      [&sunk, hooks](net::FrameMeta&& f) {
+        if (hooks) {
+          hooks->tx.inc();
+          if (f.obs_sampled) {
+            hooks->wait_ns.record(static_cast<std::int64_t>(f.id & 1023));
+            hooks->svc_ns.record(100);
+            hooks->e2e_ns.record(static_cast<std::int64_t>(f.id & 4095));
+          }
+        }
+        sunk += f.id;
+      },
+      sim::CostCategory::kUser, /*batch=*/16, /*coalesce=*/false);
+  server.start();
+  const double t0 = now_ns();
+  for (std::uint64_t i = 0; i < frames; ++i) {
+    net::FrameMeta f;
+    f.id = i;
+    q.push(std::move(f));
+  }
+  sim.run_all();
+  const double elapsed = now_ns() - t0;
+  g_guard.fetch_add(sunk, std::memory_order_relaxed);
+  return elapsed / static_cast<double>(frames);
+}
+
 // --- dispatch: per-frame vs batch ------------------------------------------------
 
 net::FrameMeta make_flow_frame(std::uint32_t flow, std::uint64_t id) {
@@ -356,6 +418,41 @@ int main(int argc, char** argv) {
   const double disp_batch =
       median_ns(reps, [&] { return dispatch_ns(kDispatchFrames, true); });
 
+  // Telemetry overhead: interleave off/on runs so machine-speed drift hits
+  // both sides of each pair equally, then take the median of the per-pair
+  // ratios. This is the <3% CI gate (--check-telemetry-overhead).
+  std::vector<double> tel_off_samples, tel_on_samples;
+  {
+    obs::Telemetry tel{obs::TelemetryConfig{}};
+    TelemetryHooks hooks;
+    hooks.rx = tel.metrics().counter("bench_rx_total");
+    hooks.tx = tel.metrics().counter("bench_tx_total");
+    hooks.wait_ns = tel.metrics().histogram("bench_wait_ns");
+    hooks.svc_ns = tel.metrics().histogram("bench_svc_ns");
+    hooks.e2e_ns = tel.metrics().histogram("bench_e2e_ns");
+    // Longer runs than the other sections: the gate resolves a ~1% effect,
+    // so each sample must average over enough frames to drown scheduler
+    // jitter.
+    const std::uint64_t tel_frames = kPollFrames * 4;
+    poll_host_ns_telemetry(tel_frames, nullptr, nullptr);  // warm-up
+    poll_host_ns_telemetry(tel_frames, &tel, &hooks);      // warm-up
+    const int tel_reps = 3 * reps + 6;  // cheap runs; buy down the noise
+    for (int r = 0; r < tel_reps; ++r) {
+      const double off = poll_host_ns_telemetry(tel_frames, nullptr, nullptr);
+      const double on = poll_host_ns_telemetry(tel_frames, &tel, &hooks);
+      tel_off_samples.push_back(off);
+      tel_on_samples.push_back(on);
+    }
+  }
+  // Gate on the ratio of minimums: noise (preemption, frequency dips) only
+  // ever ADDS time, so each side's minimum is its cleanest run and their
+  // ratio isolates the per-frame telemetry cost from machine jitter.
+  const double tel_off = *std::min_element(tel_off_samples.begin(),
+                                           tel_off_samples.end());
+  const double tel_on = *std::min_element(tel_on_samples.begin(),
+                                          tel_on_samples.end());
+  const double tel_overhead = tel_on / tel_off - 1.0;
+
   // The guarded regression metric: host ns of simulator+server machinery per
   // frame on the classic (default-config) path.
   const double per_frame_host = poll_item;
@@ -383,6 +480,9 @@ int main(int argc, char** argv) {
       << "  \"dispatch_per_frame_ns\": " << disp_frame << ",\n"
       << "  \"dispatch_batch_ns\": " << disp_batch << ",\n"
       << "  \"dispatch_batch_speedup\": " << disp_frame / disp_batch << ",\n"
+      << "  \"poll_telemetry_off_ns\": " << tel_off << ",\n"
+      << "  \"poll_telemetry_on_ns\": " << tel_on << ",\n"
+      << "  \"telemetry_overhead_frac\": " << tel_overhead << ",\n"
       << "  \"per_frame_host_overhead_ns\": " << per_frame_host << ",\n"
       << "  \"per_frame_host_ratio\": " << std::scientific << host_ratio
       << std::fixed << "\n"
@@ -402,7 +502,20 @@ int main(int argc, char** argv) {
               poll_item, poll_coalesced, poll_item / poll_coalesced);
   std::printf("  dispatch frame/batch  : %.1f / %.1f ns (%.2fx)\n", disp_frame,
               disp_batch, disp_frame / disp_batch);
+  std::printf("  telemetry off/on      : %.1f / %.1f host ns/frame (%+.2f%%)\n",
+              tel_off, tel_on, 100.0 * tel_overhead);
   std::printf("  wrote %s\n", out_path.c_str());
+
+  const double tel_gate = cli.get_double("check-telemetry-overhead", -1.0);
+  if (tel_gate >= 0.0) {
+    std::printf("  telemetry gate        : %+.2f%% vs %.0f%% allowed\n",
+                100.0 * tel_overhead, 100.0 * tel_gate);
+    if (tel_overhead > tel_gate) {
+      std::printf("  telemetry hot-path overhead too high: FAIL\n");
+      return 1;
+    }
+    std::printf("  within telemetry budget: OK\n");
+  }
 
   if (!baseline.empty()) {
     const auto base = read_flat_json(baseline);

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Validates a telemetry export triple (<prefix>.prom/.csv/.trace.json).
+
+Used by CI's telemetry smoke step: after an experiment runs with
+--telemetry-dir, every export prefix found in the directory must hold a
+parseable Prometheus text file with the core LVRM families, an RFC-4180 CSV
+series, and a Chrome trace_event JSON that a trace viewer (Perfetto,
+chrome://tracing) would accept.
+
+Usage: validate_telemetry.py DIR [DIR...]
+Exits non-zero with a per-file message on the first malformed export.
+"""
+import csv
+import json
+import pathlib
+import re
+import sys
+
+REQUIRED_FAMILIES = [
+    "lvrm_rx_frames_total",
+    "lvrm_tx_frames_total",
+    "lvrm_e2e_latency_ns",
+]
+
+# name{labels} value   |   name value
+PROM_SAMPLE = re.compile(
+    r"^[A-Za-z_:][A-Za-z0-9_:]*(\{[^}]*\})? [-+0-9eE.infa]+$")
+PROM_META = re.compile(r"^# (TYPE|HELP) [A-Za-z_:][A-Za-z0-9_:]*( .*)?$")
+
+
+def fail(msg):
+    print(f"validate_telemetry: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_prom(path):
+    text = path.read_text()
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not PROM_META.match(line):
+                fail(f"{path}: bad comment line: {line!r}")
+        elif not PROM_SAMPLE.match(line):
+            fail(f"{path}: unparseable sample line: {line!r}")
+    for family in REQUIRED_FAMILIES:
+        if family not in text:
+            fail(f"{path}: missing required family {family}")
+    # Histogram buckets must be cumulative: monotone counts, +Inf == _count.
+    for family in ["lvrm_e2e_latency_ns"]:
+        counts = [
+            float(m.group(2))
+            for m in re.finditer(
+                rf'^{family}_bucket{{le="([^"]+)"}} ([0-9.eE+]+)$',
+                text, re.M)
+        ]
+        if not counts:
+            fail(f"{path}: {family} has no bucket series")
+        if counts != sorted(counts):
+            fail(f"{path}: {family} buckets are not cumulative")
+        total = re.search(rf"^{family}_count ([0-9.eE+]+)$", text, re.M)
+        if not total or float(total.group(1)) != counts[-1]:
+            fail(f"{path}: {family} +Inf bucket disagrees with _count")
+
+
+def check_csv(path):
+    with path.open(newline="") as f:
+        rows = list(csv.reader(f))
+    if not rows or rows[0] != ["t_sec", "metric", "labels", "value"]:
+        fail(f"{path}: bad header {rows[:1]!r}")
+    if len(rows) < 2:
+        fail(f"{path}: no data rows")
+    for i, row in enumerate(rows[1:], start=2):
+        if len(row) != 4:
+            fail(f"{path}:{i}: expected 4 fields, got {len(row)}")
+        try:
+            float(row[0])
+            float(row[3])
+        except ValueError:
+            fail(f"{path}:{i}: non-numeric t_sec/value in {row!r}")
+
+
+def check_trace(path):
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as e:
+        fail(f"{path}: not valid JSON: {e}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: missing traceEvents array")
+    for ev in events:
+        if "ph" not in ev or "name" not in ev:
+            fail(f"{path}: event without ph/name: {ev!r}")
+        if ev["ph"] != "M" and not isinstance(ev.get("ts"), (int, float)):
+            fail(f"{path}: non-metadata event without numeric ts: {ev!r}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        fail("usage: validate_telemetry.py DIR [DIR...]")
+    prefixes = []
+    for d in argv[1:]:
+        prefixes += [p.with_suffix("") for p in pathlib.Path(d).glob("*.prom")]
+    if not prefixes:
+        fail(f"no .prom exports found under {argv[1:]}")
+    for prefix in prefixes:
+        for suffix, check in ((".prom", check_prom), (".csv", check_csv),
+                              (".trace.json", check_trace)):
+            path = prefix.parent / (prefix.name + suffix)
+            if not path.exists():
+                fail(f"{path}: missing (incomplete export triple)")
+            check(path)
+        print(f"validate_telemetry: OK {prefix}.{{prom,csv,trace.json}}")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

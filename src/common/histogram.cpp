@@ -15,16 +15,22 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets) : lo_(lo) {
 
 void Histogram::add(double x) {
   ++total_;
+  if (std::isnan(x)) {  // unplaceable: count it as overflow, never drop it
+    ++overflow_;
+    return;
+  }
   if (x < lo_) {
     ++underflow_;
     return;
   }
-  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
-  if (idx >= counts_.size()) {
+  // Compare in floating point BEFORE casting: a cast of +inf or of a value
+  // past the size_t range is undefined behaviour.
+  const double pos = (x - lo_) / width_;
+  if (!(pos < static_cast<double>(counts_.size()))) {
     ++overflow_;
     return;
   }
-  ++counts_[idx];
+  ++counts_[static_cast<std::size_t>(pos)];
 }
 
 double Histogram::bucket_lo(std::size_t i) const {
@@ -36,9 +42,13 @@ double Histogram::bucket_hi(std::size_t i) const {
 }
 
 double Histogram::quantile(double q) const {
+  if (std::isnan(q)) q = 1.0;
   q = std::clamp(q, 0.0, 1.0);
   if (total_ == 0) return lo_;
-  const double target = q * static_cast<double>(total_);
+  // Target rank in [1, total]: q = 0 asks for the first recorded sample, so
+  // an all-overflow histogram correctly reports hi (not the empty range).
+  const double target =
+      std::max(1.0, q * static_cast<double>(total_));
   double cum = static_cast<double>(underflow_);
   if (target <= cum) return lo_;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
@@ -49,6 +59,8 @@ double Histogram::quantile(double q) const {
     }
     cum = next;
   }
+  // Rank fell in the overflow mass: report the range's upper edge rather
+  // than interpolating inside a bucket that does not exist.
   return bucket_hi(counts_.size() - 1);
 }
 

@@ -16,6 +16,9 @@ class Histogram {
   /// hi > lo and buckets >= 1; violations are clamped to a single bucket.
   Histogram(double lo, double hi, std::size_t buckets);
 
+  /// Records x. Non-finite input is routed to the closest sentinel bucket:
+  /// -inf to underflow, +inf and NaN to overflow (never UB, never lost from
+  /// count()). Finite values beyond the range land in under/overflow too.
   void add(double x);
 
   std::size_t count() const { return total_; }
@@ -29,7 +32,13 @@ class Histogram {
   /// Exclusive upper edge of bucket i.
   double bucket_hi(std::size_t i) const;
 
-  /// Approximate quantile (0..1) by linear interpolation within the bucket.
+  /// Approximate quantile (0..1) by linear interpolation within the owning
+  /// bucket. Never returns NaN. Edge cases are defined as:
+  ///   * empty histogram        -> lo (the range's lower edge)
+  ///   * rank in underflow mass -> lo
+  ///   * rank in overflow mass  -> hi (the range's upper edge; no
+  ///     interpolation inside a fictitious bucket)
+  ///   * q outside [0,1] is clamped; NaN q is treated as q = 1.
   double quantile(double q) const;
 
   /// Multi-line ASCII rendering (one row per non-empty bucket).

@@ -1,5 +1,6 @@
 #include "common/log.hpp"
 
+#include <array>
 #include <atomic>
 #include <cstdio>
 
@@ -7,7 +8,12 @@ namespace lvrm {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+// Per-component override; kNoOverride means "use the global level".
+constexpr int kNoOverride = -1;
+std::array<std::atomic<int>, kLogComponentCount> g_component_level{
+    kNoOverride, kNoOverride, kNoOverride, kNoOverride, kNoOverride};
 std::mutex g_mutex;
+LogSink g_sink;  // guarded by g_mutex
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -22,22 +28,96 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
+const char* to_string(LogComponent c) {
+  switch (c) {
+    case LogComponent::kGeneral: return "";
+    case LogComponent::kAlloc: return "alloc";
+    case LogComponent::kHealth: return "health";
+    case LogComponent::kShed: return "shed";
+    case LogComponent::kDispatch: return "dispatch";
+  }
+  return "?";
+}
+
 void set_log_level(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
-namespace detail {
-
-bool log_enabled(LogLevel level) {
-  return level >= g_level.load(std::memory_order_relaxed) &&
-         level != LogLevel::kOff;
+void set_component_log_level(LogComponent c, LogLevel level) {
+  g_component_level[static_cast<std::size_t>(c)].store(
+      static_cast<int>(level), std::memory_order_relaxed);
 }
 
-void log_emit(LogLevel level, const std::string& msg) {
+void reset_component_log_level(LogComponent c) {
+  g_component_level[static_cast<std::size_t>(c)].store(
+      kNoOverride, std::memory_order_relaxed);
+}
+
+LogLevel effective_log_level(LogComponent c) {
+  const int ov = g_component_level[static_cast<std::size_t>(c)].load(
+      std::memory_order_relaxed);
+  if (ov != kNoOverride) return static_cast<LogLevel>(ov);
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void install_log_sink(LogSink sink) {
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[lvrm %s] %s\n", level_name(level), msg.c_str());
+  g_sink = std::move(sink);
+}
+
+void remove_log_sink() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = nullptr;
+}
+
+CapturingLogSink::CapturingLogSink() {
+  install_log_sink([this](LogLevel level, LogComponent component,
+                          const std::string& msg) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.push_back(Entry{level, component, msg});
+  });
+}
+
+CapturingLogSink::~CapturingLogSink() { remove_log_sink(); }
+
+std::vector<CapturingLogSink::Entry> CapturingLogSink::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+bool CapturingLogSink::contains(const std::string& substr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_)
+    if (e.message.find(substr) != std::string::npos) return true;
+  return false;
+}
+
+void CapturingLogSink::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+namespace detail {
+
+bool log_enabled(LogLevel level, LogComponent component) {
+  return level != LogLevel::kOff && level >= effective_log_level(component);
+}
+
+void log_emit(LogLevel level, LogComponent component, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_sink) {
+    g_sink(level, component, msg);
+    return;
+  }
+  const char* comp = to_string(component);
+  if (comp[0] != '\0') {
+    std::fprintf(stderr, "[lvrm %s] [%s] %s\n", level_name(level), comp,
+                 msg.c_str());
+  } else {
+    std::fprintf(stderr, "[lvrm %s] %s\n", level_name(level), msg.c_str());
+  }
 }
 
 }  // namespace detail

@@ -1,45 +1,107 @@
-// log.hpp — minimal leveled logger.
+// log.hpp — minimal leveled logger with component tags and a test sink.
 //
 // Experiments and tests mostly print structured tables themselves; the logger
 // exists for diagnostics inside the library (dropped frames, allocation
 // decisions). It is deliberately tiny: a global level, printf-free streaming,
 // and a mutex so interleaved real-thread tests stay readable.
+//
+// Subsystems tag their lines with a LogComponent, rendered as a stable
+// prefix ([alloc], [health], [shed], [dispatch]) that scripts can grep for.
+// Each component can be given its own level override, so a single subsystem
+// can be traced without drowning in global kTrace noise. Tests can install
+// a capturing sink (CapturingLogSink) to assert on emitted lines instead of
+// scraping stderr.
 #pragma once
 
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace lvrm {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Subsystem tags; rendered as a "[name]" prefix on every line.
+enum class LogComponent { kGeneral = 0, kAlloc, kHealth, kShed, kDispatch };
+inline constexpr std::size_t kLogComponentCount = 5;
+
+/// Short name ("alloc", "health", ...); kGeneral renders with no prefix.
+const char* to_string(LogComponent c);
 
 /// Sets/gets the process-wide log level (default: kWarn, so library chatter
 /// stays out of bench output).
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Per-component override: lines from `c` use `level` instead of the global
+/// level until reset. Overrides affect only gating, not emission format.
+void set_component_log_level(LogComponent c, LogLevel level);
+void reset_component_log_level(LogComponent c);
+/// The level actually gating component `c` (override if set, else global).
+LogLevel effective_log_level(LogComponent c);
+
+/// Callback sink: while installed it REPLACES the stderr output, receiving
+/// every line that passes level gating. Installation is process-wide.
+using LogSink = std::function<void(LogLevel, LogComponent, const std::string&)>;
+void install_log_sink(LogSink sink);
+void remove_log_sink();
+
+/// RAII capturing sink for tests: installs on construction, removes on
+/// destruction, and records every emitted line for assertions.
+class CapturingLogSink {
+ public:
+  struct Entry {
+    LogLevel level;
+    LogComponent component;
+    std::string message;
+  };
+
+  CapturingLogSink();
+  ~CapturingLogSink();
+  CapturingLogSink(const CapturingLogSink&) = delete;
+  CapturingLogSink& operator=(const CapturingLogSink&) = delete;
+
+  std::vector<Entry> entries() const;
+  /// True if any captured message contains `substr`.
+  bool contains(const std::string& substr) const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
 namespace detail {
-void log_emit(LogLevel level, const std::string& msg);
-bool log_enabled(LogLevel level);
+void log_emit(LogLevel level, LogComponent component, const std::string& msg);
+bool log_enabled(LogLevel level,
+                 LogComponent component = LogComponent::kGeneral);
 }  // namespace detail
 
 /// Stream-style log statement: LVRM_LOG(kInfo) << "cores=" << n;
 /// The message body is not evaluated when the level is disabled.
-#define LVRM_LOG(level)                                      \
-  for (bool lvrm_log_once =                                  \
-           ::lvrm::detail::log_enabled(::lvrm::LogLevel::level); \
-       lvrm_log_once; lvrm_log_once = false)                 \
-  ::lvrm::detail::LogLine(::lvrm::LogLevel::level)
+#define LVRM_LOG(level) LVRM_CLOG(kGeneral, level)
+
+/// Component-tagged variant: LVRM_CLOG(kAlloc, kInfo) << "vr=" << vr;
+/// emits "[alloc] vr=0" and is gated by the component's effective level.
+#define LVRM_CLOG(component, level)                                     \
+  for (bool lvrm_log_once = ::lvrm::detail::log_enabled(                \
+           ::lvrm::LogLevel::level, ::lvrm::LogComponent::component);   \
+       lvrm_log_once; lvrm_log_once = false)                            \
+  ::lvrm::detail::LogLine(::lvrm::LogLevel::level,                      \
+                          ::lvrm::LogComponent::component)
 
 namespace detail {
 
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
+  explicit LogLine(LogLevel level,
+                   LogComponent component = LogComponent::kGeneral)
+      : level_(level), component_(component) {}
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
-  ~LogLine() { log_emit(level_, os_.str()); }
+  ~LogLine() { log_emit(level_, component_, os_.str()); }
 
   template <typename T>
   LogLine& operator<<(const T& v) {
@@ -49,6 +111,7 @@ class LogLine {
 
  private:
   LogLevel level_;
+  LogComponent component_;
   std::ostringstream os_;
 };
 

@@ -101,7 +101,11 @@ UdpTrialResult run_udp_trial(const WorldOptions& options,
   r.delivered_bps =
       r.delivered_fps * 8.0 * static_cast<double>(options.frame_bytes);
   r.gateway_rx_drops = world.gw.rx_drops() + world.bed.gateway_rx_drops();
-  if (auto* lvrm = world.gw.lvrm()) r.queue_drops = lvrm->data_queue_drops();
+  if (auto* lvrm = world.gw.lvrm()) {
+    r.queue_drops = lvrm->data_queue_drops();
+    if (!options.telemetry_export_prefix.empty())
+      lvrm->export_telemetry(options.telemetry_export_prefix);
+  }
   return r;
 }
 
@@ -407,6 +411,8 @@ AllocTrace run_allocation_trace(const WorldOptions& options, Nanos duration,
   }
   world.sim.run_until(duration + msec(1));
   trace.log = lvrm->allocation_log();
+  if (!options.telemetry_export_prefix.empty())
+    lvrm->export_telemetry(options.telemetry_export_prefix);
   return trace;
 }
 

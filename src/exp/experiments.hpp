@@ -37,6 +37,9 @@ struct WorldOptions {
   Nanos measure = msec(150);
   /// Empty -> the default two senders of Fig 4.1 splitting the rate evenly.
   std::vector<SenderSpec> senders;
+  /// Non-empty (and an LVRM mechanism): at trial end write the telemetry
+  /// exports `<prefix>.prom`, `<prefix>.csv` and `<prefix>.trace.json`.
+  std::string telemetry_export_prefix;
 };
 
 struct UdpTrialResult {

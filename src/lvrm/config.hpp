@@ -12,6 +12,7 @@
 #include "common/units.hpp"
 #include "lvrm/types.hpp"
 #include "net/ip.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/costs.hpp"
 #include "sim/topology.hpp"
 
@@ -101,6 +102,12 @@ struct LvrmConfig {
   /// `shed_watermark` of capacity. kNone keeps the legacy tail-drop.
   ShedPolicy shed_policy = ShedPolicy::kNone;
   double shed_watermark = 0.9;
+
+  /// Telemetry layer (DESIGN.md §10): metrics registry, latency sampling,
+  /// decision audit trail, exporters. Enabled by default — the hot-path
+  /// cost is bounded by the bench_hotpath CI gate (<3%); set
+  /// `telemetry.enabled = false` to remove even that.
+  obs::TelemetryConfig telemetry;
 };
 
 struct VrConfig {

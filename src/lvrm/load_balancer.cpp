@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <tuple>
 
+#include "common/log.hpp"
 #include "sim/costs.hpp"
 
 namespace lvrm {
@@ -86,19 +87,24 @@ std::span<const VriView> Dispatcher::healthy_pool(
 int Dispatcher::dispatch(const net::FrameMeta& frame,
                          std::span<const VriView> vris, Nanos now) {
   last_flow_hit_ = false;
+  ++decisions_;
   const std::span<const VriView> pool = healthy_pool(vris);
 
   if (granularity_ == BalancerGranularity::kFlow) {
     const auto tuple = net::FiveTuple::from_frame(frame);
+    ++flow_probes_;
     if (const auto pinned = flows_.lookup(tuple, now)) {
       // "if the entry is found and the VRI of the entry is valid".
       for (const VriView& v : pool) {
         if (v.index == *pinned) {
           last_flow_hit_ = true;
+          ++flow_hits_;
           return *pinned;
         }
       }
       // Pinned VRI no longer valid (destroyed or suspect): re-balance.
+      LVRM_CLOG(kDispatch, kTrace)
+          << "stale flow pin vri=" << *pinned << ", re-balancing";
     }
     const int chosen = inner_->pick(pool);
     flows_.insert(tuple, chosen, now);  // "VRI of added entry <- ..."
@@ -111,6 +117,7 @@ Nanos Dispatcher::dispatch_batch(std::span<net::FrameMeta* const> frames,
                                  std::span<const VriView> vris, Nanos now) {
   last_flow_hit_ = false;
   if (frames.empty()) return 0;
+  decisions_ += frames.size();
   const std::span<const VriView> pool = healthy_pool(vris);
 
   if (granularity_ != BalancerGranularity::kFlow) {
@@ -152,12 +159,14 @@ Nanos Dispatcher::dispatch_batch(std::span<net::FrameMeta* const> frames,
       ++j;
     // One probe + times() refresh for the whole run.
     cost += costs::kFlowTableLookup + costs::kFlowTimestampSyscall;
+    ++flow_probes_;
     int chosen = -1;
     if (const auto pinned = flows_.lookup(tuple, now)) {
       for (const VriView& v : pool) {
         if (v.index == *pinned) {
           chosen = *pinned;
           last_flow_hit_ = true;
+          ++flow_hits_;
           break;
         }
       }
@@ -185,6 +194,9 @@ Nanos Dispatcher::decision_cost(std::size_t n_vris, bool flow_hit) const {
   return cost + inner_->decision_cost(n_vris);
 }
 
-void Dispatcher::on_vri_destroyed(int vri) { flows_.evict_vri(vri); }
+void Dispatcher::on_vri_destroyed(int vri) {
+  LVRM_CLOG(kDispatch, kDebug) << "evicting pinned flows of vri=" << vri;
+  flows_.evict_vri(vri);
+}
 
 }  // namespace lvrm

@@ -113,6 +113,14 @@ class Dispatcher {
   bool last_was_flow_hit() const { return last_flow_hit_; }
   const net::FlowTable& flow_table() const { return flows_; }
 
+  // Telemetry accessors (plain counters; read at snapshot time only).
+  /// Frames dispatched through either path.
+  std::uint64_t decisions() const { return decisions_; }
+  /// Flow-table probes (flow mode; one per frame classic, one per run in a
+  /// batch) and the subset that hit a still-valid pinned VRI.
+  std::uint64_t flow_probes() const { return flow_probes_; }
+  std::uint64_t flow_hits() const { return flow_hits_; }
+
  private:
   /// Suspect-aware candidate filtering shared by both dispatch paths: while
   /// any VRI is under fail-slow suspicion, steer to healthy siblings (fall
@@ -123,6 +131,9 @@ class Dispatcher {
   BalancerGranularity granularity_;
   net::FlowTable flows_;
   bool last_flow_hit_ = false;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t flow_probes_ = 0;
+  std::uint64_t flow_hits_ = 0;
   // Reused across bursts so batch dispatch allocates nothing after warm-up.
   std::vector<VriView> pool_scratch_;
   std::vector<std::uint32_t> order_scratch_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/log.hpp"
 #include "sim/costs.hpp"
 
 namespace lvrm {
@@ -68,9 +69,37 @@ struct LvrmSystem::VrState {
   std::uint64_t data_drops = 0;
   std::uint64_t shed_drops = 0;
 
+  // Telemetry bookkeeping (audit trail; see DESIGN.md §10). A shedding
+  // episode opens on the first shed frame and closes at the first
+  // allocation pass that saw no further shedding.
+  bool shed_open = false;
+  Nanos shed_start = 0;
+  std::uint64_t shed_at_open = 0;
+  std::uint64_t shed_last_seen = 0;
+  double shed_rate = 0.0;
+  double shed_service = 0.0;
+  // Balancer-summary deltas between allocation passes.
+  std::uint64_t summary_decisions = 0;
+  std::uint64_t summary_hits = 0;
+
   /// Every dynamic route update applied since start, in order; replayed into
   /// respawned VRIs so a fresh process starts consistent with its siblings.
   std::vector<route::RouteUpdate> route_log;
+};
+
+/// Pre-registered hot-path metric handles plus snapshot bookkeeping. The
+/// data-path cost of telemetry is exactly: one null check on `obs_`, one
+/// relaxed counter add per RX/TX frame, and — for the sampled 1-in-N subset
+/// only — three histogram adds at TX. Everything else (gauges, queue depths,
+/// dispatcher/poll-server counters) is read from existing accounting at
+/// snapshot time.
+struct LvrmSystem::ObsHooks {
+  obs::Counter rx_frames;
+  obs::Counter tx_frames;
+  obs::LogHistogram queue_wait_ns;   // RX enqueue -> VRI service start
+  obs::LogHistogram vri_service_ns;  // VRI service start -> done
+  obs::LogHistogram e2e_ns;          // gateway in -> gateway out
+  Nanos last_snapshot = 0;
 };
 
 // --- construction -----------------------------------------------------------------
@@ -95,6 +124,17 @@ LvrmSystem::LvrmSystem(sim::Simulator& sim, const sim::CpuTopology& topo,
                               config_.destroy_hysteresis);
   if (config_.health.enabled)
     health_ = std::make_unique<HealthMonitor>(config_.health);
+
+  if (config_.telemetry.enabled) {
+    telemetry_ = std::make_unique<obs::Telemetry>(config_.telemetry);
+    obs_ = std::make_unique<ObsHooks>();
+    auto& m = telemetry_->metrics();
+    obs_->rx_frames = m.counter("lvrm_rx_frames_total");
+    obs_->tx_frames = m.counter("lvrm_tx_frames_total");
+    obs_->queue_wait_ns = m.histogram("lvrm_queue_wait_ns");
+    obs_->vri_service_ns = m.histogram("lvrm_vri_service_ns");
+    obs_->e2e_ns = m.histogram("lvrm_e2e_latency_ns");
+  }
 
   lvrm_server_ = std::make_unique<sim::PollServer<net::FrameMeta>>(
       sim_, lvrm_core(), /*owner=*/0, "lvrm", costs::kPollDiscovery);
@@ -200,6 +240,7 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
     s->server->add_input(
         *s->data_in, /*priority=*/1,
         [this, s, v](net::FrameMeta& f) {
+          if (f.obs_sampled) f.obs_svc_at = sim_.now();
           Nanos cost = costs::kDequeueCost;
           if (cross_socket(s->core_id)) cost += costs::kCrossSocketQueueOp;
           if (!s->router->process(f)) f.output_if = -1;
@@ -213,6 +254,7 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
         },
         [this, s, v](net::FrameMeta&& f) {
           ++s->processed;
+          if (f.obs_sampled) f.obs_done_at = sim_.now();
           if (f.output_if < 0) {
             ++s->no_route;
             return;
@@ -279,6 +321,19 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
           ++forwarded_;
           ++v->forwarded;
           ++s->forwarded;
+          if (obs_) {
+            obs_->tx_frames.inc();
+            if (f.obs_sampled) {
+              // The three stages of the latency pipeline, recorded for the
+              // sampled subset only (identical in classic and batched mode).
+              obs_->queue_wait_ns.record(static_cast<std::uint64_t>(
+                  std::max<Nanos>(0, f.obs_svc_at - f.obs_enq_at)));
+              obs_->vri_service_ns.record(static_cast<std::uint64_t>(
+                  std::max<Nanos>(0, f.obs_done_at - f.obs_svc_at)));
+              obs_->e2e_ns.record(static_cast<std::uint64_t>(
+                  std::max<Nanos>(0, f.gw_out_at - f.gw_in_at)));
+            }
+          }
           if (egress_) egress_(std::move(f));
         },
         adapter_->send_category(), config_.poll_batch,
@@ -458,6 +513,12 @@ void LvrmSystem::rx_sink(net::FrameMeta&& frame) {
   // The heartbeat pass rides the same poll loop but on its own (much
   // shorter) period, so faults are noticed well inside the 1 s window.
   maybe_health_probe();
+  // The snapshot tick piggybacks on the same loop: telemetry aggregation
+  // never needs its own timer or thread.
+  if (obs_) {
+    obs_->rx_frames.inc();
+    maybe_snapshot();
+  }
 
   if (frame.dispatch_vr < 0 || frame.dispatch_vri < 0) {
     ++unclassified_drops_;
@@ -470,6 +531,10 @@ void LvrmSystem::rx_sink(net::FrameMeta&& frame) {
     return;
   }
   if (maybe_shed(vr, slot, frame)) return;
+  if (obs_ && telemetry_->should_sample()) {
+    frame.obs_sampled = 1;
+    frame.obs_enq_at = sim_.now();
+  }
   if (!slot.data_in->push(std::move(frame))) {
     ++vr.data_drops;
     return;
@@ -493,6 +558,20 @@ bool LvrmSystem::maybe_shed(VrState& vr, VriSlot& slot,
   if (slot.data_in->size() < watermark) return false;
 
   ++vr.shed_drops;
+  if (telemetry_ && !vr.shed_open) {
+    // Open a shedding episode: remember the load picture that caused it.
+    vr.shed_open = true;
+    vr.shed_start = sim_.now();
+    vr.shed_at_open = vr.shed_drops - 1;
+    vr.shed_rate = arrival_rate_estimate(vr.id);
+    vr.shed_service = measured_service_rate(vr);
+    LVRM_CLOG(kShed, kInfo)
+        << "vr=" << vr.id << " shedding opened: arrival="
+        << vr.shed_rate << " fps, service=" << vr.shed_service
+        << " fps/vri, watermark=" << config_.shed_watermark;
+  }
+  LVRM_CLOG(kShed, kTrace) << "vr=" << vr.id << " shed frame at vri="
+                           << slot.index;
   if (config_.shed_policy == ShedPolicy::kDropOldest &&
       !slot.data_in->empty()) {
     // Evict the stalest queued frame to admit the fresh one.
@@ -635,18 +714,21 @@ void LvrmSystem::reap_crashed() {
         sim_.cancel(slot.migration_event);
         slot.migration_event = sim::kInvalidEvent;
       }
+      LVRM_CLOG(kHealth, kWarn) << "vr=" << vr.id << " vri=" << slot.index
+                                << " reaped after crash";
+      it = vr.active_order.erase(it);
+      audit_vri_change(vr, slot, /*create=*/false, /*from_recovery=*/true);
       release_core(slot.core_id);
       slot.core_id = sim::kNoCore;
       vr.dispatcher->on_vri_destroyed(slot.index);
       if (health_) health_->forget(vr.id, slot.index);
-      it = vr.active_order.erase(it);
       ++crashes_reaped_;
     }
     // The fixed allocator promised a fixed core set: respawn replacements.
     if (allocator_->kind() == AllocatorKind::kFixed) {
       while (static_cast<int>(vr.active_order.size()) <
              std::max(1, vr.cfg.initial_vris))
-        activate_vri(vr);
+        activate_vri(vr, /*from_recovery=*/true);
     }
     if (!stranded.empty()) {
       if (vr.active_order.empty())
@@ -705,6 +787,9 @@ void LvrmSystem::maybe_allocate() {
   if (now - last_alloc_pass_ < config_.realloc_period) return;
   last_alloc_pass_ = now;
   reap_crashed();
+  // Audit: per-VR balancer summaries and shed-episode closure ride the
+  // allocation pass (the decision cadence of the whole system).
+  if (telemetry_) audit_balance_and_shed(now);
   if (allocator_->kind() == AllocatorKind::kFixed) return;
 
   const Nanos iterate =
@@ -721,6 +806,10 @@ void LvrmSystem::maybe_allocate() {
 
     if (decision == AllocDecision::kCreate &&
         view.active_vris < config_.max_vris_per_vr) {
+      LVRM_CLOG(kAlloc, kInfo)
+          << "vr=" << vr.id << " create: arrival=" << view.arrival_rate_fps
+          << " fps >= capacity=" << allocator_->capacity_fps(view)
+          << " fps (" << view.active_vris << " vris)";
       activate_vri(vr);
       const Nanos reaction = static_cast<Nanos>(
           static_cast<double>(iterate + costs::kAllocateBase +
@@ -733,6 +822,10 @@ void LvrmSystem::maybe_allocate() {
       return;  // Fig 3.2: one action per pass
     }
     if (decision == AllocDecision::kDestroy && view.active_vris > 1) {
+      LVRM_CLOG(kAlloc, kInfo)
+          << "vr=" << vr.id << " destroy: arrival=" << view.arrival_rate_fps
+          << " fps under capacity=" << allocator_->capacity_fps(view)
+          << " fps (" << view.active_vris << " vris)";
       deactivate_vri(vr);
       const Nanos reaction = static_cast<Nanos>(
           static_cast<double>(iterate + costs::kDeallocateBase +
@@ -820,6 +913,11 @@ void LvrmSystem::recover_slot(VrState& vr, VriSlot& slot, VriHealth reason,
     sim_.cancel(slot.migration_event);
     slot.migration_event = sim::kInvalidEvent;
   }
+  LVRM_CLOG(kHealth, kWarn)
+      << "vr=" << vr.id << " vri=" << slot.index << " quarantined ("
+      << to_string(reason) << "), stalled_for=" << stalled_for << " ns, "
+      << ev.stranded << " stranded";
+  audit_vri_change(vr, slot, /*create=*/false, /*from_recovery=*/true);
   release_core(slot.core_id);
   slot.core_id = sim::kNoCore;
   vr.dispatcher->on_vri_destroyed(slot.index);
@@ -839,7 +937,7 @@ void LvrmSystem::recover_slot(VrState& vr, VriSlot& slot, VriHealth reason,
         respawn || view.arrival_rate_fps > allocator_->capacity_fps(view);
   }
   if (respawn) {
-    activate_slot(vr, slot);
+    activate_slot(vr, slot, /*from_recovery=*/true);
     const Nanos reaction =
         costs::kAllocateBase + costs::kAllocatePerVri * total_active_vris() +
         static_cast<Nanos>(vr.route_log.size()) * costs::kRouteReplayPerUpdate;
@@ -857,9 +955,29 @@ void LvrmSystem::recover_slot(VrState& vr, VriSlot& slot, VriHealth reason,
     }
   }
   recovery_log_.push_back(ev);
+
+  if (telemetry_) {
+    obs::AuditEvent ae;
+    ae.time = now;
+    ae.until = now;
+    switch (reason) {
+      case VriHealth::kDead: ae.kind = obs::AuditKind::kHealthDead; break;
+      case VriHealth::kHung: ae.kind = obs::AuditKind::kHealthHung; break;
+      default: ae.kind = obs::AuditKind::kHealthFailSlow; break;
+    }
+    ae.vr = static_cast<std::int16_t>(vr.id);
+    ae.vri = static_cast<std::int16_t>(slot.index);
+    ae.rate = static_cast<double>(stalled_for);
+    ae.threshold = static_cast<double>(config_.health.heartbeat_timeout);
+    ae.service = measured_service_rate(vr);
+    ae.a = ev.stranded;
+    ae.b = ev.redispatched;
+    ae.c = ev.respawned ? 1 : 0;
+    telemetry_->audit().record(ae);
+  }
 }
 
-void LvrmSystem::activate_vri(VrState& vr) {
+void LvrmSystem::activate_vri(VrState& vr, bool from_recovery) {
   // First inactive slot.
   VriSlot* slot = nullptr;
   for (auto& s : vr.slots) {
@@ -869,10 +987,11 @@ void LvrmSystem::activate_vri(VrState& vr) {
     }
   }
   if (!slot) return;  // every slot already active
-  activate_slot(vr, *slot);
+  activate_slot(vr, *slot, from_recovery);
 }
 
-void LvrmSystem::activate_slot(VrState& vr, VriSlot& slot) {
+void LvrmSystem::activate_slot(VrState& vr, VriSlot& slot,
+                               bool from_recovery) {
   // A slot whose previous incarnation died is a *fresh fork*: it starts
   // from the VR's static configuration, so the dynamic route updates
   // applied since start are replayed into it before it serves traffic.
@@ -886,6 +1005,10 @@ void LvrmSystem::activate_slot(VrState& vr, VriSlot& slot) {
   slot.activated_at = sim_.now();
   vr.active_order.push_back(slot.index);
   slot.server->start();
+  LVRM_CLOG(kAlloc, kDebug) << "vr=" << vr.id << " vri=" << slot.index
+                            << " activated on core=" << core_id
+                            << (from_recovery ? " (respawn)" : "");
+  audit_vri_change(vr, slot, /*create=*/true, from_recovery);
   if (config_.affinity == AffinityPolicy::kDefault) schedule_migration(slot);
 }
 
@@ -925,6 +1048,10 @@ void LvrmSystem::deactivate_vri(VrState& vr) {
     sim_.cancel(slot.migration_event);
     slot.migration_event = sim::kInvalidEvent;
   }
+  LVRM_CLOG(kAlloc, kDebug) << "vr=" << vr.id << " vri=" << idx
+                            << " deactivated, core=" << slot.core_id
+                            << " released";
+  audit_vri_change(vr, slot, /*create=*/false, /*from_recovery=*/false);
   release_core(slot.core_id);
   slot.core_id = sim::kNoCore;
   vr.dispatcher->on_vri_destroyed(idx);
@@ -1119,6 +1246,146 @@ void LvrmSystem::reset_accounting() {
 
 Nanos LvrmSystem::vr_pipeline_latency(int vr) const {
   return vrs_.at(static_cast<std::size_t>(vr))->pipeline_latency;
+}
+
+// --- telemetry (DESIGN.md §10) ------------------------------------------------------
+
+void LvrmSystem::audit_vri_change(VrState& vr, VriSlot& slot, bool create,
+                                  bool from_recovery) {
+  if (!telemetry_) return;
+  // The cause fields capture the allocator's picture at decision time, so
+  // the trail answers "why" without re-running the estimator. The threshold
+  // is the capacity the rate was compared against, i.e. at the PRE-change
+  // VRI count (alloc_view already reflects the change).
+  VrAllocView view = alloc_view(vr);
+  obs::AuditEvent e;
+  e.time = sim_.now();
+  e.until = e.time;
+  e.kind = create ? obs::AuditKind::kVriCreate : obs::AuditKind::kVriDestroy;
+  e.vr = static_cast<std::int16_t>(vr.id);
+  e.vri = static_cast<std::int16_t>(slot.index);
+  e.rate = view.arrival_rate_fps;
+  view.active_vris += create ? -1 : 1;
+  e.threshold = allocator_->capacity_fps(view);
+  e.service = view.service_rate_per_vri;
+  e.a = vr.active_order.size();  // VRI count after the change
+  e.b = slot.core_id == sim::kNoCore
+            ? ~std::uint64_t{0}
+            : static_cast<std::uint64_t>(slot.core_id);
+  e.c = from_recovery ? 1 : 0;
+  telemetry_->audit().record(e);
+}
+
+void LvrmSystem::close_shed_episode(VrState& vr, Nanos now) {
+  if (!vr.shed_open) return;
+  vr.shed_open = false;
+  obs::AuditEvent e;
+  e.time = vr.shed_start;
+  e.until = now;
+  e.kind = obs::AuditKind::kShedEpisode;
+  e.vr = static_cast<std::int16_t>(vr.id);
+  e.rate = vr.shed_rate;
+  e.threshold = config_.shed_watermark;
+  e.service = vr.shed_service;
+  e.a = vr.shed_drops - vr.shed_at_open;
+  telemetry_->audit().record(e);
+  LVRM_CLOG(kShed, kInfo) << "vr=" << vr.id << " shedding closed: " << e.a
+                          << " frames shed over " << (now - vr.shed_start)
+                          << " ns";
+}
+
+void LvrmSystem::audit_balance_and_shed(Nanos now) {
+  for (auto& vrp : vrs_) {
+    VrState& vr = *vrp;
+    // A pass with no new shed frames ends the episode.
+    if (vr.shed_open && vr.shed_drops == vr.shed_last_seen)
+      close_shed_episode(vr, now);
+    vr.shed_last_seen = vr.shed_drops;
+
+    const std::uint64_t decisions = vr.dispatcher->decisions();
+    const std::uint64_t hits = vr.dispatcher->flow_hits();
+    if (decisions != vr.summary_decisions) {
+      obs::AuditEvent e;
+      e.time = now;
+      e.until = now;
+      e.kind = obs::AuditKind::kBalanceSummary;
+      e.vr = static_cast<std::int16_t>(vr.id);
+      e.rate = arrival_rate_estimate(vr.id);
+      e.service = measured_service_rate(vr);
+      e.a = decisions - vr.summary_decisions;
+      e.b = hits - vr.summary_hits;
+      e.c = vr.active_order.size();
+      telemetry_->audit().record(e);
+      vr.summary_decisions = decisions;
+      vr.summary_hits = hits;
+    }
+  }
+}
+
+void LvrmSystem::maybe_snapshot() {
+  const Nanos period = config_.telemetry.snapshot_period;
+  if (period <= 0) return;
+  const Nanos now = sim_.now();
+  if (now - obs_->last_snapshot < period) return;
+  obs_->last_snapshot = now;
+  snapshot_telemetry();
+}
+
+void LvrmSystem::snapshot_telemetry() {
+  if (!telemetry_) return;
+  publish_gauges();
+  telemetry_->take_snapshot(sim_.now());
+}
+
+void LvrmSystem::publish_gauges() {
+  // Everything here reads accounting the system keeps anyway — queue depth
+  // fields, dispatcher counters, poll-server counters — so the hot path
+  // pays nothing for these series.
+  auto& m = telemetry_->metrics();
+  m.gauge("lvrm_rx_ring_depth").set(static_cast<double>(rx_ring_.size()));
+  m.gauge("lvrm_rx_ring_drops").set(static_cast<double>(rx_ring_.drops()));
+  m.gauge("lvrm_poll_serve_events")
+      .set(static_cast<double>(lvrm_server_->serve_events()));
+  m.gauge("lvrm_poll_batches").set(static_cast<double>(lvrm_server_->batches()));
+  m.gauge("lvrm_poll_batch_items")
+      .set(static_cast<double>(lvrm_server_->batch_items()));
+  m.gauge("lvrm_audit_events").set(static_cast<double>(telemetry_->audit().total()));
+  m.gauge("lvrm_audit_overwritten")
+      .set(static_cast<double>(telemetry_->audit().overwritten()));
+
+  for (const auto& vrp : vrs_) {
+    const VrState& vr = *vrp;
+    const std::string l = "vr=\"" + std::to_string(vr.id) + "\"";
+    m.gauge("lvrm_active_vris", l)
+        .set(static_cast<double>(vr.active_order.size()));
+    m.gauge("lvrm_arrival_rate_fps", l).set(arrival_rate_estimate(vr.id));
+    m.gauge("lvrm_service_rate_fps", l).set(measured_service_rate(vr));
+    m.gauge("lvrm_capacity_fps", l)
+        .set(allocator_->capacity_fps(alloc_view(vr)));
+    m.gauge("lvrm_frames_in", l).set(static_cast<double>(vr.frames_in));
+    m.gauge("lvrm_forwarded", l).set(static_cast<double>(vr.forwarded));
+    m.gauge("lvrm_data_queue_drops", l)
+        .set(static_cast<double>(vr.data_drops));
+    m.gauge("lvrm_shed_drops", l).set(static_cast<double>(vr.shed_drops));
+    m.gauge("lvrm_dispatch_decisions", l)
+        .set(static_cast<double>(vr.dispatcher->decisions()));
+    m.gauge("lvrm_flow_probes", l)
+        .set(static_cast<double>(vr.dispatcher->flow_probes()));
+    m.gauge("lvrm_flow_hits", l)
+        .set(static_cast<double>(vr.dispatcher->flow_hits()));
+    std::size_t depth = 0;
+    for (int idx : vr.active_order)
+      depth += vr.slots[static_cast<std::size_t>(idx)]->data_in->size();
+    m.gauge("lvrm_data_queue_depth", l).set(static_cast<double>(depth));
+  }
+}
+
+bool LvrmSystem::export_telemetry(const std::string& prefix) {
+  if (!telemetry_) return false;
+  const Nanos now = sim_.now();
+  for (auto& vrp : vrs_) close_shed_episode(*vrp, now);
+  publish_gauges();
+  return telemetry_->export_files(prefix, now);
 }
 
 }  // namespace lvrm

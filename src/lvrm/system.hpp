@@ -174,6 +174,20 @@ class LvrmSystem {
   const queue::ShmArena& shm() const { return arena_; }
   const Dispatcher& dispatcher(int vr) const;
 
+  /// Telemetry layer (DESIGN.md §10), or nullptr when
+  /// `config.telemetry.enabled` is false.
+  obs::Telemetry* telemetry() { return telemetry_.get(); }
+  const obs::Telemetry* telemetry() const { return telemetry_.get(); }
+
+  /// Flushes open audit episodes, publishes the gauge set, and writes
+  /// `<prefix>.prom`, `<prefix>.csv` and `<prefix>.trace.json`. Returns
+  /// false when telemetry is disabled or a file could not be opened.
+  bool export_telemetry(const std::string& prefix);
+
+  /// Publishes the gauge set and appends a snapshot to the retained series
+  /// (also runs periodically from the poll loop; exposed for tests).
+  void snapshot_telemetry();
+
   /// Zeroes all per-core accounting (for windowed CPU-usage measurements).
   void reset_accounting();
 
@@ -190,8 +204,8 @@ class LvrmSystem {
   void rx_sink(net::FrameMeta&& frame);
   void maybe_allocate();
   void reap_crashed();
-  void activate_vri(VrState& vr);
-  void activate_slot(VrState& vr, VriSlot& slot);
+  void activate_vri(VrState& vr, bool from_recovery = false);
+  void activate_slot(VrState& vr, VriSlot& slot, bool from_recovery = false);
   void deactivate_vri(VrState& vr);
   sim::CoreId pick_core();
   void release_core(sim::CoreId id);
@@ -211,6 +225,13 @@ class LvrmSystem {
   std::size_t redispatch(VrState& vr, std::vector<net::FrameMeta>& frames);
   // Overload shedding; returns true when the frame was handled (shed).
   bool maybe_shed(VrState& vr, VriSlot& slot, net::FrameMeta& frame);
+  // Telemetry (all no-ops when telemetry is disabled).
+  void maybe_snapshot();
+  void publish_gauges();
+  void audit_vri_change(VrState& vr, VriSlot& slot, bool create,
+                        bool from_recovery);
+  void audit_balance_and_shed(Nanos now);
+  void close_shed_episode(VrState& vr, Nanos now);
 
   sim::Simulator& sim_;
   sim::CpuTopology topo_;
@@ -245,6 +266,12 @@ class LvrmSystem {
   // per-VR pointer groups of the current RX burst, and the VriView set.
   std::vector<std::vector<net::FrameMeta*>> rx_groups_;
   std::vector<VriView> views_scratch_;
+
+  // Telemetry layer. `obs_` carries the pre-registered hot-path handles and
+  // snapshot bookkeeping; one null check gates every hot-path touch.
+  struct ObsHooks;
+  std::unique_ptr<obs::Telemetry> telemetry_;
+  std::unique_ptr<ObsHooks> obs_;
 
   std::uint64_t forwarded_ = 0;
   std::uint64_t crashes_reaped_ = 0;

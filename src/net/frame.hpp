@@ -46,6 +46,16 @@ struct FrameMeta {
   // Filled in by LVRM's dispatch step (step 2 of the Sec 2.1 workflow).
   std::int16_t dispatch_vr = -1;   // owning VR decided from the source IP
   std::int16_t dispatch_vri = -1;  // VRI chosen by the load balancer
+
+  // Telemetry latency sampling (DESIGN.md §10): a deterministic 1-in-N
+  // subset of frames is marked at RX; the marked frames carry three extra
+  // stamps so TX can histogram dispatch-queue wait, VRI service time, and
+  // end-to-end latency. Host-side observation only — never read by any
+  // decision logic, so behaviour is identical with sampling off.
+  std::uint8_t obs_sampled = 0;  // 1 when this frame is a latency sample
+  Nanos obs_enq_at = 0;          // pushed onto the VRI data_in queue
+  Nanos obs_svc_at = 0;          // VRI began servicing it
+  Nanos obs_done_at = 0;         // VRI finished servicing it
 };
 
 }  // namespace lvrm::net

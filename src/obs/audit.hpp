@@ -1,0 +1,97 @@
+// audit.hpp — bounded binary decision audit trail (DESIGN.md §10).
+//
+// Every control-plane decision the LVRM takes — core allocation changes,
+// health-monitor transitions, shedding episodes, balancer summaries — is
+// recorded as one fixed-size binary event carrying the *cause* (the observed
+// EWMA rate, the threshold it was compared against, the service-rate
+// estimate), so "why did VR2 get a third core at t=4.2s?" is answerable from
+// the trail alone. The ring is bounded and overwrites the oldest events;
+// `overwritten()` says how many were lost, so a consumer can tell a complete
+// trail from a truncated one. Replaying kVriCreate/kVriDestroy events
+// reconstructs the allocator's per-VR core count exactly (tested).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace lvrm::obs {
+
+enum class AuditKind : std::uint8_t {
+  kVriCreate,      // allocator (or respawn) added a VRI to a VR
+  kVriDestroy,     // allocator / recovery / reap removed a VRI
+  kHealthDead,     // health monitor declared a VRI dead (crash)
+  kHealthHung,     // health monitor declared a VRI hung
+  kHealthFailSlow, // health monitor flagged a fail-slow VRI
+  kShedEpisode,    // a contiguous run of overload shedding on one VR
+  kBalanceSummary, // periodic balancer choice summary for one VR
+};
+
+const char* to_string(AuditKind k);
+
+/// One fixed-size audit record. Field meaning by kind:
+///   kVriCreate / kVriDestroy:
+///     rate      = observed per-VR arrival EWMA (fps) at decision time
+///     threshold = allocator capacity threshold it was compared against (fps)
+///     service   = per-VRI service-rate estimate (fps)
+///     a         = VRI count after the change
+///     b         = core id involved (create/destroy target), ~0 if unknown
+///     c         = 1 when the change came from recovery/respawn, 0 from the
+///                 allocator's threshold decision
+///   kHealthDead / kHealthHung / kHealthFailSlow:
+///     rate      = observed heartbeat staleness (ns) or degrade factor
+///     threshold = configured detection threshold
+///     service   = per-VRI service-rate estimate (fps)
+///     a         = frames stranded, b = frames re-dispatched, c = 1 if respawned
+///   kShedEpisode (duration event, `until` > `time`):
+///     rate      = arrival EWMA (fps) when the episode opened
+///     threshold = configured shed watermark (queue fraction)
+///     service   = service-rate estimate (fps)
+///     a         = frames shed in the episode
+///   kBalanceSummary:
+///     rate      = arrival EWMA (fps), service = service-rate estimate (fps)
+///     a         = frames dispatched since last summary
+///     b         = flow-table hits since last summary
+///     c         = active VRI count
+struct AuditEvent {
+  Nanos time = 0;   // event (or episode-start) sim time
+  Nanos until = 0;  // episode end for duration events, else == time
+  AuditKind kind = AuditKind::kVriCreate;
+  std::int16_t vr = -1;
+  std::int16_t vri = -1;
+  double rate = 0.0;
+  double threshold = 0.0;
+  double service = 0.0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+
+/// Bounded overwrite-oldest ring of AuditEvents. Single-writer (the LVRM
+/// control path); readers take a consistent copy via events().
+class AuditTrail {
+ public:
+  explicit AuditTrail(std::size_t capacity = 8192);
+
+  void record(const AuditEvent& e);
+
+  /// Oldest-to-newest copy of the retained events.
+  std::vector<AuditEvent> events() const;
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t overwritten() const {
+    return total_ > ring_.size() ? total_ - ring_.size() : 0;
+  }
+  std::size_t capacity() const { return ring_.capacity(); }
+  std::size_t size() const { return ring_.size(); }
+
+ private:
+  std::vector<AuditEvent> ring_;  // reserved to capacity, grows to it once
+  std::size_t next_ = 0;          // overwrite cursor once full
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace lvrm::obs

@@ -1,0 +1,210 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/units.hpp"
+
+namespace lvrm::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// CSV-quote a field (labels contain commas and quotes).
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';  // RFC 4180: embedded quotes are doubled
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void prom_line(std::ostream& os, const std::string& name,
+               const std::string& labels, const std::string& extra_label,
+               double value) {
+  os << name;
+  if (!labels.empty() || !extra_label.empty()) {
+    os << '{' << labels;
+    if (!labels.empty() && !extra_label.empty()) os << ',';
+    os << extra_label << '}';
+  }
+  os << ' ' << fmt_double(value) << '\n';
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_prometheus(const Snapshot& snap, std::ostream& os) {
+  std::string last_type_for;
+  auto type_line = [&](const std::string& name, const char* type) {
+    if (name != last_type_for) {
+      os << "# TYPE " << name << ' ' << type << '\n';
+      last_type_for = name;
+    }
+  };
+  for (const auto& c : snap.counters) {
+    type_line(c.name, "counter");
+    prom_line(os, c.name, c.labels, {}, static_cast<double>(c.value));
+  }
+  for (const auto& g : snap.gauges) {
+    type_line(g.name, "gauge");
+    prom_line(os, g.name, g.labels, {}, g.value);
+  }
+  for (const auto& h : snap.histograms) {
+    type_line(h.name, "histogram");
+    std::uint64_t cum = 0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < kHistBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      cum += h.buckets[i];
+      sum += static_cast<double>(h.buckets[i]) *
+             (HistogramSample::bucket_lo(i) + HistogramSample::bucket_hi(i)) *
+             0.5;
+      prom_line(os, h.name + "_bucket", h.labels,
+                "le=\"" + fmt_double(HistogramSample::bucket_hi(i)) + "\"",
+                static_cast<double>(cum));
+    }
+    prom_line(os, h.name + "_bucket", h.labels, "le=\"+Inf\"",
+              static_cast<double>(cum));
+    prom_line(os, h.name + "_sum", h.labels, {}, sum);
+    prom_line(os, h.name + "_count", h.labels, {},
+              static_cast<double>(cum));
+  }
+}
+
+void write_csv(const std::vector<Snapshot>& series, std::ostream& os) {
+  os << "t_sec,metric,labels,value\n";
+  for (const auto& snap : series) {
+    const std::string t = fmt_double(to_seconds(snap.at));
+    auto row = [&](const std::string& metric, const std::string& labels,
+                   double value) {
+      os << t << ',' << csv_field(metric) << ',' << csv_field(labels) << ','
+         << fmt_double(value) << '\n';
+    };
+    for (const auto& c : snap.counters)
+      row(c.name, c.labels, static_cast<double>(c.value));
+    for (const auto& g : snap.gauges) row(g.name, g.labels, g.value);
+    for (const auto& h : snap.histograms) {
+      row(h.name + "_count", h.labels, static_cast<double>(h.count()));
+      row(h.name + "_mean", h.labels, h.approx_mean());
+      row(h.name + "_p50", h.labels, h.quantile(0.50));
+      row(h.name + "_p95", h.labels, h.quantile(0.95));
+      row(h.name + "_p99", h.labels, h.quantile(0.99));
+    }
+  }
+}
+
+void write_chrome_trace(const std::vector<AuditEvent>& events,
+                        std::ostream& os) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& body) {
+    if (!first) os << ',';
+    first = false;
+    os << '\n' << body;
+  };
+
+  emit("{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
+       "\"args\":{\"name\":\"lvrm\"}}");
+
+  // Per-VR VRI-count tracks, rebuilt by replaying create/destroy events.
+  std::map<int, std::uint64_t> vris;
+  for (const auto& e : events) {
+    const double ts = to_micros(e.time);
+    char buf[512];
+    switch (e.kind) {
+      case AuditKind::kVriCreate:
+      case AuditKind::kVriDestroy: {
+        vris[e.vr] = e.a;  // VRI count after the change
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\":\"C\",\"pid\":0,\"ts\":%.3f,"
+                      "\"name\":\"vr%d vris\",\"args\":{\"vris\":%llu}}",
+                      ts, e.vr, static_cast<unsigned long long>(e.a));
+        emit(buf);
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"s\":\"t\","
+            "\"name\":\"%s\",\"args\":{\"vri\":%d,\"rate_fps\":%.3f,"
+            "\"threshold_fps\":%.3f,\"service_fps\":%.3f,\"from_recovery\":"
+            "%llu}}",
+            e.vr, ts, to_string(e.kind), e.vri, e.rate, e.threshold,
+            e.service, static_cast<unsigned long long>(e.c));
+        emit(buf);
+        break;
+      }
+      case AuditKind::kHealthDead:
+      case AuditKind::kHealthHung:
+      case AuditKind::kHealthFailSlow: {
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"s\":\"p\","
+            "\"name\":\"%s\",\"args\":{\"vri\":%d,\"observed\":%.3f,"
+            "\"threshold\":%.3f,\"stranded\":%llu,\"redispatched\":%llu,"
+            "\"respawned\":%llu}}",
+            e.vr, ts, to_string(e.kind), e.vri, e.rate, e.threshold,
+            static_cast<unsigned long long>(e.a),
+            static_cast<unsigned long long>(e.b),
+            static_cast<unsigned long long>(e.c));
+        emit(buf);
+        break;
+      }
+      case AuditKind::kShedEpisode: {
+        const double dur = to_micros(e.until - e.time);
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,"
+            "\"name\":\"shed\",\"args\":{\"frames_shed\":%llu,"
+            "\"rate_fps\":%.3f,\"watermark\":%.3f,\"service_fps\":%.3f}}",
+            e.vr, ts, dur, static_cast<unsigned long long>(e.a), e.rate,
+            e.threshold, e.service);
+        emit(buf);
+        break;
+      }
+      case AuditKind::kBalanceSummary: {
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"ph\":\"C\",\"pid\":0,\"ts\":%.3f,"
+            "\"name\":\"vr%d dispatch\",\"args\":{\"frames\":%llu,"
+            "\"flow_hits\":%llu}}",
+            ts, e.vr, static_cast<unsigned long long>(e.a),
+            static_cast<unsigned long long>(e.b));
+        emit(buf);
+        break;
+      }
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace lvrm::obs

@@ -1,0 +1,39 @@
+// export.hpp — snapshot and audit-trail exporters (DESIGN.md §10).
+//
+// Three formats, all plain text, all writable to any ostream:
+//   * Prometheus exposition text: one scrape-shaped dump of the latest
+//     snapshot (counters as `_total`, gauges, histograms as cumulative
+//     `_bucket{le=...}` + `_sum`/`_count`).
+//   * CSV in long format (`t_sec,metric,labels,value`), one row per sample
+//     per snapshot, so the whole time series loads with a one-line
+//     `read_csv` and pivots client-side.
+//   * Chrome trace_event JSON of the audit trail, loadable directly in
+//     chrome://tracing or Perfetto: per-VR VRI counts as counter tracks,
+//     health transitions as instants, shed episodes as duration slices.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/audit.hpp"
+#include "obs/metrics.hpp"
+
+namespace lvrm::obs {
+
+/// Prometheus text exposition of one snapshot.
+void write_prometheus(const Snapshot& snap, std::ostream& os);
+
+/// Long-format CSV (`t_sec,metric,labels,value`) of a snapshot series.
+/// Histograms are flattened to `_count`, `_mean`, `_p50`, `_p95`, `_p99`.
+void write_csv(const std::vector<Snapshot>& series, std::ostream& os);
+
+/// Chrome trace_event JSON ({"traceEvents": [...]}) of an audit trail.
+/// Timestamps are microseconds of sim time.
+void write_chrome_trace(const std::vector<AuditEvent>& events,
+                        std::ostream& os);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s);
+
+}  // namespace lvrm::obs

@@ -1,0 +1,134 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+namespace lvrm::obs {
+
+namespace detail {
+
+std::size_t assign_shard() {
+  static std::atomic<std::size_t> next{0};
+  const std::size_t n = next.fetch_add(1, std::memory_order_relaxed);
+  return n < kShards - 1 ? n : kShards - 1;  // overflow threads share the last
+}
+
+}  // namespace detail
+
+Counter MetricsRegistry::counter(const std::string& name,
+                                 const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : counters_)
+    if (e.name == name && e.labels == labels) return Counter(e.cells.data());
+  auto& e = counters_.emplace_back();
+  e.name = name;
+  e.labels = labels;
+  return Counter(e.cells.data());
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name,
+                             const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : gauges_)
+    if (e.name == name && e.labels == labels) return Gauge(&e.cell);
+  auto& e = gauges_.emplace_back();
+  e.name = name;
+  e.labels = labels;
+  return Gauge(&e.cell);
+}
+
+LogHistogram MetricsRegistry::histogram(const std::string& name,
+                                        const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : histograms_)
+    if (e.name == name && e.labels == labels)
+      return LogHistogram(e.shards.data());
+  auto& e = histograms_.emplace_back();
+  e.name = name;
+  e.labels = labels;
+  return LogHistogram(e.shards.data());
+}
+
+Snapshot MetricsRegistry::snapshot(Nanos at) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.at = at;
+  snap.counters.reserve(counters_.size());
+  for (const auto& e : counters_) {
+    CounterSample s;
+    s.name = e.name;
+    s.labels = e.labels;
+    for (const auto& cell : e.cells)
+      s.value += cell.v.load(std::memory_order_relaxed);
+    snap.counters.push_back(std::move(s));
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& e : gauges_) {
+    GaugeSample s;
+    s.name = e.name;
+    s.labels = e.labels;
+    s.value = e.cell.load(std::memory_order_relaxed);
+    snap.gauges.push_back(std::move(s));
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& e : histograms_) {
+    HistogramSample s;
+    s.name = e.name;
+    s.labels = e.labels;
+    for (const auto& shard : e.shards)
+      for (std::size_t b = 0; b < kHistBuckets; ++b)
+        s.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+std::uint64_t HistogramSample::count() const {
+  std::uint64_t n = 0;
+  for (auto b : buckets) n += b;
+  return n;
+}
+
+double HistogramSample::bucket_lo(std::size_t i) {
+  if (i == 0) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(i) - 1);  // 2^(i-1)
+}
+
+double HistogramSample::bucket_hi(std::size_t i) {
+  if (i == 0) return 0.0;  // bucket 0 holds only the exact value 0
+  return std::ldexp(1.0, static_cast<int>(i));  // 2^i
+}
+
+double HistogramSample::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Target rank in [1, n]; walk the cumulative distribution.
+  const double target = q * static_cast<double>(n);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < kHistBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double prev = cum;
+    cum += static_cast<double>(buckets[i]);
+    if (cum >= target) {
+      if (i == 0) return 0.0;
+      const double frac =
+          (target - prev) / static_cast<double>(buckets[i]);
+      return bucket_lo(i) + frac * (bucket_hi(i) - bucket_lo(i));
+    }
+  }
+  // Unreachable for n > 0, but keep a defined answer.
+  return bucket_hi(kHistBuckets - 1);
+}
+
+double HistogramSample::approx_mean() const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 1; i < kHistBuckets; ++i)
+    sum += static_cast<double>(buckets[i]) *
+           (bucket_lo(i) + bucket_hi(i)) * 0.5;
+  return sum / static_cast<double>(n);
+}
+
+}  // namespace lvrm::obs

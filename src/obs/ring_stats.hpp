@@ -1,0 +1,37 @@
+// ring_stats.hpp — optional observation block for the lock-free IPC rings.
+//
+// Header-only so queue/ (which has no library dependencies) can reference it
+// without linking lvrm_obs. A ring carries a nullable RingStats pointer;
+// endpoints bump relaxed counters only when one is attached, so unattached
+// rings pay a single predictable branch. Counters are per-endpoint (pushes
+// written by the producer, pops by the consumer) — no shared line between
+// the two sides is ever touched by telemetry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lvrm::obs {
+
+struct RingStats {
+  // Producer-endpoint fields.
+  alignas(64) std::atomic<std::uint64_t> pushes{0};
+  std::atomic<std::uint64_t> push_fails{0};  // full-ring rejections
+  // Consumer-endpoint fields (own line: endpoints never share).
+  alignas(64) std::atomic<std::uint64_t> pops{0};
+  std::atomic<std::uint64_t> depth_watermark{0};  // max observed occupancy
+
+  void on_push(std::uint64_t n) {
+    pushes.fetch_add(n, std::memory_order_relaxed);
+  }
+  void on_push_fail(std::uint64_t n) {
+    push_fails.fetch_add(n, std::memory_order_relaxed);
+  }
+  void on_pop(std::uint64_t n, std::uint64_t depth_before) {
+    pops.fetch_add(n, std::memory_order_relaxed);
+    if (depth_before > depth_watermark.load(std::memory_order_relaxed))
+      depth_watermark.store(depth_before, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace lvrm::obs

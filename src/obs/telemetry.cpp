@@ -1,0 +1,45 @@
+#include "obs/telemetry.hpp"
+
+#include <fstream>
+
+#include "obs/export.hpp"
+
+namespace lvrm::obs {
+
+void Telemetry::take_snapshot(Nanos at) {
+  series_.push_back(metrics_.snapshot(at));
+  if (cfg_.max_snapshots > 0 && series_.size() > cfg_.max_snapshots)
+    series_.erase(series_.begin());
+}
+
+bool Telemetry::export_files(const std::string& prefix, Nanos now) {
+  take_snapshot(now);
+  bool ok = true;
+  {
+    std::ofstream os(prefix + ".prom");
+    if (os) {
+      write_prometheus(series_.back(), os);
+    } else {
+      ok = false;
+    }
+  }
+  {
+    std::ofstream os(prefix + ".csv");
+    if (os) {
+      write_csv(series_, os);
+    } else {
+      ok = false;
+    }
+  }
+  {
+    std::ofstream os(prefix + ".trace.json");
+    if (os) {
+      write_chrome_trace(audit_.events(), os);
+    } else {
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace lvrm::obs

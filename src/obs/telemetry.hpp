@@ -1,0 +1,79 @@
+// telemetry.hpp — per-system telemetry bundle: registry + audit + exporters.
+//
+// One Telemetry object per LvrmSystem (or per bench harness) owns the
+// metrics registry, the decision audit trail, the retained snapshot series
+// and the deterministic 1-in-N latency sampling tick. Everything here is
+// host-side observation only: no sim cost is ever charged and no RNG is
+// consumed, so experiment outputs are bit-identical with telemetry on or
+// off (tested in test_system_telemetry.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "obs/audit.hpp"
+#include "obs/metrics.hpp"
+
+namespace lvrm::obs {
+
+struct TelemetryConfig {
+  /// Master switch; when false LvrmSystem creates no Telemetry at all and
+  /// the hot path carries zero extra work beyond one pointer null check.
+  bool enabled = true;
+  /// Latency sampling period: stamp every Nth RX frame (1 = all, 0 = none).
+  std::uint32_t sample_every = 64;
+  /// Audit-trail ring capacity (overwrite-oldest beyond this).
+  std::size_t audit_capacity = 8192;
+  /// Periodic snapshot cadence in sim time; 0 disables periodic snapshots
+  /// (a final snapshot is still taken at export time).
+  Nanos snapshot_period = msec(250);
+  /// Bound on the retained snapshot series (oldest dropped beyond this).
+  std::size_t max_snapshots = 4096;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(const TelemetryConfig& cfg)
+      : cfg_(cfg),
+        audit_(cfg.audit_capacity),
+        sample_countdown_(cfg.sample_every == 0 ? 0 : 1) {}
+
+  const TelemetryConfig& config() const { return cfg_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  AuditTrail& audit() { return audit_; }
+  const AuditTrail& audit() const { return audit_; }
+
+  /// Deterministic 1-in-N tick for latency sampling (no RNG: determinism).
+  /// Countdown, not modulo: a runtime divide per frame is the kind of cost
+  /// the <3% overhead gate exists to catch.
+  bool should_sample() {
+    if (sample_countdown_ == 0) return false;  // sampling disabled
+    if (--sample_countdown_ == 0) {
+      sample_countdown_ = cfg_.sample_every;
+      return true;
+    }
+    return false;
+  }
+
+  /// Append an aggregated snapshot to the retained series.
+  void take_snapshot(Nanos at);
+
+  const std::vector<Snapshot>& series() const { return series_; }
+
+  /// Write `<prefix>.prom` (latest snapshot), `<prefix>.csv` (series) and
+  /// `<prefix>.trace.json` (audit trail). Takes a final snapshot at `now`
+  /// first. Returns false if any file could not be opened.
+  bool export_files(const std::string& prefix, Nanos now);
+
+ private:
+  TelemetryConfig cfg_;
+  MetricsRegistry metrics_;
+  AuditTrail audit_;
+  std::vector<Snapshot> series_;
+  std::uint32_t sample_countdown_ = 0;  // 0 = disabled; set in constructor
+};
+
+}  // namespace lvrm::obs

@@ -25,6 +25,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/ring_stats.hpp"   // header-only; no link dependency
 #include "queue/spsc_ring.hpp"  // kCacheLine
 
 namespace lvrm::queue {
@@ -44,17 +45,26 @@ class McRingBuffer {
   McRingBuffer(const McRingBuffer&) = delete;
   McRingBuffer& operator=(const McRingBuffer&) = delete;
 
+  /// Attaches an optional telemetry block (DESIGN.md §10). Must be called
+  /// before the endpoints start; unattached rings pay one predicted-
+  /// not-taken branch per operation and touch no extra cache line.
+  void attach_stats(obs::RingStats* stats) { stats_ = stats; }
+
   bool try_push(T value) {
     // Check against the private snapshot first; refresh it from the shared
     // head only when the snapshot says "full" (one expensive read amortized
     // over many pushes).
     if (local_tail_ - head_snapshot_ >= capacity_) {
       head_snapshot_ = head_.load(std::memory_order_acquire);
-      if (local_tail_ - head_snapshot_ >= capacity_) return false;
+      if (local_tail_ - head_snapshot_ >= capacity_) {
+        if (stats_) stats_->on_push_fail(1);
+        return false;
+      }
     }
     slots_[local_tail_ & mask_] = std::move(value);
     ++local_tail_;
     if (local_tail_ - published_tail_ >= batch_) publish_tail();
+    if (stats_) stats_->on_push(1);
     return true;
   }
 
@@ -64,8 +74,10 @@ class McRingBuffer {
       if (local_head_ == tail_snapshot_) return std::nullopt;
     }
     T value = std::move(slots_[local_head_ & mask_]);
+    const std::uint64_t depth = tail_snapshot_ - local_head_;
     ++local_head_;
     if (local_head_ - published_head_ >= batch_) publish_head();
+    if (stats_) stats_->on_pop(1, depth);
     return value;
   }
 
@@ -85,6 +97,10 @@ class McRingBuffer {
       slots_[(local_tail_ + i) & mask_] = std::move(items[i]);
     local_tail_ += k;
     if (k > 0) publish_tail();
+    if (stats_) {
+      if (k > 0) stats_->on_push(k);
+      if (k < n) stats_->on_push_fail(n - k);
+    }
     return k;
   }
 
@@ -103,6 +119,7 @@ class McRingBuffer {
       out[i] = std::move(slots_[(local_head_ + i) & mask_]);
     local_head_ += k;
     if (k > 0) publish_head();
+    if (stats_ && k > 0) stats_->on_pop(k, avail);
     return k;
   }
 
@@ -128,6 +145,7 @@ class McRingBuffer {
   std::size_t mask_ = 0;
   std::size_t batch_ = 1;
   std::unique_ptr<T[]> slots_;
+  obs::RingStats* stats_ = nullptr;  // optional; set before use, then const
 
   // Shared, owner-segregated control variables.
   alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};  // consumer-owned

@@ -33,6 +33,8 @@
 #include <optional>
 #include <utility>
 
+#include "obs/ring_stats.hpp"  // header-only; no link dependency
+
 namespace lvrm::queue {
 
 #ifdef __cpp_lib_hardware_interference_size
@@ -57,16 +59,25 @@ class SpscRing {
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 
+  /// Attaches an optional telemetry block (DESIGN.md §10). Must be called
+  /// before the endpoints start; unattached rings pay one predicted-
+  /// not-taken branch per operation and touch no extra cache line.
+  void attach_stats(obs::RingStats* stats) { stats_ = stats; }
+
   /// Producer side. Returns false when the ring is full. Reads the shared
   /// head only when the cached copy says the ring is apparently full.
   bool try_push(T value) {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - head_cache_ >= capacity_) {
       head_cache_ = head_.load(std::memory_order_acquire);
-      if (tail - head_cache_ >= capacity_) return false;
+      if (tail - head_cache_ >= capacity_) {
+        if (stats_) stats_->on_push_fail(1);
+        return false;
+      }
     }
     slots_[tail & mask_] = std::move(value);
     tail_.store(tail + 1, std::memory_order_release);
+    if (stats_) stats_->on_push(1);
     return true;
   }
 
@@ -89,6 +100,10 @@ class SpscRing {
     for (std::size_t i = 0; i < k; ++i)
       slots_[(tail + i) & mask_] = std::move(items[i]);
     if (k > 0) tail_.store(tail + k, std::memory_order_release);
+    if (stats_) {
+      if (k > 0) stats_->on_push(k);
+      if (k < n) stats_->on_push_fail(n - k);
+    }
     return k;
   }
 
@@ -102,6 +117,7 @@ class SpscRing {
     }
     T value = std::move(slots_[head & mask_]);
     head_.store(head + 1, std::memory_order_release);
+    if (stats_) stats_->on_pop(1, tail_cache_ - head);
     return value;
   }
 
@@ -121,6 +137,7 @@ class SpscRing {
     for (std::size_t i = 0; i < k; ++i)
       out[i] = std::move(slots_[(head + i) & mask_]);
     if (k > 0) head_.store(head + k, std::memory_order_release);
+    if (stats_ && k > 0) stats_->on_pop(k, avail);
     return k;
   }
 
@@ -156,6 +173,7 @@ class SpscRing {
   std::size_t capacity_ = 0;
   std::size_t mask_ = 0;
   std::unique_ptr<T[]> slots_;
+  obs::RingStats* stats_ = nullptr;  // optional; set before use, then const
 
   // Consumer-owned line: its index plus its private cache of the producer's
   // (mutable so the logically-const peek() can refresh it; single-consumer,

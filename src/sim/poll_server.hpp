@@ -116,6 +116,14 @@ class PollServer {
   std::uint64_t served() const { return served_; }
   bool busy() const { return serving_; }
 
+  // Telemetry accessors (plain counters; read at snapshot time only).
+  /// Core events started — classic serves plus coalesced batch serves.
+  std::uint64_t serve_events() const { return serve_events_; }
+  /// Coalesced batch serves, and items moved by them. batch_items() /
+  /// batches() is the realized coalescing factor.
+  std::uint64_t batches() const { return batches_; }
+  std::uint64_t batch_items() const { return batch_items_; }
+
   /// One-shot extra cost added to the next served item (used for e.g. a core
   /// allocation pass that preempts the LVRM loop).
   void add_oneshot_cost(Nanos cost) { oneshot_cost_ += cost; }
@@ -148,6 +156,7 @@ class PollServer {
     cost += oneshot_cost_;
     oneshot_cost_ = 0;
     serving_ = true;
+    ++serve_events_;
     in_service_input_ = &in;
     core_->run(cost, in.category, owner_, [this] { complete_one(); });
   }
@@ -276,6 +285,9 @@ class PollServer {
     cost += oneshot_cost_;
     oneshot_cost_ = 0;
     serving_ = true;
+    ++serve_events_;
+    ++batches_;
+    batch_items_ += batch_buf_.size();
     in_service_input_ = &in;
     core_->run(cost, in.category, owner_, [this] { complete_batch(); });
   }
@@ -308,6 +320,9 @@ class PollServer {
   bool serving_ = false;
   Nanos oneshot_cost_ = 0;
   std::uint64_t served_ = 0;
+  std::uint64_t serve_events_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batch_items_ = 0;
   // Zero-alloc serving state: the classic path parks the in-service item in
   // `in_service_`; the coalesced path reuses `batch_buf_`/`sink_buf_`
   // capacity across batches. No per-item heap allocation after warm-up.

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace lvrm {
 namespace {
 
@@ -57,6 +60,59 @@ TEST(Histogram, RenderListsNonEmptyBuckets) {
   const std::string out = h.render(10);
   EXPECT_NE(out.find("2"), std::string::npos);
   EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+// --- add()/quantile() edge cases (regressions for the documented contract) --
+
+TEST(Histogram, NanSamplesCountAsOverflowNotDropped) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::nan(""));
+  h.add(5.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, InfinityAndHugeValuesAreOverflowNotUb) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(1e300);  // (x-lo)/width overflows any integer type
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, QuantileOnEmptyReturnsLowEdgeNotNan) {
+  Histogram h(2.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_FALSE(std::isnan(h.quantile(0.99)));
+}
+
+TEST(Histogram, QuantileClampsOutOfRangeQ) {
+  Histogram h(0.0, 10.0, 5);
+  for (int i = 0; i < 10; ++i) h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), h.quantile(1.0));
+  EXPECT_FALSE(std::isnan(h.quantile(std::nan(""))));
+}
+
+TEST(Histogram, QuantileAllOverflowReportsHighEdge) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(100.0);
+  h.add(200.0);
+  // All mass beyond the range: every quantile answers with the top edge of
+  // the tracked range (the histogram cannot resolve further).
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileUnderflowMassMapsToLowEdge) {
+  Histogram h(10.0, 20.0, 5);
+  h.add(-5.0);
+  h.add(-5.0);
+  h.add(15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.1), 10.0);
+  EXPECT_GT(h.quantile(0.99), 10.0);
 }
 
 }  // namespace

@@ -59,5 +59,83 @@ TEST(Log, EnabledStatementEmitsWithoutCrash) {
   LVRM_LOG(kInfo) << "covering the emit path " << 123 << ' ' << 4.5;
 }
 
+// --- component tags, per-component overrides, capturing sink ---------------
+
+class ComponentGuard {
+ public:
+  ~ComponentGuard() {
+    for (auto c : {LogComponent::kGeneral, LogComponent::kAlloc,
+                   LogComponent::kHealth, LogComponent::kShed,
+                   LogComponent::kDispatch})
+      reset_component_log_level(c);
+  }
+};
+
+TEST(Log, ComponentNamesAreStable) {
+  EXPECT_STREQ(to_string(LogComponent::kAlloc), "alloc");
+  EXPECT_STREQ(to_string(LogComponent::kHealth), "health");
+  EXPECT_STREQ(to_string(LogComponent::kShed), "shed");
+  EXPECT_STREQ(to_string(LogComponent::kDispatch), "dispatch");
+}
+
+TEST(Log, ComponentOverrideGatesIndependently) {
+  LogLevelGuard guard;
+  ComponentGuard components;
+  set_log_level(LogLevel::kError);
+  // Globally silent at kDebug, but [alloc] opted into tracing.
+  set_component_log_level(LogComponent::kAlloc, LogLevel::kTrace);
+  EXPECT_TRUE(detail::log_enabled(LogLevel::kDebug, LogComponent::kAlloc));
+  EXPECT_FALSE(detail::log_enabled(LogLevel::kDebug, LogComponent::kHealth));
+  EXPECT_EQ(effective_log_level(LogComponent::kAlloc), LogLevel::kTrace);
+  EXPECT_EQ(effective_log_level(LogComponent::kHealth), LogLevel::kError);
+  reset_component_log_level(LogComponent::kAlloc);
+  EXPECT_FALSE(detail::log_enabled(LogLevel::kDebug, LogComponent::kAlloc));
+}
+
+TEST(Log, OverrideCanAlsoSilenceANoisyComponent) {
+  LogLevelGuard guard;
+  ComponentGuard components;
+  set_log_level(LogLevel::kTrace);
+  set_component_log_level(LogComponent::kDispatch, LogLevel::kOff);
+  EXPECT_FALSE(detail::log_enabled(LogLevel::kError, LogComponent::kDispatch));
+  EXPECT_TRUE(detail::log_enabled(LogLevel::kTrace, LogComponent::kGeneral));
+}
+
+TEST(Log, CapturingSinkRecordsComponentAndLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  CapturingLogSink sink;
+  LVRM_CLOG(kAlloc, kInfo) << "vr=0 create vri=" << 2;
+  LVRM_CLOG(kShed, kDebug) << "gated out";  // below threshold: not captured
+  LVRM_LOG(kWarn) << "general line";
+
+  const auto entries = sink.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].component, LogComponent::kAlloc);
+  EXPECT_EQ(entries[0].level, LogLevel::kInfo);
+  EXPECT_EQ(entries[0].message, "vr=0 create vri=2");
+  EXPECT_EQ(entries[1].component, LogComponent::kGeneral);
+  EXPECT_TRUE(sink.contains("general line"));
+  EXPECT_FALSE(sink.contains("gated out"));
+  sink.clear();
+  EXPECT_TRUE(sink.entries().empty());
+}
+
+TEST(Log, SinkRemovedOnScopeExit) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  {
+    CapturingLogSink sink;
+    LVRM_LOG(kInfo) << "first sink";
+    EXPECT_TRUE(sink.contains("first sink"));
+  }
+  // The first sink is gone; a fresh one starts empty and captures anew.
+  CapturingLogSink second;
+  EXPECT_TRUE(second.entries().empty());
+  LVRM_LOG(kInfo) << "second sink";
+  EXPECT_TRUE(second.contains("second sink"));
+  EXPECT_FALSE(second.contains("first sink"));
+}
+
 }  // namespace
 }  // namespace lvrm

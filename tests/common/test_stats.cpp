@@ -59,6 +59,68 @@ TEST(RunningStats, MatchesTwoPassComputation) {
   EXPECT_NEAR(s.variance(), var, 1e-6);
 }
 
+TEST(RunningStats, MergeEmptyIntoEmptyStaysEmpty) {
+  RunningStats a;
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEmptyIsIdentityBothWays) {
+  RunningStats filled;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) filled.add(x);
+  RunningStats empty;
+
+  RunningStats left = filled;
+  left.merge(empty);  // merging nothing changes nothing
+  EXPECT_EQ(left.count(), 4u);
+  EXPECT_DOUBLE_EQ(left.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(left.min(), 1.0);
+  EXPECT_DOUBLE_EQ(left.max(), 4.0);
+
+  RunningStats right = empty;
+  right.merge(filled);  // merging into empty adopts the other side
+  EXPECT_EQ(right.count(), 4u);
+  EXPECT_DOUBLE_EQ(right.mean(), 2.5);
+  EXPECT_NEAR(right.variance(), left.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(right.min(), 1.0);
+  EXPECT_DOUBLE_EQ(right.max(), 4.0);
+}
+
+TEST(RunningStats, MergeSingletons) {
+  RunningStats a;
+  a.add(10.0);
+  RunningStats b;
+  b.add(20.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 15.0);
+  // Sample variance of {10, 20}: 50.
+  EXPECT_NEAR(a.variance(), 50.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 10.0);
+  EXPECT_DOUBLE_EQ(a.max(), 20.0);
+}
+
+TEST(RunningStats, MergeMatchesSequentialAccumulation) {
+  Rng rng(7);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-10.0, 10.0);
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
 TEST(JainIndex, EqualAllocationsAreFair) {
   std::vector<double> xs(10, 3.5);
   EXPECT_DOUBLE_EQ(jain_index(xs), 1.0);
@@ -135,6 +197,16 @@ TEST(Percentile, UnsortedInputHandled) {
   const std::vector<double> xs{40.0, 10.0, 30.0, 20.0};
   EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+}
+
+TEST(Percentile, UnsortedInterpolationMatchesSortedAndLeavesInputAlone) {
+  const std::vector<double> unsorted{30.0, 10.0, 40.0, 20.0};
+  const std::vector<double> sorted{10.0, 20.0, 30.0, 40.0};
+  for (double p : {25.0, 50.0, 75.0, 90.0})
+    EXPECT_DOUBLE_EQ(percentile(unsorted, p), percentile(sorted, p));
+  EXPECT_DOUBLE_EQ(percentile(unsorted, 50.0), 25.0);
+  // percentile() sorts a copy: the caller's data is untouched.
+  EXPECT_EQ(unsorted, (std::vector<double>{30.0, 10.0, 40.0, 20.0}));
 }
 
 TEST(RelativeDiff, TwoPercentRule) {

@@ -8,6 +8,7 @@
 #include <functional>
 #include <memory>
 
+#include "common/log.hpp"
 #include "lvrm/fault_injector.hpp"
 #include "lvrm/system.hpp"
 #include "sim/costs.hpp"
@@ -102,12 +103,23 @@ TEST(Recovery, HeartbeatDetectsCrashInsideTheAllocationPeriod) {
 }
 
 TEST(Recovery, HungVriIsQuarantinedRespawnedAndConserved) {
+  // Captured via the log sink (no stderr scraping): the quarantine decision
+  // must be announced on the [health] channel, not just visible in counters.
+  CapturingLogSink sink;
   RecoveryRig rig(RecoveryRig::fixed_with_health(), 3);
   rig.offer(150'000.0, sec(6));
   rig.faults->schedule({.kind = FaultKind::kHang, .vri = 1, .at = sec(2)});
   std::uint64_t at_5s = 0;
   rig.sim.at(sec(5), [&] { at_5s = rig.delivered; });
   rig.sim.run_all();
+
+  EXPECT_TRUE(sink.contains("vri=1 quarantined (hung)"));
+  bool health_tagged = false;
+  for (const auto& entry : sink.entries())
+    if (entry.component == LogComponent::kHealth &&
+        entry.level == LogLevel::kWarn)
+      health_tagged = true;
+  EXPECT_TRUE(health_tagged);
 
   ASSERT_EQ(rig.sys->recovery_log().size(), 1u);
   const RecoveryEvent& ev = rig.sys->recovery_log()[0];

@@ -1,0 +1,85 @@
+// Audit trail: bounded-ring semantics (ordering, overwrite-oldest,
+// loss accounting) and the per-kind event vocabulary.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "obs/audit.hpp"
+
+namespace lvrm::obs {
+namespace {
+
+AuditEvent ev(Nanos t, AuditKind kind, std::uint64_t a) {
+  AuditEvent e;
+  e.time = t;
+  e.until = t;
+  e.kind = kind;
+  e.vr = 0;
+  e.a = a;
+  return e;
+}
+
+TEST(AuditTrail, KeepsInsertionOrderBelowCapacity) {
+  AuditTrail trail(8);
+  for (std::uint64_t i = 0; i < 5; ++i)
+    trail.record(ev(static_cast<Nanos>(i), AuditKind::kVriCreate, i));
+  EXPECT_EQ(trail.total(), 5u);
+  EXPECT_EQ(trail.size(), 5u);
+  EXPECT_EQ(trail.overwritten(), 0u);
+  const auto events = trail.events();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(events[i].a, i);
+}
+
+TEST(AuditTrail, OverwritesOldestBeyondCapacity) {
+  AuditTrail trail(4);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    trail.record(ev(static_cast<Nanos>(i), AuditKind::kBalanceSummary, i));
+  EXPECT_EQ(trail.total(), 10u);
+  EXPECT_EQ(trail.size(), 4u);
+  EXPECT_EQ(trail.overwritten(), 6u);
+  const auto events = trail.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-to-newest: the last 4 recorded.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(events[i].a, 6u + i);
+  // Times stay sorted after the wrap.
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].time, events[i].time);
+}
+
+TEST(AuditTrail, ExactlyAtCapacityLosesNothing) {
+  AuditTrail trail(3);
+  for (std::uint64_t i = 0; i < 3; ++i)
+    trail.record(ev(static_cast<Nanos>(i), AuditKind::kShedEpisode, i));
+  EXPECT_EQ(trail.overwritten(), 0u);
+  EXPECT_EQ(trail.events().front().a, 0u);
+  EXPECT_EQ(trail.events().back().a, 2u);
+}
+
+TEST(AuditKindNames, AreStableStrings) {
+  EXPECT_STREQ(to_string(AuditKind::kVriCreate), "vri_create");
+  EXPECT_STREQ(to_string(AuditKind::kVriDestroy), "vri_destroy");
+  EXPECT_STREQ(to_string(AuditKind::kHealthDead), "health_dead");
+  EXPECT_STREQ(to_string(AuditKind::kHealthHung), "health_hung");
+  EXPECT_STREQ(to_string(AuditKind::kHealthFailSlow), "health_fail_slow");
+  EXPECT_STREQ(to_string(AuditKind::kShedEpisode), "shed_episode");
+  EXPECT_STREQ(to_string(AuditKind::kBalanceSummary), "balance_summary");
+}
+
+TEST(AuditReplay, CreateDestroyReconstructsCounts) {
+  // The `a` field of create/destroy events is the count AFTER the change, so
+  // replaying the trail reconstructs the allocator's state exactly.
+  AuditTrail trail(16);
+  trail.record(ev(0, AuditKind::kVriCreate, 1));
+  trail.record(ev(1, AuditKind::kVriCreate, 2));
+  trail.record(ev(2, AuditKind::kVriDestroy, 1));
+  trail.record(ev(3, AuditKind::kVriCreate, 2));
+  std::uint64_t count = 0;
+  for (const auto& e : trail.events())
+    if (e.kind == AuditKind::kVriCreate || e.kind == AuditKind::kVriDestroy)
+      count = e.a;
+  EXPECT_EQ(count, 2u);
+}
+
+}  // namespace
+}  // namespace lvrm::obs

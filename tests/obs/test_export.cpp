@@ -1,0 +1,134 @@
+// Exporters: Prometheus text shape, CSV escaping (RFC 4180 quote doubling),
+// and the Chrome trace_event JSON structure of the audit trail.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/audit.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace lvrm::obs {
+namespace {
+
+Snapshot sample_snapshot() {
+  MetricsRegistry reg;
+  reg.counter("rx_total").add(100);
+  reg.gauge("depth", "vr=\"0\"").set(7.0);
+  LogHistogram h = reg.histogram("lat_ns");
+  for (int i = 0; i < 10; ++i) h.record(100);
+  h.record(0);
+  return reg.snapshot(msec(500));
+}
+
+TEST(PrometheusExport, EmitsTypedFamiliesAndHistogramSeries) {
+  std::ostringstream os;
+  write_prometheus(sample_snapshot(), os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE rx_total counter"), std::string::npos);
+  EXPECT_NE(text.find("rx_total 100"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("depth{vr=\"0\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_ns histogram"), std::string::npos);
+  // Cumulative buckets: the recorded zero emits le="0", and +Inf carries the
+  // full count.
+  EXPECT_NE(text.find("lat_ns_bucket{le=\"0\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_bucket{le=\"+Inf\"} 11"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_count 11"), std::string::npos);
+}
+
+TEST(CsvExport, QuotesAndDoublesEmbeddedQuotes) {
+  std::ostringstream os;
+  write_csv({sample_snapshot()}, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("t_sec,metric,labels,value"), std::string::npos);
+  // The label `vr="0"` must appear as a quoted field with doubled quotes:
+  // "vr=""0""" — exactly two quote characters around the 0.
+  EXPECT_NE(text.find(",\"vr=\"\"0\"\"\","), std::string::npos);
+  EXPECT_EQ(text.find("\"\"\"0"), std::string::npos);  // no tripling
+  // Histograms are flattened into derived columns.
+  EXPECT_NE(text.find("lat_ns_count"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_p99"), std::string::npos);
+}
+
+TEST(JsonEscape, HandlesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+std::vector<AuditEvent> one_of_each() {
+  std::vector<AuditEvent> evs;
+  AuditEvent create;
+  create.time = usec(10);
+  create.until = create.time;
+  create.kind = AuditKind::kVriCreate;
+  create.vr = 0;
+  create.vri = 1;
+  create.rate = 120'000.0;
+  create.threshold = 60'000.0;
+  create.service = 59'000.0;
+  create.a = 2;
+  evs.push_back(create);
+  AuditEvent health = create;
+  health.kind = AuditKind::kHealthHung;
+  health.time = usec(20);
+  evs.push_back(health);
+  AuditEvent shed = create;
+  shed.kind = AuditKind::kShedEpisode;
+  shed.time = usec(30);
+  shed.until = usec(90);
+  shed.a = 17;
+  evs.push_back(shed);
+  AuditEvent bal = create;
+  bal.kind = AuditKind::kBalanceSummary;
+  bal.time = usec(100);
+  evs.push_back(bal);
+  return evs;
+}
+
+TEST(ChromeTrace, EmitsEveryPhaseKind) {
+  std::ostringstream os;
+  write_chrome_trace(one_of_each(), os);
+  const std::string text = os.str();
+  EXPECT_EQ(text.rfind("{\"traceEvents\":[", 0), 0u);  // starts the array
+  EXPECT_NE(text.find("\"ph\":\"M\""), std::string::npos);  // metadata
+  EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos);  // counter track
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);  // instant
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);  // duration slice
+  EXPECT_NE(text.find("\"name\":\"vri_create\""), std::string::npos);
+  EXPECT_NE(text.find("\"dur\":60.000"), std::string::npos);  // 60 us episode
+  // Structurally valid JSON: balanced braces/brackets, no trailing comma.
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(text.find(",]"), std::string::npos);
+  EXPECT_EQ(text.find(",\n]"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyTrailIsStillValid) {
+  std::ostringstream os;
+  write_chrome_trace({}, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("process_name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lvrm::obs

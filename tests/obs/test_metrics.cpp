@@ -1,0 +1,158 @@
+// Metrics registry: handle semantics, log-bucket math, and the real-thread
+// stress the sharded cells exist for (counts conserved, consistent
+// mid-flight snapshots).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace lvrm::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterAccumulatesAcrossAdds) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("frames_total");
+  EXPECT_TRUE(c.valid());
+  c.inc();
+  c.add(41);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "frames_total");
+  EXPECT_EQ(snap.counters[0].value, 42u);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  Counter a = reg.counter("x");
+  Counter b = reg.counter("x");
+  a.inc();
+  b.inc();
+  EXPECT_EQ(reg.snapshot().counters.size(), 1u);
+  EXPECT_EQ(reg.snapshot().counters[0].value, 2u);
+}
+
+TEST(MetricsRegistry, LabelsSeparateStorage) {
+  MetricsRegistry reg;
+  reg.counter("y", "vr=\"0\"").add(1);
+  reg.counter("y", "vr=\"1\"").add(2);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].value + snap.counters[1].value, 3u);
+}
+
+TEST(MetricsRegistry, GaugeLastWriteWins) {
+  MetricsRegistry reg;
+  Gauge g = reg.gauge("depth");
+  g.set(3.0);
+  g.set(7.5);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 7.5);
+}
+
+TEST(MetricsRegistry, HandlesStayValidAsRegistryGrows) {
+  // Deque storage: registering many later metrics must not move earlier
+  // cells out from under live handles.
+  MetricsRegistry reg;
+  Counter first = reg.counter("first");
+  for (int i = 0; i < 200; ++i) reg.counter("c" + std::to_string(i));
+  first.add(5);
+  EXPECT_EQ(reg.snapshot().counters[0].value, 5u);
+}
+
+TEST(LogBuckets, MappingMatchesPowerOfTwoEdges) {
+  EXPECT_EQ(detail::hist_bucket(0), 0u);
+  EXPECT_EQ(detail::hist_bucket(1), 1u);
+  EXPECT_EQ(detail::hist_bucket(2), 2u);
+  EXPECT_EQ(detail::hist_bucket(3), 2u);
+  EXPECT_EQ(detail::hist_bucket(4), 3u);
+  EXPECT_EQ(detail::hist_bucket(1023), 10u);
+  EXPECT_EQ(detail::hist_bucket(1024), 11u);
+  EXPECT_EQ(detail::hist_bucket(~std::uint64_t{0}), 64u);
+  // Edges agree with the mapping: bucket k covers [2^(k-1), 2^k).
+  EXPECT_DOUBLE_EQ(HistogramSample::bucket_lo(3), 4.0);
+  EXPECT_DOUBLE_EQ(HistogramSample::bucket_hi(3), 8.0);
+  EXPECT_DOUBLE_EQ(HistogramSample::bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramSample::bucket_hi(0), 0.0);
+}
+
+TEST(LogHistogram, QuantilesInterpolateInsideBuckets) {
+  MetricsRegistry reg;
+  LogHistogram h = reg.histogram("lat");
+  for (int i = 0; i < 100; ++i) h.record(100);  // bucket 7: [64, 128)
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSample& s = snap.histograms[0];
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_GE(s.quantile(0.5), 64.0);
+  EXPECT_LE(s.quantile(0.5), 128.0);
+  EXPECT_LE(s.quantile(0.01), s.quantile(0.99));
+  // Empty histogram: defined, not NaN.
+  HistogramSample empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.approx_mean(), 0.0);
+}
+
+TEST(LogHistogram, ZeroValuesLandInBucketZero) {
+  MetricsRegistry reg;
+  LogHistogram h = reg.histogram("z");
+  h.record(0);
+  h.record(0);
+  h.record(9);
+  const HistogramSample s = reg.snapshot().histograms[0];
+  EXPECT_EQ(s.buckets[0], 2u);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.3), 0.0);
+}
+
+// The concurrency contract: writers never lock; a snapshot taken mid-flight
+// is internally consistent (histogram count == sum of its buckets, counter
+// totals monotone) and the final totals are exact.
+TEST(MetricsRegistry, ThreadStressConservesCounts) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("stress_total");
+  LogHistogram h = reg.histogram("stress_lat");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 200'000;
+
+  std::atomic<bool> go{false};
+  std::atomic<int> done{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.record((i + static_cast<std::uint64_t>(t)) & 0xFFF);
+      }
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  go.store(true, std::memory_order_release);
+
+  // Reader: repeated mid-flight snapshots must be monotone and consistent.
+  std::uint64_t last_counter = 0;
+  while (done.load(std::memory_order_acquire) < kThreads) {
+    const Snapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_GE(snap.counters[0].value, last_counter);
+    last_counter = snap.counters[0].value;
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    std::uint64_t sum = 0;
+    for (auto b : snap.histograms[0].buckets) sum += b;
+    EXPECT_EQ(snap.histograms[0].count(), sum);
+  }
+  for (auto& w : workers) w.join();
+
+  const Snapshot final_snap = reg.snapshot();
+  EXPECT_EQ(final_snap.counters[0].value, kThreads * kPerThread);
+  EXPECT_EQ(final_snap.histograms[0].count(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace lvrm::obs
