@@ -25,6 +25,10 @@
 //              (pre-registered counter adds + sampled histogram records) on
 //              vs off, interleaved; --check-telemetry-overhead=0.03 turns
 //              the measured fraction into a CI gate.
+//   shards   : the DESIGN.md §11 sharded dispatch plane, end to end through
+//              LvrmSystem in *simulated* time (deterministic, unlike the
+//              host-ns sections): aggregate Kfps at 1 vs 2 dispatcher shards
+//              plus the affinity/ordering invariant counts.
 //
 // Usage: bench_hotpath [--quick] [--out=BENCH_hotpath.json]
 //                      [--baseline=FILE] [--tolerance=0.25]
@@ -43,6 +47,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "exp/experiments.hpp"
 #include "lvrm/load_balancer.hpp"
 #include "net/frame.hpp"
 #include "obs/telemetry.hpp"
@@ -453,6 +458,27 @@ int main(int argc, char** argv) {
                                           tel_on_samples.end());
   const double tel_overhead = tel_on / tel_off - 1.0;
 
+  // Sharded dispatch plane (simulated time, so a single run is exact). The
+  // keys are additive: the baseline reader only looks up specific names, so
+  // older BENCH_hotpath.json files stay valid.
+  auto shard_trial = [&](int shards) {
+    lvrm::exp::ShardScalingOptions opt;
+    opt.shards = shards;
+    if (quick) {
+      opt.warmup = msec(5);
+      opt.measure = msec(20);
+    }
+    return lvrm::exp::run_shard_scaling_trial(opt);
+  };
+  const auto shard1 = shard_trial(1);
+  const auto shard2 = shard_trial(2);
+  const double shard_speedup =
+      shard1.delivered_fps > 0.0 ? shard2.delivered_fps / shard1.delivered_fps
+                                 : 0.0;
+  const auto shard_violations =
+      shard1.affinity_violations + shard1.ordering_violations +
+      shard2.affinity_violations + shard2.ordering_violations;
+
   // The guarded regression metric: host ns of simulator+server machinery per
   // frame on the classic (default-config) path.
   const double per_frame_host = poll_item;
@@ -480,6 +506,11 @@ int main(int argc, char** argv) {
       << "  \"dispatch_per_frame_ns\": " << disp_frame << ",\n"
       << "  \"dispatch_batch_ns\": " << disp_batch << ",\n"
       << "  \"dispatch_batch_speedup\": " << disp_frame / disp_batch << ",\n"
+      << "  \"shard_scaling_1_kfps\": " << shard1.delivered_fps / 1e3 << ",\n"
+      << "  \"shard_scaling_2_kfps\": " << shard2.delivered_fps / 1e3 << ",\n"
+      << "  \"shard_scaling_speedup_2\": " << shard_speedup << ",\n"
+      << "  \"shard_scaling_violations\": "
+      << static_cast<double>(shard_violations) << ",\n"
       << "  \"poll_telemetry_off_ns\": " << tel_off << ",\n"
       << "  \"poll_telemetry_on_ns\": " << tel_on << ",\n"
       << "  \"telemetry_overhead_frac\": " << tel_overhead << ",\n"
@@ -504,6 +535,10 @@ int main(int argc, char** argv) {
               disp_batch, disp_frame / disp_batch);
   std::printf("  telemetry off/on      : %.1f / %.1f host ns/frame (%+.2f%%)\n",
               tel_off, tel_on, 100.0 * tel_overhead);
+  std::printf(
+      "  shards 1->2 (sim)     : %.1f -> %.1f Kfps (%.2fx), %llu violations\n",
+      shard1.delivered_fps / 1e3, shard2.delivered_fps / 1e3, shard_speedup,
+      static_cast<unsigned long long>(shard_violations));
   std::printf("  wrote %s\n", out_path.c_str());
 
   const double tel_gate = cli.get_double("check-telemetry-overhead", -1.0);

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Checks every relative link and heading anchor in the repo's markdown.
+
+For each tracked *.md file, every inline link `[text](target)` is resolved:
+
+* `http(s)://` / `mailto:` targets are skipped (no network in CI),
+* a relative path must exist in the repository,
+* a `#fragment` (on another file or bare, same-file) must match a heading
+  in the target file under GitHub's anchor slugification (lowercase, spaces
+  to hyphens, punctuation stripped, duplicate slugs suffixed -1, -2, ...).
+
+Usage: check_markdown_links.py [ROOT]
+Prints every broken link and exits non-zero if any were found.
+"""
+import pathlib
+import re
+import subprocess
+import sys
+
+# Inline links, excluding images; tolerates one level of nested brackets in
+# the text (e.g. [see [1]](url)).
+LINK = re.compile(r"(?<!\!)\[(?:[^\]\[]|\[[^\]]*\])*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading, seen):
+    """GitHub's anchor algorithm: strip markup, lowercase, drop punctuation,
+    spaces to hyphens, then -N suffixes for duplicates."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = re.sub(r"[*_]", "", text)                      # emphasis markers
+    slug = text.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    n = seen.get(slug, 0)
+    seen[slug] = n + 1
+    return slug if n == 0 else f"{slug}-{n}"
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        seen = {}
+        anchors = set()
+        in_fence = False
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if CODE_FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING.match(line)
+            if m:
+                anchors.add(github_slug(m.group(2), seen))
+            # Explicit HTML anchors also count.
+            for a in re.findall(r'<a\s+(?:name|id)="([^"]+)"', line):
+                anchors.add(a)
+        cache[path] = anchors
+    return cache[path]
+
+
+def links_of(path):
+    """(lineno, target) pairs outside code fences."""
+    out = []
+    in_fence = False
+    for i, line in enumerate(path.read_text(encoding="utf-8").splitlines(),
+                             start=1):
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK.finditer(line):
+            out.append((i, m.group(1)))
+    return out
+
+
+def markdown_files(root):
+    try:
+        names = subprocess.run(
+            ["git", "ls-files", "*.md", "**/*.md"], cwd=root, check=True,
+            capture_output=True, text=True).stdout.split()
+        files = [root / n for n in names]
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        files = [p for p in root.rglob("*.md")
+                 if "build" not in p.parts and ".git" not in p.parts]
+    return sorted(set(f for f in files if f.exists()))
+
+
+def main(argv):
+    root = pathlib.Path(argv[1] if len(argv) > 1 else ".").resolve()
+    errors = 0
+    checked = 0
+    for md in markdown_files(root):
+        for lineno, target in links_of(md):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                continue
+            checked += 1
+            path_part, _, fragment = target.partition("#")
+            dest = md if not path_part else (md.parent / path_part).resolve()
+            if not dest.exists():
+                print(f"{md.relative_to(root)}:{lineno}: broken link "
+                      f"{target!r} (no such file)")
+                errors += 1
+                continue
+            if fragment and dest.suffix == ".md":
+                if fragment.lower() not in anchors_of(dest):
+                    print(f"{md.relative_to(root)}:{lineno}: broken anchor "
+                          f"{target!r} (no heading #{fragment} in "
+                          f"{dest.relative_to(root)})")
+                    errors += 1
+    if errors:
+        print(f"check_markdown_links: {errors} broken link(s)")
+        return 1
+    print(f"check_markdown_links: OK ({checked} relative links checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

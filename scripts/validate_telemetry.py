@@ -7,8 +7,13 @@ parseable Prometheus text file with the core LVRM families, an RFC-4180 CSV
 series, and a Chrome trace_event JSON that a trace viewer (Perfetto,
 chrome://tracing) would accept.
 
-Usage: validate_telemetry.py DIR [DIR...]
+Usage: validate_telemetry.py DIR [DIR...] [--check-doc METRICS.md]
 Exits non-zero with a per-file message on the first malformed export.
+
+With --check-doc, every metric family found in the .prom exports and every
+audit-event name found in the .trace.json exports must appear (backticked)
+in the given reference doc — docs/METRICS.md stays honest by construction:
+adding a metric or audit kind without documenting it fails CI.
 """
 import csv
 import json
@@ -95,14 +100,74 @@ def check_trace(path):
             fail(f"{path}: non-metadata event without numeric ts: {ev!r}")
 
 
+HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def prom_families(path):
+    """Metric family names in a .prom file, histogram suffixes stripped."""
+    families = set()
+    for line in path.read_text().splitlines():
+        m = re.match(r"^([A-Za-z_:][A-Za-z0-9_:]*)(\{| )", line)
+        if not m:
+            continue
+        name = m.group(1)
+        for suffix in HIST_SUFFIXES:
+            if name.endswith(suffix):
+                name = name[: -len(suffix)]
+                break
+        families.add(name)
+    return families
+
+
+def trace_names(path):
+    """Audit-event names in a .trace.json, VR ids normalized to <N>."""
+    names = set()
+    for ev in json.loads(path.read_text()).get("traceEvents", []):
+        names.add(re.sub(r"^vr\d+ ", "vr<N> ", ev.get("name", "")))
+    return names
+
+
+def check_doc(doc_path, prefixes):
+    """Every exported family / audit name must be documented (backticked)."""
+    doc = pathlib.Path(doc_path)
+    if not doc.exists():
+        fail(f"{doc}: reference doc not found")
+    documented = set(re.findall(r"`([^`]+)`", doc.read_text()))
+    for prefix in prefixes:
+        prom = prefix.parent / (prefix.name + ".prom")
+        for family in sorted(prom_families(prom)):
+            if family not in documented:
+                fail(f"{prom}: family {family} is exported but not "
+                     f"documented in {doc}")
+        trace = prefix.parent / (prefix.name + ".trace.json")
+        for name in sorted(trace_names(trace)):
+            if name and name not in documented:
+                fail(f"{trace}: audit event {name!r} is exported but not "
+                     f"documented in {doc}")
+    print(f"validate_telemetry: OK doc cross-check against {doc}")
+
+
 def main(argv):
-    if len(argv) < 2:
-        fail("usage: validate_telemetry.py DIR [DIR...]")
+    doc = None
+    args = []
+    it = iter(argv[1:])
+    for a in it:
+        if a == "--check-doc":
+            doc = next(it, None)
+            if doc is None:
+                fail("--check-doc requires a path")
+        elif a.startswith("--check-doc="):
+            doc = a.split("=", 1)[1]
+        else:
+            args.append(a)
+    if not args:
+        fail("usage: validate_telemetry.py DIR [DIR...] "
+             "[--check-doc METRICS.md]")
     prefixes = []
-    for d in argv[1:]:
+    for d in args:
         prefixes += [p.with_suffix("") for p in pathlib.Path(d).glob("*.prom")]
     if not prefixes:
-        fail(f"no .prom exports found under {argv[1:]}")
+        fail(f"no .prom exports found under {args}")
     for prefix in prefixes:
         for suffix, check in ((".prom", check_prom), (".csv", check_csv),
                               (".trace.json", check_trace)):
@@ -111,6 +176,8 @@ def main(argv):
                 fail(f"{path}: missing (incomplete export triple)")
             check(path)
         print(f"validate_telemetry: OK {prefix}.{{prom,csv,trace.json}}")
+    if doc is not None:
+        check_doc(doc, prefixes)
 
 
 if __name__ == "__main__":

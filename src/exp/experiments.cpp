@@ -361,6 +361,87 @@ MemoryTrialResult run_memory_latency(VrKind vr, int frame_bytes) {
   return out;
 }
 
+// --- Sharded dispatch-plane scaling (Experiment 5) ----------------------------------------
+
+ShardScalingResult run_shard_scaling_trial(const ShardScalingOptions& opt) {
+  sim::Simulator simulator;
+  sim::CpuTopology topo;
+  LvrmConfig cfg;
+  cfg.adapter = AdapterKind::kMemory;
+  cfg.allocator = AllocatorKind::kFixed;
+  cfg.granularity = BalancerGranularity::kFlow;
+  cfg.dispatch_shards = opt.shards;
+  cfg.seed = opt.seed;
+  LvrmSystem sys(simulator, topo, cfg);
+  VrConfig vr;
+  vr.kind = VrKind::kCpp;
+  vr.initial_vris = opt.vris;
+  sys.add_vr(vr);
+  sys.start();
+
+  ShardScalingResult out;
+  out.shards = sys.shard_count();
+
+  const auto flows = static_cast<std::size_t>(opt.flows);
+  std::vector<std::int16_t> flow_shard(flows, -1);
+  std::vector<std::int64_t> flow_last_id(flows, -1);
+  std::uint64_t delivered = 0;
+  RunningStats latency_us;
+  sys.set_egress([&](net::FrameMeta&& f) {
+    ++delivered;
+    latency_us.add(to_micros(simulator.now() - f.gw_in_at));
+    const std::size_t flow = f.id % flows;
+    if (flow_shard[flow] >= 0 && flow_shard[flow] != f.dispatch_shard)
+      ++out.affinity_violations;
+    flow_shard[flow] = f.dispatch_shard;
+    const auto id = static_cast<std::int64_t>(f.id);
+    if (id < flow_last_id[flow]) ++out.ordering_violations;
+    flow_last_id[flow] = id;
+  });
+
+  // RAM-trace refill as in Exp 1c, but cycling `flows` distinct 5-tuples so
+  // the RSS hash has something to spread across the shard rings.
+  std::uint64_t next_id = 0;
+  auto make_frame = [&](std::uint64_t id) {
+    net::FrameMeta f;
+    f.id = id;
+    f.wire_bytes = opt.frame_bytes;
+    const auto flow = static_cast<std::uint32_t>(id % flows);
+    f.src_ip = net::ipv4(10, 1, 0, 1) + (flow >> 6);
+    f.dst_ip = net::ipv4(10, 2, 0, 1) + (flow >> 6);
+    f.src_port = static_cast<std::uint16_t>(9000 + (flow & 63));
+    f.dst_port = 9;
+    f.created_at = simulator.now();
+    return f;
+  };
+  const Nanos refill_every = usec(50);
+  std::function<void()> refill = [&] {
+    for (int i = 0; i < 1024; ++i) {
+      if (!sys.ingress(make_frame(next_id))) break;
+      ++next_id;
+    }
+    simulator.after(refill_every, refill);
+  };
+  simulator.at(0, refill);
+
+  simulator.run_until(opt.warmup);
+  const std::uint64_t mark = delivered;
+  const auto n_shards = static_cast<std::size_t>(out.shards);
+  std::vector<std::uint64_t> rx_mark(n_shards);
+  for (std::size_t s = 0; s < n_shards; ++s)
+    rx_mark[s] = sys.shard_rx_admitted(static_cast<int>(s));
+  simulator.run_until(opt.warmup + opt.measure);
+
+  out.delivered_fps =
+      static_cast<double>(delivered - mark) / to_seconds(opt.measure);
+  out.delivered_bps = out.delivered_fps * 8.0 * opt.frame_bytes;
+  out.avg_latency_us = latency_us.mean();
+  out.per_shard_rx.resize(n_shards);
+  for (std::size_t s = 0; s < n_shards; ++s)
+    out.per_shard_rx[s] = sys.shard_rx_admitted(static_cast<int>(s)) - rx_mark[s];
+  return out;
+}
+
 // --- Control-event latency (Experiment 1e) ------------------------------------------------
 
 double measure_control_latency_us(std::size_t event_bytes, bool full_load,

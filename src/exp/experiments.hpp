@@ -104,6 +104,39 @@ MemoryTrialResult run_memory_throughput(VrKind vr, int frame_bytes,
                                         bool click_use_graph = true);
 MemoryTrialResult run_memory_latency(VrKind vr, int frame_bytes);
 
+// --- Sharded dispatch-plane scaling (Experiment 5, DESIGN.md §11) ---------------------
+
+struct ShardScalingOptions {
+  int shards = 1;        // LvrmConfig::dispatch_shards
+  int vris = 6;          // initial VRIs of the single C++ VR
+  int flows = 256;       // distinct 5-tuples cycled through the trace
+  int frame_bytes = 84;
+  Nanos warmup = msec(10);
+  Nanos measure = msec(50);
+  std::uint64_t seed = 1;
+};
+
+struct ShardScalingResult {
+  int shards = 0;
+  FramesPerSec delivered_fps = 0.0;
+  BitsPerSec delivered_bps = 0.0;
+  double avg_latency_us = 0.0;
+  /// Frames admitted into each shard's RX ring (RSS split balance).
+  std::vector<std::uint64_t> per_shard_rx;
+  /// Flows observed on more than one dispatcher shard at egress. Must be 0:
+  /// the RSS flow-key hash is a pure function of the 5-tuple.
+  std::uint64_t affinity_violations = 0;
+  /// Per-flow frame-id regressions at egress. Must be 0: a flow's frames
+  /// traverse one shard ring, one pinned VRI, and one home-shard TX drain.
+  std::uint64_t ordering_violations = 0;
+};
+
+/// Replays a RAM trace of `flows` interleaved 5-tuples through a gateway with
+/// `shards` dispatcher shards and measures aggregate delivered throughput —
+/// the §11 scaling claim is ≥1.5× at 2 shards over the single-dispatcher
+/// baseline, with zero affinity/ordering violations.
+ShardScalingResult run_shard_scaling_trial(const ShardScalingOptions& opt);
+
 // --- Control-event latency (Experiment 1e) --------------------------------------------
 
 /// Average latency of relaying a control event between two VRIs of one VR.

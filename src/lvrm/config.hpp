@@ -52,8 +52,18 @@ struct LvrmConfig {
   EstimatorKind estimator = EstimatorKind::kQueueLength;
   AffinityPolicy affinity = AffinityPolicy::kSibling;
 
-  /// Core the LVRM process itself is pinned to.
+  /// Core the LVRM process itself is pinned to. With `dispatch_shards` > 1
+  /// this is shard 0's core; later shards are pinned by `shard_core(s)`.
   sim::CoreId lvrm_core = 0;
+
+  /// Number of LVRM dispatcher shards (DESIGN.md §11). Each shard owns its
+  /// own socket-adapter RX ring, flow tables, load balancers, and poll loop
+  /// pinned to its own core; an RSS-style hash of the frame's flow key
+  /// steers every frame of a flow to the same shard, so the paper's flow
+  /// affinity (and per-flow ordering) holds end to end. Default 1 is the
+  /// paper's single-dispatcher gateway, bit-identical to the unsharded
+  /// code path.
+  int dispatch_shards = 1;
 
   /// Minimum interval between core (de)allocation passes (Sec 3.2: "we set
   /// the period to be 1 second, while this parameter is tunable").

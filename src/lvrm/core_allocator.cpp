@@ -21,6 +21,30 @@ AllocDecision threshold_decision(const VrAllocView& vr, double per_vri_fps,
 
 }  // namespace
 
+NumaTier numa_tier_of(const sim::CpuTopology& topo, sim::CoreId anchor,
+                      sim::CoreId core) {
+  if (anchor == sim::kNoCore || core == sim::kNoCore) return NumaTier::kNone;
+  if (topo.siblings(core, anchor)) return NumaTier::kSameSocket;
+  if (topo.same_machine(core, anchor)) return NumaTier::kSameMachine;
+  return NumaTier::kRemote;
+}
+
+NumaPick pick_numa_core(const sim::CpuTopology& topo,
+                        const std::vector<bool>& used, sim::CoreId anchor) {
+  // Three passes, widening the NUMA distance each time. Within a tier the
+  // scan is ascending core id, matching the single-machine sibling order
+  // the paper's experiments were calibrated against.
+  const NumaTier tiers[] = {NumaTier::kSameSocket, NumaTier::kSameMachine,
+                            NumaTier::kRemote};
+  for (NumaTier tier : tiers) {
+    for (sim::CoreId c = 0; c < topo.total_cores(); ++c) {
+      if (c == anchor || used[static_cast<std::size_t>(c)]) continue;
+      if (numa_tier_of(topo, anchor, c) == tier) return NumaPick{c, tier};
+    }
+  }
+  return NumaPick{};
+}
+
 AllocDecision DynamicFixedThresholdAllocator::decide(
     const VrAllocView& vr) const {
   return threshold_decision(vr, per_vri_fps_, hysteresis_);

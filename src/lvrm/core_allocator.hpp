@@ -14,11 +14,40 @@
 // boundary (arrival == threshold) from flapping between create and destroy.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "lvrm/types.hpp"
+#include "sim/topology.hpp"
 
 namespace lvrm {
+
+/// NUMA distance of a core pick relative to the anchoring dispatcher
+/// shard's core (DESIGN.md §11). Recorded in the audit trail so "why did
+/// this VRI land cross-socket?" is answerable from the trail alone.
+enum class NumaTier : std::int8_t {
+  kSameSocket = 0,   // shares the shard's socket (shared LLC)
+  kSameMachine = 1,  // other socket, same machine (one QPI hop)
+  kRemote = 2,       // different machine (interconnect)
+  kNone = -1,        // no free core found / policy without an anchor
+};
+
+struct NumaPick {
+  sim::CoreId core = sim::kNoCore;
+  NumaTier tier = NumaTier::kNone;
+};
+
+/// Two-level sibling preference: the first free core on the anchor's
+/// socket, else the anchor's machine, else any free core — ascending core
+/// id within each tier, so with a single machine this is exactly the
+/// paper's sibling-then-non-sibling order. `used[c]` marks occupied cores.
+NumaPick pick_numa_core(const sim::CpuTopology& topo,
+                        const std::vector<bool>& used, sim::CoreId anchor);
+
+/// The tier `core` occupies relative to `anchor` (no freeness check).
+NumaTier numa_tier_of(const sim::CpuTopology& topo, sim::CoreId anchor,
+                      sim::CoreId core);
 
 /// The allocator's per-VR view at decision time.
 struct VrAllocView {

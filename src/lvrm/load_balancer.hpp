@@ -76,6 +76,22 @@ class RandomBalancer final : public LoadBalancer {
 std::unique_ptr<LoadBalancer> make_balancer(BalancerKind kind,
                                             std::uint64_t seed);
 
+/// Snapshot of one Dispatcher's counters. With a sharded dispatch plane
+/// (DESIGN.md §11) every shard runs its own Dispatcher per VR; summing the
+/// per-shard stats recovers the per-VR totals the gauges report.
+struct DispatchStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t flow_probes = 0;
+  std::uint64_t flow_hits = 0;
+
+  DispatchStats& operator+=(const DispatchStats& o) {
+    decisions += o.decisions;
+    flow_probes += o.flow_probes;
+    flow_hits += o.flow_hits;
+    return *this;
+  }
+};
+
 /// Flow-aware dispatch wrapper implementing Fig 3.3's "balance(buffer)".
 /// In frame mode it simply delegates; in flow mode it tracks 5-tuples.
 class Dispatcher {
@@ -120,6 +136,9 @@ class Dispatcher {
   /// batch) and the subset that hit a still-valid pinned VRI.
   std::uint64_t flow_probes() const { return flow_probes_; }
   std::uint64_t flow_hits() const { return flow_hits_; }
+  DispatchStats stats() const {
+    return DispatchStats{decisions_, flow_probes_, flow_hits_};
+  }
 
  private:
   /// Suspect-aware candidate filtering shared by both dispatch paths: while

@@ -1,5 +1,7 @@
 #include "lvrm/socket_adapter.hpp"
 
+#include <algorithm>
+
 #include "sim/costs.hpp"
 
 namespace lvrm {
@@ -48,6 +50,14 @@ std::unique_ptr<SocketAdapter> make_adapter(AdapterKind kind) {
       return std::make_unique<MemoryAdapter>();
   }
   return nullptr;
+}
+
+std::vector<std::unique_ptr<SocketAdapter>> make_adapters(AdapterKind kind,
+                                                          int count) {
+  std::vector<std::unique_ptr<SocketAdapter>> out;
+  out.reserve(static_cast<std::size_t>(count > 0 ? count : 1));
+  for (int i = 0; i < std::max(1, count); ++i) out.push_back(make_adapter(kind));
+  return out;
 }
 
 }  // namespace lvrm

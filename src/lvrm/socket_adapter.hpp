@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/units.hpp"
 #include "lvrm/types.hpp"
@@ -86,5 +87,11 @@ class MemoryAdapter final : public SocketAdapter {
 };
 
 std::unique_ptr<SocketAdapter> make_adapter(AdapterKind kind);
+
+/// One adapter instance per dispatcher shard (DESIGN.md §11): each shard
+/// polls its own RX ring, as PF_RING does with one ring per RSS queue.
+/// Adapters are stateless cost models, so instances never share state.
+std::vector<std::unique_ptr<SocketAdapter>> make_adapters(AdapterKind kind,
+                                                          int count);
 
 }  // namespace lvrm

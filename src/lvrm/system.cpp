@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.hpp"
+#include "net/flow.hpp"
 #include "sim/costs.hpp"
 
 namespace lvrm {
@@ -41,6 +42,12 @@ struct LvrmSystem::VriSlot {
   std::uint64_t no_route = 0;
   bool crashed = false;
 
+  /// Dispatcher shard owning this slot's LVRM-side queue ends (control
+  /// relay + TX drain) and anchoring its core placement (DESIGN.md §11).
+  int home_shard = 0;
+  /// NUMA distance of the current core pick relative to the home shard.
+  NumaTier numa_tier = NumaTier::kNone;
+
   // Fault-injection / health state (robustness layer).
   bool hung = false;            // process alive but frozen (never reaped)
   double degrade = 1.0;         // injected service-cost multiplier
@@ -60,7 +67,17 @@ struct LvrmSystem::VrState {
   VrConfig cfg;
   std::vector<std::unique_ptr<VriSlot>> slots;
   std::vector<int> active_order;  // activation order; destroy pops the back
-  std::unique_ptr<Dispatcher> dispatcher;
+  /// One dispatcher per shard (index == shard id): flow tables are
+  /// partitioned by the ingress shard hash, so shards never share balancer
+  /// state. dispatchers[0] is the paper's single dispatcher.
+  std::vector<std::unique_ptr<Dispatcher>> dispatchers;
+
+  /// Summed per-shard dispatcher counters (gauges and audit summaries).
+  DispatchStats dispatch_stats() const {
+    DispatchStats total;
+    for (const auto& d : dispatchers) total += d->stats();
+    return total;
+  }
   PaperEwma arrival_gap{7.0};
   Nanos last_arrival = -1;
   Nanos pipeline_latency = 0;
@@ -99,6 +116,11 @@ struct LvrmSystem::ObsHooks {
   obs::LogHistogram queue_wait_ns;   // RX enqueue -> VRI service start
   obs::LogHistogram vri_service_ns;  // VRI service start -> done
   obs::LogHistogram e2e_ns;          // gateway in -> gateway out
+  // Per-shard RX/TX counters, labeled shard="<id>". Populated only when
+  // dispatch_shards > 1 (empty vectors keep the single-shard hot path and
+  // export byte-identical to the unsharded build).
+  std::vector<obs::Counter> shard_rx;
+  std::vector<obs::Counter> shard_tx;
   Nanos last_snapshot = 0;
 };
 
@@ -106,20 +128,33 @@ struct LvrmSystem::ObsHooks {
 
 LvrmSystem::LvrmSystem(sim::Simulator& sim, const sim::CpuTopology& topo,
                        LvrmConfig config)
-    : sim_(sim),
-      topo_(topo),
-      config_(config),
-      rng_(config.seed),
-      rx_ring_(0, "rx-ring") {
+    : sim_(sim), topo_(topo), config_(config), rng_(config.seed) {
   for (sim::CoreId c = 0; c < topo_.total_cores(); ++c)
     cores_.push_back(
         std::make_unique<sim::Core>(sim_, c, costs::kContextSwitch));
   core_used_.assign(static_cast<std::size_t>(topo_.total_cores()), false);
   core_used_[static_cast<std::size_t>(config_.lvrm_core)] = true;
 
-  adapter_ = make_adapter(config_.adapter);
-  rx_ring_ = sim::BoundedQueue<net::FrameMeta>(adapter_->ring_capacity(),
-                                               "rx-ring");
+  // The dispatch plane (DESIGN.md §11): shard 0 is the paper's single LVRM
+  // process; further shards replicate the adapter + RX ring + poll loop on
+  // their own cores, spread round-robin across sockets.
+  const int n_shards = std::max(1, config_.dispatch_shards);
+  auto adapters = make_adapters(config_.adapter, n_shards);
+  shards_.reserve(static_cast<std::size_t>(n_shards));
+  for (int s = 0; s < n_shards; ++s) {
+    DispatchShard shard;
+    shard.id = s;
+    shard.core_id = s == 0 ? config_.lvrm_core : pick_shard_core(s);
+    shard.adapter = std::move(adapters[static_cast<std::size_t>(s)]);
+    const std::string suffix = s == 0 ? "" : "/s" + std::to_string(s);
+    shard.rx_ring = std::make_unique<sim::BoundedQueue<net::FrameMeta>>(
+        shard.adapter->ring_capacity(), "rx-ring" + suffix);
+    shard.server = std::make_unique<sim::PollServer<net::FrameMeta>>(
+        sim_, core(shard.core_id), /*owner=*/s, "lvrm" + suffix,
+        costs::kPollDiscovery);
+    shards_.push_back(std::move(shard));
+  }
+
   allocator_ = make_allocator(config_.allocator, config_.per_vri_capacity_fps,
                               config_.destroy_hysteresis);
   if (config_.health.enabled)
@@ -134,27 +169,38 @@ LvrmSystem::LvrmSystem(sim::Simulator& sim, const sim::CpuTopology& topo,
     obs_->queue_wait_ns = m.histogram("lvrm_queue_wait_ns");
     obs_->vri_service_ns = m.histogram("lvrm_vri_service_ns");
     obs_->e2e_ns = m.histogram("lvrm_e2e_latency_ns");
+    if (n_shards > 1) {
+      // Per-shard RX/TX counters exist only on a sharded plane, so the
+      // single-shard export stays byte-identical to the unsharded build.
+      for (int s = 0; s < n_shards; ++s) {
+        const std::string l = "shard=\"" + std::to_string(s) + "\"";
+        obs_->shard_rx.push_back(m.counter("lvrm_rx_frames_total", l));
+        obs_->shard_tx.push_back(m.counter("lvrm_tx_frames_total", l));
+      }
+    }
   }
 
-  lvrm_server_ = std::make_unique<sim::PollServer<net::FrameMeta>>(
-      sim_, lvrm_core(), /*owner=*/0, "lvrm", costs::kPollDiscovery);
   // The RX ring and each VRI's outgoing queue are drained in bursts of
   // poll_batch (PF_RING-style batched polls); control queues are serviced
   // per item at higher priority. With the batched hot path the burst is
   // coalesced into one core event and dispatched through
-  // Dispatcher::dispatch_batch (DESIGN.md §9).
-  lvrm_server_->add_input(
-      rx_ring_, /*priority=*/1,
-      [this](net::FrameMeta& f) { return rx_cost(f); },
-      [this](net::FrameMeta&& f) { rx_sink(std::move(f)); },
-      adapter_->recv_category(), config_.poll_batch,
-      /*coalesce=*/config_.batched_hot_path,
-      config_.batched_hot_path
-          ? sim::PollServer<net::FrameMeta>::BatchCostFn(
-                [this](std::span<net::FrameMeta> fs) {
-                  return rx_cost_batch(fs);
-                })
-          : sim::PollServer<net::FrameMeta>::BatchCostFn{});
+  // Dispatcher::dispatch_batch (DESIGN.md §9). `shards_` is never resized
+  // after construction, so the captured shard pointers stay valid.
+  for (DispatchShard& shard : shards_) {
+    DispatchShard* sh = &shard;
+    shard.server->add_input(
+        *shard.rx_ring, /*priority=*/1,
+        [this, sh](net::FrameMeta& f) { return rx_cost(f, *sh); },
+        [this](net::FrameMeta&& f) { rx_sink(std::move(f)); },
+        shard.adapter->recv_category(), config_.poll_batch,
+        /*coalesce=*/config_.batched_hot_path,
+        config_.batched_hot_path
+            ? sim::PollServer<net::FrameMeta>::BatchCostFn(
+                  [this, sh](std::span<net::FrameMeta> fs) {
+                    return rx_cost_batch(fs, *sh);
+                  })
+            : sim::PollServer<net::FrameMeta>::BatchCostFn{});
+  }
 }
 
 LvrmSystem::~LvrmSystem() {
@@ -174,10 +220,16 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
   if (vr->cfg.subnets.empty())
     vr->cfg.subnets.push_back(net::Prefix{net::ipv4(10, 1, 0, 0), 16});
 
-  vr->dispatcher = std::make_unique<Dispatcher>(
-      make_balancer(config_.balancer,
-                    config_.seed + 17 * static_cast<std::uint64_t>(vr->id)),
-      config_.granularity);
+  // One dispatcher per shard. Shard 0 keeps the historical seed so the
+  // single-shard balancer stream is unchanged; later shards derive their
+  // own independent streams.
+  for (int s = 0; s < shard_count(); ++s) {
+    vr->dispatchers.push_back(std::make_unique<Dispatcher>(
+        make_balancer(config_.balancer,
+                      config_.seed + 17 * static_cast<std::uint64_t>(vr->id) +
+                          7919 * static_cast<std::uint64_t>(s)),
+        config_.granularity));
+  }
 
   const int max_vris = std::max(config_.max_vris_per_vr, vr->cfg.initial_vris);
   for (int i = 0; i < max_vris; ++i) {
@@ -186,6 +238,10 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
     VrState* v = vr.get();
     s->vr_id = vr->id;
     s->index = i;
+    // Static home shard: owns this slot's LVRM-side queue ends. Spreading
+    // by (vr, index) keeps each shard's TX/control load even; with one
+    // shard this is always 0.
+    s->home_shard = (vr->id + i) % shard_count();
     const std::string base =
         vr->cfg.name + "/vri" + std::to_string(i);
     s->data_in = std::make_unique<sim::BoundedQueue<net::FrameMeta>>(
@@ -242,7 +298,15 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
         [this, s, v](net::FrameMeta& f) {
           if (f.obs_sampled) f.obs_svc_at = sim_.now();
           Nanos cost = costs::kDequeueCost;
-          if (cross_socket(s->core_id)) cost += costs::kCrossSocketQueueOp;
+          // The queue's producer is the shard that dispatched the frame
+          // (carried in the frame); crossing its socket costs a cache-line
+          // transfer per op, exactly as with the single dispatcher.
+          const sim::CoreId producer =
+              f.dispatch_shard >= 0
+                  ? shards_[static_cast<std::size_t>(f.dispatch_shard)].core_id
+                  : shards_[static_cast<std::size_t>(s->home_shard)].core_id;
+          if (cross_socket(s->core_id, producer))
+            cost += costs::kCrossSocketQueueOp;
           if (!s->router->process(f)) f.output_if = -1;
           const Nanos work = static_cast<Nanos>(
               static_cast<double>(s->router->process_cost(f) +
@@ -271,14 +335,17 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
         },
         CostCategory::kUser);
 
-    // LVRM-side inputs for this slot: control relay and TX.
-    lvrm_server_->add_input(
+    // LVRM-side inputs for this slot — control relay and TX — live on the
+    // slot's home shard's poll loop (shard 0 with dispatch_shards=1).
+    DispatchShard& home = shards_[static_cast<std::size_t>(s->home_shard)];
+    home.server->add_input(
         *s->ctrl_out, /*priority=*/0,
-        [this, s](net::FrameMeta& f) {
+        [this, s, &home](net::FrameMeta& f) {
           Nanos cost = costs::kDequeueCost + costs::kEnqueueCost +
                        static_cast<Nanos>(costs::kControlRelayPerByte *
                                           f.wire_bytes);
-          if (cross_socket(s->core_id)) cost += costs::kCrossSocketQueueOp;
+          if (cross_socket(s->core_id, home.core_id))
+            cost += costs::kCrossSocketQueueOp;
           return cost;
         },
         [this, v](net::FrameMeta&& f) {
@@ -302,18 +369,19 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
         },
         CostCategory::kUser);
 
-    lvrm_server_->add_input(
+    home.server->add_input(
         *s->data_out, /*priority=*/1,
-        [this, s](net::FrameMeta& f) {
-          Nanos cost = costs::kDequeueCost + adapter_->send_cost(f);
+        [this, s, &home](net::FrameMeta& f) {
+          Nanos cost = costs::kDequeueCost + home.adapter->send_cost(f);
           Nanos user_part = costs::kDequeueCost;
-          if (cross_socket(s->core_id)) {
+          if (cross_socket(s->core_id, home.core_id)) {
             cost += costs::kCrossSocketQueueOp;
             user_part += costs::kCrossSocketQueueOp;
           }
-          if (adapter_->send_category() != CostCategory::kUser)
-            lvrm_core().reclassify(adapter_->send_category(),
-                                   CostCategory::kUser, user_part);
+          if (home.adapter->send_category() != CostCategory::kUser)
+            core(home.core_id)
+                .reclassify(home.adapter->send_category(),
+                            CostCategory::kUser, user_part);
           return cost;
         },
         [this, s, v](net::FrameMeta&& f) {
@@ -323,6 +391,8 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
           ++s->forwarded;
           if (obs_) {
             obs_->tx_frames.inc();
+            if (!obs_->shard_tx.empty() && f.dispatch_shard >= 0)
+              obs_->shard_tx[static_cast<std::size_t>(f.dispatch_shard)].inc();
             if (f.obs_sampled) {
               // The three stages of the latency pipeline, recorded for the
               // sampled subset only (identical in classic and batched mode).
@@ -336,7 +406,7 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
           }
           if (egress_) egress_(std::move(f));
         },
-        adapter_->send_category(), config_.poll_batch,
+        home.adapter->send_category(), config_.poll_batch,
         // Batched hot path: the TX burst is one coalesced core event; the
         // per-item cost fn above is summed over the drained frames.
         /*coalesce=*/config_.batched_hot_path);
@@ -355,14 +425,27 @@ void LvrmSystem::start() {
     const int initial = std::max(1, vr->cfg.initial_vris);
     for (int i = 0; i < initial; ++i) activate_vri(*vr);
   }
-  lvrm_server_->start();
+  for (auto& shard : shards_) shard.server->start();
 }
 
 // --- data path ----------------------------------------------------------------------
 
+int LvrmSystem::shard_of(const net::FrameMeta& frame) const {
+  if (shards_.size() == 1) return 0;
+  // RSS-style steering: the same 5-tuple hash the flow table keys on, so
+  // every frame of a flow lands on one shard and per-flow order holds.
+  return static_cast<int>(net::hash_tuple(net::FiveTuple::from_frame(frame)) %
+                          shards_.size());
+}
+
 bool LvrmSystem::ingress(net::FrameMeta frame) {
   frame.gw_in_at = sim_.now();
-  return rx_ring_.push(frame);
+  const int s = shard_of(frame);
+  frame.dispatch_shard = static_cast<std::int16_t>(s);
+  DispatchShard& shard = shards_[static_cast<std::size_t>(s)];
+  if (!shard.rx_ring->push(frame)) return false;
+  ++shard.rx_admitted;
+  return true;
 }
 
 LvrmSystem::VrState& LvrmSystem::classify(net::FrameMeta& frame) {
@@ -381,7 +464,7 @@ LvrmSystem::VrState& LvrmSystem::classify(net::FrameMeta& frame) {
   return *vrs_.front();
 }
 
-Nanos LvrmSystem::rx_cost(net::FrameMeta& frame) {
+Nanos LvrmSystem::rx_cost(net::FrameMeta& frame, DispatchShard& shard) {
   VrState& vr = classify(frame);
   const Nanos now = sim_.now();
   if (vr.last_arrival >= 0) {
@@ -391,8 +474,8 @@ Nanos LvrmSystem::rx_cost(net::FrameMeta& frame) {
   vr.last_arrival = now;
   ++vr.frames_in;
 
-  Nanos cost =
-      adapter_->recv_cost(frame) + costs::kClassifyCost + costs::kDispatchFixed;
+  Nanos cost = shard.adapter->recv_cost(frame) + costs::kClassifyCost +
+               costs::kDispatchFixed;
   Nanos user_part = costs::kClassifyCost + costs::kDispatchFixed;
 
   // Fig 3.4 "estimate: called upon receipt of a packet": each VRI adapter
@@ -409,15 +492,16 @@ Nanos LvrmSystem::rx_cost(net::FrameMeta& frame) {
     return cost;
   }
 
-  const int chosen = vr.dispatcher->dispatch(frame, views, now);
+  Dispatcher& disp = *vr.dispatchers[static_cast<std::size_t>(shard.id)];
+  const int chosen = disp.dispatch(frame, views, now);
   frame.dispatch_vri = static_cast<std::int16_t>(chosen);
-  const Nanos decision = vr.dispatcher->decision_cost(
-      views.size(), vr.dispatcher->last_was_flow_hit());
+  const Nanos decision =
+      disp.decision_cost(views.size(), disp.last_was_flow_hit());
   cost += decision + costs::kEnqueueCost;
   user_part += decision + costs::kEnqueueCost;
 
   const VriSlot& target = *vr.slots[static_cast<std::size_t>(chosen)];
-  if (cross_socket(target.core_id)) {
+  if (cross_socket(target.core_id, shard.core_id)) {
     cost += costs::kCrossSocketQueueOp;
     user_part += costs::kCrossSocketQueueOp;
   }
@@ -428,13 +512,15 @@ Nanos LvrmSystem::rx_cost(net::FrameMeta& frame) {
 
   // The whole task is charged to the adapter's recv category; move the
   // dispatch work to user time for the Fig 4.3 breakdown.
-  if (adapter_->recv_category() != CostCategory::kUser)
-    lvrm_core().reclassify(adapter_->recv_category(), CostCategory::kUser,
-                           user_part);
+  if (shard.adapter->recv_category() != CostCategory::kUser)
+    core(shard.core_id)
+        .reclassify(shard.adapter->recv_category(), CostCategory::kUser,
+                    user_part);
   return cost;
 }
 
-Nanos LvrmSystem::rx_cost_batch(std::span<net::FrameMeta> frames) {
+Nanos LvrmSystem::rx_cost_batch(std::span<net::FrameMeta> frames,
+                                DispatchShard& shard) {
   // Batched-hot-path equivalent of rx_cost over a whole drained burst
   // (DESIGN.md §9): classification and adapter receive stay per-frame, the
   // load-estimator observation and VriView construction happen once per VR
@@ -456,7 +542,7 @@ Nanos LvrmSystem::rx_cost_batch(std::span<net::FrameMeta> frames) {
     }
     vr.last_arrival = now;
     ++vr.frames_in;
-    cost += adapter_->recv_cost(f) + costs::kClassifyCost +
+    cost += shard.adapter->recv_cost(f) + costs::kClassifyCost +
             costs::kDispatchFixed;
     user_part += costs::kClassifyCost + costs::kDispatchFixed;
     rx_groups_[static_cast<std::size_t>(f.dispatch_vr)].push_back(&f);
@@ -480,7 +566,8 @@ Nanos LvrmSystem::rx_cost_batch(std::span<net::FrameMeta> frames) {
     }
 
     const Nanos decision =
-        vr.dispatcher->dispatch_batch(group, views_scratch_, now);
+        vr.dispatchers[static_cast<std::size_t>(shard.id)]->dispatch_batch(
+            group, views_scratch_, now);
     cost += decision;
     user_part += decision;
 
@@ -489,7 +576,7 @@ Nanos LvrmSystem::rx_cost_batch(std::span<net::FrameMeta> frames) {
       user_part += costs::kEnqueueCost;
       const VriSlot& target =
           *vr.slots[static_cast<std::size_t>(f->dispatch_vri)];
-      if (cross_socket(target.core_id)) {
+      if (cross_socket(target.core_id, shard.core_id)) {
         cost += costs::kCrossSocketQueueOp;
         user_part += costs::kCrossSocketQueueOp;
       }
@@ -500,9 +587,10 @@ Nanos LvrmSystem::rx_cost_batch(std::span<net::FrameMeta> frames) {
     }
   }
 
-  if (adapter_->recv_category() != CostCategory::kUser)
-    lvrm_core().reclassify(adapter_->recv_category(), CostCategory::kUser,
-                           user_part);
+  if (shard.adapter->recv_category() != CostCategory::kUser)
+    core(shard.core_id)
+        .reclassify(shard.adapter->recv_category(), CostCategory::kUser,
+                    user_part);
   return cost;
 }
 
@@ -517,6 +605,8 @@ void LvrmSystem::rx_sink(net::FrameMeta&& frame) {
   // never needs its own timer or thread.
   if (obs_) {
     obs_->rx_frames.inc();
+    if (!obs_->shard_rx.empty() && frame.dispatch_shard >= 0)
+      obs_->shard_rx[static_cast<std::size_t>(frame.dispatch_shard)].inc();
     maybe_snapshot();
   }
 
@@ -720,7 +810,7 @@ void LvrmSystem::reap_crashed() {
       audit_vri_change(vr, slot, /*create=*/false, /*from_recovery=*/true);
       release_core(slot.core_id);
       slot.core_id = sim::kNoCore;
-      vr.dispatcher->on_vri_destroyed(slot.index);
+      for (auto& d : vr.dispatchers) d->on_vri_destroyed(slot.index);
       if (health_) health_->forget(vr.id, slot.index);
       ++crashes_reaped_;
     }
@@ -766,7 +856,11 @@ std::size_t LvrmSystem::redispatch(VrState& vr,
   }
   std::size_t admitted = 0;
   for (net::FrameMeta& f : frames) {
-    const int chosen = vr.dispatcher->dispatch(f, views, now);
+    // Re-dispatch through the frame's own shard's dispatcher so flow pins
+    // stay consistent within the shard that owns the flow.
+    const std::size_t shard =
+        f.dispatch_shard >= 0 ? static_cast<std::size_t>(f.dispatch_shard) : 0;
+    const int chosen = vr.dispatchers[shard]->dispatch(f, views, now);
     f.dispatch_vri = static_cast<std::int16_t>(chosen);
     VriSlot& target = *vr.slots[static_cast<std::size_t>(chosen)];
     if (target.data_in->push(std::move(f))) {
@@ -920,7 +1014,7 @@ void LvrmSystem::recover_slot(VrState& vr, VriSlot& slot, VriHealth reason,
   audit_vri_change(vr, slot, /*create=*/false, /*from_recovery=*/true);
   release_core(slot.core_id);
   slot.core_id = sim::kNoCore;
-  vr.dispatcher->on_vri_destroyed(slot.index);
+  for (auto& d : vr.dispatchers) d->on_vri_destroyed(slot.index);
   health_->forget(vr.id, slot.index);
 
   // Respawn policy: the fixed allocator promised a fixed set; the dynamic
@@ -996,8 +1090,13 @@ void LvrmSystem::activate_slot(VrState& vr, VriSlot& slot,
   // from the VR's static configuration, so the dynamic route updates
   // applied since start are replayed into it before it serves traffic.
   if (slot.needs_rebuild) rebuild_router(vr, slot);
-  const sim::CoreId core_id = pick_core();
+  // Anchor placement at the slot's home shard: its LVRM-side queue ends
+  // live there, so that is the socket worth staying close to.
+  const NumaPick pick =
+      pick_core(shards_[static_cast<std::size_t>(slot.home_shard)].core_id);
+  const sim::CoreId core_id = pick.core;
   slot.core_id = core_id;
+  slot.numa_tier = pick.tier;
   slot.server->migrate(core(core_id), 0);
   slot.estimator->reset();
   slot.service_time.reset();
@@ -1054,10 +1153,10 @@ void LvrmSystem::deactivate_vri(VrState& vr) {
   audit_vri_change(vr, slot, /*create=*/false, /*from_recovery=*/false);
   release_core(slot.core_id);
   slot.core_id = sim::kNoCore;
-  vr.dispatcher->on_vri_destroyed(idx);
+  for (auto& d : vr.dispatchers) d->on_vri_destroyed(idx);
 }
 
-sim::CoreId LvrmSystem::pick_core() {
+NumaPick LvrmSystem::pick_core(sim::CoreId anchor) {
   auto first_free = [this](const std::vector<sim::CoreId>& candidates) {
     for (sim::CoreId c : candidates)
       if (!core_used_[static_cast<std::size_t>(c)]) return c;
@@ -1067,17 +1166,18 @@ sim::CoreId LvrmSystem::pick_core() {
   sim::CoreId chosen = sim::kNoCore;
   switch (config_.affinity) {
     case AffinityPolicy::kSibling:
-      chosen = first_free(topo_.siblings_of(config_.lvrm_core));
-      if (chosen == sim::kNoCore)
-        chosen = first_free(topo_.non_siblings_of(config_.lvrm_core));
+      // Two-level preference (DESIGN.md §11): same socket as the anchoring
+      // shard, then same machine, then remote. On a single machine this is
+      // exactly the paper's sibling-then-non-sibling order.
+      chosen = pick_numa_core(topo_, core_used_, anchor).core;
       break;
     case AffinityPolicy::kNonSibling:
-      chosen = first_free(topo_.non_siblings_of(config_.lvrm_core));
+      chosen = first_free(topo_.non_siblings_of(anchor));
       if (chosen == sim::kNoCore)
-        chosen = first_free(topo_.siblings_of(config_.lvrm_core));
+        chosen = first_free(topo_.siblings_of(anchor));
       break;
     case AffinityPolicy::kSame:
-      return config_.lvrm_core;
+      return NumaPick{anchor, NumaTier::kSameSocket};
     case AffinityPolicy::kDefault: {
       std::vector<sim::CoreId> free_cores;
       for (sim::CoreId c = 0; c < topo_.total_cores(); ++c)
@@ -1088,16 +1188,40 @@ sim::CoreId LvrmSystem::pick_core() {
     }
   }
   if (chosen == sim::kNoCore) {
-    // Over-commit: the VRI lands on LVRM's own core and time-shares it
-    // (the contention Exp 2b observes past the available core count).
-    return config_.lvrm_core;
+    // Over-commit: the VRI lands on its home shard's core and time-shares
+    // it (the contention Exp 2b observes past the available core count).
+    return NumaPick{anchor, NumaTier::kNone};
   }
   core_used_[static_cast<std::size_t>(chosen)] = true;
-  return chosen;
+  return NumaPick{chosen, numa_tier_of(topo_, anchor, chosen)};
+}
+
+sim::CoreId LvrmSystem::pick_shard_core(int shard) {
+  // Spread shards round-robin across sockets, first free core of the
+  // preferred socket; any free core otherwise. A plane wider than the
+  // machine time-shares the LVRM core (documented over-commit).
+  const int preferred =
+      (topo_.socket_of(config_.lvrm_core) + shard) % topo_.sockets();
+  sim::CoreId fallback = sim::kNoCore;
+  for (sim::CoreId c = 0; c < topo_.total_cores(); ++c) {
+    if (core_used_[static_cast<std::size_t>(c)]) continue;
+    if (topo_.socket_of(c) == preferred) {
+      core_used_[static_cast<std::size_t>(c)] = true;
+      return c;
+    }
+    if (fallback == sim::kNoCore) fallback = c;
+  }
+  if (fallback != sim::kNoCore) {
+    core_used_[static_cast<std::size_t>(fallback)] = true;
+    return fallback;
+  }
+  return config_.lvrm_core;
 }
 
 void LvrmSystem::release_core(sim::CoreId id) {
-  if (id == sim::kNoCore || id == config_.lvrm_core) return;
+  if (id == sim::kNoCore) return;
+  for (const auto& sh : shards_)
+    if (id == sh.core_id) return;  // dispatcher cores are never released
   core_used_[static_cast<std::size_t>(id)] = false;
 }
 
@@ -1131,8 +1255,8 @@ void LvrmSystem::schedule_migration(VriSlot& slot) {
 
 // --- helpers / accessors ------------------------------------------------------------------
 
-bool LvrmSystem::cross_socket(sim::CoreId a) const {
-  return a != sim::kNoCore && !topo_.siblings(a, config_.lvrm_core);
+bool LvrmSystem::cross_socket(sim::CoreId a, sim::CoreId b) const {
+  return a != sim::kNoCore && b != sim::kNoCore && !topo_.siblings(a, b);
 }
 
 int LvrmSystem::total_active_vris() const {
@@ -1237,7 +1361,12 @@ double LvrmSystem::capacity_estimate(int vr) const {
 }
 
 const Dispatcher& LvrmSystem::dispatcher(int vr) const {
-  return *vrs_.at(static_cast<std::size_t>(vr))->dispatcher;
+  return *vrs_.at(static_cast<std::size_t>(vr))->dispatchers.front();
+}
+
+const Dispatcher& LvrmSystem::dispatcher(int vr, int shard) const {
+  return *vrs_.at(static_cast<std::size_t>(vr))
+              ->dispatchers.at(static_cast<std::size_t>(shard));
 }
 
 void LvrmSystem::reset_accounting() {
@@ -1264,6 +1393,8 @@ void LvrmSystem::audit_vri_change(VrState& vr, VriSlot& slot, bool create,
   e.kind = create ? obs::AuditKind::kVriCreate : obs::AuditKind::kVriDestroy;
   e.vr = static_cast<std::int16_t>(vr.id);
   e.vri = static_cast<std::int16_t>(slot.index);
+  e.shard = static_cast<std::int16_t>(slot.home_shard);
+  e.numa_tier = static_cast<std::int8_t>(slot.numa_tier);
   e.rate = view.arrival_rate_fps;
   view.active_vris += create ? -1 : 1;
   e.threshold = allocator_->capacity_fps(view);
@@ -1302,8 +1433,9 @@ void LvrmSystem::audit_balance_and_shed(Nanos now) {
       close_shed_episode(vr, now);
     vr.shed_last_seen = vr.shed_drops;
 
-    const std::uint64_t decisions = vr.dispatcher->decisions();
-    const std::uint64_t hits = vr.dispatcher->flow_hits();
+    const DispatchStats stats = vr.dispatch_stats();
+    const std::uint64_t decisions = stats.decisions;
+    const std::uint64_t hits = stats.flow_hits;
     if (decisions != vr.summary_decisions) {
       obs::AuditEvent e;
       e.time = now;
@@ -1342,13 +1474,36 @@ void LvrmSystem::publish_gauges() {
   // fields, dispatcher counters, poll-server counters — so the hot path
   // pays nothing for these series.
   auto& m = telemetry_->metrics();
-  m.gauge("lvrm_rx_ring_depth").set(static_cast<double>(rx_ring_.size()));
-  m.gauge("lvrm_rx_ring_drops").set(static_cast<double>(rx_ring_.drops()));
-  m.gauge("lvrm_poll_serve_events")
-      .set(static_cast<double>(lvrm_server_->serve_events()));
-  m.gauge("lvrm_poll_batches").set(static_cast<double>(lvrm_server_->batches()));
-  m.gauge("lvrm_poll_batch_items")
-      .set(static_cast<double>(lvrm_server_->batch_items()));
+  std::uint64_t ring_depth = 0, ring_drops = 0;
+  std::uint64_t serve_events = 0, batches = 0, batch_items = 0;
+  for (const auto& sh : shards_) {
+    ring_depth += sh.rx_ring->size();
+    ring_drops += sh.rx_ring->drops();
+    serve_events += sh.server->serve_events();
+    batches += sh.server->batches();
+    batch_items += sh.server->batch_items();
+  }
+  m.gauge("lvrm_rx_ring_depth").set(static_cast<double>(ring_depth));
+  m.gauge("lvrm_rx_ring_drops").set(static_cast<double>(ring_drops));
+  m.gauge("lvrm_poll_serve_events").set(static_cast<double>(serve_events));
+  m.gauge("lvrm_poll_batches").set(static_cast<double>(batches));
+  m.gauge("lvrm_poll_batch_items").set(static_cast<double>(batch_items));
+  if (shards_.size() > 1) {
+    // Per-shard breakdowns exist only on a sharded plane so single-shard
+    // exports match the unsharded build byte for byte.
+    for (const auto& sh : shards_) {
+      const std::string l = "shard=\"" + std::to_string(sh.id) + "\"";
+      m.gauge("lvrm_rx_ring_depth", l)
+          .set(static_cast<double>(sh.rx_ring->size()));
+      m.gauge("lvrm_rx_ring_drops", l)
+          .set(static_cast<double>(sh.rx_ring->drops()));
+      m.gauge("lvrm_poll_serve_events", l)
+          .set(static_cast<double>(sh.server->serve_events()));
+      m.gauge("lvrm_shard_rx_admitted", l)
+          .set(static_cast<double>(sh.rx_admitted));
+      m.gauge("lvrm_shard_core", l).set(static_cast<double>(sh.core_id));
+    }
+  }
   m.gauge("lvrm_audit_events").set(static_cast<double>(telemetry_->audit().total()));
   m.gauge("lvrm_audit_overwritten")
       .set(static_cast<double>(telemetry_->audit().overwritten()));
@@ -1367,12 +1522,12 @@ void LvrmSystem::publish_gauges() {
     m.gauge("lvrm_data_queue_drops", l)
         .set(static_cast<double>(vr.data_drops));
     m.gauge("lvrm_shed_drops", l).set(static_cast<double>(vr.shed_drops));
+    const DispatchStats stats = vr.dispatch_stats();
     m.gauge("lvrm_dispatch_decisions", l)
-        .set(static_cast<double>(vr.dispatcher->decisions()));
+        .set(static_cast<double>(stats.decisions));
     m.gauge("lvrm_flow_probes", l)
-        .set(static_cast<double>(vr.dispatcher->flow_probes()));
-    m.gauge("lvrm_flow_hits", l)
-        .set(static_cast<double>(vr.dispatcher->flow_hits()));
+        .set(static_cast<double>(stats.flow_probes));
+    m.gauge("lvrm_flow_hits", l).set(static_cast<double>(stats.flow_hits));
     std::size_t depth = 0;
     for (int idx : vr.active_order)
       depth += vr.slots[static_cast<std::size_t>(idx)]->data_in->size();

@@ -14,6 +14,16 @@
 // Control queues outrank data queues at both LVRM and the VRIs (Sec 2.1).
 // Shared-memory segment ids are allocated per queue through ShmArena,
 // following the shmget()-identifier protocol of Sec 3.8.
+//
+// With `LvrmConfig::dispatch_shards` > 1 the dispatch plane itself is
+// replicated (DESIGN.md §11): N dispatcher shards, each with its own socket
+// adapter, RX ring, poll loop on its own core, and per-VR flow table +
+// balancer. An RSS-style hash of the 5-tuple steers every frame of a flow
+// to one shard at ingress, so flow affinity — and therefore per-flow frame
+// ordering — is preserved end to end without any cross-shard locking.
+// Shard 0 doubles as the management plane (core allocation, health,
+// telemetry snapshots run off its sink); with one shard the system is
+// bit-identical to the paper's single-dispatcher gateway.
 #pragma once
 
 #include <cstdint>
@@ -151,7 +161,12 @@ class LvrmSystem {
   std::uint64_t forwarded() const { return forwarded_; }
   std::uint64_t vr_forwarded(int vr) const;
   std::uint64_t vri_forwarded(int vr, int vri) const;
-  std::uint64_t rx_ring_drops() const { return rx_ring_.drops(); }
+  /// Tail drops across every shard's RX ring (one ring with one shard).
+  std::uint64_t rx_ring_drops() const {
+    std::uint64_t total = 0;
+    for (const auto& sh : shards_) total += sh.rx_ring->drops();
+    return total;
+  }
   std::uint64_t data_queue_drops() const;
   std::uint64_t no_route_drops() const;
   /// Frames shed by the overload drop policy (documented, not silent).
@@ -169,10 +184,26 @@ class LvrmSystem {
     return *cores_.at(static_cast<std::size_t>(id));
   }
   sim::Core& lvrm_core() { return core(config_.lvrm_core); }
-  const SocketAdapter& adapter() const { return *adapter_; }
+  const SocketAdapter& adapter() const { return *shards_.front().adapter; }
   const LvrmConfig& config() const { return config_; }
   const queue::ShmArena& shm() const { return arena_; }
+  /// Shard 0's dispatcher for `vr` (the only one with dispatch_shards=1).
   const Dispatcher& dispatcher(int vr) const;
+  /// A specific shard's dispatcher for `vr`.
+  const Dispatcher& dispatcher(int vr, int shard) const;
+
+  // --- sharded dispatch plane (DESIGN.md §11) -------------------------------
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  /// Core the given dispatcher shard's poll loop is pinned to.
+  sim::CoreId shard_core(int shard) const {
+    return shards_.at(static_cast<std::size_t>(shard)).core_id;
+  }
+  /// Frames admitted through this shard's RX ring since start.
+  std::uint64_t shard_rx_admitted(int shard) const {
+    return shards_.at(static_cast<std::size_t>(shard)).rx_admitted;
+  }
+  /// The shard the RSS-style flow hash steers this frame's 5-tuple to.
+  int shard_of(const net::FrameMeta& frame) const;
 
   /// Telemetry layer (DESIGN.md §10), or nullptr when
   /// `config.telemetry.enabled` is false.
@@ -198,19 +229,37 @@ class LvrmSystem {
   struct VriSlot;
   struct VrState;
 
+  /// One dispatcher shard: its own adapter instance, RX ring, and poll loop
+  /// pinned to its own core. Shard 0 is the paper's LVRM process (owner 0,
+  /// name "lvrm", pinned to config.lvrm_core); it also hosts the management
+  /// plane and every VRI's control relay for shard-0-homed slots.
+  struct DispatchShard {
+    int id = 0;
+    sim::CoreId core_id = sim::kNoCore;
+    std::unique_ptr<SocketAdapter> adapter;
+    std::unique_ptr<sim::BoundedQueue<net::FrameMeta>> rx_ring;
+    std::unique_ptr<sim::PollServer<net::FrameMeta>> server;
+    std::uint64_t rx_admitted = 0;  // frames accepted into this shard's ring
+  };
+
   VrState& classify(net::FrameMeta& frame);
-  Nanos rx_cost(net::FrameMeta& frame);
-  Nanos rx_cost_batch(std::span<net::FrameMeta> frames);
+  Nanos rx_cost(net::FrameMeta& frame, DispatchShard& shard);
+  Nanos rx_cost_batch(std::span<net::FrameMeta> frames, DispatchShard& shard);
   void rx_sink(net::FrameMeta&& frame);
   void maybe_allocate();
   void reap_crashed();
   void activate_vri(VrState& vr, bool from_recovery = false);
   void activate_slot(VrState& vr, VriSlot& slot, bool from_recovery = false);
   void deactivate_vri(VrState& vr);
-  sim::CoreId pick_core();
+  /// Picks a core for a VRI anchored at its home shard's core, applying the
+  /// affinity policy with the two-level NUMA preference (DESIGN.md §11).
+  NumaPick pick_core(sim::CoreId anchor);
   void release_core(sim::CoreId id);
   void schedule_migration(VriSlot& slot);
-  bool cross_socket(sim::CoreId a) const;
+  /// Whether a queue operation between these two cores crosses a socket.
+  bool cross_socket(sim::CoreId a, sim::CoreId b) const;
+  /// Core a dispatcher shard created after shard 0 gets pinned to.
+  sim::CoreId pick_shard_core(int shard);
   int total_active_vris() const;
   double measured_service_rate(const VrState& vr) const;
   double vri_departure_rate(const VriSlot& slot) const;
@@ -240,11 +289,9 @@ class LvrmSystem {
 
   std::vector<std::unique_ptr<sim::Core>> cores_;
   std::vector<bool> core_used_;
-  std::unique_ptr<SocketAdapter> adapter_;
   queue::ShmArena arena_;
 
-  sim::BoundedQueue<net::FrameMeta> rx_ring_;
-  std::unique_ptr<sim::PollServer<net::FrameMeta>> lvrm_server_;
+  std::vector<DispatchShard> shards_;  // fixed at construction, never resized
   std::unique_ptr<CoreAllocator> allocator_;
 
   std::vector<std::unique_ptr<VrState>> vrs_;

@@ -46,6 +46,11 @@ struct FrameMeta {
   // Filled in by LVRM's dispatch step (step 2 of the Sec 2.1 workflow).
   std::int16_t dispatch_vr = -1;   // owning VR decided from the source IP
   std::int16_t dispatch_vri = -1;  // VRI chosen by the load balancer
+  // Dispatcher shard the RSS-style flow hash steered this frame to at
+  // ingress (DESIGN.md §11). Always 0 with dispatch_shards=1; every frame
+  // of a 5-tuple maps to the same shard, which is what preserves per-flow
+  // ordering across a sharded dispatch plane.
+  std::int16_t dispatch_shard = -1;
 
   // Telemetry latency sampling (DESIGN.md §10): a deterministic 1-in-N
   // subset of frames is marked at RX; the marked frames carry three extra

@@ -62,6 +62,13 @@ struct AuditEvent {
   AuditKind kind = AuditKind::kVriCreate;
   std::int16_t vr = -1;
   std::int16_t vri = -1;
+  /// Dispatcher shard whose core pool the decision drew from (the VRI's
+  /// home shard; DESIGN.md §11). -1 for events with no shard context.
+  std::int16_t shard = -1;
+  /// NUMA distance of the allocation the event records, when it records
+  /// one: 0 = same socket as the shard's core, 1 = same machine (other
+  /// socket), 2 = remote machine, -1 = not an allocation / over-commit.
+  std::int8_t numa_tier = -1;
   double rate = 0.0;
   double threshold = 0.0;
   double service = 0.0;

@@ -157,9 +157,10 @@ void write_chrome_trace(const std::vector<AuditEvent>& events,
             "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"s\":\"t\","
             "\"name\":\"%s\",\"args\":{\"vri\":%d,\"rate_fps\":%.3f,"
             "\"threshold_fps\":%.3f,\"service_fps\":%.3f,\"from_recovery\":"
-            "%llu}}",
+            "%llu,\"shard\":%d,\"numa_tier\":%d}}",
             e.vr, ts, to_string(e.kind), e.vri, e.rate, e.threshold,
-            e.service, static_cast<unsigned long long>(e.c));
+            e.service, static_cast<unsigned long long>(e.c), e.shard,
+            e.numa_tier);
         emit(buf);
         break;
       }

@@ -16,4 +16,11 @@ std::vector<CoreId> CpuTopology::non_siblings_of(CoreId core) const {
   return out;
 }
 
+std::vector<CoreId> CpuTopology::machine_peers_of(CoreId core) const {
+  std::vector<CoreId> out;
+  for (CoreId c = 0; c < total_cores(); ++c)
+    if (!siblings(c, core) && same_machine(c, core)) out.push_back(c);
+  return out;
+}
+
 }  // namespace lvrm::sim

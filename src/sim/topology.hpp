@@ -4,6 +4,13 @@
 // CPUs (8 cores total). Core affinity matters to LVRM: allocating a VRI on a
 // *sibling* core (same socket as LVRM) avoids cross-socket cache-line
 // transfers on every shared-memory queue operation (Sec 3.2, Exp 2a).
+//
+// Beyond the paper's single box, the topology can describe a multi-socket
+// NUMA *cluster*: `sockets_per_machine` groups sockets into machines, so a
+// sharded dispatch plane (DESIGN.md §11) can reason about three affinity
+// tiers — same socket (shared LLC), same machine (QPI hop), other machine
+// (interconnect). The default keeps every socket on one machine, which
+// collapses the model back to the paper's gateway.
 #pragma once
 
 #include <cstdint>
@@ -16,19 +23,37 @@ inline constexpr CoreId kNoCore = -1;
 
 class CpuTopology {
  public:
-  /// Default mirrors the paper's gateway: 2 sockets x 4 cores.
-  explicit CpuTopology(int sockets = 2, int cores_per_socket = 4)
-      : sockets_(sockets), cores_per_socket_(cores_per_socket) {}
+  /// Default mirrors the paper's gateway: 2 sockets x 4 cores, one machine.
+  /// `sockets_per_machine` <= 0 means "all sockets on one machine".
+  explicit CpuTopology(int sockets = 2, int cores_per_socket = 4,
+                       int sockets_per_machine = 0)
+      : sockets_(sockets),
+        cores_per_socket_(cores_per_socket),
+        sockets_per_machine_(
+            sockets_per_machine > 0 ? sockets_per_machine : sockets) {}
 
   int total_cores() const { return sockets_ * cores_per_socket_; }
   int sockets() const { return sockets_; }
   int cores_per_socket() const { return cores_per_socket_; }
+  int sockets_per_machine() const { return sockets_per_machine_; }
+  int machines() const {
+    return (sockets_ + sockets_per_machine_ - 1) / sockets_per_machine_;
+  }
 
   int socket_of(CoreId core) const { return core / cores_per_socket_; }
+  int machine_of(CoreId core) const {
+    return socket_of(core) / sockets_per_machine_;
+  }
 
   /// True when both cores share a socket ("sibling" in the thesis' sense).
   bool siblings(CoreId a, CoreId b) const {
     return socket_of(a) == socket_of(b);
+  }
+
+  /// True when both cores live on the same physical machine (possibly on
+  /// different sockets). Siblings are always same-machine.
+  bool same_machine(CoreId a, CoreId b) const {
+    return machine_of(a) == machine_of(b);
   }
 
   /// All core ids on the same socket as `core`, excluding `core` itself.
@@ -37,9 +62,14 @@ class CpuTopology {
   /// All core ids on other sockets.
   std::vector<CoreId> non_siblings_of(CoreId core) const;
 
+  /// Cores on the same machine as `core` but on a *different* socket —
+  /// the middle tier of the two-level preference (DESIGN.md §11).
+  std::vector<CoreId> machine_peers_of(CoreId core) const;
+
  private:
   int sockets_;
   int cores_per_socket_;
+  int sockets_per_machine_;
 };
 
 }  // namespace lvrm::sim

@@ -40,6 +40,43 @@ TEST(CpuTopology, NonSiblingsOf) {
   EXPECT_EQ(non, (std::vector<CoreId>{4, 5, 6, 7}));
 }
 
+TEST(CpuTopology, DefaultIsOneMachine) {
+  const CpuTopology topo(2, 4);  // sockets_per_machine unset -> one machine
+  EXPECT_EQ(topo.machines(), 1);
+  EXPECT_EQ(topo.sockets_per_machine(), 2);
+  EXPECT_TRUE(topo.same_machine(0, 7));
+  EXPECT_EQ(topo.machine_of(0), 0);
+  EXPECT_EQ(topo.machine_of(7), 0);
+}
+
+TEST(CpuTopology, MachineAssignment) {
+  const CpuTopology topo(4, 2, /*sockets_per_machine=*/2);  // 2 machines
+  EXPECT_EQ(topo.machines(), 2);
+  EXPECT_EQ(topo.machine_of(0), 0);
+  EXPECT_EQ(topo.machine_of(3), 0);
+  EXPECT_EQ(topo.machine_of(4), 1);
+  EXPECT_EQ(topo.machine_of(7), 1);
+  EXPECT_TRUE(topo.same_machine(0, 3));
+  EXPECT_FALSE(topo.same_machine(3, 4));
+}
+
+TEST(CpuTopology, MachinePeersExcludeSiblingsAndRemotes) {
+  const CpuTopology topo(4, 2, /*sockets_per_machine=*/2);
+  // Core 0's socket is {0,1}; its machine adds socket {2,3}; the rest are
+  // on the other machine.
+  EXPECT_EQ(topo.machine_peers_of(0), (std::vector<CoreId>{2, 3}));
+  EXPECT_EQ(topo.machine_peers_of(5), (std::vector<CoreId>{6, 7}));
+}
+
+TEST(CpuTopology, OneMachinePeersMatchNonSiblings) {
+  // On a single machine the machine level collapses onto non_siblings_of,
+  // which is what keeps the two-level NUMA picker bit-identical to the old
+  // sibling/non-sibling scan (DESIGN.md S11).
+  const CpuTopology topo(2, 4);
+  for (CoreId c = 0; c < topo.total_cores(); ++c)
+    EXPECT_EQ(topo.machine_peers_of(c), topo.non_siblings_of(c));
+}
+
 class TopologyShapes : public ::testing::TestWithParam<std::pair<int, int>> {};
 
 TEST_P(TopologyShapes, PartitionIsComplete) {
