@@ -9,6 +9,9 @@
 //                         smoke path, seconds instead of minutes.
 //   --telemetry-dir=DIR   export each LVRM trial's telemetry to
 //                         DIR/exp1a_<mech>.{prom,csv,trace.json}.
+//   --descriptor-rings    run the LVRM mechanisms on the zero-copy
+//                         descriptor data path (DESIGN.md §12); results
+//                         must be bit-identical to the default off.
 #include <cctype>
 
 #include "bench/exp_common.hpp"
@@ -34,6 +37,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const bool smoke = cli.get_bool("smoke", false);
   const std::string telemetry_dir = cli.get_string("telemetry-dir", "");
+  const bool descriptor_rings = cli.get_bool("descriptor-rings", false);
   bench::print_header(
       "Experiment 1a: achievable throughput in data forwarding", "Fig 4.2",
       "native ~ LVRM/PF_RING > LVRM/raw (PF_RING +~50% at 84 B) > Click VR; "
@@ -57,6 +61,7 @@ int main(int argc, char** argv) {
       opts.frame_bytes = size;
       opts.warmup = args.scaled(msec(50));
       opts.measure = args.scaled(msec(140));
+      opts.gw.lvrm.descriptor_rings = descriptor_rings;
       if (!telemetry_dir.empty() && is_lvrm(mech))
         opts.telemetry_export_prefix =
             telemetry_dir + "/exp1a_" + slug(to_string(mech));

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Appends one bench_hotpath run to a JSONL history file.
+
+bench_hotpath emits a flat {key: number} JSON per run; CI's bench-smoke job
+compares only the regression-gate key against the committed baseline and
+throws the rest away. This script keeps it instead: each run becomes one
+line of BENCH_history.jsonl, stamped with a UTC timestamp and the git
+revision, so perf trends across PRs can be plotted from the repo alone.
+
+Usage: bench_history.py RESULTS.json [--history BENCH_history.jsonl]
+                        [--label LABEL]
+
+Exits non-zero if the results file is missing or not a JSON object.
+"""
+import argparse
+import datetime
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def git_rev():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", help="bench_hotpath JSON output file")
+    parser.add_argument("--history", default="BENCH_history.jsonl",
+                        help="JSONL file to append to (default: %(default)s)")
+    parser.add_argument("--label", default="",
+                        help="free-form tag for this run (e.g. CI job name)")
+    args = parser.parse_args()
+
+    path = pathlib.Path(args.results)
+    try:
+        results = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_history: cannot read {path}: {err}")
+    if not isinstance(results, dict):
+        sys.exit(f"bench_history: {path} is not a flat JSON object")
+
+    entry = {
+        "time": datetime.datetime.now(datetime.timezone.utc)
+            .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "rev": git_rev(),
+        "results": results,
+    }
+    if args.label:
+        entry["label"] = args.label
+
+    history = pathlib.Path(args.history)
+    with history.open("a") as out:
+        out.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(f"bench_history: appended {path} @ {entry['rev']} -> {history}")
+
+
+if __name__ == "__main__":
+    main()

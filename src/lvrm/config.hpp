@@ -99,6 +99,20 @@ struct LvrmConfig {
   /// experiment is calibrated against (bit-identical results).
   bool batched_hot_path = false;
 
+  /// Descriptor-passing data path (DESIGN.md §12): data frames are written
+  /// once into a shared-memory FramePool at RX ingress and every IPC queue
+  /// hop carries a 32-bit FrameHandle instead of the ~128-byte FrameMeta;
+  /// the slot is freed at TX completion or drop. Off by default: the
+  /// copy-per-hop path is the calibrated reference (bit-identical results,
+  /// same rollout discipline as `batched_hot_path`).
+  bool descriptor_rings = false;
+
+  /// Slots in the shared frame pool when `descriptor_rings` is on. 0 (the
+  /// default) sizes it automatically to cover every RX ring and VRI data
+  /// queue at full occupancy plus slack, so exhaustion cannot precede
+  /// queue tail-drop; set explicitly to exercise exhaustion behavior.
+  std::size_t frame_pool_capacity = 0;
+
   /// Seed for the random balancer, allocation-jitter and kernel-migration
   /// draws; everything is deterministic given the seed.
   std::uint64_t seed = 1;

@@ -24,11 +24,11 @@ struct LvrmSystem::VriSlot {
   Nanos activated_at = 0;
   Nanos cold_until = 0;  // post-migration cold-cache window (default policy)
 
-  std::unique_ptr<sim::BoundedQueue<net::FrameMeta>> data_in;
-  std::unique_ptr<sim::BoundedQueue<net::FrameMeta>> data_out;
-  std::unique_ptr<sim::BoundedQueue<net::FrameMeta>> ctrl_in;
-  std::unique_ptr<sim::BoundedQueue<net::FrameMeta>> ctrl_out;
-  std::unique_ptr<sim::PollServer<net::FrameMeta>> server;
+  std::unique_ptr<sim::BoundedQueue<net::FrameCell>> data_in;
+  std::unique_ptr<sim::BoundedQueue<net::FrameCell>> data_out;
+  std::unique_ptr<sim::BoundedQueue<net::FrameCell>> ctrl_in;
+  std::unique_ptr<sim::BoundedQueue<net::FrameCell>> ctrl_out;
+  std::unique_ptr<sim::PollServer<net::FrameCell>> server;
   std::unique_ptr<VirtualRouter> router;
   std::unique_ptr<LoadEstimator> estimator;
 
@@ -121,6 +121,9 @@ struct LvrmSystem::ObsHooks {
   // export byte-identical to the unsharded build).
   std::vector<obs::Counter> shard_rx;
   std::vector<obs::Counter> shard_tx;
+  // Frame-pool exhaustion drops (descriptor mode only; registered only when
+  // `descriptor_rings` is on so classic exports stay byte-identical).
+  obs::Counter pool_exhausted;
   Nanos last_snapshot = 0;
 };
 
@@ -147,9 +150,9 @@ LvrmSystem::LvrmSystem(sim::Simulator& sim, const sim::CpuTopology& topo,
     shard.core_id = s == 0 ? config_.lvrm_core : pick_shard_core(s);
     shard.adapter = std::move(adapters[static_cast<std::size_t>(s)]);
     const std::string suffix = s == 0 ? "" : "/s" + std::to_string(s);
-    shard.rx_ring = std::make_unique<sim::BoundedQueue<net::FrameMeta>>(
+    shard.rx_ring = std::make_unique<FrameQueue>(
         shard.adapter->ring_capacity(), "rx-ring" + suffix);
-    shard.server = std::make_unique<sim::PollServer<net::FrameMeta>>(
+    shard.server = std::make_unique<FrameServer>(
         sim_, core(shard.core_id), /*owner=*/s, "lvrm" + suffix,
         costs::kPollDiscovery);
     shards_.push_back(std::move(shard));
@@ -178,6 +181,8 @@ LvrmSystem::LvrmSystem(sim::Simulator& sim, const sim::CpuTopology& topo,
         obs_->shard_tx.push_back(m.counter("lvrm_tx_frames_total", l));
       }
     }
+    if (config_.descriptor_rings)
+      obs_->pool_exhausted = m.counter("lvrm_frame_pool_exhausted_total");
   }
 
   // The RX ring and each VRI's outgoing queue are drained in bursts of
@@ -190,16 +195,15 @@ LvrmSystem::LvrmSystem(sim::Simulator& sim, const sim::CpuTopology& topo,
     DispatchShard* sh = &shard;
     shard.server->add_input(
         *shard.rx_ring, /*priority=*/1,
-        [this, sh](net::FrameMeta& f) { return rx_cost(f, *sh); },
-        [this](net::FrameMeta&& f) { rx_sink(std::move(f)); },
+        [this, sh](net::FrameCell& c) { return rx_cost(meta_of(c), *sh); },
+        [this](net::FrameCell&& c) { rx_sink(std::move(c)); },
         shard.adapter->recv_category(), config_.poll_batch,
         /*coalesce=*/config_.batched_hot_path,
         config_.batched_hot_path
-            ? sim::PollServer<net::FrameMeta>::BatchCostFn(
-                  [this, sh](std::span<net::FrameMeta> fs) {
-                    return rx_cost_batch(fs, *sh);
-                  })
-            : sim::PollServer<net::FrameMeta>::BatchCostFn{});
+            ? FrameServer::BatchCostFn([this, sh](std::span<net::FrameCell> cs) {
+                return rx_cost_batch(cs, *sh);
+              })
+            : FrameServer::BatchCostFn{});
   }
 }
 
@@ -244,14 +248,14 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
     s->home_shard = (vr->id + i) % shard_count();
     const std::string base =
         vr->cfg.name + "/vri" + std::to_string(i);
-    s->data_in = std::make_unique<sim::BoundedQueue<net::FrameMeta>>(
-        config_.data_queue_capacity, base + "/data-in");
-    s->data_out = std::make_unique<sim::BoundedQueue<net::FrameMeta>>(
-        config_.data_queue_capacity, base + "/data-out");
-    s->ctrl_in = std::make_unique<sim::BoundedQueue<net::FrameMeta>>(
-        config_.control_queue_capacity, base + "/ctrl-in");
-    s->ctrl_out = std::make_unique<sim::BoundedQueue<net::FrameMeta>>(
-        config_.control_queue_capacity, base + "/ctrl-out");
+    s->data_in = std::make_unique<FrameQueue>(config_.data_queue_capacity,
+                                              base + "/data-in");
+    s->data_out = std::make_unique<FrameQueue>(config_.data_queue_capacity,
+                                               base + "/data-out");
+    s->ctrl_in = std::make_unique<FrameQueue>(config_.control_queue_capacity,
+                                              base + "/ctrl-in");
+    s->ctrl_out = std::make_unique<FrameQueue>(config_.control_queue_capacity,
+                                               base + "/ctrl-out");
     // One shared-memory segment per queue, as in Sec 3.8: the identifiers
     // are what a forked VRI would receive via its main() arguments.
     for (int q = 0; q < 4; ++q)
@@ -271,19 +275,20 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
 
     // The VRI's poll loop; parked on the LVRM core until activated (the
     // placement is decided at activation time by the affinity policy).
-    s->server = std::make_unique<sim::PollServer<net::FrameMeta>>(
+    s->server = std::make_unique<FrameServer>(
         sim_, lvrm_core(), /*owner=*/100 + vr->id * 16 + i, base,
         costs::kPollDiscovery);
 
     // Control queue first: higher priority than data (Sec 2.1).
     s->server->add_input(
         *s->ctrl_in, /*priority=*/0,
-        [](net::FrameMeta& f) {
+        [this](net::FrameCell& c) {
           return costs::kControlEventFixed +
                  static_cast<Nanos>(costs::kControlEventPerByte *
-                                    f.wire_bytes);
+                                    meta_of(c).wire_bytes);
         },
-        [this](net::FrameMeta&& f) {
+        [this](net::FrameCell&& c) {
+          const net::FrameMeta f = take_cell(std::move(c));
           const auto it = control_cbs_.find(f.id);
           if (it != control_cbs_.end()) {
             auto cb = std::move(it->second);
@@ -295,7 +300,8 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
 
     s->server->add_input(
         *s->data_in, /*priority=*/1,
-        [this, s, v](net::FrameMeta& f) {
+        [this, s, v](net::FrameCell& c) {
+          net::FrameMeta& f = meta_of(c);
           if (f.obs_sampled) f.obs_svc_at = sim_.now();
           Nanos cost = costs::kDequeueCost;
           // The queue's producer is the shard that dispatched the frame
@@ -316,20 +322,22 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
           s->service_time.update(static_cast<double>(cost));
           return cost;
         },
-        [this, s, v](net::FrameMeta&& f) {
+        [this, s, v](net::FrameCell&& c) {
+          net::FrameMeta& f = meta_of(c);
           ++s->processed;
           if (f.obs_sampled) f.obs_done_at = sim_.now();
           if (f.output_if < 0) {
             ++s->no_route;
+            drop_cell(std::move(c));
             return;
           }
           if (v->pipeline_latency > 0) {
             // The Click VR's internal Queue element delays the frame without
             // consuming extra CPU (Fig 4.6's higher latency).
-            sim_.after(v->pipeline_latency, [this, s, v, f]() mutable {
-              if (!s->data_out->push(std::move(f))) ++v->data_drops;
+            sim_.after(v->pipeline_latency, [this, s, v, c = std::move(c)]() mutable {
+              if (!push_cell(*s->data_out, std::move(c))) ++v->data_drops;
             });
-          } else if (!s->data_out->push(std::move(f))) {
+          } else if (!push_cell(*s->data_out, std::move(c))) {
             ++v->data_drops;
           }
         },
@@ -340,19 +348,22 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
     DispatchShard& home = shards_[static_cast<std::size_t>(s->home_shard)];
     home.server->add_input(
         *s->ctrl_out, /*priority=*/0,
-        [this, s, &home](net::FrameMeta& f) {
+        [this, s, &home](net::FrameCell& c) {
           Nanos cost = costs::kDequeueCost + costs::kEnqueueCost +
                        static_cast<Nanos>(costs::kControlRelayPerByte *
-                                          f.wire_bytes);
+                                          meta_of(c).wire_bytes);
           if (cross_socket(s->core_id, home.core_id))
             cost += costs::kCrossSocketQueueOp;
           return cost;
         },
-        [this, v](net::FrameMeta&& f) {
+        [this, v](net::FrameCell&& c) {
+          const net::FrameMeta& f = meta_of(c);
+          const std::uint64_t id = f.id;
           const int dst = f.dispatch_vri;
           if (dst < 0 || dst >= static_cast<int>(v->slots.size())) {
             ++control_drops_;
-            control_cbs_.erase(f.id);
+            control_cbs_.erase(id);
+            drop_cell(std::move(c));
             return;
           }
           VriSlot& target = *v->slots[static_cast<std::size_t>(dst)];
@@ -360,10 +371,11 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
               rng_.uniform01() < target.ctrl_loss_prob) {
             // Injected lossy control path: the event vanishes in transit.
             ++control_drops_;
-            control_cbs_.erase(f.id);
+            control_cbs_.erase(id);
+            drop_cell(std::move(c));
             return;
           }
-          if (!target.ctrl_in->push(std::move(f))) {
+          if (!push_cell(*target.ctrl_in, std::move(c))) {
             ++control_drops_;
           }
         },
@@ -371,8 +383,8 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
 
     home.server->add_input(
         *s->data_out, /*priority=*/1,
-        [this, s, &home](net::FrameMeta& f) {
-          Nanos cost = costs::kDequeueCost + home.adapter->send_cost(f);
+        [this, s, &home](net::FrameCell& c) {
+          Nanos cost = costs::kDequeueCost + home.adapter->send_cost(meta_of(c));
           Nanos user_part = costs::kDequeueCost;
           if (cross_socket(s->core_id, home.core_id)) {
             cost += costs::kCrossSocketQueueOp;
@@ -384,7 +396,10 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
                             CostCategory::kUser, user_part);
           return cost;
         },
-        [this, s, v](net::FrameMeta&& f) {
+        [this, s, v](net::FrameCell&& c) {
+          // TX completion: the frame leaves the IPC plane here, so a pooled
+          // slot is recycled now ("free once at TX completion").
+          net::FrameMeta f = take_cell(std::move(c));
           f.gw_out_at = sim_.now();
           ++forwarded_;
           ++v->forwarded;
@@ -421,6 +436,20 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
 void LvrmSystem::start() {
   assert(!started_);
   started_ = true;
+  if (config_.descriptor_rings) {
+    std::size_t cap = config_.frame_pool_capacity;
+    if (cap == 0) {
+      // Auto-size: every RX ring plus every VRI data queue (in + out) full
+      // at once, plus slack for frames parked in pipeline-latency timers and
+      // the poll servers' in-service slots — exhaustion then cannot precede
+      // ordinary queue tail-drop.
+      for (const auto& sh : shards_) cap += sh.rx_ring->capacity();
+      for (const auto& vr : vrs_)
+        cap += vr->slots.size() * 2 * config_.data_queue_capacity;
+      cap += 64 * shards_.size() + 1024;
+    }
+    pool_ = std::make_unique<net::FramePool>(arena_, cap);
+  }
   for (auto& vr : vrs_) {
     const int initial = std::max(1, vr->cfg.initial_vris);
     for (int i = 0; i < initial; ++i) activate_vri(*vr);
@@ -443,9 +472,47 @@ bool LvrmSystem::ingress(net::FrameMeta frame) {
   const int s = shard_of(frame);
   frame.dispatch_shard = static_cast<std::int16_t>(s);
   DispatchShard& shard = shards_[static_cast<std::size_t>(s)];
-  if (!shard.rx_ring->push(frame)) return false;
+  net::FrameCell cell;
+  if (pool_) {
+    // Descriptor mode: the frame is written into shared memory exactly once
+    // here ("allocate once at RX ingress"); every later hop moves a handle.
+    const net::FrameHandle h = pool_->acquire();
+    if (h == net::kInvalidFrameHandle) {
+      on_pool_exhausted();
+      return false;  // graceful degradation: tail-drop the newest frame
+    }
+    pool_->at(h) = frame;
+    cell = net::FrameCell(h);
+  } else {
+    cell = net::FrameCell(std::move(frame));
+  }
+  if (!push_cell(*shard.rx_ring, std::move(cell))) return false;
   ++shard.rx_admitted;
   return true;
+}
+
+void LvrmSystem::on_pool_exhausted() {
+  ++pool_exhausted_drops_;
+  if (obs_ && config_.descriptor_rings) obs_->pool_exhausted.inc();
+  // Rate-limited reporting: the counter sees every drop, but the audit
+  // trail and the warn log get at most one event per simulated second so a
+  // sustained overload cannot flood either.
+  const Nanos now = sim_.now();
+  if (last_pool_audit_ >= 0 && now - last_pool_audit_ < sec(1)) return;
+  last_pool_audit_ = now;
+  LVRM_CLOG(kDispatch, kWarn)
+      << "frame pool exhausted: in_flight=" << pool_->in_flight() << "/"
+      << pool_->capacity() << " drops=" << pool_exhausted_drops_;
+  if (telemetry_) {
+    obs::AuditEvent e;
+    e.time = now;
+    e.until = now;
+    e.kind = obs::AuditKind::kPoolExhausted;
+    e.a = pool_->in_flight();
+    e.b = pool_->capacity();
+    e.c = pool_exhausted_drops_;
+    telemetry_->audit().record(e);
+  }
 }
 
 LvrmSystem::VrState& LvrmSystem::classify(net::FrameMeta& frame) {
@@ -519,7 +586,7 @@ Nanos LvrmSystem::rx_cost(net::FrameMeta& frame, DispatchShard& shard) {
   return cost;
 }
 
-Nanos LvrmSystem::rx_cost_batch(std::span<net::FrameMeta> frames,
+Nanos LvrmSystem::rx_cost_batch(std::span<net::FrameCell> cells,
                                 DispatchShard& shard) {
   // Batched-hot-path equivalent of rx_cost over a whole drained burst
   // (DESIGN.md §9): classification and adapter receive stay per-frame, the
@@ -534,7 +601,14 @@ Nanos LvrmSystem::rx_cost_batch(std::span<net::FrameMeta> frames,
   if (rx_groups_.size() < vrs_.size()) rx_groups_.resize(vrs_.size());
   for (auto& g : rx_groups_) g.clear();
 
-  for (net::FrameMeta& f : frames) {
+  // Descriptor mode: hint every referenced pool slot into cache before the
+  // serve loop touches any meta (batch pop + prefetch; DESIGN.md §12).
+  if (pool_)
+    for (const net::FrameCell& c : cells)
+      if (c.pooled()) pool_->prefetch(c.handle());
+
+  for (net::FrameCell& c : cells) {
+    net::FrameMeta& f = meta_of(c);
     VrState& vr = classify(f);
     if (vr.last_arrival >= 0) {
       const Nanos gap = now - vr.last_arrival;
@@ -594,13 +668,14 @@ Nanos LvrmSystem::rx_cost_batch(std::span<net::FrameMeta> frames,
   return cost;
 }
 
-void LvrmSystem::rx_sink(net::FrameMeta&& frame) {
+void LvrmSystem::rx_sink(net::FrameCell&& cell) {
   // Fig 3.2: the allocation pass runs "upon receipt of a packet after 1s or
   // more from the previous core allocation/deallocation process".
   maybe_allocate();
   // The heartbeat pass rides the same poll loop but on its own (much
   // shorter) period, so faults are noticed well inside the 1 s window.
   maybe_health_probe();
+  net::FrameMeta& frame = meta_of(cell);
   // The snapshot tick piggybacks on the same loop: telemetry aggregation
   // never needs its own timer or thread.
   if (obs_) {
@@ -612,20 +687,22 @@ void LvrmSystem::rx_sink(net::FrameMeta&& frame) {
 
   if (frame.dispatch_vr < 0 || frame.dispatch_vri < 0) {
     ++unclassified_drops_;
+    drop_cell(std::move(cell));
     return;
   }
   VrState& vr = *vrs_[static_cast<std::size_t>(frame.dispatch_vr)];
   VriSlot& slot = *vr.slots[static_cast<std::size_t>(frame.dispatch_vri)];
   if (!slot.active) {
     ++vr.data_drops;
+    drop_cell(std::move(cell));
     return;
   }
-  if (maybe_shed(vr, slot, frame)) return;
+  if (maybe_shed(vr, slot, cell)) return;
   if (obs_ && telemetry_->should_sample()) {
     frame.obs_sampled = 1;
     frame.obs_enq_at = sim_.now();
   }
-  if (!slot.data_in->push(std::move(frame))) {
+  if (!push_cell(*slot.data_in, std::move(cell))) {
     ++vr.data_drops;
     return;
   }
@@ -634,7 +711,7 @@ void LvrmSystem::rx_sink(net::FrameMeta&& frame) {
 }
 
 bool LvrmSystem::maybe_shed(VrState& vr, VriSlot& slot,
-                            net::FrameMeta& frame) {
+                            net::FrameCell& cell) {
   if (config_.shed_policy == ShedPolicy::kNone) return false;
   // Shed only when the VR cannot grow out of the overload — it is at its
   // VRI cap or no cores remain — and even its *chosen* (shortest for JSQ)
@@ -664,12 +741,16 @@ bool LvrmSystem::maybe_shed(VrState& vr, VriSlot& slot,
                            << slot.index;
   if (config_.shed_policy == ShedPolicy::kDropOldest &&
       !slot.data_in->empty()) {
-    // Evict the stalest queued frame to admit the fresh one.
-    slot.data_in->pop();
-    if (slot.data_in->push(std::move(frame)))
+    // Evict the stalest queued frame to admit the fresh one (its pool slot,
+    // if any, is recycled — "free once at drop").
+    drop_cell(slot.data_in->pop());
+    if (push_cell(*slot.data_in, std::move(cell)))
       slot.estimator->on_dispatch(slot.data_in->size(), sim_.now());
+    return true;
   }
-  return true;  // kDropNewest: the arriving frame is shed before the enqueue
+  // kDropNewest: the arriving frame is shed before the enqueue.
+  drop_cell(std::move(cell));
+  return true;
 }
 
 // --- control events -------------------------------------------------------------------
@@ -687,7 +768,9 @@ void LvrmSystem::send_control(int vr_id, int src_vri, int dst_vri,
   f.dispatch_vr = static_cast<std::int16_t>(vr_id);
   f.dispatch_vri = static_cast<std::int16_t>(dst_vri);
   control_cbs_.emplace(f.id, std::move(on_delivered));
-  if (!src.ctrl_out->push(std::move(f))) {
+  // Control frames always travel inline: they are rare, latency-sensitive
+  // and never part of the pooled data path (DESIGN.md §12).
+  if (!src.ctrl_out->push(net::FrameCell(std::move(f)))) {
     ++control_drops_;
     control_cbs_.erase(next_control_id_ - 1);
   }
@@ -781,7 +864,7 @@ void LvrmSystem::inject_control_loss(int vr_id, int vri,
 void LvrmSystem::reap_crashed() {
   for (auto& vrp : vrs_) {
     VrState& vr = *vrp;
-    std::vector<net::FrameMeta> stranded;
+    std::vector<net::FrameCell> stranded;
     for (auto it = vr.active_order.begin(); it != vr.active_order.end();) {
       VriSlot& slot = *vr.slots[static_cast<std::size_t>(*it)];
       if (!slot.crashed) {
@@ -789,12 +872,13 @@ void LvrmSystem::reap_crashed() {
         continue;
       }
       // waitpid()-style reaping: free the core, rescue (health layer) or
-      // discard the dead process' queued frames, drop its flow pins.
+      // discard the dead process' queued frames, drop its flow pins. In
+      // descriptor mode the rescue moves handles, not payloads — and the
+      // discard path must release their pool slots (no leaks on crash).
       if (health_ && config_.health.redispatch_stranded) {
         while (!slot.data_in->empty()) stranded.push_back(slot.data_in->pop());
       } else {
-        vr.data_drops += slot.data_in->size();
-        slot.data_in->clear();
+        vr.data_drops += drain_and_drop(*slot.data_in);
       }
       discard_stale_control(slot);
       slot.active = false;
@@ -821,10 +905,12 @@ void LvrmSystem::reap_crashed() {
         activate_vri(vr, /*from_recovery=*/true);
     }
     if (!stranded.empty()) {
-      if (vr.active_order.empty())
+      if (vr.active_order.empty()) {
         vr.data_drops += stranded.size();
-      else
+        for (auto& c : stranded) drop_cell(std::move(c));
+      } else {
         redispatched_ += redispatch(vr, stranded);
+      }
     }
   }
 }
@@ -834,19 +920,19 @@ void LvrmSystem::discard_stale_control(VriSlot& slot) {
   // allocated at respawn): in-flight events are lost, and their delivery
   // callbacks with them. Counted as control drops, never silent.
   while (!slot.ctrl_in->empty()) {
-    const net::FrameMeta f = slot.ctrl_in->pop();
+    const net::FrameMeta f = take_cell(slot.ctrl_in->pop());
     control_cbs_.erase(f.id);
     ++control_drops_;
   }
   while (!slot.ctrl_out->empty()) {
-    const net::FrameMeta f = slot.ctrl_out->pop();
+    const net::FrameMeta f = take_cell(slot.ctrl_out->pop());
     control_cbs_.erase(f.id);
     ++control_drops_;
   }
 }
 
 std::size_t LvrmSystem::redispatch(VrState& vr,
-                                   std::vector<net::FrameMeta>& frames) {
+                                   std::vector<net::FrameCell>& cells) {
   const Nanos now = sim_.now();
   std::vector<VriView> views;
   views.reserve(vr.active_order.size());
@@ -855,7 +941,8 @@ std::size_t LvrmSystem::redispatch(VrState& vr,
     views.push_back(VriView{idx, s.estimator->load_at(now), s.suspect});
   }
   std::size_t admitted = 0;
-  for (net::FrameMeta& f : frames) {
+  for (net::FrameCell& c : cells) {
+    net::FrameMeta& f = meta_of(c);
     // Re-dispatch through the frame's own shard's dispatcher so flow pins
     // stay consistent within the shard that owns the flow.
     const std::size_t shard =
@@ -863,7 +950,7 @@ std::size_t LvrmSystem::redispatch(VrState& vr,
     const int chosen = vr.dispatchers[shard]->dispatch(f, views, now);
     f.dispatch_vri = static_cast<std::int16_t>(chosen);
     VriSlot& target = *vr.slots[static_cast<std::size_t>(chosen)];
-    if (target.data_in->push(std::move(f))) {
+    if (push_cell(*target.data_in, std::move(c))) {
       target.estimator->on_dispatch(target.data_in->size(), now);
       ++admitted;
     } else {
@@ -871,7 +958,7 @@ std::size_t LvrmSystem::redispatch(VrState& vr,
     }
   }
   lvrm_core().charge(
-      static_cast<Nanos>(frames.size()) * costs::kRedispatchPerFrame,
+      static_cast<Nanos>(cells.size()) * costs::kRedispatchPerFrame,
       CostCategory::kSystem);
   return admitted;
 }
@@ -991,13 +1078,13 @@ void LvrmSystem::recover_slot(VrState& vr, VriSlot& slot, VriHealth reason,
   slot.needs_rebuild = true;
 
   // Rescue the frames stranded in the dead incarnation's incoming queue
-  // before its segments are torn down.
-  std::vector<net::FrameMeta> stranded;
+  // before its segments are torn down (handles move payload-free; the
+  // discard path releases their pool slots so a crash leaks nothing).
+  std::vector<net::FrameCell> stranded;
   if (config_.health.redispatch_stranded) {
     while (!slot.data_in->empty()) stranded.push_back(slot.data_in->pop());
   } else {
-    vr.data_drops += slot.data_in->size();
-    slot.data_in->clear();
+    vr.data_drops += drain_and_drop(*slot.data_in);
   }
   discard_stale_control(slot);
 
@@ -1043,6 +1130,7 @@ void LvrmSystem::recover_slot(VrState& vr, VriSlot& slot, VriHealth reason,
   if (!stranded.empty()) {
     if (vr.active_order.empty()) {
       vr.data_drops += stranded.size();
+      for (auto& c : stranded) drop_cell(std::move(c));
     } else {
       ev.redispatched = redispatch(vr, stranded);
       redispatched_ += ev.redispatched;
@@ -1140,9 +1228,9 @@ void LvrmSystem::deactivate_vri(VrState& vr) {
   VriSlot& slot = *vr.slots[static_cast<std::size_t>(idx)];
   slot.active = false;
   slot.server->stop();
-  // Fig 3.2 "destroy": queues are destroyed, so queued frames are lost.
-  vr.data_drops += slot.data_in->size();
-  slot.data_in->clear();
+  // Fig 3.2 "destroy": queues are destroyed, so queued frames are lost
+  // (their pool slots are recycled in descriptor mode).
+  vr.data_drops += drain_and_drop(*slot.data_in);
   if (slot.migration_event != sim::kInvalidEvent) {
     sim_.cancel(slot.migration_event);
     slot.migration_event = sim::kInvalidEvent;
@@ -1507,6 +1595,14 @@ void LvrmSystem::publish_gauges() {
   m.gauge("lvrm_audit_events").set(static_cast<double>(telemetry_->audit().total()));
   m.gauge("lvrm_audit_overwritten")
       .set(static_cast<double>(telemetry_->audit().overwritten()));
+  if (pool_) {
+    // Pool gauges exist only in descriptor mode so classic exports stay
+    // byte-identical (same rule as the per-shard breakdowns above).
+    m.gauge("lvrm_frame_pool_in_flight")
+        .set(static_cast<double>(pool_->in_flight()));
+    m.gauge("lvrm_frame_pool_capacity")
+        .set(static_cast<double>(pool_->capacity()));
+  }
 
   for (const auto& vrp : vrs_) {
     const VrState& vr = *vrp;

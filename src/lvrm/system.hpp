@@ -45,6 +45,7 @@
 #include "lvrm/socket_adapter.hpp"
 #include "lvrm/vri.hpp"
 #include "net/frame.hpp"
+#include "net/frame_pool.hpp"
 #include "queue/shm_arena.hpp"
 #include "sim/core.hpp"
 #include "sim/poll_server.hpp"
@@ -187,6 +188,11 @@ class LvrmSystem {
   const SocketAdapter& adapter() const { return *shards_.front().adapter; }
   const LvrmConfig& config() const { return config_; }
   const queue::ShmArena& shm() const { return arena_; }
+  /// The shared frame pool (descriptor mode), or nullptr when
+  /// `config.descriptor_rings` is off or start() has not run.
+  const net::FramePool* frame_pool() const { return pool_.get(); }
+  /// Frames dropped at ingress because the frame pool was exhausted.
+  std::uint64_t pool_exhausted_drops() const { return pool_exhausted_drops_; }
   /// Shard 0's dispatcher for `vr` (the only one with dispatch_shards=1).
   const Dispatcher& dispatcher(int vr) const;
   /// A specific shard's dispatcher for `vr`.
@@ -229,6 +235,12 @@ class LvrmSystem {
   struct VriSlot;
   struct VrState;
 
+  /// Every IPC queue carries FrameCell: an inline FrameMeta classically, a
+  /// 32-bit pooled FrameHandle in descriptor mode (DESIGN.md §12). One
+  /// element type keeps the two modes on a single code path.
+  using FrameQueue = sim::BoundedQueue<net::FrameCell>;
+  using FrameServer = sim::PollServer<net::FrameCell>;
+
   /// One dispatcher shard: its own adapter instance, RX ring, and poll loop
   /// pinned to its own core. Shard 0 is the paper's LVRM process (owner 0,
   /// name "lvrm", pinned to config.lvrm_core); it also hosts the management
@@ -237,15 +249,48 @@ class LvrmSystem {
     int id = 0;
     sim::CoreId core_id = sim::kNoCore;
     std::unique_ptr<SocketAdapter> adapter;
-    std::unique_ptr<sim::BoundedQueue<net::FrameMeta>> rx_ring;
-    std::unique_ptr<sim::PollServer<net::FrameMeta>> server;
+    std::unique_ptr<FrameQueue> rx_ring;
+    std::unique_ptr<FrameServer> server;
     std::uint64_t rx_admitted = 0;  // frames accepted into this shard's ring
   };
 
+  // --- FrameCell plumbing (descriptor mode; DESIGN.md §12) ------------------
+  /// The frame a cell names (pool deref for handles, inline otherwise).
+  net::FrameMeta& meta_of(net::FrameCell& cell) {
+    return cell.meta(pool_.get());
+  }
+  /// Consumes a cell into a by-value frame, releasing its pool slot.
+  net::FrameMeta take_cell(net::FrameCell&& cell) {
+    return std::move(cell).take(pool_.get());
+  }
+  /// Consumes a cell without using the frame, releasing its pool slot.
+  void drop_cell(net::FrameCell&& cell) { std::move(cell).drop(pool_.get()); }
+  /// Pushes with handle-safe failure: BoundedQueue::push destroys the
+  /// moved-in value on tail-drop, which would silently leak a pool slot, so
+  /// the handle is saved first and released when the push is refused.
+  bool push_cell(FrameQueue& q, net::FrameCell&& cell) {
+    const bool pooled = cell.pooled();
+    const net::FrameHandle h = pooled ? cell.handle() : net::kInvalidFrameHandle;
+    if (q.push(std::move(cell))) return true;
+    if (pooled) pool_->release(h);
+    return false;
+  }
+  /// Drops every queued cell (releasing pool slots); returns how many.
+  std::size_t drain_and_drop(FrameQueue& q) {
+    std::size_t n = 0;
+    while (q.size() > 0) {
+      drop_cell(q.pop());
+      ++n;
+    }
+    return n;
+  }
+  /// RX-side pool exhaustion: count, and audit at most once per sim second.
+  void on_pool_exhausted();
+
   VrState& classify(net::FrameMeta& frame);
   Nanos rx_cost(net::FrameMeta& frame, DispatchShard& shard);
-  Nanos rx_cost_batch(std::span<net::FrameMeta> frames, DispatchShard& shard);
-  void rx_sink(net::FrameMeta&& frame);
+  Nanos rx_cost_batch(std::span<net::FrameCell> cells, DispatchShard& shard);
+  void rx_sink(net::FrameCell&& cell);
   void maybe_allocate();
   void reap_crashed();
   void activate_vri(VrState& vr, bool from_recovery = false);
@@ -271,9 +316,9 @@ class LvrmSystem {
                     Nanos stalled_for);
   void rebuild_router(VrState& vr, VriSlot& slot);
   void discard_stale_control(VriSlot& slot);
-  std::size_t redispatch(VrState& vr, std::vector<net::FrameMeta>& frames);
+  std::size_t redispatch(VrState& vr, std::vector<net::FrameCell>& cells);
   // Overload shedding; returns true when the frame was handled (shed).
-  bool maybe_shed(VrState& vr, VriSlot& slot, net::FrameMeta& frame);
+  bool maybe_shed(VrState& vr, VriSlot& slot, net::FrameCell& cell);
   // Telemetry (all no-ops when telemetry is disabled).
   void maybe_snapshot();
   void publish_gauges();
@@ -290,6 +335,12 @@ class LvrmSystem {
   std::vector<std::unique_ptr<sim::Core>> cores_;
   std::vector<bool> core_used_;
   queue::ShmArena arena_;
+
+  // Shared frame pool (descriptor mode only; created in start() so its
+  // auto-sizing sees the final shard and queue geometry).
+  std::unique_ptr<net::FramePool> pool_;
+  std::uint64_t pool_exhausted_drops_ = 0;
+  Nanos last_pool_audit_ = -1;  // rate limit: one audit event per sim second
 
   std::vector<DispatchShard> shards_;  // fixed at construction, never resized
   std::unique_ptr<CoreAllocator> allocator_;

@@ -1,0 +1,39 @@
+#include "net/frame_pool.hpp"
+
+#include <memory>
+#include <new>
+
+namespace lvrm::net {
+
+FramePool::FramePool(queue::ShmArena& arena, std::size_t capacity)
+    : arena_(arena),
+      capacity_(capacity),
+      free_list_(capacity == 0 ? 1 : capacity) {
+  assert(capacity > 0 && "frame pool needs at least one slot");
+  assert(capacity <= kFrameHandleIndexMask &&
+         "frame pool capacity exceeds the 24-bit handle index space");
+  // ShmArena segments are plain byte vectors with no alignment promise, so
+  // over-allocate one cache line and align the slot array inside the segment.
+  const std::size_t bytes = capacity * sizeof(Slot) + queue::kCacheLine;
+  segment_ = arena_.create(bytes);
+  const auto region = arena_.attach(segment_);
+  void* base = region.data();
+  std::size_t space = region.size();
+  base = std::align(alignof(Slot), capacity * sizeof(Slot), base, space);
+  assert(base != nullptr && "segment too small after alignment");
+  slots_ = static_cast<Slot*>(base);
+  for (std::size_t i = 0; i < capacity; ++i) new (&slots_[i]) Slot{};
+  for (std::uint32_t i = 0; i < capacity; ++i) {
+    const bool ok = free_list_.try_push(i);
+    assert(ok && "free list rounds up to >= capacity");
+    (void)ok;
+  }
+}
+
+FramePool::~FramePool() {
+  // Slots are trivially destructible (POD meta + atomic byte); just hand the
+  // segment back, mirroring shmctl(IPC_RMID) at LVRM teardown.
+  arena_.destroy(segment_);
+}
+
+}  // namespace lvrm::net

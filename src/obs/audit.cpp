@@ -11,6 +11,7 @@ const char* to_string(AuditKind k) {
     case AuditKind::kHealthFailSlow: return "health_fail_slow";
     case AuditKind::kShedEpisode: return "shed_episode";
     case AuditKind::kBalanceSummary: return "balance_summary";
+    case AuditKind::kPoolExhausted: return "pool_exhausted";
   }
   return "unknown";
 }

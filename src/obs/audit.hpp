@@ -28,6 +28,7 @@ enum class AuditKind : std::uint8_t {
   kHealthFailSlow, // health monitor flagged a fail-slow VRI
   kShedEpisode,    // a contiguous run of overload shedding on one VR
   kBalanceSummary, // periodic balancer choice summary for one VR
+  kPoolExhausted,  // frame pool ran dry at RX ingress (rate-limited)
 };
 
 const char* to_string(AuditKind k);
@@ -56,6 +57,10 @@ const char* to_string(AuditKind k);
 ///     a         = frames dispatched since last summary
 ///     b         = flow-table hits since last summary
 ///     c         = active VRI count
+///   kPoolExhausted (rate-limited to one event per sim second):
+///     a         = frames in flight (== pool capacity at exhaustion)
+///     b         = pool capacity
+///     c         = cumulative exhaustion drops so far
 struct AuditEvent {
   Nanos time = 0;   // event (or episode-start) sim time
   Nanos until = 0;  // episode end for duration events, else == time

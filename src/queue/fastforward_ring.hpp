@@ -44,21 +44,21 @@ class FastForwardRing {
   /// Producer: writes into the head slot if it is empty. No consumer-owned
   /// state is read — FastForward's defining property.
   bool try_push(T value) {
-    Slot& slot = slots_[tail_ & mask_];
+    Slot& slot = slots_[tail_.value & mask_];
     if (slot.full.load(std::memory_order_acquire)) return false;  // ring full
     slot.value = std::move(value);
     slot.full.store(true, std::memory_order_release);
-    ++tail_;  // producer-private, non-atomic
+    ++tail_.value;  // producer-private, non-atomic
     return true;
   }
 
   /// Consumer: takes from the tail slot if it is occupied.
   std::optional<T> try_pop() {
-    Slot& slot = slots_[head_ & mask_];
+    Slot& slot = slots_[head_.value & mask_];
     if (!slot.full.load(std::memory_order_acquire)) return std::nullopt;
     T value = std::move(slot.value);
     slot.full.store(false, std::memory_order_release);
-    ++head_;  // consumer-private, non-atomic
+    ++head_.value;  // consumer-private, non-atomic
     return value;
   }
 
@@ -69,12 +69,12 @@ class FastForwardRing {
   std::size_t try_push_batch(T* items, std::size_t n) {
     std::size_t k = 0;
     for (; k < n; ++k) {
-      Slot& slot = slots_[(tail_ + k) & mask_];
+      Slot& slot = slots_[(tail_.value + k) & mask_];
       if (slot.full.load(std::memory_order_acquire)) break;
       slot.value = std::move(items[k]);
       slot.full.store(true, std::memory_order_release);
     }
-    tail_ += k;
+    tail_.value += k;
     return k;
   }
 
@@ -83,22 +83,22 @@ class FastForwardRing {
   std::size_t try_pop_batch(T* out, std::size_t n) {
     std::size_t k = 0;
     for (; k < n; ++k) {
-      Slot& slot = slots_[(head_ + k) & mask_];
+      Slot& slot = slots_[(head_.value + k) & mask_];
       if (!slot.full.load(std::memory_order_acquire)) break;
       out[k] = std::move(slot.value);
       slot.full.store(false, std::memory_order_release);
     }
-    head_ += k;
+    head_.value += k;
     return k;
   }
 
   /// Occupancy by scanning would defeat the design; expose only emptiness
   /// hints usable from the respective endpoints.
   bool empty_hint() const {
-    return !slots_[head_ & mask_].full.load(std::memory_order_acquire);
+    return !slots_[head_.value & mask_].full.load(std::memory_order_acquire);
   }
   bool full_hint() const {
-    return slots_[tail_ & mask_].full.load(std::memory_order_acquire);
+    return slots_[tail_.value & mask_].full.load(std::memory_order_acquire);
   }
 
   std::size_t capacity() const { return capacity_; }
@@ -111,12 +111,22 @@ class FastForwardRing {
     T value{};
   };
 
+  /// A private index padded to a full cache line: head and tail are never
+  /// shared in FastForward, but they must not share a line with each other
+  /// (or the cold members above) either, or the endpoints false-share.
+  struct alignas(kCacheLine) PrivateIndex {
+    std::uint64_t value = 0;
+  };
+  static_assert(sizeof(PrivateIndex) == kCacheLine &&
+                    alignof(PrivateIndex) == kCacheLine,
+                "each private index must own exactly one cache line");
+
   std::size_t capacity_ = 0;
   std::size_t mask_ = 0;
   std::unique_ptr<Slot[]> slots_;
 
-  alignas(kCacheLine) std::uint64_t head_ = 0;  // consumer-private
-  alignas(kCacheLine) std::uint64_t tail_ = 0;  // producer-private
+  PrivateIndex head_;  // consumer-private
+  PrivateIndex tail_;  // producer-private
 };
 
 }  // namespace lvrm::queue

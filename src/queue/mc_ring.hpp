@@ -54,29 +54,29 @@ class McRingBuffer {
     // Check against the private snapshot first; refresh it from the shared
     // head only when the snapshot says "full" (one expensive read amortized
     // over many pushes).
-    if (local_tail_ - head_snapshot_ >= capacity_) {
-      head_snapshot_ = head_.load(std::memory_order_acquire);
-      if (local_tail_ - head_snapshot_ >= capacity_) {
+    if (prod_.local_tail - prod_.head_snapshot >= capacity_) {
+      prod_.head_snapshot = head_.value.load(std::memory_order_acquire);
+      if (prod_.local_tail - prod_.head_snapshot >= capacity_) {
         if (stats_) stats_->on_push_fail(1);
         return false;
       }
     }
-    slots_[local_tail_ & mask_] = std::move(value);
-    ++local_tail_;
-    if (local_tail_ - published_tail_ >= batch_) publish_tail();
+    slots_[prod_.local_tail & mask_] = std::move(value);
+    ++prod_.local_tail;
+    if (prod_.local_tail - prod_.published_tail >= batch_) publish_tail();
     if (stats_) stats_->on_push(1);
     return true;
   }
 
   std::optional<T> try_pop() {
-    if (local_head_ == tail_snapshot_) {
-      tail_snapshot_ = tail_.load(std::memory_order_acquire);
-      if (local_head_ == tail_snapshot_) return std::nullopt;
+    if (cons_.local_head == cons_.tail_snapshot) {
+      cons_.tail_snapshot = tail_.value.load(std::memory_order_acquire);
+      if (cons_.local_head == cons_.tail_snapshot) return std::nullopt;
     }
-    T value = std::move(slots_[local_head_ & mask_]);
-    const std::uint64_t depth = tail_snapshot_ - local_head_;
-    ++local_head_;
-    if (local_head_ - published_head_ >= batch_) publish_head();
+    T value = std::move(slots_[cons_.local_head & mask_]);
+    const std::uint64_t depth = cons_.tail_snapshot - cons_.local_head;
+    ++cons_.local_head;
+    if (cons_.local_head - cons_.published_head >= batch_) publish_head();
     if (stats_) stats_->on_pop(1, depth);
     return value;
   }
@@ -86,16 +86,16 @@ class McRingBuffer {
   /// once on return (a batch is a natural publication boundary), so the
   /// whole burst becomes visible to the consumer atomically.
   std::size_t try_push_batch(T* items, std::size_t n) {
-    std::uint64_t free = capacity_ - (local_tail_ - head_snapshot_);
+    std::uint64_t free = capacity_ - (prod_.local_tail - prod_.head_snapshot);
     if (free < n) {
-      head_snapshot_ = head_.load(std::memory_order_acquire);
-      free = capacity_ - (local_tail_ - head_snapshot_);
+      prod_.head_snapshot = head_.value.load(std::memory_order_acquire);
+      free = capacity_ - (prod_.local_tail - prod_.head_snapshot);
     }
     const std::size_t k =
         static_cast<std::size_t>(std::min<std::uint64_t>(n, free));
     for (std::size_t i = 0; i < k; ++i)
-      slots_[(local_tail_ + i) & mask_] = std::move(items[i]);
-    local_tail_ += k;
+      slots_[(prod_.local_tail + i) & mask_] = std::move(items[i]);
+    prod_.local_tail += k;
     if (k > 0) publish_tail();
     if (stats_) {
       if (k > 0) stats_->on_push(k);
@@ -108,16 +108,16 @@ class McRingBuffer {
   /// number taken. Releases the consumed slots to the producer exactly once
   /// on return.
   std::size_t try_pop_batch(T* out, std::size_t n) {
-    std::uint64_t avail = tail_snapshot_ - local_head_;
+    std::uint64_t avail = cons_.tail_snapshot - cons_.local_head;
     if (avail < n) {
-      tail_snapshot_ = tail_.load(std::memory_order_acquire);
-      avail = tail_snapshot_ - local_head_;
+      cons_.tail_snapshot = tail_.value.load(std::memory_order_acquire);
+      avail = cons_.tail_snapshot - cons_.local_head;
     }
     const std::size_t k =
         static_cast<std::size_t>(std::min<std::uint64_t>(n, avail));
     for (std::size_t i = 0; i < k; ++i)
-      out[i] = std::move(slots_[(local_head_ + i) & mask_]);
-    local_head_ += k;
+      out[i] = std::move(slots_[(cons_.local_head + i) & mask_]);
+    cons_.local_head += k;
     if (k > 0) publish_head();
     if (stats_ && k > 0) stats_->on_pop(k, avail);
     return k;
@@ -133,13 +133,39 @@ class McRingBuffer {
 
  private:
   void publish_tail() {
-    published_tail_ = local_tail_;
-    tail_.store(local_tail_, std::memory_order_release);
+    prod_.published_tail = prod_.local_tail;
+    tail_.value.store(prod_.local_tail, std::memory_order_release);
   }
   void publish_head() {
-    published_head_ = local_head_;
-    head_.store(local_head_, std::memory_order_release);
+    cons_.published_head = cons_.local_head;
+    head_.value.store(cons_.local_head, std::memory_order_release);
   }
+
+  // Owner-grouped control blocks, each padded to exactly one cache line
+  // (MCRingBuffer's "control variables grouped by owner"; the static_asserts
+  // keep the separation from silently regressing under refactoring).
+  struct alignas(kCacheLine) SharedIndex {
+    std::atomic<std::uint64_t> value{0};
+  };
+  struct alignas(kCacheLine) ProducerPrivate {
+    std::uint64_t local_tail = 0;
+    std::uint64_t published_tail = 0;
+    std::uint64_t head_snapshot = 0;
+  };
+  struct alignas(kCacheLine) ConsumerPrivate {
+    std::uint64_t local_head = 0;
+    std::uint64_t published_head = 0;
+    std::uint64_t tail_snapshot = 0;
+  };
+  static_assert(sizeof(SharedIndex) == kCacheLine &&
+                    alignof(SharedIndex) == kCacheLine,
+                "each shared index must own exactly one cache line");
+  static_assert(sizeof(ProducerPrivate) == kCacheLine &&
+                    alignof(ProducerPrivate) == kCacheLine,
+                "producer-private block must own exactly one cache line");
+  static_assert(sizeof(ConsumerPrivate) == kCacheLine &&
+                    alignof(ConsumerPrivate) == kCacheLine,
+                "consumer-private block must own exactly one cache line");
 
   std::size_t capacity_ = 0;
   std::size_t mask_ = 0;
@@ -147,19 +173,10 @@ class McRingBuffer {
   std::unique_ptr<T[]> slots_;
   obs::RingStats* stats_ = nullptr;  // optional; set before use, then const
 
-  // Shared, owner-segregated control variables.
-  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};  // consumer-owned
-  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};  // producer-owned
-
-  // Producer-private working set.
-  alignas(kCacheLine) std::uint64_t local_tail_ = 0;
-  std::uint64_t published_tail_ = 0;
-  std::uint64_t head_snapshot_ = 0;
-
-  // Consumer-private working set.
-  alignas(kCacheLine) std::uint64_t local_head_ = 0;
-  std::uint64_t published_head_ = 0;
-  std::uint64_t tail_snapshot_ = 0;
+  SharedIndex head_;  // consumer-owned
+  SharedIndex tail_;  // producer-owned
+  ProducerPrivate prod_;
+  ConsumerPrivate cons_;
 };
 
 }  // namespace lvrm::queue

@@ -37,12 +37,14 @@
 
 namespace lvrm::queue {
 
-#ifdef __cpp_lib_hardware_interference_size
-inline constexpr std::size_t kCacheLine =
-    std::hardware_destructive_interference_size;
-#else
+// Destructive-interference granularity. Pinned to 64 rather than taken from
+// std::hardware_destructive_interference_size: the library constant varies
+// with -mtune (GCC warns about exactly that under -Winterference-size), and
+// ring layouts are part of the shm protocol, so the padding must not change
+// between builds. 64 B is the L1 line of every x86-64 and aarch64 part the
+// thesis targets; the static_asserts on the padded index structs below keep
+// this honest.
 inline constexpr std::size_t kCacheLine = 64;
-#endif
 
 template <typename T>
 class SpscRing {
@@ -67,16 +69,16 @@ class SpscRing {
   /// Producer side. Returns false when the ring is full. Reads the shared
   /// head only when the cached copy says the ring is apparently full.
   bool try_push(T value) {
-    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
-    if (tail - head_cache_ >= capacity_) {
-      head_cache_ = head_.load(std::memory_order_acquire);
-      if (tail - head_cache_ >= capacity_) {
+    const std::uint64_t tail = prod_.tail.load(std::memory_order_relaxed);
+    if (tail - prod_.head_cache >= capacity_) {
+      prod_.head_cache = cons_.head.load(std::memory_order_acquire);
+      if (tail - prod_.head_cache >= capacity_) {
         if (stats_) stats_->on_push_fail(1);
         return false;
       }
     }
     slots_[tail & mask_] = std::move(value);
-    tail_.store(tail + 1, std::memory_order_release);
+    prod_.tail.store(tail + 1, std::memory_order_release);
     if (stats_) stats_->on_push(1);
     return true;
   }
@@ -86,11 +88,11 @@ class SpscRing {
   /// `n` iff the ring filled up (partial push). One refresh of the cached
   /// head at most and exactly one release publication for the whole burst.
   std::size_t try_push_batch(T* items, std::size_t n) {
-    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
-    std::uint64_t free = capacity_ - (tail - head_cache_);
+    const std::uint64_t tail = prod_.tail.load(std::memory_order_relaxed);
+    std::uint64_t free = capacity_ - (tail - prod_.head_cache);
     if (free < n) {
-      head_cache_ = head_.load(std::memory_order_acquire);
-      free = capacity_ - (tail - head_cache_);
+      prod_.head_cache = cons_.head.load(std::memory_order_acquire);
+      free = capacity_ - (tail - prod_.head_cache);
     }
     const std::size_t k = static_cast<std::size_t>(
         std::min<std::uint64_t>(n, free));
@@ -99,7 +101,7 @@ class SpscRing {
     // inline moves at typical batch sizes.
     for (std::size_t i = 0; i < k; ++i)
       slots_[(tail + i) & mask_] = std::move(items[i]);
-    if (k > 0) tail_.store(tail + k, std::memory_order_release);
+    if (k > 0) prod_.tail.store(tail + k, std::memory_order_release);
     if (stats_) {
       if (k > 0) stats_->on_push(k);
       if (k < n) stats_->on_push_fail(n - k);
@@ -110,14 +112,14 @@ class SpscRing {
   /// Consumer side. Returns nullopt when the ring is empty. Reads the shared
   /// tail only when the cached copy says the ring is apparently empty.
   std::optional<T> try_pop() {
-    const std::uint64_t head = head_.load(std::memory_order_relaxed);
-    if (head == tail_cache_) {
-      tail_cache_ = tail_.load(std::memory_order_acquire);
-      if (head == tail_cache_) return std::nullopt;
+    const std::uint64_t head = cons_.head.load(std::memory_order_relaxed);
+    if (head == cons_.tail_cache) {
+      cons_.tail_cache = prod_.tail.load(std::memory_order_acquire);
+      if (head == cons_.tail_cache) return std::nullopt;
     }
     T value = std::move(slots_[head & mask_]);
-    head_.store(head + 1, std::memory_order_release);
-    if (stats_) stats_->on_pop(1, tail_cache_ - head);
+    cons_.head.store(head + 1, std::memory_order_release);
+    if (stats_) stats_->on_pop(1, cons_.tail_cache - head);
     return value;
   }
 
@@ -126,17 +128,17 @@ class SpscRing {
   /// (partial pop). One refresh of the cached tail at most and exactly one
   /// release of the consumed slots for the whole burst.
   std::size_t try_pop_batch(T* out, std::size_t n) {
-    const std::uint64_t head = head_.load(std::memory_order_relaxed);
-    std::uint64_t avail = tail_cache_ - head;
+    const std::uint64_t head = cons_.head.load(std::memory_order_relaxed);
+    std::uint64_t avail = cons_.tail_cache - head;
     if (avail < n) {
-      tail_cache_ = tail_.load(std::memory_order_acquire);
-      avail = tail_cache_ - head;
+      cons_.tail_cache = prod_.tail.load(std::memory_order_acquire);
+      avail = cons_.tail_cache - head;
     }
     const std::size_t k = static_cast<std::size_t>(
         std::min<std::uint64_t>(n, avail));
     for (std::size_t i = 0; i < k; ++i)
       out[i] = std::move(slots_[(head + i) & mask_]);
-    if (k > 0) head_.store(head + k, std::memory_order_release);
+    if (k > 0) cons_.head.store(head + k, std::memory_order_release);
     if (stats_ && k > 0) stats_->on_pop(k, avail);
     return k;
   }
@@ -145,10 +147,10 @@ class SpscRing {
   /// pointer is valid until the next try_pop/try_pop_batch on this ring
   /// (a batch pop advances the head past the peeked slot).
   const T* peek() const {
-    const std::uint64_t head = head_.load(std::memory_order_relaxed);
-    if (head == tail_cache_) {
-      tail_cache_ = tail_.load(std::memory_order_acquire);
-      if (head == tail_cache_) return nullptr;
+    const std::uint64_t head = cons_.head.load(std::memory_order_relaxed);
+    if (head == cons_.tail_cache) {
+      cons_.tail_cache = prod_.tail.load(std::memory_order_acquire);
+      if (head == cons_.tail_cache) return nullptr;
     }
     return &slots_[head & mask_];
   }
@@ -161,8 +163,8 @@ class SpscRing {
   /// can only under-count concurrent pushes (never phantom entries). The
   /// producer must derive occupancy from its own accepted-push count.
   std::size_t size_approx() const {
-    const std::uint64_t head = head_.load(std::memory_order_relaxed);
-    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = cons_.head.load(std::memory_order_relaxed);
+    const std::uint64_t tail = prod_.tail.load(std::memory_order_acquire);
     return static_cast<std::size_t>(tail - head);
   }
 
@@ -170,20 +172,33 @@ class SpscRing {
   std::size_t capacity() const { return capacity_; }
 
  private:
+  // Owner-grouped index blocks: each endpoint's shared index and its private
+  // cache of the peer's index share one line, padded to a full line so the
+  // two endpoints never false-share (cache-line hygiene, DESIGN.md §12).
+  // The consumer block is mutable so the logically-const peek() can refresh
+  // the cache; single-consumer, so the mutation is unshared.
+  struct alignas(kCacheLine) ConsumerSide {
+    std::atomic<std::uint64_t> head{0};
+    std::uint64_t tail_cache = 0;
+  };
+  struct alignas(kCacheLine) ProducerSide {
+    std::atomic<std::uint64_t> tail{0};
+    std::uint64_t head_cache = 0;
+  };
+  static_assert(sizeof(ConsumerSide) == kCacheLine &&
+                    alignof(ConsumerSide) == kCacheLine,
+                "consumer indices must own exactly one cache line");
+  static_assert(sizeof(ProducerSide) == kCacheLine &&
+                    alignof(ProducerSide) == kCacheLine,
+                "producer indices must own exactly one cache line");
+
   std::size_t capacity_ = 0;
   std::size_t mask_ = 0;
   std::unique_ptr<T[]> slots_;
   obs::RingStats* stats_ = nullptr;  // optional; set before use, then const
 
-  // Consumer-owned line: its index plus its private cache of the producer's
-  // (mutable so the logically-const peek() can refresh it; single-consumer,
-  // so the mutation is unshared).
-  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};
-  mutable std::uint64_t tail_cache_ = 0;
-
-  // Producer-owned line: its index plus its private cache of the consumer's.
-  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};
-  std::uint64_t head_cache_ = 0;
+  mutable ConsumerSide cons_;
+  ProducerSide prod_;
 };
 
 }  // namespace lvrm::queue

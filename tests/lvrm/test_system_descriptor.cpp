@@ -1,0 +1,225 @@
+// End-to-end tests of the descriptor-passing data path
+// (LvrmConfig::descriptor_rings, DESIGN.md §12). Descriptor mode changes only
+// the *representation* carried by the IPC queues — a 32-bit FrameHandle into
+// the shared FramePool instead of an inline FrameMeta — so unlike the batched
+// hot path its output must be exactly identical to classic mode in every
+// configuration, and pool slots must obey strict conservation: every acquire
+// is matched by exactly one release (TX completion or drop), leaving zero
+// frames in flight once the simulation drains.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lvrm/system.hpp"
+#include "obs/telemetry.hpp"
+
+namespace lvrm {
+namespace {
+
+struct DescriptorRig {
+  sim::Simulator sim;
+  sim::CpuTopology topo;
+  std::unique_ptr<LvrmSystem> sys;
+  std::vector<net::FrameMeta> out;
+
+  explicit DescriptorRig(LvrmConfig cfg, int vris = 4) {
+    sys = std::make_unique<LvrmSystem>(sim, topo, cfg);
+    VrConfig vr;
+    vr.initial_vris = vris;
+    sys->add_vr(vr);
+    sys->start();
+    sys->set_egress([this](net::FrameMeta&& f) { out.push_back(f); });
+  }
+
+  static LvrmConfig cfg(bool descriptors) {
+    LvrmConfig c;
+    c.allocator = AllocatorKind::kFixed;
+    c.granularity = BalancerGranularity::kFlow;
+    c.balancer = BalancerKind::kRoundRobin;
+    c.descriptor_rings = descriptors;
+    return c;
+  }
+
+  net::FrameMeta frame(std::uint16_t src_port, std::uint64_t id) {
+    net::FrameMeta f;
+    f.id = id;
+    f.src_ip = net::ipv4(10, 1, 0, 1);
+    f.dst_ip = net::ipv4(10, 2, 0, 1);
+    f.src_port = src_port;
+    f.dst_port = 9;
+    f.protocol = 17;
+    return f;
+  }
+
+  void send(int n, std::uint16_t ports, Nanos gap, int burst,
+            std::uint64_t seed) {
+    Rng rng(seed);
+    std::uint64_t id = 0;
+    for (int i = 0; i < n; i += burst) {
+      const Nanos t = gap * (i / burst);
+      for (int b = 0; b < burst && i + b < n; ++b) {
+        const auto port =
+            static_cast<std::uint16_t>(1000 + rng.uniform(ports));
+        sim.at(t, [this, port, id] { sys->ingress(frame(port, id)); });
+        ++id;
+      }
+    }
+  }
+
+  std::uint64_t accounted() const {
+    return sys->forwarded() + sys->rx_ring_drops() + sys->data_queue_drops() +
+           sys->shed_drops() + sys->no_route_drops() +
+           sys->pool_exhausted_drops();
+  }
+
+  // (id, dispatch_vri, egress order) — the full observable output.
+  std::vector<std::pair<std::uint64_t, int>> trace() const {
+    std::vector<std::pair<std::uint64_t, int>> t;
+    for (const auto& f : out) t.emplace_back(f.id, f.dispatch_vri);
+    return t;
+  }
+};
+
+TEST(SystemDescriptor, OutputExactlyMatchesClassicModeUnderBursts) {
+  // Representation-only change: unlike batched mode (which may re-order
+  // flow-table probes within a burst), descriptor mode must produce the
+  // byte-identical egress trace in ALL regimes, bursts and drops included.
+  auto run = [](bool descriptors) {
+    DescriptorRig rig(DescriptorRig::cfg(descriptors));
+    rig.send(3000, 16, usec(30), /*burst=*/16, /*seed=*/7);
+    rig.sim.run_all();
+    return rig.trace();
+  };
+  const auto classic = run(false);
+  const auto descriptor = run(true);
+  EXPECT_FALSE(classic.empty());
+  EXPECT_EQ(classic, descriptor);
+}
+
+TEST(SystemDescriptor, OutputMatchesClassicWithBatchingAndSharding) {
+  // The strong equivalence must survive composition with §9 batching and
+  // §11 sharding: descriptor mode toggles the carrier, nothing else.
+  auto run = [](bool descriptors) {
+    LvrmConfig cfg = DescriptorRig::cfg(descriptors);
+    cfg.batched_hot_path = true;
+    cfg.dispatch_shards = 2;
+    DescriptorRig rig(cfg);
+    rig.send(3000, 16, usec(30), /*burst=*/16, /*seed=*/21);
+    rig.sim.run_all();
+    return rig.trace();
+  };
+  const auto classic = run(false);
+  const auto descriptor = run(true);
+  EXPECT_FALSE(classic.empty());
+  EXPECT_EQ(classic, descriptor);
+}
+
+TEST(SystemDescriptor, PoolConservationHoldsAfterDrain) {
+  DescriptorRig rig(DescriptorRig::cfg(true));
+  rig.send(3000, 16, usec(30), /*burst=*/16, /*seed=*/7);
+  rig.sim.run_all();
+  EXPECT_EQ(rig.accounted(), 3000u);
+
+  const net::FramePool* pool = rig.sys->frame_pool();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_GT(pool->acquired_total(), 0u);
+  EXPECT_EQ(pool->acquired_total(), pool->released_total());
+  EXPECT_EQ(pool->in_flight(), 0u);
+  EXPECT_EQ(rig.sys->pool_exhausted_drops(), 0u);
+}
+
+TEST(SystemDescriptor, ClassicModeAllocatesNoPool) {
+  DescriptorRig rig(DescriptorRig::cfg(false));
+  rig.send(200, 8, usec(100), /*burst=*/1, /*seed=*/3);
+  rig.sim.run_all();
+  EXPECT_EQ(rig.sys->frame_pool(), nullptr);
+  EXPECT_EQ(rig.sys->pool_exhausted_drops(), 0u);
+}
+
+TEST(SystemDescriptor, TinyPoolExhaustsGracefullyAndRecovers) {
+  // A deliberately undersized pool: ingress bursts outrun TX completions, so
+  // acquire() fails. The contract is RX tail-drop semantics — newest frame
+  // dropped, counted, audited — never an assert or a leak; once the burst
+  // drains the pool must be whole again and keep forwarding.
+  LvrmConfig cfg = DescriptorRig::cfg(true);
+  cfg.frame_pool_capacity = 8;
+  DescriptorRig rig(cfg);
+  rig.send(3000, 16, usec(5), /*burst=*/32, /*seed=*/9);
+  rig.sim.run_all();
+
+  EXPECT_GT(rig.sys->pool_exhausted_drops(), 0u);
+  // Exhaustion drops are part of the accounting identity, not leaks.
+  EXPECT_EQ(rig.accounted(), 3000u);
+  EXPECT_GT(rig.sys->forwarded(), 0u);
+
+  const net::FramePool* pool = rig.sys->frame_pool();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->exhausted_total(), rig.sys->pool_exhausted_drops());
+  EXPECT_EQ(pool->in_flight(), 0u);
+
+  // The exhaustion episode left a rate-limited audit trail entry.
+  ASSERT_NE(rig.sys->telemetry(), nullptr);
+  bool audited = false;
+  for (const auto& e : rig.sys->telemetry()->audit().events())
+    if (e.kind == obs::AuditKind::kPoolExhausted) {
+      audited = true;
+      EXPECT_EQ(e.b, static_cast<double>(pool->capacity()));
+      EXPECT_GE(e.c, 1.0);
+    }
+  EXPECT_TRUE(audited);
+}
+
+TEST(SystemDescriptor, ExhaustionAuditIsRateLimited) {
+  // Thousands of exhaustion drops inside one sim second must collapse to a
+  // handful of audit events (at most one per second), or the trail would
+  // melt under sustained overload.
+  LvrmConfig cfg = DescriptorRig::cfg(true);
+  cfg.frame_pool_capacity = 4;
+  DescriptorRig rig(cfg);
+  rig.send(4000, 16, usec(2), /*burst=*/32, /*seed=*/15);
+  rig.sim.run_all();
+
+  ASSERT_GT(rig.sys->pool_exhausted_drops(), 100u);
+  std::uint64_t audit_events = 0;
+  for (const auto& e : rig.sys->telemetry()->audit().events())
+    if (e.kind == obs::AuditKind::kPoolExhausted) ++audit_events;
+  ASSERT_GE(audit_events, 1u);
+  EXPECT_LE(audit_events, 3u);  // ~tens of ms of load => 1 event + slack
+}
+
+TEST(SystemDescriptor, ControlPathWorksAlongsideDescriptors) {
+  // Control frames always travel inline (never pooled); they must coexist
+  // with pooled data frames on the shared queue plumbing.
+  DescriptorRig rig(DescriptorRig::cfg(true));
+  rig.send(500, 8, usec(50), /*burst=*/4, /*seed=*/5);
+  std::uint64_t delivered = 0;
+  rig.sim.at(usec(10), [&] {
+    rig.sys->send_control(0, 0, 1, 64, [&](Nanos) { ++delivered; });
+  });
+  rig.sim.at(usec(20), [&] {
+    rig.sys->send_control(0, 2, 3, 64, [&](Nanos) { ++delivered; });
+  });
+  rig.sim.run_all();
+
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(rig.accounted(), 500u);
+  const net::FramePool* pool = rig.sys->frame_pool();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->in_flight(), 0u);
+}
+
+TEST(SystemDescriptor, DeterministicAcrossRuns) {
+  auto run = [] {
+    DescriptorRig rig(DescriptorRig::cfg(true));
+    rig.send(1500, 12, usec(35), /*burst=*/16, /*seed=*/11);
+    rig.sim.run_all();
+    return rig.trace();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace lvrm

@@ -153,6 +153,37 @@ TEST(ShardedDispatch, OrderingAndConservationSurviveCrashRespawn) {
   EXPECT_EQ(rig.accounted(), rig.sent);
 }
 
+TEST(ShardedDispatch, CrashRecoveryLeaksNoFramePoolSlots) {
+  // Descriptor mode's sternest path (DESIGN.md §12): a VRI crashes with
+  // pooled frames stranded in its data queue. The rescue path re-dispatches
+  // the survivors' handles and drops the rest — either way every pooled slot
+  // must come back, or the pool bleeds capacity on each crash.
+  LvrmConfig cfg = ShardRig::sharded_cfg(2);
+  cfg.health.enabled = true;
+  cfg.descriptor_rings = true;
+  ShardRig rig(cfg, 4);
+  rig.offer(300'000.0, sec(3));
+  rig.faults->schedule(
+      {.kind = FaultKind::kCrash, .vri = 1, .at = sec(1) + msec(350)});
+  rig.sim.run_all();
+
+  ASSERT_EQ(rig.sys->recovery_log().size(), 1u);
+  EXPECT_TRUE(rig.sys->recovery_log()[0].respawned);
+  EXPECT_GT(rig.sys->redispatched_frames(), 0u);
+  EXPECT_EQ(rig.affinity_violations, 0u);
+  EXPECT_EQ(rig.ordering_violations, 0u);
+  EXPECT_EQ(rig.accounted(), rig.sent);
+
+  // Conservation through the crash: all acquired slots were released and
+  // the pool is whole again after the drain.
+  const net::FramePool* pool = rig.sys->frame_pool();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_GT(pool->acquired_total(), 0u);
+  EXPECT_EQ(pool->acquired_total(), pool->released_total());
+  EXPECT_EQ(pool->in_flight(), 0u);
+  EXPECT_EQ(rig.sys->pool_exhausted_drops(), 0u);
+}
+
 TEST(ShardedDispatch, PerShardMetricsAppearOnlyWhenSharded) {
   auto count_shard_labels = [](const LvrmSystem& sys, const char* name) {
     int n = 0;
