@@ -813,6 +813,25 @@ int main(int argc, char** argv) {
       shard1.affinity_violations + shard1.ordering_violations +
       shard2.affinity_violations + shard2.ordering_violations;
 
+  // Graceful-degradation snapshot (simulated time; Exp 6 in miniature): one
+  // 2x flash-crowd trial with the ladder on, and one with a mid-flash
+  // reset-free VRI drain. Additive keys, same contract as the shard block.
+  auto overload_trial = [&](bool decommission) {
+    lvrm::exp::OverloadTrialOptions opt;
+    opt.decommission = decommission;
+    if (quick) {
+      opt.warmup = msec(5);
+      opt.measure = msec(30);
+    }
+    return lvrm::exp::run_overload_trial(opt);
+  };
+  const auto over = overload_trial(false);
+  const auto drain = overload_trial(true);
+  const double over_delivered_frac =
+      over.offered ? static_cast<double>(over.delivered) /
+                         static_cast<double>(over.offered)
+                   : 0.0;
+
   // The guarded regression metric: host ns of simulator+server machinery per
   // frame on the classic (default-config) path.
   const double per_frame_host = poll_item;
@@ -856,6 +875,18 @@ int main(int argc, char** argv) {
       << "  \"shard_scaling_speedup_2\": " << shard_speedup << ",\n"
       << "  \"shard_scaling_violations\": "
       << static_cast<double>(shard_violations) << ",\n"
+      << "  \"overload_delivered_frac\": " << over_delivered_frac << ",\n"
+      << "  \"overload_estimate_err\": " << over.estimate_error << ",\n"
+      << "  \"overload_peak_level\": "
+      << static_cast<double>(over.peak_level) << ",\n"
+      << "  \"overload_order_violations\": "
+      << static_cast<double>(over.ordering_violations +
+                             drain.ordering_violations)
+      << ",\n"
+      << "  \"overload_pool_leaked\": "
+      << static_cast<double>(over.pool_leaked + drain.pool_leaked) << ",\n"
+      << "  \"overload_drain_migrated\": "
+      << static_cast<double>(drain.drain_migrated) << ",\n"
       << "  \"poll_telemetry_off_ns\": " << tel_off << ",\n"
       << "  \"poll_telemetry_on_ns\": " << tel_on << ",\n"
       << "  \"telemetry_overhead_frac\": " << tel_overhead << ",\n"
@@ -892,6 +923,18 @@ int main(int argc, char** argv) {
       "  shards 1->2 (sim)     : %.1f -> %.1f Kfps (%.2fx), %llu violations\n",
       shard1.delivered_fps / 1e3, shard2.delivered_fps / 1e3, shard_speedup,
       static_cast<unsigned long long>(shard_violations));
+  std::printf(
+      "  overload 2x (sim)     : %.1f%% delivered, est err %.2f%%, peak "
+      "level %d\n",
+      100.0 * over_delivered_frac, 100.0 * over.estimate_error,
+      over.peak_level);
+  std::printf(
+      "  reset-free drain (sim): %llu migrated, %llu order viol, %llu pool "
+      "leaked\n",
+      static_cast<unsigned long long>(drain.drain_migrated),
+      static_cast<unsigned long long>(over.ordering_violations +
+                                      drain.ordering_violations),
+      static_cast<unsigned long long>(over.pool_leaked + drain.pool_leaked));
   std::printf("  wrote %s\n", out_path.c_str());
 
   const double tel_gate = cli.get_double("check-telemetry-overhead", -1.0);

@@ -137,6 +137,70 @@ struct ShardScalingResult {
 /// baseline, with zero affinity/ordering violations.
 ShardScalingResult run_shard_scaling_trial(const ShardScalingOptions& opt);
 
+// --- Graceful degradation under overload (Experiment 6; DESIGN.md §13) -------------------
+
+struct OverloadTrialOptions {
+  /// Offered load relative to the VR's nominal capacity
+  /// (per_vri_capacity_fps × vris): the x axis of the fidelity curve.
+  double offered_multiplier = 2.0;
+  /// Degradation ladder on/off (the off column is the baseline the curve is
+  /// compared against).
+  bool ladder = true;
+  int vris = 3;
+  int flows = 256;
+  double attack_fraction = 0.0;
+  /// Drain one VRI (decommission_vri) mid-measurement under load.
+  bool decommission = false;
+  bool descriptor_rings = true;
+  int frame_bytes = 84;
+  Nanos warmup = msec(10);
+  Nanos measure = msec(60);
+  std::uint64_t seed = 1;
+};
+
+struct OverloadTrialResult {
+  /// Ground truth offered to the gateway (generator frames sent).
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  /// Offered / delivered split by traffic class (mouse, elephant, attack).
+  std::uint64_t offered_by_class[3] = {0, 0, 0};
+  std::uint64_t delivered_by_class[3] = {0, 0, 0};
+  /// Delivered counts divided by each frame's recorded sampling rate
+  /// (FrameMeta::admit_rate): the egress-side bias-corrected reconstruction
+  /// of per-class offered load. Subject to real sampling variance — the
+  /// subset keeps whole flows, so classes dominated by a few heavy flows
+  /// reconstruct worse than the mouse tail.
+  double corrected_by_class[3] = {0.0, 0.0, 0.0};
+  /// Ladder drop counters plus the classic shed/queue drops.
+  std::uint64_t sampled_shed = 0;
+  std::uint64_t admission_rejected = 0;
+  std::uint64_t shed_drops = 0;
+  std::uint64_t queue_drops = 0;
+  /// Bias-corrected offered estimate vs the gateway-side ground truth
+  /// (frames_in + admission_rejected), as a relative error.
+  double offered_estimate = 0.0;
+  double estimate_error = 0.0;
+  int peak_level = 0;  // highest OverloadLevel reached
+  double delivered_fps = 0.0;
+  double avg_latency_us = 0.0;
+  /// Per-flow frame-id regressions at egress; must stay 0 through sampling,
+  /// admission control and reset-free drains.
+  std::uint64_t ordering_violations = 0;
+  /// Reset-free drain stats (decommission trials).
+  std::uint64_t drain_migrated = 0;
+  std::uint64_t drain_dropped = 0;
+  std::uint64_t drain_flows_evicted = 0;
+  Nanos drain_handoff_latency = 0;
+  /// Pool slots still in flight after quiesce (descriptor mode; must be 0).
+  std::uint64_t pool_leaked = 0;
+};
+
+/// Drives a flash-crowd (2× ramp riding on `offered_multiplier`× nominal
+/// capacity) plus optional adversarial mix through a gateway and measures
+/// delivered fidelity, estimate accuracy, ordering and pool conservation —
+/// the Exp 6 graceful-degradation claim.
+OverloadTrialResult run_overload_trial(const OverloadTrialOptions& opt);
+
 // --- Control-event latency (Experiment 1e) --------------------------------------------
 
 /// Average latency of relaying a control event between two VRIs of one VR.

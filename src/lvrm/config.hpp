@@ -44,6 +44,53 @@ struct HealthConfig {
   bool redispatch_stranded = true;
 };
 
+/// Overload-resilience ladder (DESIGN.md §13): a per-VR backpressure
+/// controller that escalates normal -> adaptive per-flow sampling shed ->
+/// RX-side admission control, plus the reset-free VRI drain path. Disabled
+/// by default: with `enabled = false` no controller state is touched, no
+/// metric is registered and every output is byte-identical to the seed —
+/// the same rollout discipline as `batched_hot_path` / `descriptor_rings`.
+struct OverloadConfig {
+  bool enabled = false;
+
+  /// A dispatched frame whose *chosen* data queue sits at or above this
+  /// fraction of capacity counts as "pressured" in the adaptation window.
+  /// Well under the classic `shed_watermark` so the ladder reacts before
+  /// blind tail-drop would.
+  double sample_watermark = 0.5;
+
+  /// Adaptation cadence — the controller re-evaluates the window pressure
+  /// at most once per period. Much shorter than the 1 s allocation pass:
+  /// sampling is reversible and bias-corrected, so reacting inside a flash
+  /// crowd's rise time is safe where core re-allocation is not.
+  Nanos adapt_period = msec(1);
+
+  /// Window pressure fraction at or above which the controller escalates
+  /// (halves the sampling rate, bumps the ladder level).
+  double escalate_pressure = 0.5;
+
+  /// Window pressure fraction at or below which it relaxes (doubles the
+  /// rate; the level steps down when the rate recovers to 1).
+  double relax_pressure = 0.1;
+
+  /// Floor of the per-flow sampling rate: even a worst-case flood keeps
+  /// this fraction of flows fully monitored.
+  double min_sample_rate = 1.0 / 64.0;
+
+  /// Consecutive escalations before RX-side admission control (level 2)
+  /// engages — sustained pressure, not one bursty window.
+  int admission_after = 2;
+
+  /// Drain (migrate live flows to siblings, keep router state warm)
+  /// instead of dropping queued frames when the allocator destroys a VRI
+  /// or the health layer quarantines a fail-slow one.
+  bool drain_on_destroy = true;
+
+  /// Salt decorrelating the sampling subset hash from the RSS shard hash
+  /// and the flow-table hash (all three key on the same 5-tuple).
+  std::uint64_t subset_salt = 0x9e3779b97f4a7c15ull;
+};
+
 struct LvrmConfig {
   AdapterKind adapter = AdapterKind::kPfRing;
   AllocatorKind allocator = AllocatorKind::kDynamicFixedThreshold;
@@ -126,6 +173,9 @@ struct LvrmConfig {
   /// `shed_watermark` of capacity. kNone keeps the legacy tail-drop.
   ShedPolicy shed_policy = ShedPolicy::kNone;
   double shed_watermark = 0.9;
+
+  /// Graceful-degradation ladder + reset-free drain (DESIGN.md §13).
+  OverloadConfig overload_control;
 
   /// Telemetry layer (DESIGN.md §10): metrics registry, latency sampling,
   /// decision audit trail, exporters. Enabled by default — the hot-path

@@ -6,7 +6,10 @@ namespace lvrm {
 
 void FaultInjector::inject(const FaultSpec& spec) {
   apply(spec);
-  if (spec.duration > 0 && spec.kind != FaultKind::kCrash)
+  // Crashes are permanent; an overload burst limits itself (the duration is
+  // consumed by the burst's own emission schedule) — no clearing for either.
+  if (spec.duration > 0 && spec.kind != FaultKind::kCrash &&
+      spec.kind != FaultKind::kOverloadBurst)
     sim_.after(spec.duration, [this, spec] { clear(spec); });
 }
 
@@ -28,6 +31,11 @@ void FaultInjector::apply(const FaultSpec& spec) {
     case FaultKind::kControlLoss:
       system_.inject_control_loss(spec.vr, spec.vri, spec.magnitude);
       break;
+    case FaultKind::kOverloadBurst:
+      // `magnitude` is the burst rate in frames/s aimed at the VR's ingress
+      // (spec.vri is irrelevant: overload hits the VR, not one instance).
+      system_.inject_overload_burst(spec.vr, spec.magnitude, spec.duration);
+      break;
   }
   log_.push_back(spec);
 }
@@ -45,6 +53,8 @@ void FaultInjector::clear(const FaultSpec& spec) {
     case FaultKind::kControlLoss:
       system_.inject_control_loss(spec.vr, spec.vri, 0.0);
       break;
+    case FaultKind::kOverloadBurst:
+      break;  // self-limiting: the emission schedule stops at `duration`
   }
 }
 

@@ -1,7 +1,7 @@
 // fault_injector.hpp — scriptable fault injection against a running system.
 //
 // Generalizes the original crash-only `LvrmSystem::inject_vri_crash` into a
-// small fault-injection harness for tests and the recovery benches. Four
+// small fault-injection harness for tests and the recovery benches. Five
 // fault kinds (types.hpp FaultKind):
 //
 //   * kCrash       — the VRI process dies; its queues go stale until reaped.
@@ -13,6 +13,9 @@
 //                    contending); feeds the fail-slow watchdog.
 //   * kControlLoss — control events relayed *to* this VRI are dropped with
 //                    probability `magnitude` (lossy control path).
+//   * kOverloadBurst — a synthetic flash crowd: `magnitude` frames/s pushed
+//                    into the VR's ingress for `duration` (self-limiting;
+//                    exercises the DESIGN.md §13 degradation ladder).
 //
 // Faults are injected immediately or scheduled at an absolute virtual time;
 // `duration > 0` makes hang/slowdown/control-loss transient (the fault

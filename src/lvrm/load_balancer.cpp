@@ -94,15 +94,20 @@ int Dispatcher::dispatch(const net::FrameMeta& frame,
     const auto tuple = net::FiveTuple::from_frame(frame);
     ++flow_probes_;
     if (const auto pinned = flows_.lookup(tuple, now)) {
-      // "if the entry is found and the VRI of the entry is valid".
-      for (const VriView& v : pool) {
+      // "if the entry is found and the VRI of the entry is valid". The pin
+      // is validated against the FULL active set, not the healthy pool: a
+      // suspect VRI only loses NEW flows — diverting a pinned flow while
+      // its older frames still sit in the suspect's (slow) queue would
+      // reorder it through a faster sibling. If the suspicion is confirmed,
+      // the reset-free drain migrates queue and pins together (§13).
+      for (const VriView& v : vris) {
         if (v.index == *pinned) {
           last_flow_hit_ = true;
           ++flow_hits_;
           return *pinned;
         }
       }
-      // Pinned VRI no longer valid (destroyed or suspect): re-balance.
+      // Pinned VRI no longer valid (destroyed): re-balance.
       LVRM_CLOG(kDispatch, kTrace)
           << "stale flow pin vri=" << *pinned << ", re-balancing";
     }
@@ -162,7 +167,9 @@ Nanos Dispatcher::dispatch_batch(std::span<net::FrameMeta* const> frames,
     ++flow_probes_;
     int chosen = -1;
     if (const auto pinned = flows_.lookup(tuple, now)) {
-      for (const VriView& v : pool) {
+      // Full set, not the healthy pool: see dispatch() — suspect VRIs keep
+      // their pinned flows to preserve per-flow FIFO order.
+      for (const VriView& v : vris) {
         if (v.index == *pinned) {
           chosen = *pinned;
           last_flow_hit_ = true;
@@ -194,9 +201,9 @@ Nanos Dispatcher::decision_cost(std::size_t n_vris, bool flow_hit) const {
   return cost + inner_->decision_cost(n_vris);
 }
 
-void Dispatcher::on_vri_destroyed(int vri) {
+std::size_t Dispatcher::on_vri_destroyed(int vri) {
   LVRM_CLOG(kDispatch, kDebug) << "evicting pinned flows of vri=" << vri;
-  flows_.evict_vri(vri);
+  return flows_.evict_vri(vri);
 }
 
 }  // namespace lvrm

@@ -121,8 +121,9 @@ class Dispatcher {
   /// flow mode; the thesis charges a times() timestamp update per lookup).
   Nanos decision_cost(std::size_t n_vris, bool flow_hit) const;
 
-  /// Forgets pinned flows of a destroyed VRI.
-  void on_vri_destroyed(int vri);
+  /// Forgets pinned flows of a destroyed VRI; returns how many flows were
+  /// unpinned (0 in frame mode, where nothing is tracked).
+  std::size_t on_vri_destroyed(int vri);
 
   BalancerGranularity granularity() const { return granularity_; }
   const LoadBalancer& inner() const { return *inner_; }

@@ -41,6 +41,10 @@ struct LvrmSystem::VriSlot {
   std::uint64_t forwarded = 0;
   std::uint64_t no_route = 0;
   bool crashed = false;
+  /// Reset-free drain quiesce in flight (DESIGN.md §13): the server is
+  /// stopped but the slot keeps accepting pinned-flow frames until the
+  /// in-service frame has egressed — then the backlog migrates atomically.
+  bool draining = false;
 
   /// Dispatcher shard owning this slot's LVRM-side queue ends (control
   /// relay + TX drain) and anchoring its core placement (DESIGN.md §11).
@@ -99,6 +103,20 @@ struct LvrmSystem::VrState {
   std::uint64_t summary_decisions = 0;
   std::uint64_t summary_hits = 0;
 
+  // Degradation ladder (DESIGN.md §13; all zero/normal unless
+  // `overload_control.enabled`). The window counters drive the pressure
+  // measurement that escalates or relaxes the sampling rate.
+  OverloadLevel level = OverloadLevel::kNormal;
+  double sample_rate = 1.0;   // fraction of flows admitted past the subset
+  int escalations = 0;        // consecutive escalating windows
+  Nanos win_start = -1;       // current adaptation window's start
+  std::uint64_t win_frames = 0;     // frames seen this window
+  std::uint64_t win_pressured = 0;  // of those, arrivals at a hot queue
+  std::uint64_t sampled_shed = 0;       // level-1 drops (out of subset)
+  std::uint64_t admission_rejected = 0; // level-2 drops (RX-side reject)
+  /// Bias-corrected offered-load estimate: +1/rate per subset-passing frame.
+  double offered_estimate = 0.0;
+
   /// Every dynamic route update applied since start, in order; replayed into
   /// respawned VRIs so a fresh process starts consistent with its siblings.
   std::vector<route::RouteUpdate> route_log;
@@ -124,6 +142,13 @@ struct LvrmSystem::ObsHooks {
   // Frame-pool exhaustion drops (descriptor mode only; registered only when
   // `descriptor_rings` is on so classic exports stay byte-identical).
   obs::Counter pool_exhausted;
+  // Per-shard exhaustion breakdown, labeled shard="<id>" (sharded plane +
+  // descriptor mode only — same byte-identity rule as shard_rx/shard_tx).
+  std::vector<obs::Counter> pool_exhausted_shard;
+  // Degradation-ladder drop counters (registered only when
+  // `overload_control.enabled`, keeping ladder-off exports byte-identical).
+  obs::Counter sampled_shed;
+  obs::Counter admission_rejected;
   Nanos last_snapshot = 0;
 };
 
@@ -181,8 +206,19 @@ LvrmSystem::LvrmSystem(sim::Simulator& sim, const sim::CpuTopology& topo,
         obs_->shard_tx.push_back(m.counter("lvrm_tx_frames_total", l));
       }
     }
-    if (config_.descriptor_rings)
+    if (config_.descriptor_rings) {
       obs_->pool_exhausted = m.counter("lvrm_frame_pool_exhausted_total");
+      if (n_shards > 1) {
+        for (int s = 0; s < n_shards; ++s)
+          obs_->pool_exhausted_shard.push_back(
+              m.counter("lvrm_frame_pool_exhausted_total",
+                        "shard=\"" + std::to_string(s) + "\""));
+      }
+    }
+    if (config_.overload_control.enabled) {
+      obs_->sampled_shed = m.counter("lvrm_sampled_shed_total");
+      obs_->admission_rejected = m.counter("lvrm_admission_rejected_total");
+    }
   }
 
   // The RX ring and each VRI's outgoing queue are drained in bursts of
@@ -328,6 +364,7 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
           if (f.obs_sampled) f.obs_done_at = sim_.now();
           if (f.output_if < 0) {
             ++s->no_route;
+            note_drop(f, DropCause::kNoRoute);
             drop_cell(std::move(c));
             return;
           }
@@ -335,9 +372,12 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
             // The Click VR's internal Queue element delays the frame without
             // consuming extra CPU (Fig 4.6's higher latency).
             sim_.after(v->pipeline_latency, [this, s, v, c = std::move(c)]() mutable {
-              if (!push_cell(*s->data_out, std::move(c))) ++v->data_drops;
+              if (!push_cell_or_note(*s->data_out, std::move(c),
+                                     DropCause::kQueueFull))
+                ++v->data_drops;
             });
-          } else if (!push_cell(*s->data_out, std::move(c))) {
+          } else if (!push_cell_or_note(*s->data_out, std::move(c),
+                                        DropCause::kQueueFull)) {
             ++v->data_drops;
           }
         },
@@ -469,6 +509,11 @@ int LvrmSystem::shard_of(const net::FrameMeta& frame) const {
 
 bool LvrmSystem::ingress(net::FrameMeta frame) {
   frame.gw_in_at = sim_.now();
+  // Level-2 admission control (DESIGN.md §13): while any VR sits at
+  // kAdmission, its out-of-subset flows are rejected here — before a pool
+  // slot or a ring entry is consumed. One int compare when the ladder is
+  // idle, so the ingress cost is unchanged with the feature off.
+  if (admission_active_ > 0 && admission_reject(frame)) return false;
   const int s = shard_of(frame);
   frame.dispatch_shard = static_cast<std::int16_t>(s);
   DispatchShard& shard = shards_[static_cast<std::size_t>(s)];
@@ -478,7 +523,7 @@ bool LvrmSystem::ingress(net::FrameMeta frame) {
     // here ("allocate once at RX ingress"); every later hop moves a handle.
     const net::FrameHandle h = pool_->acquire();
     if (h == net::kInvalidFrameHandle) {
-      on_pool_exhausted();
+      on_pool_exhausted(s, frame);
       return false;  // graceful degradation: tail-drop the newest frame
     }
     pool_->at(h) = frame;
@@ -486,14 +531,21 @@ bool LvrmSystem::ingress(net::FrameMeta frame) {
   } else {
     cell = net::FrameCell(std::move(frame));
   }
-  if (!push_cell(*shard.rx_ring, std::move(cell))) return false;
+  if (!push_cell_or_note(*shard.rx_ring, std::move(cell),
+                         DropCause::kRxRingFull))
+    return false;
   ++shard.rx_admitted;
   return true;
 }
 
-void LvrmSystem::on_pool_exhausted() {
+void LvrmSystem::on_pool_exhausted(int shard, const net::FrameMeta& frame) {
   ++pool_exhausted_drops_;
-  if (obs_ && config_.descriptor_rings) obs_->pool_exhausted.inc();
+  note_drop(frame, DropCause::kPoolExhausted);
+  if (obs_ && config_.descriptor_rings) {
+    obs_->pool_exhausted.inc();
+    if (!obs_->pool_exhausted_shard.empty())
+      obs_->pool_exhausted_shard[static_cast<std::size_t>(shard)].inc();
+  }
   // Rate-limited reporting: the counter sees every drop, but the audit
   // trail and the warn log get at most one event per simulated second so a
   // sustained overload cannot flood either.
@@ -508,6 +560,14 @@ void LvrmSystem::on_pool_exhausted() {
     e.time = now;
     e.until = now;
     e.kind = obs::AuditKind::kPoolExhausted;
+    e.shard = static_cast<std::int16_t>(shard);
+    // Cause: an explicitly configured (undersized) pool exhausts by
+    // capacity; the auto-sized pool covers the full queue geometry, so its
+    // exhaustion means offered load outran the gateway — overload.
+    e.cause = static_cast<std::uint8_t>(
+        config_.frame_pool_capacity > 0
+            ? obs::PoolExhaustCause::kConfiguredCapacity
+            : obs::PoolExhaustCause::kOverload);
     e.a = pool_->in_flight();
     e.b = pool_->capacity();
     e.c = pool_exhausted_drops_;
@@ -687,6 +747,7 @@ void LvrmSystem::rx_sink(net::FrameCell&& cell) {
 
   if (frame.dispatch_vr < 0 || frame.dispatch_vri < 0) {
     ++unclassified_drops_;
+    note_drop(frame, DropCause::kUnclassified);
     drop_cell(std::move(cell));
     return;
   }
@@ -694,15 +755,23 @@ void LvrmSystem::rx_sink(net::FrameCell&& cell) {
   VriSlot& slot = *vr.slots[static_cast<std::size_t>(frame.dispatch_vri)];
   if (!slot.active) {
     ++vr.data_drops;
+    note_drop(frame, DropCause::kVriInactive);
     drop_cell(std::move(cell));
     return;
+  }
+  if (config_.overload_control.enabled) {
+    // Degradation ladder (DESIGN.md §13): adapt the VR's sampling rate on
+    // window boundaries, then apply the level-1 per-flow sampling shed.
+    overload_tick(vr, sim_.now());
+    if (maybe_sample_shed(vr, slot, cell)) return;
   }
   if (maybe_shed(vr, slot, cell)) return;
   if (obs_ && telemetry_->should_sample()) {
     frame.obs_sampled = 1;
     frame.obs_enq_at = sim_.now();
   }
-  if (!push_cell(*slot.data_in, std::move(cell))) {
+  if (!push_cell_or_note(*slot.data_in, std::move(cell),
+                         DropCause::kQueueFull)) {
     ++vr.data_drops;
     return;
   }
@@ -743,14 +812,166 @@ bool LvrmSystem::maybe_shed(VrState& vr, VriSlot& slot,
       !slot.data_in->empty()) {
     // Evict the stalest queued frame to admit the fresh one (its pool slot,
     // if any, is recycled — "free once at drop").
-    drop_cell(slot.data_in->pop());
-    if (push_cell(*slot.data_in, std::move(cell)))
+    net::FrameCell evicted = slot.data_in->pop();
+    note_drop(meta_of(evicted), DropCause::kShedDropOldest);
+    drop_cell(std::move(evicted));
+    if (push_cell_or_note(*slot.data_in, std::move(cell),
+                          DropCause::kQueueFull))
       slot.estimator->on_dispatch(slot.data_in->size(), sim_.now());
     return true;
   }
   // kDropNewest: the arriving frame is shed before the enqueue.
+  note_drop(meta_of(cell), DropCause::kShedDropNewest);
   drop_cell(std::move(cell));
   return true;
+}
+
+// --- degradation ladder (DESIGN.md §13) ---------------------------------------------
+
+bool LvrmSystem::in_subset(const net::FrameMeta& f, double rate) const {
+  if (rate >= 1.0) return true;
+  // Deterministic per-flow subsetting: the same 5-tuple hash the flow table
+  // and RSS steering key on, salted so the subset is independent of both.
+  // Halving the rate always keeps a subset of the previous survivors, so
+  // escalation never re-admits a flow it already shed.
+  const std::uint64_t h = net::hash_tuple(net::FiveTuple::from_frame(f)) ^
+                          config_.overload_control.subset_salt;
+  return static_cast<double>(h >> 32) < rate * 4294967296.0;
+}
+
+bool LvrmSystem::admission_reject(net::FrameMeta& frame) {
+  // classify() is idempotent (rx_cost re-runs it on the admitted frames).
+  VrState& vr = classify(frame);
+  if (vr.level != OverloadLevel::kAdmission) return false;
+  // The gate can be the only code still seeing this VR's frames (everything
+  // outside the subset dies right here), so it must drive the adaptation
+  // clock too — otherwise a fully-gated VR would never relax.
+  overload_tick(vr, sim_.now());
+  if (vr.level != OverloadLevel::kAdmission) return false;
+  if (in_subset(frame, vr.sample_rate)) {
+    // Record the gate's sampling rate in the frame: egress consumers divide
+    // delivered counts by the recorded rate to bias-correct them back to
+    // offered counts (DESIGN.md §13).
+    frame.admit_rate = vr.sample_rate;
+    return false;
+  }
+  ++vr.admission_rejected;
+  // The reject runs *after* the cheap source-prefix classification, so the
+  // offered tally stays exact even while the gate drops at ingress — unlike
+  // a NIC-ring overflow, which loses frames before anything knows which VR
+  // they belonged to.
+  vr.offered_estimate += 1.0;
+  if (obs_) obs_->admission_rejected.inc();
+  note_drop(frame, DropCause::kAdmissionReject);
+  return true;
+}
+
+bool LvrmSystem::maybe_sample_shed(VrState& vr, VriSlot& slot,
+                                   net::FrameCell& cell) {
+  const OverloadConfig& oc = config_.overload_control;
+  ++vr.win_frames;
+  const auto watermark = static_cast<std::size_t>(
+      oc.sample_watermark * static_cast<double>(slot.data_in->capacity()));
+  if (slot.data_in->size() >= watermark) ++vr.win_pressured;
+  // Every frame the sampler inspects is tallied before the shed decision:
+  // level-1 drops happen with the frame in hand, so — together with the
+  // admission gate's exact reject tally — the per-VR offered count stays
+  // reconstructible to well under the Exp 6 five-percent bar no matter how
+  // hard the ladder sheds.
+  vr.offered_estimate += 1.0;
+  if (vr.level == OverloadLevel::kNormal) return false;
+  net::FrameMeta& f = meta_of(cell);
+  if (in_subset(f, vr.sample_rate)) {
+    // Survivors record their end-to-end sampling rate: the hash subsets
+    // nest (subset(r1) ∩ subset(r2) == subset(min(r1, r2))), so the min of
+    // the admission-gate rate stamped at ingress and the current rate is
+    // this frame's exact survival probability. Dividing per-flow delivered
+    // counts by the recorded rate bias-corrects them back to offered
+    // counts, however the ladder moved while the frame sat in a ring.
+    f.admit_rate = std::min(f.admit_rate, vr.sample_rate);
+    return false;
+  }
+  ++vr.sampled_shed;
+  if (obs_) obs_->sampled_shed.inc();
+  note_drop(f, DropCause::kSampledShed);
+  drop_cell(std::move(cell));
+  return true;
+}
+
+void LvrmSystem::overload_tick(VrState& vr, Nanos now) {
+  const OverloadConfig& oc = config_.overload_control;
+  if (vr.win_start < 0) {
+    vr.win_start = now;
+    return;
+  }
+  if (now - vr.win_start < oc.adapt_period) return;
+  // An empty window is calm, not unknown: at a deep admission rung every
+  // active flow can fall outside the subset, so no frame ever reaches the
+  // sampler again — holding the rung on silence would deadlock the ladder.
+  const double pressure = vr.win_frames == 0
+                              ? 0.0
+                              : static_cast<double>(vr.win_pressured) /
+                                    static_cast<double>(vr.win_frames);
+  if (pressure >= oc.escalate_pressure) {
+    ++vr.escalations;
+    const double next = std::max(oc.min_sample_rate, vr.sample_rate * 0.5);
+    const OverloadLevel level = vr.escalations >= oc.admission_after
+                                    ? OverloadLevel::kAdmission
+                                    : OverloadLevel::kSampling;
+    if (level != vr.level || next != vr.sample_rate)
+      set_overload_state(vr, level, next, pressure);
+  } else if (pressure <= oc.relax_pressure) {
+    vr.escalations = 0;
+    if (vr.level == OverloadLevel::kAdmission) {
+      // Step down one rung at a time: admission releases first, the
+      // sampling rate recovers on the following calm windows.
+      set_overload_state(vr, OverloadLevel::kSampling, vr.sample_rate,
+                         pressure);
+    } else if (vr.level == OverloadLevel::kSampling) {
+      const double next = std::min(1.0, vr.sample_rate * 2.0);
+      set_overload_state(vr,
+                         next >= 1.0 ? OverloadLevel::kNormal
+                                     : OverloadLevel::kSampling,
+                         next, pressure);
+    }
+  } else {
+    // Plateau: hold the rung; consecutive-escalation streak is broken.
+    vr.escalations = 0;
+  }
+  vr.win_start = now;
+  vr.win_frames = 0;
+  vr.win_pressured = 0;
+}
+
+void LvrmSystem::set_overload_state(VrState& vr, OverloadLevel level,
+                                    double rate, double pressure) {
+  const OverloadLevel before = vr.level;
+  if (level == OverloadLevel::kNormal) rate = 1.0;
+  // The ingress admission gate stays zero-cost while no VR is at kAdmission.
+  if (before != OverloadLevel::kAdmission &&
+      level == OverloadLevel::kAdmission)
+    ++admission_active_;
+  if (before == OverloadLevel::kAdmission &&
+      level != OverloadLevel::kAdmission)
+    --admission_active_;
+  vr.level = level;
+  vr.sample_rate = rate;
+  LVRM_CLOG(kShed, kInfo) << "vr=" << vr.id << " overload "
+                          << to_string(before) << " -> " << to_string(level)
+                          << " rate=" << rate << " pressure=" << pressure;
+  if (telemetry_) {
+    obs::AuditEvent e;
+    e.time = sim_.now();
+    e.until = e.time;
+    e.kind = obs::AuditKind::kOverloadLevel;
+    e.vr = static_cast<std::int16_t>(vr.id);
+    e.rate = rate;
+    e.threshold = pressure;
+    e.a = static_cast<std::uint64_t>(level);
+    e.b = static_cast<std::uint64_t>(before);
+    e.c = vr.sampled_shed + vr.admission_rejected;
+    telemetry_->audit().record(e);
+  }
 }
 
 // --- control events -------------------------------------------------------------------
@@ -861,6 +1082,149 @@ void LvrmSystem::inject_control_loss(int vr_id, int vri,
   slot.ctrl_loss_prob = drop_probability;
 }
 
+void LvrmSystem::inject_overload_burst(int vr_id, double fps, Nanos duration) {
+  if (fps <= 0.0 || duration <= 0) return;
+  const Nanos gap = std::max<Nanos>(1, static_cast<Nanos>(1e9 / fps));
+  burst_step(vr_id, gap, sim_.now() + duration);
+}
+
+void LvrmSystem::burst_step(int vr_id, Nanos gap, Nanos until) {
+  if (sim_.now() > until) return;
+  const VrState& vr = *vrs_.at(static_cast<std::size_t>(vr_id));
+  const net::Prefix& p = vr.cfg.subnets.front();
+  ++burst_seq_;
+  net::FrameMeta f;
+  // High id bit-space keeps burst frames distinguishable from a workload
+  // generator's ids in traces without any coordination.
+  f.id = 0x4000000000000000ull + burst_seq_;
+  f.kind = net::FrameKind::kUdp;
+  f.protocol = 17;
+  f.wire_bytes = 84;
+  // 64 synthetic flows inside the VR's own first subnet: they classify to
+  // the target VR, route under its own prefix, and compete with real
+  // traffic for the same rings, pool slots and queues the ladder protects.
+  f.src_ip = p.network + 2 + static_cast<net::Ipv4Addr>(burst_seq_ % 64);
+  f.dst_ip = p.network + 1;
+  f.src_port = static_cast<std::uint16_t>(40000 + burst_seq_ % 64);
+  f.dst_port = 9;
+  f.created_at = sim_.now();
+  ingress(std::move(f));  // its drops are counted like any other ingress
+  sim_.after(gap, [this, vr_id, gap, until] { burst_step(vr_id, gap, until); });
+}
+
+bool LvrmSystem::decommission_vri(int vr_id, int vri) {
+  VrState& vr = *vrs_.at(static_cast<std::size_t>(vr_id));
+  VriSlot& slot = *vr.slots.at(static_cast<std::size_t>(vri));
+  if (!slot.active || slot.crashed || slot.draining) return false;
+  drain_slot(vr, slot, DrainCause::kDecommission);
+  return true;
+}
+
+void LvrmSystem::drain_slot(VrState& vr, VriSlot& slot, DrainCause cause,
+                            std::function<void(const DrainEvent&)> done) {
+  if (slot.draining) return;  // a quiesce is already in flight
+  slot.draining = true;
+  // Stop cleanly: the in-service frame (if any) completes and drains out
+  // through data_out as usual; nothing new is popped afterwards. Until it
+  // has, the slot stays active and pinned so same-flow arrivals keep
+  // queueing FIFO behind the backlog — migrating the backlog while a frame
+  // is still in service would let its redispatched successors overtake it
+  // through a shorter sibling queue. Slot pointers are heap-stable
+  // (vector<unique_ptr>), so the deferred references stay valid.
+  slot.server->quiesce([this, &vr, &slot, cause, done = std::move(done)] {
+    finish_drain(vr, slot, cause, done);
+  });
+}
+
+void LvrmSystem::finish_drain(
+    VrState& vr, VriSlot& slot, DrainCause cause,
+    const std::function<void(const DrainEvent&)>& done) {
+  // Aborted while quiescing (a crash + reap can beat the in-service
+  // completion): the crash path already disposed of the backlog and pins.
+  if (!slot.draining || !slot.active || slot.crashed) return;
+  slot.draining = false;
+
+  const Nanos now = sim_.now();
+  DrainEvent ev;
+  ev.time = now;
+  ev.vr = vr.id;
+  ev.vri = slot.index;
+  ev.cause = cause;
+
+  slot.active = false;
+  std::erase(vr.active_order, slot.index);
+  if (slot.migration_event != sim::kInvalidEvent) {
+    sim_.cancel(slot.migration_event);
+    slot.migration_event = sim::kInvalidEvent;
+  }
+
+  // Pop the backlog in FIFO order BEFORE evicting the flow pins, so the
+  // redispatch below re-pins every live flow exactly once at its new home
+  // and same-flow frames stay in arrival order end to end.
+  std::vector<net::FrameCell> live;
+  while (!slot.data_in->empty()) live.push_back(slot.data_in->pop());
+  for (auto& d : vr.dispatchers)
+    ev.flows_evicted += d->on_vri_destroyed(slot.index);
+  flows_migrated_ += ev.flows_evicted;
+
+  audit_vri_change(vr, slot, /*create=*/false, /*from_recovery=*/false);
+  release_core(slot.core_id);
+  slot.core_id = sim::kNoCore;
+  if (health_) health_->forget(vr.id, slot.index);
+  // Reset-free: needs_rebuild stays false — the router keeps its applied
+  // route state (broadcast_route_update also updates inactive slots), so a
+  // later activation skips the fork and the route-log replay entirely.
+
+  if (!live.empty()) {
+    if (vr.active_order.empty()) {
+      ev.dropped = live.size();
+      vr.data_drops += live.size();
+      for (auto& c : live) {
+        note_drop(meta_of(c), DropCause::kVriDestroyed);
+        drop_cell(std::move(c));
+      }
+    } else {
+      ev.migrated = redispatch(vr, live);
+      ev.dropped = live.size() - ev.migrated;
+      redispatched_ += ev.migrated;
+    }
+  }
+  LVRM_CLOG(kAlloc, kInfo) << "vr=" << vr.id << " vri=" << slot.index
+                           << " drained (" << to_string(cause)
+                           << "): migrated=" << ev.migrated
+                           << " dropped=" << ev.dropped
+                           << " flows_evicted=" << ev.flows_evicted;
+
+  // Charon-style ownership handoff: each surviving sibling learns over the
+  // control rings that it now owns part of the drained slot's flows; the
+  // drain event records the slowest sibling's apply latency.
+  const std::size_t di = drain_log_.size();
+  drain_log_.push_back(ev);
+  for (const int idx : vr.active_order) {
+    send_control(vr.id, slot.index, idx, /*bytes=*/80, [this, di](Nanos lat) {
+      drain_log_[di].handoff_latency =
+          std::max(drain_log_[di].handoff_latency, lat);
+    });
+  }
+
+  if (telemetry_) {
+    obs::AuditEvent ae;
+    ae.time = now;
+    ae.until = now;
+    ae.kind = obs::AuditKind::kVriDrain;
+    ae.vr = static_cast<std::int16_t>(vr.id);
+    ae.vri = static_cast<std::int16_t>(slot.index);
+    ae.cause = static_cast<std::uint8_t>(cause);
+    ae.rate = arrival_rate_estimate(vr.id);
+    ae.service = measured_service_rate(vr);
+    ae.a = ev.migrated;
+    ae.b = ev.flows_evicted;
+    ae.c = ev.dropped;
+    telemetry_->audit().record(ae);
+  }
+  if (done) done(ev);
+}
+
 void LvrmSystem::reap_crashed() {
   for (auto& vrp : vrs_) {
     VrState& vr = *vrp;
@@ -878,11 +1242,13 @@ void LvrmSystem::reap_crashed() {
       if (health_ && config_.health.redispatch_stranded) {
         while (!slot.data_in->empty()) stranded.push_back(slot.data_in->pop());
       } else {
-        vr.data_drops += drain_and_drop(*slot.data_in);
+        vr.data_drops += drain_and_drop(*slot.data_in,
+                                        DropCause::kVriDestroyed);
       }
       discard_stale_control(slot);
       slot.active = false;
       slot.crashed = false;
+      slot.draining = false;  // a crash mid-quiesce aborts the drain
       slot.needs_rebuild = true;  // a replacement is a fresh fork
       if (slot.migration_event != sim::kInvalidEvent) {
         sim_.cancel(slot.migration_event);
@@ -950,7 +1316,8 @@ std::size_t LvrmSystem::redispatch(VrState& vr,
     const int chosen = vr.dispatchers[shard]->dispatch(f, views, now);
     f.dispatch_vri = static_cast<std::int16_t>(chosen);
     VriSlot& target = *vr.slots[static_cast<std::size_t>(chosen)];
-    if (push_cell(*target.data_in, std::move(c))) {
+    if (push_cell_or_note(*target.data_in, std::move(c),
+                          DropCause::kQueueFull)) {
       target.estimator->on_dispatch(target.data_in->size(), now);
       ++admitted;
     } else {
@@ -1058,6 +1425,7 @@ void LvrmSystem::maybe_health_probe() {
 
 void LvrmSystem::recover_slot(VrState& vr, VriSlot& slot, VriHealth reason,
                               Nanos stalled_for) {
+  if (slot.draining) return;  // a reset-free drain is already quiescing it
   const Nanos now = sim_.now();
   RecoveryEvent ev;
   ev.time = now;
@@ -1066,6 +1434,43 @@ void LvrmSystem::recover_slot(VrState& vr, VriSlot& slot, VriHealth reason,
   ev.reason = reason;
   ev.stalled_for = stalled_for;
   ev.stranded = slot.data_in->size();
+
+  if (reason == VriHealth::kFailSlow && config_.overload_control.enabled &&
+      config_.overload_control.drain_on_destroy &&
+      vr.active_order.size() > 1) {
+    // Reset-free quarantine (DESIGN.md §13): a fail-slow process is alive —
+    // it can be stopped cleanly and its backlog migrated over the normal
+    // dispatch path, so nothing is lost and the router state stays warm.
+    // The injected degrade stays with the process (it was never killed);
+    // only the suspicion marks are cleared so a later reactivation is not
+    // penalized by stale dispatch steering.
+    slot.hung = false;
+    slot.suspect = false;
+    // The quiesce may outlive this call (the slow in-service frame has to
+    // egress first), so the recovery record lands when the drain completes.
+    drain_slot(vr, slot, DrainCause::kFailSlow,
+               [this, &vr, ev, stalled_for](const DrainEvent& dev) mutable {
+                 ev.redispatched = dev.migrated;
+                 recovery_log_.push_back(ev);
+                 if (telemetry_) {
+                   obs::AuditEvent ae;
+                   ae.time = ev.time;
+                   ae.until = dev.time;
+                   ae.kind = obs::AuditKind::kHealthFailSlow;
+                   ae.vr = static_cast<std::int16_t>(ev.vr);
+                   ae.vri = static_cast<std::int16_t>(ev.vri);
+                   ae.rate = static_cast<double>(stalled_for);
+                   ae.threshold =
+                       static_cast<double>(config_.health.heartbeat_timeout);
+                   ae.service = measured_service_rate(vr);
+                   ae.a = ev.stranded;
+                   ae.b = ev.redispatched;
+                   ae.c = 0;  // reset-free: no respawn, stays warm
+                   telemetry_->audit().record(ae);
+                 }
+               });
+    return;
+  }
 
   // Quarantine: kill the incarnation (hung/slow processes get SIGKILL; a
   // dead one needs no kill) and take it out of the dispatch set.
@@ -1084,7 +1489,7 @@ void LvrmSystem::recover_slot(VrState& vr, VriSlot& slot, VriHealth reason,
   if (config_.health.redispatch_stranded) {
     while (!slot.data_in->empty()) stranded.push_back(slot.data_in->pop());
   } else {
-    vr.data_drops += drain_and_drop(*slot.data_in);
+    vr.data_drops += drain_and_drop(*slot.data_in, DropCause::kVriDestroyed);
   }
   discard_stale_control(slot);
 
@@ -1224,13 +1629,23 @@ void LvrmSystem::rebuild_router(VrState& vr, VriSlot& slot) {
 void LvrmSystem::deactivate_vri(VrState& vr) {
   if (vr.active_order.empty()) return;
   const int idx = vr.active_order.back();
-  vr.active_order.pop_back();
   VriSlot& slot = *vr.slots[static_cast<std::size_t>(idx)];
+  if (slot.draining) return;  // quiescing already; retry next pass
+  if (config_.overload_control.enabled &&
+      config_.overload_control.drain_on_destroy &&
+      vr.active_order.size() > 1) {
+    // Reset-free destroy (DESIGN.md §13): the allocator's scale-down stops
+    // the VRI but migrates its backlog and flow pins to the survivors —
+    // Fig 3.2's semantics without the frame loss.
+    drain_slot(vr, slot, DrainCause::kAllocatorDestroy);
+    return;
+  }
+  vr.active_order.pop_back();
   slot.active = false;
   slot.server->stop();
   // Fig 3.2 "destroy": queues are destroyed, so queued frames are lost
   // (their pool slots are recycled in descriptor mode).
-  vr.data_drops += drain_and_drop(*slot.data_in);
+  vr.data_drops += drain_and_drop(*slot.data_in, DropCause::kVriDestroyed);
   if (slot.migration_event != sim::kInvalidEvent) {
     sim_.cancel(slot.migration_event);
     slot.migration_event = sim::kInvalidEvent;
@@ -1443,6 +1858,42 @@ std::uint64_t LvrmSystem::vr_shed_drops(int vr) const {
   return vrs_.at(static_cast<std::size_t>(vr))->shed_drops;
 }
 
+OverloadLevel LvrmSystem::overload_level(int vr) const {
+  return vrs_.at(static_cast<std::size_t>(vr))->level;
+}
+
+double LvrmSystem::sample_rate(int vr) const {
+  return vrs_.at(static_cast<std::size_t>(vr))->sample_rate;
+}
+
+std::uint64_t LvrmSystem::vr_sampled_shed(int vr) const {
+  return vrs_.at(static_cast<std::size_t>(vr))->sampled_shed;
+}
+
+std::uint64_t LvrmSystem::sampled_shed_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& vr : vrs_) total += vr->sampled_shed;
+  return total;
+}
+
+std::uint64_t LvrmSystem::vr_admission_rejected(int vr) const {
+  return vrs_.at(static_cast<std::size_t>(vr))->admission_rejected;
+}
+
+std::uint64_t LvrmSystem::admission_rejected_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& vr : vrs_) total += vr->admission_rejected;
+  return total;
+}
+
+std::uint64_t LvrmSystem::vr_frames_in(int vr) const {
+  return vrs_.at(static_cast<std::size_t>(vr))->frames_in;
+}
+
+double LvrmSystem::vr_offered_estimate(int vr) const {
+  return vrs_.at(static_cast<std::size_t>(vr))->offered_estimate;
+}
+
 double LvrmSystem::capacity_estimate(int vr) const {
   return allocator_->capacity_fps(
       alloc_view(*vrs_.at(static_cast<std::size_t>(vr))));
@@ -1628,6 +2079,18 @@ void LvrmSystem::publish_gauges() {
     for (int idx : vr.active_order)
       depth += vr.slots[static_cast<std::size_t>(idx)]->data_in->size();
     m.gauge("lvrm_data_queue_depth", l).set(static_cast<double>(depth));
+    if (config_.overload_control.enabled) {
+      // Ladder gauges exist only with the ladder on, so defaults-off
+      // exports stay byte-identical (same rule as the pool gauges).
+      m.gauge("lvrm_overload_level", l)
+          .set(static_cast<double>(static_cast<int>(vr.level)));
+      m.gauge("lvrm_overload_sample_rate", l).set(vr.sample_rate);
+      m.gauge("lvrm_offered_estimate", l).set(vr.offered_estimate);
+      m.gauge("lvrm_sampled_shed", l)
+          .set(static_cast<double>(vr.sampled_shed));
+      m.gauge("lvrm_admission_rejected", l)
+          .set(static_cast<double>(vr.admission_rejected));
+    }
   }
 }
 

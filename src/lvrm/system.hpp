@@ -65,6 +65,23 @@ struct AllocationEvent {
   int total_vris_after = 0;  // VRIs across all VRs after the action
 };
 
+/// One reset-free VRI drain (DESIGN.md §13; drives Exp 6). Unlike the
+/// crash path, the drained incarnation stays warm: its router keeps the
+/// applied route state, so a later activation needs no fork and no
+/// route-log replay.
+struct DrainEvent {
+  Nanos time = 0;
+  int vr = -1;
+  int vri = -1;
+  DrainCause cause = DrainCause::kDecommission;
+  std::size_t migrated = 0;       // queued frames moved to sibling VRIs
+  std::size_t dropped = 0;        // overflow: the survivors were saturated
+  std::size_t flows_evicted = 0;  // flow pins released for re-balancing
+  /// Worst sibling's control-handoff apply latency (Charon-style ownership
+  /// transfer over the control rings); 0 until the slowest sibling acks.
+  Nanos handoff_latency = 0;
+};
+
 /// One health-monitor recovery action (drives the MTTR bench).
 struct RecoveryEvent {
   Nanos time = 0;  // detection time (the health pass that fired the verdict)
@@ -129,6 +146,28 @@ class LvrmSystem {
   /// (lossy control path); 0 restores reliability. Cleared by a respawn.
   void inject_control_loss(int vr, int vri, double drop_probability);
 
+  /// Failure injection (FaultKind::kOverloadBurst): a synthetic flash crowd
+  /// aimed at `vr` — `fps` extra frames per second pushed straight into
+  /// ingress() for `duration`. The burst cycles 64 synthetic flows inside
+  /// the VR's first subnet, so it competes with real traffic for the same
+  /// rings, pool slots and queues the ladder protects.
+  void inject_overload_burst(int vr, double fps, Nanos duration);
+
+  /// Reset-free decommission (DESIGN.md §13): stops the VRI, migrates its
+  /// queued frames and flow pins to the surviving siblings through the
+  /// normal dispatch path (per-flow order preserved), and hands ownership
+  /// over via control events — no frames dropped unless the survivors are
+  /// saturated, no route-log replay on a later reactivation. Returns false
+  /// when the slot is not active (or has crashed — a corpse cannot drain).
+  bool decommission_vri(int vr, int vri);
+
+  /// Every reset-free drain so far (allocator destroy with
+  /// `overload_control.drain_on_destroy`, fail-slow quarantine, or explicit
+  /// decommission_vri), in order.
+  const std::vector<DrainEvent>& drain_log() const { return drain_log_; }
+  /// Flow pins migrated to siblings across all drains.
+  std::uint64_t flows_migrated() const { return flows_migrated_; }
+
   /// VRIs reaped after crashes, across all VRs.
   std::uint64_t crashed_vris_reaped() const { return crashes_reaped_; }
 
@@ -173,6 +212,33 @@ class LvrmSystem {
   /// Frames shed by the overload drop policy (documented, not silent).
   std::uint64_t shed_drops() const;
   std::uint64_t vr_shed_drops(int vr) const;
+
+  // --- overload ladder (DESIGN.md §13) --------------------------------------
+  /// The VR's current degradation-ladder level (kNormal unless
+  /// `overload_control.enabled`).
+  OverloadLevel overload_level(int vr) const;
+  /// The VR's current per-flow sampling rate (1.0 at kNormal).
+  double sample_rate(int vr) const;
+  /// Frames shed by the adaptive sampling subset, per VR / total.
+  std::uint64_t vr_sampled_shed(int vr) const;
+  std::uint64_t sampled_shed_drops() const;
+  /// Frames rejected by RX-side admission control, per VR / total.
+  std::uint64_t vr_admission_rejected(int vr) const;
+  std::uint64_t admission_rejected_drops() const;
+  /// Frames classified to this VR after ring admission (includes frames the
+  /// sampling subset later shed) — the ground truth the bias-corrected
+  /// estimate reconstructs.
+  std::uint64_t vr_frames_in(int vr) const;
+  /// Bias-corrected offered-load estimate: every frame admitted past the
+  /// sampling subset adds 1/rate, so the sum is an unbiased reconstruction
+  /// of `vr_frames_in + vr_admission_rejected` whatever the ladder did.
+  double vr_offered_estimate(int vr) const;
+
+  /// Test/harness hook invoked once per dropped frame with its cause — the
+  /// conservation check `delivered + every cause == offered` per flow
+  /// class. Null (the default) costs the hot path one pointer check.
+  using DropHook = std::function<void(const net::FrameMeta&, DropCause)>;
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
   /// The allocator's aggregate capacity estimate for this VR (frames/s).
   double capacity_estimate(int vr) const;
 
@@ -276,16 +342,34 @@ class LvrmSystem {
     return false;
   }
   /// Drops every queued cell (releasing pool slots); returns how many.
-  std::size_t drain_and_drop(FrameQueue& q) {
+  std::size_t drain_and_drop(FrameQueue& q, DropCause cause) {
     std::size_t n = 0;
     while (q.size() > 0) {
-      drop_cell(q.pop());
+      net::FrameCell c = q.pop();
+      note_drop(meta_of(c), cause);
+      drop_cell(std::move(c));
       ++n;
     }
     return n;
   }
-  /// RX-side pool exhaustion: count, and audit at most once per sim second.
-  void on_pool_exhausted();
+  /// Reports a drop to the installed hook (null check only when unset).
+  void note_drop(const net::FrameMeta& f, DropCause cause) {
+    if (drop_hook_) drop_hook_(f, cause);
+  }
+  /// push_cell plus drop reporting: the push consumes the cell even on
+  /// refusal, so the meta is copied up front — but only when a hook is
+  /// installed, keeping the production path copy-free.
+  bool push_cell_or_note(FrameQueue& q, net::FrameCell&& cell,
+                         DropCause cause) {
+    if (!drop_hook_) return push_cell(q, std::move(cell));
+    const net::FrameMeta copy = meta_of(cell);
+    if (push_cell(q, std::move(cell))) return true;
+    drop_hook_(copy, cause);
+    return false;
+  }
+  /// RX-side pool exhaustion: count (aggregate + per shard), report the
+  /// drop, and audit at most once per sim second with the exhaustion cause.
+  void on_pool_exhausted(int shard, const net::FrameMeta& frame);
 
   VrState& classify(net::FrameMeta& frame);
   Nanos rx_cost(net::FrameMeta& frame, DispatchShard& shard);
@@ -319,6 +403,33 @@ class LvrmSystem {
   std::size_t redispatch(VrState& vr, std::vector<net::FrameCell>& cells);
   // Overload shedding; returns true when the frame was handled (shed).
   bool maybe_shed(VrState& vr, VriSlot& slot, net::FrameCell& cell);
+  // Overload ladder (DESIGN.md §13; all no-ops unless
+  // config.overload_control.enabled).
+  /// Whether the frame's flow falls in the sampling subset at this rate.
+  bool in_subset(const net::FrameMeta& f, double rate) const;
+  /// Level-2 RX gate; true when the frame was rejected before ring/pool.
+  bool admission_reject(net::FrameMeta& frame);
+  /// Level-1 dispatch-time sampling shed (also feeds the window pressure
+  /// accounting and the bias-corrected offered estimate).
+  bool maybe_sample_shed(VrState& vr, VriSlot& slot, net::FrameCell& cell);
+  /// Window adaptation: escalate / relax the VR's sampling rate and level.
+  void overload_tick(VrState& vr, Nanos now);
+  void set_overload_state(VrState& vr, OverloadLevel level, double rate,
+                          double pressure);
+  /// Reset-free drain, phase 1: quiesce the slot's server (the in-service
+  /// frame completes and egresses; nothing new is popped) and run
+  /// finish_drain once it is idle — synchronously when already idle. The
+  /// slot stays dispatchable until then so pinned-flow arrivals queue FIFO
+  /// behind the backlog instead of racing it to a sibling. `done` (optional)
+  /// fires with the completed DrainEvent.
+  void drain_slot(VrState& vr, VriSlot& slot, DrainCause cause,
+                  std::function<void(const DrainEvent&)> done = {});
+  /// Reset-free drain, phase 2: migrate the slot's live queue and flow pins
+  /// to the surviving siblings, keep its router state warm for reactivation.
+  void finish_drain(VrState& vr, VriSlot& slot, DrainCause cause,
+                    const std::function<void(const DrainEvent&)>& done);
+  /// One synthetic flash-crowd frame + reschedule (inject_overload_burst).
+  void burst_step(int vr, Nanos gap, Nanos until);
   // Telemetry (all no-ops when telemetry is disabled).
   void maybe_snapshot();
   void publish_gauges();
@@ -359,6 +470,15 @@ class LvrmSystem {
   Nanos last_health_probe_ = 0;
   std::vector<RecoveryEvent> recovery_log_;
   std::uint64_t redispatched_ = 0;
+
+  // Overload-resilience layer (DESIGN.md §13).
+  DropHook drop_hook_;
+  std::vector<DrainEvent> drain_log_;
+  std::uint64_t flows_migrated_ = 0;
+  /// VRs currently at kAdmission: ingress pays the classify + subset check
+  /// only while this is non-zero (one int compare otherwise).
+  int admission_active_ = 0;
+  std::uint64_t burst_seq_ = 0;  // synthetic overload-burst frame ids
 
   // Batched-hot-path scratch (reused per burst; no allocation after warm-up):
   // per-VR pointer groups of the current RX burst, and the VriView set.

@@ -79,6 +79,7 @@ std::string to_string(FaultKind k) {
     case FaultKind::kHang: return "hang";
     case FaultKind::kSlowdown: return "slowdown";
     case FaultKind::kControlLoss: return "control-loss";
+    case FaultKind::kOverloadBurst: return "overload-burst";
   }
   return "?";
 }
@@ -88,6 +89,41 @@ std::string to_string(ShedPolicy k) {
     case ShedPolicy::kNone: return "none";
     case ShedPolicy::kDropNewest: return "drop-newest";
     case ShedPolicy::kDropOldest: return "drop-oldest";
+  }
+  return "?";
+}
+
+std::string to_string(OverloadLevel k) {
+  switch (k) {
+    case OverloadLevel::kNormal: return "normal";
+    case OverloadLevel::kSampling: return "sampling";
+    case OverloadLevel::kAdmission: return "admission";
+  }
+  return "?";
+}
+
+std::string to_string(DropCause k) {
+  switch (k) {
+    case DropCause::kRxRingFull: return "rx-ring-full";
+    case DropCause::kPoolExhausted: return "pool-exhausted";
+    case DropCause::kAdmissionReject: return "admission-reject";
+    case DropCause::kSampledShed: return "sampled-shed";
+    case DropCause::kShedDropNewest: return "shed-drop-newest";
+    case DropCause::kShedDropOldest: return "shed-drop-oldest";
+    case DropCause::kQueueFull: return "queue-full";
+    case DropCause::kUnclassified: return "unclassified";
+    case DropCause::kVriInactive: return "vri-inactive";
+    case DropCause::kVriDestroyed: return "vri-destroyed";
+    case DropCause::kNoRoute: return "no-route";
+  }
+  return "?";
+}
+
+std::string to_string(DrainCause k) {
+  switch (k) {
+    case DrainCause::kAllocatorDestroy: return "allocator-destroy";
+    case DrainCause::kDecommission: return "decommission";
+    case DrainCause::kFailSlow: return "fail-slow";
   }
   return "?";
 }

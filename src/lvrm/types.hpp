@@ -68,10 +68,11 @@ enum class VriHealth {
 
 /// Injectable fault kinds (fault_injector.hpp).
 enum class FaultKind {
-  kCrash,        // process dies; queues go stale
-  kHang,         // process stalls (deadlock / SIGSTOP) but stays alive
-  kSlowdown,     // per-frame service cost multiplied (sick process)
-  kControlLoss,  // control events to this VRI are dropped in the relay
+  kCrash,          // process dies; queues go stale
+  kHang,           // process stalls (deadlock / SIGSTOP) but stays alive
+  kSlowdown,       // per-frame service cost multiplied (sick process)
+  kControlLoss,    // control events to this VRI are dropped in the relay
+  kOverloadBurst,  // synthetic flash-crowd burst injected at RX ingress
 };
 
 /// Per-VR load-shedding policy once arrival exceeds allocated capacity and
@@ -80,6 +81,39 @@ enum class ShedPolicy {
   kNone,        // legacy behaviour: tail-drop only when a queue is full
   kDropNewest,  // shed the arriving frame at LVRM before the enqueue
   kDropOldest,  // evict the head of the chosen queue to admit the new frame
+};
+
+/// Degradation-ladder level of one VR's backpressure controller
+/// (DESIGN.md §13). The ladder escalates one rung at a time and relaxes the
+/// same way, so every transition is observable in the audit trail.
+enum class OverloadLevel {
+  kNormal,     // every offered frame is dispatched
+  kSampling,   // hash-based per-flow sampling shed at dispatch (recorded rate)
+  kAdmission,  // RX-side admission control rejects before ring/pool entry
+};
+
+/// Why the system dropped a frame — the taxonomy reported through
+/// `LvrmSystem::set_drop_hook`, one cause per drop site, so conservation
+/// (delivered + every cause == offered) is checkable per flow class.
+enum class DropCause {
+  kRxRingFull,      // ingress: shard RX ring tail-drop
+  kPoolExhausted,   // ingress: descriptor frame pool ran dry
+  kAdmissionReject, // ingress: overload ladder level 2 rejected the flow
+  kSampledShed,     // dispatch: flow outside the sampling subset (level 1+)
+  kShedDropNewest,  // classic watermark shed: arriving frame dropped
+  kShedDropOldest,  // classic watermark shed: queue head evicted
+  kQueueFull,       // data queue (in or out) refused the push
+  kUnclassified,    // no VR / no active VRI for the frame
+  kVriInactive,     // dispatched to a VRI that deactivated in flight
+  kVriDestroyed,    // queued in a VRI torn down without a drain
+  kNoRoute,         // the VR's routing table had no entry
+};
+
+/// Why a reset-free VRI drain started (DESIGN.md §13).
+enum class DrainCause {
+  kAllocatorDestroy,  // the Fig 3.2 destroy path, draining instead of dropping
+  kDecommission,      // explicit operator decommission_vri()
+  kFailSlow,          // health quarantine of a live-but-slow process
 };
 
 std::string to_string(AdapterKind k);
@@ -92,5 +126,8 @@ std::string to_string(VrKind k);
 std::string to_string(VriHealth k);
 std::string to_string(FaultKind k);
 std::string to_string(ShedPolicy k);
+std::string to_string(OverloadLevel k);
+std::string to_string(DropCause k);
+std::string to_string(DrainCause k);
 
 }  // namespace lvrm

@@ -91,14 +91,17 @@ void FlowTable::insert(const FiveTuple& t, int vri, Nanos now) {
   if (!was_live) ++live_;
 }
 
-void FlowTable::evict_vri(int vri) {
+std::size_t FlowTable::evict_vri(int vri) {
+  std::size_t evicted = 0;
   for (Slot& s : slots_) {
     if (s.state == State::kLive && s.vri == vri) {
       s.state = State::kTombstone;
       --live_;
       ++tombstones_;
+      ++evicted;
     }
   }
+  return evicted;
 }
 
 void FlowTable::rehash(std::size_t buckets) {

@@ -58,8 +58,10 @@ class FlowTable {
   void insert(const FiveTuple& t, int vri, Nanos now);
 
   /// Removes all entries assigned to `vri` (called when a VRI is destroyed
-  /// so stale assignments cannot point at a dead instance).
-  void evict_vri(int vri);
+  /// so stale assignments cannot point at a dead instance). Returns how
+  /// many live flows were evicted — the drain path reports that as the
+  /// number of flows migrated to siblings.
+  std::size_t evict_vri(int vri);
 
   std::size_t size() const { return live_; }
   std::size_t tombstones() const { return tombstones_; }

@@ -61,6 +61,13 @@ struct FrameMeta {
   Nanos obs_enq_at = 0;          // pushed onto the VRI data_in queue
   Nanos obs_svc_at = 0;          // VRI began servicing it
   Nanos obs_done_at = 0;         // VRI finished servicing it
+
+  // Degradation ladder (DESIGN.md §13): the per-flow sampling rate the RX
+  // admission gate applied when it let this frame in (1.0 when the gate was
+  // idle). The offered-load estimator needs the rate that actually gated
+  // the frame, not the rate at observation time — the ladder may have moved
+  // while the frame sat in a ring.
+  double admit_rate = 1.0;
 };
 
 }  // namespace lvrm::net

@@ -12,6 +12,17 @@ const char* to_string(AuditKind k) {
     case AuditKind::kShedEpisode: return "shed_episode";
     case AuditKind::kBalanceSummary: return "balance_summary";
     case AuditKind::kPoolExhausted: return "pool_exhausted";
+    case AuditKind::kOverloadLevel: return "overload_level";
+    case AuditKind::kVriDrain: return "vri_drain";
+  }
+  return "unknown";
+}
+
+const char* to_string(PoolExhaustCause c) {
+  switch (c) {
+    case PoolExhaustCause::kUnknown: return "unknown";
+    case PoolExhaustCause::kConfiguredCapacity: return "configured_capacity";
+    case PoolExhaustCause::kOverload: return "overload";
   }
   return "unknown";
 }

@@ -29,9 +29,20 @@ enum class AuditKind : std::uint8_t {
   kShedEpisode,    // a contiguous run of overload shedding on one VR
   kBalanceSummary, // periodic balancer choice summary for one VR
   kPoolExhausted,  // frame pool ran dry at RX ingress (rate-limited)
+  kOverloadLevel,  // a VR's degradation ladder changed level / sampling rate
+  kVriDrain,       // reset-free VRI drain: live flows migrated to siblings
 };
 
 const char* to_string(AuditKind k);
+
+/// AuditEvent::cause values for kPoolExhausted: why the pool could run dry.
+enum class PoolExhaustCause : std::uint8_t {
+  kUnknown = 0,
+  kConfiguredCapacity = 1,  // explicit frame_pool_capacity undersized the pool
+  kOverload = 2,            // auto-sized pool: only pathological overload
+};
+
+const char* to_string(PoolExhaustCause c);
 
 /// One fixed-size audit record. Field meaning by kind:
 ///   kVriCreate / kVriDestroy:
@@ -61,6 +72,19 @@ const char* to_string(AuditKind k);
 ///     a         = frames in flight (== pool capacity at exhaustion)
 ///     b         = pool capacity
 ///     c         = cumulative exhaustion drops so far
+///     shard     = shard whose ingress saw the exhaustion
+///     cause     = PoolExhaustCause
+///   kOverloadLevel (ladder transition, DESIGN.md §13):
+///     rate      = sampling rate after the transition
+///     threshold = window pressure fraction that triggered it
+///     a         = level after, b = level before (OverloadLevel values)
+///     c         = cumulative sampled-shed + admission-rejected frames
+///   kVriDrain (reset-free drain):
+///     rate      = arrival EWMA (fps), service = service-rate estimate (fps)
+///     a         = queued frames migrated to siblings
+///     b         = flow pins evicted for re-balancing
+///     c         = frames dropped (survivors saturated)
+///     cause     = DrainCause
 struct AuditEvent {
   Nanos time = 0;   // event (or episode-start) sim time
   Nanos until = 0;  // episode end for duration events, else == time
@@ -74,6 +98,9 @@ struct AuditEvent {
   /// one: 0 = same socket as the shard's core, 1 = same machine (other
   /// socket), 2 = remote machine, -1 = not an allocation / over-commit.
   std::int8_t numa_tier = -1;
+  /// Kind-specific cause code (PoolExhaustCause for kPoolExhausted,
+  /// DrainCause for kVriDrain); 0 for kinds without one.
+  std::uint8_t cause = 0;
   double rate = 0.0;
   double threshold = 0.0;
   double service = 0.0;

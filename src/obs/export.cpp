@@ -208,10 +208,49 @@ void write_chrome_trace(const std::vector<AuditEvent>& events,
             buf, sizeof(buf),
             "{\"ph\":\"i\",\"pid\":0,\"tid\":0,\"ts\":%.3f,\"s\":\"p\","
             "\"name\":\"pool_exhausted\",\"args\":{\"in_flight\":%llu,"
-            "\"capacity\":%llu,\"drops\":%llu}}",
+            "\"capacity\":%llu,\"drops\":%llu,\"shard\":%d,"
+            "\"cause\":\"%s\"}}",
             ts, static_cast<unsigned long long>(e.a),
             static_cast<unsigned long long>(e.b),
+            static_cast<unsigned long long>(e.c), e.shard,
+            to_string(static_cast<PoolExhaustCause>(e.cause)));
+        emit(buf);
+        break;
+      }
+      case AuditKind::kOverloadLevel: {
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"ph\":\"C\",\"pid\":0,\"ts\":%.3f,"
+            "\"name\":\"vr%d overload\",\"args\":{\"level\":%llu}}",
+            ts, e.vr, static_cast<unsigned long long>(e.a));
+        emit(buf);
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"s\":\"t\","
+            "\"name\":\"overload_level\",\"args\":{\"level\":%llu,"
+            "\"level_before\":%llu,\"sample_rate\":%.6f,\"pressure\":%.3f,"
+            "\"shed_or_rejected\":%llu}}",
+            e.vr, ts, static_cast<unsigned long long>(e.a),
+            static_cast<unsigned long long>(e.b), e.rate, e.threshold,
             static_cast<unsigned long long>(e.c));
+        emit(buf);
+        break;
+      }
+      case AuditKind::kVriDrain: {
+        // DrainCause names (types.hpp): indexed by the numeric cause code.
+        static const char* const kDrainCause[] = {"allocator-destroy",
+                                                  "decommission", "fail-slow"};
+        const char* cause =
+            e.cause < 3 ? kDrainCause[e.cause] : "unknown";
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"s\":\"t\","
+            "\"name\":\"vri_drain\",\"args\":{\"vri\":%d,\"cause\":\"%s\","
+            "\"migrated\":%llu,\"flows_evicted\":%llu,\"dropped\":%llu,"
+            "\"rate_fps\":%.3f,\"service_fps\":%.3f}}",
+            e.vr, ts, e.vri, cause, static_cast<unsigned long long>(e.a),
+            static_cast<unsigned long long>(e.b),
+            static_cast<unsigned long long>(e.c), e.rate, e.service);
         emit(buf);
         break;
       }

@@ -102,6 +102,21 @@ class PollServer {
   void stop() { running_ = false; }
   bool running() const { return running_; }
 
+  /// Stops the loop and invokes `done` once the item (or batch) currently in
+  /// service has completed and been delivered — immediately when already
+  /// idle. Queued items stay in place, exactly as with stop(). Used by the
+  /// reset-free drain: the backlog may only be migrated after the last
+  /// in-flight item has egressed, or a same-flow frame redispatched to an
+  /// idle sibling could overtake it.
+  void quiesce(std::function<void()> done) {
+    running_ = false;
+    if (!serving_) {
+      done();
+      return;
+    }
+    on_quiesced_ = std::move(done);
+  }
+
   /// Moves the server to a different core (models kernel migration in the
   /// "default" affinity policy). A migration penalty is charged to the new
   /// core as system time.
@@ -267,6 +282,7 @@ class PollServer {
     in_service_.reset();
     if (in->sink) in->sink(std::move(item));
     maybe_serve();
+    notify_quiesced();
   }
 
   /// Coalesced serving: drain up to `in.batch` items now, charge their
@@ -304,6 +320,16 @@ class PollServer {
       for (T& item : sink_buf_) in->sink(std::move(item));
     sink_buf_.clear();
     maybe_serve();
+    notify_quiesced();
+  }
+
+  /// Fires a pending quiesce() callback once service has actually wound
+  /// down (stop() keeps maybe_serve() from restarting it).
+  void notify_quiesced() {
+    if (serving_ || !on_quiesced_) return;
+    auto done = std::move(on_quiesced_);
+    on_quiesced_ = nullptr;
+    done();
   }
 
   Simulator& sim_;
@@ -328,6 +354,7 @@ class PollServer {
   // capacity across batches. No per-item heap allocation after warm-up.
   std::optional<T> in_service_;
   Input* in_service_input_ = nullptr;
+  std::function<void()> on_quiesced_;
   std::vector<T> batch_buf_;
   std::vector<T> sink_buf_;
 };

@@ -187,5 +187,62 @@ TEST(FramePoolStress, TwoThreadRxTxPipelineConservesSlots) {
   EXPECT_EQ(pool.acquired_total(), pool.released_total());
 }
 
+TEST(FramePoolStress, ShedChurnReleasesEverySlotUnderMixedDropAndForward) {
+  // The overload regime of DESIGN.md §13: under shedding, a large fraction
+  // of acquired slots are released on a DROP path (admission reject, sampled
+  // shed, watermark shed) rather than the TX completion path, and the pool
+  // runs near exhaustion the whole time. Drop-side releases and acquire
+  // retries must stay race-free and conserve every slot.
+  constexpr std::uint64_t kFrames = 20'000;
+  queue::ShmArena arena;
+  FramePool pool(arena, 32);  // small: constant exhaustion churn
+  queue::SpscRing<FrameHandle> ring(32);
+
+  std::uint64_t forwarded = 0, shed = 0;
+  std::thread consumer([&] {
+    // Deterministic xorshift so the shed pattern is reproducible.
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    while (forwarded + shed < kFrames) {
+      if (const auto h = ring.try_pop()) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        if (x % 4 == 0) {
+          pool.release(*h);  // shed: drop without reading the frame
+          ++shed;
+        } else {
+          forwarded += pool.at(*h).id ? 1 : 1;
+          pool.release(*h);
+        }
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  std::uint64_t sent = 0, exhausted = 0;
+  while (sent < kFrames) {
+    const FrameHandle h = pool.acquire();
+    if (h == kInvalidFrameHandle) {
+      ++exhausted;  // the overload path: admission would reject here
+      std::this_thread::yield();
+      continue;
+    }
+    pool.at(h).id = sent + 1;
+    if (ring.try_push(h)) {
+      ++sent;
+    } else {
+      pool.release(h);
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+
+  EXPECT_EQ(forwarded + shed, kFrames);
+  EXPECT_GT(shed, 0u);
+  EXPECT_EQ(pool.in_flight(), 0u);
+  EXPECT_EQ(pool.acquired_total(), pool.released_total());
+}
+
 }  // namespace
 }  // namespace lvrm::net
