@@ -57,8 +57,11 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/rng.hpp"
 #include "exp/experiments.hpp"
 #include "lvrm/load_balancer.hpp"
+#include "net/flow.hpp"
+#include "net/flow_v2.hpp"
 #include "net/frame.hpp"
 #include "net/frame_pool.hpp"
 #include "obs/telemetry.hpp"
@@ -832,6 +835,57 @@ int main(int argc, char** argv) {
                          static_cast<double>(over.offered)
                    : 0.0;
 
+  // Flow-table generations (DESIGN.md §14, Exp 7 in miniature): host ns per
+  // hit lookup on the classic linear-probe table vs the v2 bucketed-cuckoo
+  // table at a fixed resident-flow count, plus the v2 steady insert cost
+  // with incremental-growth work amortized in. Additive keys; the deep
+  // scaling sweep (1M/4M/16M, mixes, pause percentiles) lives in
+  // bench_exp7_flowscale.
+  const std::size_t ft_n = quick ? 50'000 : 500'000;
+  const std::size_t ft_ops = quick ? 100'000 : 400'000;
+  auto ft_tuple = [](std::uint32_t i) {
+    net::FiveTuple t;
+    t.src_ip = 0x0A000000u + i;
+    t.dst_ip = 0x0AC80001u;
+    t.src_port = static_cast<std::uint16_t>(1024 + (i & 0x3FFF));
+    t.dst_port = 443;
+    t.protocol = 6;
+    return t;
+  };
+  Rng ft_rng(42);
+  std::vector<std::uint32_t> ft_order(ft_ops);
+  for (auto& o : ft_order)
+    o = static_cast<std::uint32_t>(ft_rng.uniform(ft_n));
+  net::FlowTable ft_v1(ft_n, sec(30));
+  net::FlowTableV2 ft_v2(4096, sec(30));
+  for (std::uint32_t i = 0; i < ft_n; ++i) {
+    ft_v1.insert(ft_tuple(i), static_cast<int>(i & 7), 0);
+    ft_v2.insert(ft_tuple(i), static_cast<int>(i & 7), 0);
+  }
+  const double ft_v1_lookup = best_min(3, [&] {
+    std::uint64_t sink = 0;
+    const double t0 = now_ns();
+    for (const std::uint32_t o : ft_order)
+      sink += static_cast<std::uint64_t>(ft_v1.lookup(ft_tuple(o), 1).value_or(0));
+    g_guard += sink;
+    return (now_ns() - t0) / static_cast<double>(ft_ops);
+  });
+  const double ft_v2_lookup = best_min(3, [&] {
+    std::uint64_t sink = 0;
+    const double t0 = now_ns();
+    for (const std::uint32_t o : ft_order)
+      sink += static_cast<std::uint64_t>(ft_v2.lookup(ft_tuple(o), 1).value_or(0));
+    g_guard += sink;
+    return (now_ns() - t0) / static_cast<double>(ft_ops);
+  });
+  std::uint32_t ft_next = static_cast<std::uint32_t>(ft_n);
+  const double ft_v2_insert = best_min(3, [&] {
+    const double t0 = now_ns();
+    for (std::size_t i = 0; i < ft_ops; ++i)
+      ft_v2.insert(ft_tuple(ft_next++), static_cast<int>(i & 7), 1);
+    return (now_ns() - t0) / static_cast<double>(ft_ops);
+  });
+
   // The guarded regression metric: host ns of simulator+server machinery per
   // frame on the classic (default-config) path.
   const double per_frame_host = poll_item;
@@ -887,6 +941,11 @@ int main(int argc, char** argv) {
       << static_cast<double>(over.pool_leaked + drain.pool_leaked) << ",\n"
       << "  \"overload_drain_migrated\": "
       << static_cast<double>(drain.drain_migrated) << ",\n"
+      << "  \"flowtable_v1_lookup_ns\": " << ft_v1_lookup << ",\n"
+      << "  \"flowtable_v2_lookup_ns\": " << ft_v2_lookup << ",\n"
+      << "  \"flowtable_lookup_speedup\": " << ft_v1_lookup / ft_v2_lookup
+      << ",\n"
+      << "  \"flowtable_v2_insert_ns\": " << ft_v2_insert << ",\n"
       << "  \"poll_telemetry_off_ns\": " << tel_off << ",\n"
       << "  \"poll_telemetry_on_ns\": " << tel_on << ",\n"
       << "  \"telemetry_overhead_frac\": " << tel_overhead << ",\n"
@@ -917,6 +976,11 @@ int main(int argc, char** argv) {
   std::printf("  desc e2e 1/2 shards   : %.1f / %.1f Mops\n", desc_e2e_1,
               desc_e2e_2);
   std::printf("  ring padding 2-thread : %.1f Mops\n", pad_mops);
+  std::printf(
+      "  flowtable v1/v2 hit   : %.1f / %.1f ns (%.2fx) at %zu flows; v2 "
+      "insert %.1f ns\n",
+      ft_v1_lookup, ft_v2_lookup, ft_v1_lookup / ft_v2_lookup, ft_n,
+      ft_v2_insert);
   std::printf("  telemetry off/on      : %.1f / %.1f host ns/frame (%+.2f%%)\n",
               tel_off, tel_on, 100.0 * tel_overhead);
   std::printf(

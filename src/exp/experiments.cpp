@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
+#include <ctime>
 #include <memory>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "net/flow.hpp"
+#include "net/flow_v2.hpp"
 #include "net/headers.hpp"
 #include "sim/costs.hpp"
 #include "tcp/reno.hpp"
@@ -695,6 +699,208 @@ TcpResult run_tcp_trial(const TcpWorldOptions& options) {
   out.aggregate_mbps = sum_of(out.per_flow_mbps);
   out.jain = jain_index(out.per_flow_mbps);
   out.maxmin = maxmin_index(out.per_flow_mbps);
+  return out;
+}
+
+// --- Experiment 7: million-flow FlowTable scaling (DESIGN.md §14) --------------
+
+namespace {
+
+/// Distinct 5-tuples for flow rank `i` (legit) and attack index `j`, in
+/// disjoint address spaces so a SYN flood never collides with a real flow.
+net::FiveTuple exp7_flow(std::uint32_t i) {
+  net::FiveTuple t;
+  t.src_ip = 0x0A000000u + i;  // 10.0.0.0/8 — room for 16M+ distinct flows
+  t.dst_ip = net::ipv4(10, 200, 0, 1);
+  t.src_port = static_cast<std::uint16_t>(1024 + (i & 0x3FFF));
+  t.dst_port = 443;
+  t.protocol = 6;
+  return t;
+}
+
+net::FiveTuple exp7_attack(std::uint32_t j) {
+  net::FiveTuple t;
+  t.src_ip = 0xC0000000u + j;  // spoofed source block, disjoint from legit
+  t.dst_ip = net::ipv4(10, 200, 0, 1);
+  t.src_port = static_cast<std::uint16_t>(j & 0xFFFF);
+  t.dst_port = 443;
+  t.protocol = 6;
+  return t;
+}
+
+/// Zipf(≈1)-ranked flow pick over [0, n): rank ≈ n^u visits rank 0 hardest
+/// with a heavy tail — the classic flow-popularity shape. Closed-form so the
+/// pregeneration pass stays cheap even at 16M flows.
+std::uint32_t exp7_zipf(Rng& rng, std::size_t n) {
+  const double r = std::pow(static_cast<double>(n), rng.uniform01());
+  const auto idx = static_cast<std::size_t>(r) - 1;
+  return static_cast<std::uint32_t>(std::min(idx, n - 1));
+}
+
+/// One pregenerated steady-phase op. kind: 0 = lookup of flow `arg`,
+/// 1 = insert of new legit flow `arg`, 2 = insert of attack tuple `arg`.
+struct Exp7Op {
+  std::uint8_t kind;
+  std::uint32_t arg;
+};
+
+}  // namespace
+
+FlowScaleResult run_flow_scale_trial(const FlowScaleOptions& opt) {
+  using Clock = std::chrono::steady_clock;
+  const auto ns_between = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
+  };
+
+  FlowScaleResult out;
+  const std::size_t n = std::max<std::size_t>(opt.concurrent_flows, 1);
+
+  // Pregenerate the steady op stream so neither RNG nor pow() cost pollutes
+  // the timed region, and both tables replay the identical stream.
+  Rng rng(opt.seed);
+  std::vector<Exp7Op> ops(opt.steady_ops);
+  std::uint32_t next_new = static_cast<std::uint32_t>(n);
+  std::uint32_t next_attack = 0;
+  const std::size_t hot = std::max<std::size_t>(n / 100, 1);
+  for (auto& op : ops) {
+    switch (opt.mix) {
+      case FlowScaleOptions::Mix::kZipf:
+        op = {0, exp7_zipf(rng, n)};
+        break;
+      case FlowScaleOptions::Mix::kFlashCrowd: {
+        const auto r = rng.uniform(10);
+        if (r < 8) {
+          op = {0, exp7_zipf(rng, hot)};  // the crowd hammers the hot set
+        } else if (r < 9) {
+          op = {0, static_cast<std::uint32_t>(rng.uniform(n))};
+        } else {
+          op = {1, next_new++};  // new arrivals being learned
+        }
+        break;
+      }
+      case FlowScaleOptions::Mix::kSynFlood:
+        op = rng.uniform(2) == 0 ? Exp7Op{2, next_attack++}
+                                 : Exp7Op{0, exp7_zipf(rng, n)};
+        break;
+    }
+  }
+
+  // Both tables start cold at the default 4096-entry hint: the populate
+  // phase grows them the whole way to the resident set, which is exactly
+  // where the resize pauses live.
+  net::FlowTable v1(4096, opt.idle_timeout);
+  net::FlowTableV2 v2(4096, opt.idle_timeout);
+  std::size_t v1_rehashes = 0;
+  v1.set_resize_hook(
+      [&v1_rehashes](const net::FlowResizeEvent&) { ++v1_rehashes; });
+
+  Nanos now = 0;
+  // Populate: every insert timed individually so a stop-the-world rehash
+  // shows up as one fat sample, not an average. Thread-CPU clock: see the
+  // FlowScaleResult doc — wall-clock maxima on shared vCPUs measure
+  // hypervisor steal, not the table.
+  const auto thread_ns = [] {
+    timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+  };
+  std::vector<std::uint32_t> pop_samples(n);
+  const auto pop_start = Clock::now();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const net::FiveTuple t = exp7_flow(i);
+    const int vri = static_cast<int>(i % static_cast<std::uint32_t>(opt.vris));
+    const auto t0 = thread_ns();
+    if (opt.v2) {
+      v2.insert(t, vri, now);
+    } else {
+      v1.insert(t, vri, now);
+    }
+    const auto dt = thread_ns() - t0;
+    pop_samples[i] = static_cast<std::uint32_t>(
+        std::min<std::int64_t>(dt, 0xFFFFFFFF));
+    out.max_insert_pause_ns = std::max(out.max_insert_pause_ns, dt);
+    now += 100;  // populate models a ramp, not one instant
+  }
+  out.populate_ns_per_insert =
+      static_cast<double>(ns_between(pop_start, Clock::now())) /
+      static_cast<double>(n);
+  std::sort(pop_samples.begin(), pop_samples.end());
+  out.populate_p99_ns = static_cast<double>(
+      pop_samples[static_cast<std::size_t>(
+          0.99 * static_cast<double>(pop_samples.size() - 1))]);
+  out.populate_p999_ns = static_cast<double>(
+      pop_samples[static_cast<std::size_t>(
+          0.999 * static_cast<double>(pop_samples.size() - 1))]);
+  out.flows = opt.v2 ? v2.size() : v1.size();
+
+  // Steady phase: replay the pregenerated stream, timing every op. The v2
+  // path includes gc_tick exactly as the dispatcher's probe path does — the
+  // wheel's background work is part of its honest per-op cost.
+  std::vector<std::uint32_t> samples(ops.size());
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  const auto steady_start = Clock::now();
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    const Exp7Op op = ops[k];
+    const net::FiveTuple t =
+        op.kind == 2 ? exp7_attack(op.arg) : exp7_flow(op.arg);
+    const int vri =
+        static_cast<int>(op.arg % static_cast<std::uint32_t>(opt.vris));
+    const auto t0 = Clock::now();
+    if (opt.v2) {
+      if (op.kind == 0) {
+        v2.gc_tick(now);
+        hits += v2.lookup(t, now).has_value();
+        ++lookups;
+      } else {
+        v2.insert(t, vri, now);
+      }
+    } else {
+      if (op.kind == 0) {
+        hits += v1.lookup(t, now).has_value();
+        ++lookups;
+      } else {
+        v1.insert(t, vri, now);
+      }
+    }
+    const auto dt = ns_between(t0, Clock::now());
+    samples[k] = static_cast<std::uint32_t>(
+        std::min<std::int64_t>(dt, 0xFFFFFFFF));
+    out.max_op_ns = std::max(out.max_op_ns, dt);
+    now += opt.op_gap;
+  }
+  const auto steady_ns = ns_between(steady_start, Clock::now());
+  out.steady_ns_per_op =
+      static_cast<double>(steady_ns) / static_cast<double>(ops.size());
+  out.steady_kfps = out.steady_ns_per_op > 0.0
+                        ? 1e6 / out.steady_ns_per_op
+                        : 0.0;
+  out.hit_rate = lookups ? static_cast<double>(hits) /
+                               static_cast<double>(lookups)
+                         : 0.0;
+
+  std::sort(samples.begin(), samples.end());
+  const auto pct = [&samples](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1));
+    return static_cast<double>(samples[idx]);
+  };
+  if (!samples.empty()) {
+    out.p50_op_ns = pct(0.50);
+    out.p99_op_ns = pct(0.99);
+    out.p999_op_ns = pct(0.999);
+  }
+
+  // End state + the §13 drain path: evict one VRI's pinned flows.
+  out.final_size = opt.v2 ? v2.size() : v1.size();
+  out.final_slots = opt.v2 ? v2.capacity() : v1.bucket_count();
+  out.expired = opt.v2 ? v2.expired_total() : 0;
+  out.resizes = opt.v2 ? static_cast<std::size_t>(v2.resizes_completed())
+                       : v1_rehashes;
+  const auto ev0 = Clock::now();
+  out.evicted = opt.v2 ? v2.evict_vri(0) : v1.evict_vri(0);
+  out.evict_vri_us =
+      static_cast<double>(ns_between(ev0, Clock::now())) / 1e3;
   return out;
 }
 

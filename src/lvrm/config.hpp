@@ -160,6 +160,20 @@ struct LvrmConfig {
   /// queue tail-drop; set explicitly to exercise exhaustion behavior.
   std::size_t frame_pool_capacity = 0;
 
+  /// Million-flow connection tracking (DESIGN.md §14): every per-shard
+  /// Dispatcher swaps the linear-probing FlowTable for FlowTableV2 —
+  /// cache-line-bucketed tags, incremental (pause-free) resize, idle-expiry
+  /// GC wheel, O(flows-on-VRI) eviction. Off by default: the classic table
+  /// is the calibrated reference and results are byte-identical off-vs-on
+  /// (same rollout discipline as `batched_hot_path` / `descriptor_rings`).
+  bool flow_table_v2 = false;
+
+  /// Initial per-Dispatcher flow-table capacity hint, in entries. The
+  /// default matches the classic table's historical footprint; a gateway
+  /// expected to front millions of concurrent flows should start near its
+  /// steady state so the ramp-up skips the early resize ladder.
+  std::size_t flow_table_capacity = 4096;
+
   /// Seed for the random balancer, allocation-jitter and kernel-migration
   /// draws; everything is deterministic given the seed.
   std::uint64_t seed = 1;

@@ -149,6 +149,9 @@ struct LvrmSystem::ObsHooks {
   // `overload_control.enabled`, keeping ladder-off exports byte-identical).
   obs::Counter sampled_shed;
   obs::Counter admission_rejected;
+  // Flow-table probe length in buckets touched (registered only when
+  // `flow_table_v2` is on — the classic-table export stays byte-identical).
+  obs::LogHistogram flow_probe_len;
   Nanos last_snapshot = 0;
 };
 
@@ -219,6 +222,9 @@ LvrmSystem::LvrmSystem(sim::Simulator& sim, const sim::CpuTopology& topo,
       obs_->sampled_shed = m.counter("lvrm_sampled_shed_total");
       obs_->admission_rejected = m.counter("lvrm_admission_rejected_total");
     }
+    if (config_.flow_table_v2) {
+      obs_->flow_probe_len = m.histogram("lvrm_flowtable_probe_len");
+    }
   }
 
   // The RX ring and each VRI's outgoing queue are drained in bursts of
@@ -268,7 +274,28 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
         make_balancer(config_.balancer,
                       config_.seed + 17 * static_cast<std::uint64_t>(vr->id) +
                           7919 * static_cast<std::uint64_t>(s)),
-        config_.granularity));
+        config_.granularity, sec(30), config_.flow_table_v2,
+        config_.flow_table_capacity));
+    if (config_.flow_table_v2 && telemetry_) {
+      Dispatcher* d = vr->dispatchers.back().get();
+      d->set_probe_histogram(obs_->flow_probe_len);
+      // flowtable_resize audit events: one per classic rehash, one per v2
+      // migration start/finish — never per migration step, so a 16M-entry
+      // resize cannot flood the bounded trail.
+      const int vr_id = vr->id;
+      d->set_flow_resize_hook([this, vr_id, s](const net::FlowResizeEvent& ev) {
+        obs::AuditEvent e;
+        e.time = e.until = sim_.now();
+        e.kind = obs::AuditKind::kFlowTableResize;
+        e.vr = static_cast<std::int16_t>(vr_id);
+        e.shard = static_cast<std::int16_t>(s);
+        e.cause = static_cast<std::uint8_t>(ev.cause);
+        e.a = ev.buckets_before;
+        e.b = ev.buckets_after;
+        e.c = ev.migrated;
+        telemetry_->audit().record(e);
+      });
+    }
   }
 
   const int max_vris = std::max(config_.max_vris_per_vr, vr->cfg.initial_vris);
@@ -2079,6 +2106,21 @@ void LvrmSystem::publish_gauges() {
     for (int idx : vr.active_order)
       depth += vr.slots[static_cast<std::size_t>(idx)]->data_in->size();
     m.gauge("lvrm_data_queue_depth", l).set(static_cast<double>(depth));
+    if (config_.flow_table_v2) {
+      // Flow-table gauges exist only with the v2 table on (same
+      // byte-identity rule as the ladder gauges below). Entries and slots
+      // are summed across the VR's per-shard dispatchers.
+      std::size_t entries = 0, slots = 0;
+      for (const auto& d : vr.dispatchers) {
+        entries += d->flow_entries();
+        slots += d->flow_slots();
+      }
+      m.gauge("lvrm_flowtable_entries", l).set(static_cast<double>(entries));
+      m.gauge("lvrm_flowtable_occupancy", l)
+          .set(slots == 0 ? 0.0
+                          : static_cast<double>(entries) /
+                                static_cast<double>(slots));
+    }
     if (config_.overload_control.enabled) {
       // Ladder gauges exist only with the ladder on, so defaults-off
       // exports stay byte-identical (same rule as the pool gauges).

@@ -1,17 +1,23 @@
 #include "net/flow.hpp"
 
 #include <bit>
+#include <cassert>
+
+#include "common/log.hpp"
 
 namespace lvrm::net {
 
-std::uint64_t hash_tuple(const FiveTuple& t) {
-  // Pack the tuple into two 64-bit words, then avalanche (xxhash finalizer).
-  std::uint64_t a = (static_cast<std::uint64_t>(t.src_ip) << 32) | t.dst_ip;
-  std::uint64_t b = (static_cast<std::uint64_t>(t.src_port) << 32) |
-                    (static_cast<std::uint64_t>(t.dst_port) << 16) |
-                    t.protocol;
-  std::uint64_t h = a * 0x9E3779B185EBCA87ULL;
-  h = std::rotl(h, 31) ^ (b * 0xC2B2AE3D27D4EB4FULL);
+PackedTuple pack_tuple(const FiveTuple& t) {
+  return PackedTuple{
+      .a = (static_cast<std::uint64_t>(t.src_ip) << 32) | t.dst_ip,
+      .b = (static_cast<std::uint64_t>(t.src_port) << 32) |
+           (static_cast<std::uint64_t>(t.dst_port) << 16) | t.protocol};
+}
+
+std::uint64_t hash_packed(PackedTuple k) {
+  // xxhash-style finalizer over the two packed words.
+  std::uint64_t h = k.a * 0x9E3779B185EBCA87ULL;
+  h = std::rotl(h, 31) ^ (k.b * 0xC2B2AE3D27D4EB4FULL);
   h ^= h >> 33;
   h *= 0xFF51AFD7ED558CCDULL;
   h ^= h >> 33;
@@ -20,8 +26,28 @@ std::uint64_t hash_tuple(const FiveTuple& t) {
   return h;
 }
 
+std::uint64_t hash_tuple(const FiveTuple& t) {
+  return hash_packed(pack_tuple(t));
+}
+
+const char* to_string(FlowResizeCause c) {
+  switch (c) {
+    case FlowResizeCause::kLoadFactor: return "load_factor";
+    case FlowResizeCause::kTombstonePurge: return "tombstone_purge";
+    case FlowResizeCause::kIncrementalStep: return "incremental_step";
+  }
+  return "unknown";
+}
+
 namespace {
+// Largest power of two representable in size_t; hints above it cannot be
+// rounded up and `p <<= 1` would wrap to 0, looping forever.
+constexpr std::size_t kMaxPow2 = std::size_t{1}
+                                 << (sizeof(std::size_t) * 8 - 1);
+
 std::size_t round_up_pow2(std::size_t n) {
+  assert(n <= kMaxPow2 && "capacity hint not representable as a power of two");
+  if (n > kMaxPow2) return kMaxPow2;  // NDEBUG: clamp instead of hanging
   std::size_t p = 16;
   while (p < n) p <<= 1;
   return p;
@@ -30,6 +56,9 @@ std::size_t round_up_pow2(std::size_t n) {
 
 FlowTable::FlowTable(std::size_t capacity_hint, Nanos idle_timeout)
     : idle_timeout_(idle_timeout) {
+  // A hint above 2^32 slots (≥256 GiB of Slot alone) is a units bug in the
+  // caller, not a real sizing request.
+  assert(capacity_hint <= (std::size_t{1} << 32) && "capacity hint too large");
   const std::size_t buckets = round_up_pow2(capacity_hint);
   slots_.assign(buckets, Slot{});
   mask_ = buckets - 1;
@@ -49,11 +78,18 @@ std::size_t FlowTable::probe(const FiveTuple& t) const {
     }
     idx = (idx + 1) & mask_;
   }
-  return first_free != slots_.size() ? first_free : 0;
+  // Scanned every slot: the key is absent and, unless a tombstone was seen,
+  // there is nowhere to put it. Returning any index here would alias a
+  // different flow's slot, so a full table reports kNoSlot.
+  return first_free != slots_.size() ? first_free : kNoSlot;
 }
 
 std::optional<int> FlowTable::lookup(const FiveTuple& t, Nanos now) {
   const std::size_t idx = probe(t);
+  if (idx == kNoSlot) {
+    ++misses_;
+    return std::nullopt;
+  }
   Slot& s = slots_[idx];
   if (s.state == State::kLive && s.tuple == t) {
     if (expired(s, now)) {
@@ -71,16 +107,39 @@ std::optional<int> FlowTable::lookup(const FiveTuple& t, Nanos now) {
   return std::nullopt;
 }
 
-void FlowTable::insert(const FiveTuple& t, int vri, Nanos now) {
+bool FlowTable::insert(const FiveTuple& t, int vri, Nanos now) {
   // Tombstones count toward the rehash trigger: a probe chain does not stop
   // at a tombstone, so a churned table with few live entries can still
   // degrade to O(n) probes if dead slots pile up. Double only when live
   // entries alone pass load factor 0.5; otherwise rebuild at the same size,
   // which just purges the tombstones.
   if ((live_ + tombstones_ + 1) * 10 > slots_.size() * 7) {
-    rehash(live_ * 10 > slots_.size() * 5 ? slots_.size() * 2 : slots_.size());
+    const bool grow = live_ * 10 > slots_.size() * 5;
+    std::size_t target = grow ? slots_.size() * 2 : slots_.size();
+    FlowResizeCause cause =
+        grow ? FlowResizeCause::kLoadFactor : FlowResizeCause::kTombstonePurge;
+    if (max_buckets_ != 0 && target > max_buckets_) {
+      // Growth is capped; a same-size purge still helps when tombstones are
+      // what tripped the guard, otherwise the table is simply full and the
+      // probe below decides the insert's fate.
+      target = tombstones_ > 0 ? slots_.size() : 0;
+      cause = FlowResizeCause::kTombstonePurge;
+    }
+    if (target != 0) rehash(target, cause);
   }
   const std::size_t idx = probe(t);
+  if (idx == kNoSlot) {
+    ++insert_failures_;
+    // Power-of-two backoff so a saturated table doesn't flood the log at
+    // frame rate while the first and the steady-state failures stay visible.
+    if ((insert_failures_ & (insert_failures_ - 1)) == 0) {
+      LVRM_CLOG(kDispatch, kError)
+          << "flow table full (" << live_ << "/" << slots_.size()
+          << " slots, cap " << max_buckets_ << "): flow not tracked, "
+          << insert_failures_ << " failures total";
+    }
+    return false;
+  }
   Slot& s = slots_[idx];
   const bool was_live = s.state == State::kLive && s.tuple == t;
   if (s.state == State::kTombstone) --tombstones_;  // slot reused
@@ -89,6 +148,7 @@ void FlowTable::insert(const FiveTuple& t, int vri, Nanos now) {
   s.last_seen = now;
   s.state = State::kLive;
   if (!was_live) ++live_;
+  return true;
 }
 
 std::size_t FlowTable::evict_vri(int vri) {
@@ -104,7 +164,8 @@ std::size_t FlowTable::evict_vri(int vri) {
   return evicted;
 }
 
-void FlowTable::rehash(std::size_t buckets) {
+void FlowTable::rehash(std::size_t buckets, FlowResizeCause cause) {
+  const std::size_t before = slots_.size();
   std::vector<Slot> old = std::move(slots_);
   slots_.assign(buckets, Slot{});
   mask_ = slots_.size() - 1;
@@ -115,6 +176,12 @@ void FlowTable::rehash(std::size_t buckets) {
     const std::size_t idx = probe(s.tuple);
     slots_[idx] = s;
     ++live_;
+  }
+  if (on_resize_) {
+    on_resize_(FlowResizeEvent{.cause = cause,
+                               .buckets_before = before,
+                               .buckets_after = buckets,
+                               .migrated = live_});
   }
 }
 

@@ -1,0 +1,582 @@
+#include "net/flow_v2.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace lvrm::net {
+
+namespace {
+
+constexpr std::uint64_t kLsb = 0x0101010101010101ULL;
+constexpr std::uint64_t k7f = 0x7F7F7F7F7F7F7F7FULL;
+
+std::uint64_t load8(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+/// High bit of byte i set iff byte i of v is zero. The exact SWAR form —
+/// not the cheaper `(v - kLsb) & ~v & 0x80..` — because borrow propagation
+/// in that one can flag a 0x01 byte above a genuine zero. A false "empty
+/// lane" there would overwrite a live entry whose list links still point at
+/// the slot, so exactness is structural here, not a micro-nicety.
+std::uint64_t zero_bytes(std::uint64_t v) {
+  return ~(((v & k7f) + k7f) | v | k7f);
+}
+
+/// High bit of byte i set iff tags[i] == tag (bucket's 8 tags in one word).
+std::uint64_t match_tag(const std::uint8_t* tags, std::uint8_t tag) {
+  return zero_bytes(load8(tags) ^ (kLsb * tag));
+}
+
+std::uint64_t empty_lanes(const std::uint8_t* tags) {
+  return zero_bytes(load8(tags));
+}
+
+unsigned lane_of(std::uint64_t match_bit_mask) {
+  return static_cast<unsigned>(std::countr_zero(match_bit_mask)) >> 3;
+}
+
+std::uint8_t tag_of(std::uint64_t h) {
+  const auto t = static_cast<std::uint8_t>(h >> 56);
+  return t == 0 ? 1 : t;  // 0 means empty; fold it onto 1
+}
+
+}  // namespace
+
+FlowTableV2::FlowTableV2(std::size_t capacity_hint, Nanos idle_timeout)
+    : idle_timeout_(idle_timeout) {
+  assert(capacity_hint <= (std::size_t{1} << 31) && "capacity hint too large");
+  // Size so the hint sits below the 7/8 growth trigger: capacity_hint
+  // entries must fit in n_buckets * 8 * 7/8 = n_buckets * 7 slots.
+  std::size_t buckets = 2;
+  while (buckets * 7 < capacity_hint) buckets <<= 1;
+  alloc_core(cores_[0], buckets);
+  gran_ = idle_timeout_ > 0
+              ? std::max<Nanos>(idle_timeout_ / (kWheelSlots / 2), 1)
+              : 1;
+  std::fill(std::begin(wheel_heads_), std::end(wheel_heads_), kNullRef);
+}
+
+FlowTableV2::~FlowTableV2() {
+  for (Core& c : cores_) {
+    if (c.arena != nullptr) ::munmap(c.arena, c.arena_len);
+  }
+  for (const Retired& r : retired_) ::munmap(r.base, r.len);
+}
+
+void FlowTableV2::alloc_core(Core& c, std::size_t n_buckets) {
+  const std::size_t n = n_buckets * kSlotsPerBucket;
+  assert(n <= (std::size_t{1} << 31) && "slot index must fit in 31-bit refs");
+  c.n_buckets = n_buckets;
+  c.mask = n_buckets - 1;
+  c.live = 0;
+  // One anonymous mapping for the whole generation. mmap's lazy zero pages
+  // make this O(1) regardless of size — a 256 MB generation costs page
+  // faults spread over use, not an up-front memset that would blow the
+  // 10 µs pause bound the incremental resize exists to guarantee. Tags gate
+  // every read, and anonymous pages read as zero, so nothing needs
+  // initialization. The 8-byte arrays are carved first so every array is
+  // naturally aligned.
+  const std::size_t bytes =
+      n * (3 * sizeof(std::uint64_t) + 5 * sizeof(std::uint32_t) + 2);
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  c.arena_len = (bytes + page - 1) & ~(page - 1);
+  void* base = ::mmap(nullptr, c.arena_len, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  assert(base != MAP_FAILED && "flow table arena mmap failed");
+  if (base == MAP_FAILED) std::abort();
+  c.arena = base;
+  auto* p = static_cast<std::uint8_t*>(base);
+  c.ka = reinterpret_cast<std::uint64_t*>(p);
+  p += n * sizeof(std::uint64_t);
+  c.kb = reinterpret_cast<std::uint64_t*>(p);
+  p += n * sizeof(std::uint64_t);
+  c.last_seen = reinterpret_cast<std::int64_t*>(p);
+  p += n * sizeof(std::int64_t);
+  c.vri = reinterpret_cast<std::int32_t*>(p);
+  p += n * sizeof(std::int32_t);
+  c.gc_prev = reinterpret_cast<std::uint32_t*>(p);
+  p += n * sizeof(std::uint32_t);
+  c.gc_next = reinterpret_cast<std::uint32_t*>(p);
+  p += n * sizeof(std::uint32_t);
+  c.vri_prev = reinterpret_cast<std::uint32_t*>(p);
+  p += n * sizeof(std::uint32_t);
+  c.vri_next = reinterpret_cast<std::uint32_t*>(p);
+  p += n * sizeof(std::uint32_t);
+  c.tags = p;
+  p += n;
+  c.wheel = p;
+}
+
+void FlowTableV2::release_core(Core& c) {
+  // Never unmapped here: at 16M entries the drained generation is ~1.5 GB
+  // and a single munmap is a multi-ms page-table teardown — measured as the
+  // dominant residual pause when it rode the resize-completion insert. The
+  // arena is queued instead and given back in kReclaimChunk slices.
+  if (c.arena != nullptr) retired_.push_back({c.arena, c.arena_len});
+  c = Core{};
+}
+
+void FlowTableV2::reclaim_step() {
+  if (retired_.empty()) return;
+  Retired& r = retired_.back();
+  const std::size_t chunk = std::min(kReclaimChunk, r.len);
+  ::munmap(r.base, chunk);
+  r.base = static_cast<std::uint8_t*>(r.base) + chunk;
+  r.len -= chunk;
+  if (r.len == 0) retired_.pop_back();
+}
+
+// ---------------------------------------------------------------------------
+// Intrusive lists. Links are Refs, so a list freely spans both generations
+// during a resize; an entry's own fields locate its head (wheel[pos] for the
+// GC wheel, vri[pos] for the per-VRI index), which is what makes unlink O(1)
+// with head-pointer-only lists.
+
+void FlowTableV2::link_gc(Ref ref, int wheel_slot) {
+  if (idle_timeout_ <= 0) return;
+  Core& c = core_of(ref);
+  const std::size_t pos = pos_of(ref);
+  c.wheel[pos] = static_cast<std::uint8_t>(wheel_slot);
+  c.gc_prev[pos] = kNullRef;
+  const Ref head = wheel_heads_[wheel_slot];
+  c.gc_next[pos] = head;
+  if (head != kNullRef) core_of(head).gc_prev[pos_of(head)] = ref;
+  wheel_heads_[wheel_slot] = ref;
+}
+
+void FlowTableV2::unlink_gc(Ref ref) {
+  if (idle_timeout_ <= 0) return;
+  Core& c = core_of(ref);
+  const std::size_t pos = pos_of(ref);
+  const Ref p = c.gc_prev[pos];
+  const Ref n = c.gc_next[pos];
+  if (p == kNullRef) {
+    wheel_heads_[c.wheel[pos]] = n;
+    // The successor inherits the slot byte. Interior wheel bytes may be
+    // stale (the GC overflow chain re-parks a chain remainder by rewriting
+    // only its head's byte) — propagating on head removal keeps the one
+    // byte that locates a list, the head's, always accurate.
+    if (n != kNullRef) core_of(n).wheel[pos_of(n)] = c.wheel[pos];
+  } else {
+    core_of(p).gc_next[pos_of(p)] = n;
+  }
+  if (n != kNullRef) core_of(n).gc_prev[pos_of(n)] = p;
+}
+
+void FlowTableV2::link_vri(Ref ref, int vri) {
+  if (vri < 0) return;
+  const auto v = static_cast<std::size_t>(vri);
+  if (v >= vri_heads_.size()) vri_heads_.resize(v + 1, kNullRef);
+  Core& c = core_of(ref);
+  const std::size_t pos = pos_of(ref);
+  c.vri_prev[pos] = kNullRef;
+  const Ref head = vri_heads_[v];
+  c.vri_next[pos] = head;
+  if (head != kNullRef) core_of(head).vri_prev[pos_of(head)] = ref;
+  vri_heads_[v] = ref;
+}
+
+void FlowTableV2::unlink_vri(Ref ref) {
+  Core& c = core_of(ref);
+  const std::size_t pos = pos_of(ref);
+  if (c.vri[pos] < 0) return;
+  const Ref p = c.vri_prev[pos];
+  const Ref n = c.vri_next[pos];
+  if (p == kNullRef) {
+    vri_heads_[static_cast<std::size_t>(c.vri[pos])] = n;
+  } else {
+    core_of(p).vri_next[pos_of(p)] = n;
+  }
+  if (n != kNullRef) core_of(n).vri_prev[pos_of(n)] = p;
+}
+
+void FlowTableV2::link_lists(Ref ref) {
+  Core& c = core_of(ref);
+  const std::size_t pos = pos_of(ref);
+  link_vri(ref, c.vri[pos]);
+  link_gc(ref, wheel_slot_for(c.last_seen[pos] + idle_timeout_));
+}
+
+void FlowTableV2::unlink_lists(Ref ref) {
+  unlink_vri(ref);
+  unlink_gc(ref);
+}
+
+// ---------------------------------------------------------------------------
+// Slot movement primitives.
+
+void FlowTableV2::emplace_at(int ci, std::size_t pos, const Loose& e) {
+  Core& c = cores_[ci];
+  assert(c.tags[pos] == 0);
+  c.tags[pos] = tag_of(e.h);
+  c.ka[pos] = e.ka;
+  c.kb[pos] = e.kb;
+  c.vri[pos] = e.vri;
+  c.last_seen[pos] = e.last_seen;
+  ++c.live;
+  link_lists(make_ref(ci, pos));
+}
+
+FlowTableV2::Loose FlowTableV2::extract(Ref ref) {
+  Core& c = core_of(ref);
+  const std::size_t pos = pos_of(ref);
+  assert(c.tags[pos] != 0);
+  unlink_lists(ref);
+  Loose e{.ka = c.ka[pos],
+          .kb = c.kb[pos],
+          .h = hash_packed(PackedTuple{c.ka[pos], c.kb[pos]}),
+          .last_seen = c.last_seen[pos],
+          .vri = c.vri[pos]};
+  c.tags[pos] = 0;
+  --c.live;
+  return e;
+}
+
+void FlowTableV2::erase(Ref ref) {
+  (void)extract(ref);
+}
+
+void FlowTableV2::place(int ci, Loose e) {
+  Core& c = cores_[ci];
+  const std::size_t b1 = e.h & c.mask;
+  const std::size_t b2 = alt_bucket(c, b1, e.h);
+  for (const std::size_t b : {b1, b2}) {
+    const std::uint64_t m = empty_lanes(c.tags + b * kSlotsPerBucket);
+    if (m != 0) {
+      emplace_at(ci, b * kSlotsPerBucket + lane_of(m), e);
+      return;
+    }
+  }
+  // Both home buckets full: bounded random-walk cuckoo. The hand entry is
+  // written over a deterministic-randomly chosen victim, which becomes the
+  // new hand and walks to ITS alternate bucket — every displaced entry stays
+  // within its own two home buckets, so lookups never need a third probe.
+  Loose hand = e;
+  std::size_t cur = (lcg_next() & 1) ? b2 : b1;
+  for (int kick = 1; kick <= kMaxKicks; ++kick) {
+    const std::size_t pos =
+        cur * kSlotsPerBucket + (lcg_next() & (kSlotsPerBucket - 1));
+    Loose victim = extract(make_ref(ci, pos));
+    emplace_at(ci, pos, hand);
+    hand = victim;
+    cur = alt_bucket(c, cur, hand.h);
+    const std::uint64_t m = empty_lanes(c.tags + cur * kSlotsPerBucket);
+    if (m != 0) {
+      emplace_at(ci, cur * kSlotsPerBucket + lane_of(m), hand);
+      max_kicks_seen_ = std::max(max_kicks_seen_, kick);
+      return;
+    }
+  }
+  // Walk exhausted (astronomically rare below the growth trigger): the hand
+  // overflows into the stash, which lookups scan linearly and whose growth
+  // pressure triggers a resize.
+  max_kicks_seen_ = kMaxKicks;
+  stash_.push_back(hand);
+  stash_peak_ = std::max(stash_peak_, stash_.size());
+}
+
+// ---------------------------------------------------------------------------
+// Probing.
+
+FlowTableV2::Ref FlowTableV2::find_in_core(int ci, std::uint64_t ka,
+                                           std::uint64_t kb,
+                                           std::uint64_t h) {
+  Core& c = cores_[ci];
+  if (c.n_buckets == 0) return kNullRef;
+  const std::uint8_t tag = tag_of(h);
+  const std::size_t b1 = h & c.mask;
+  const std::size_t b2 = alt_bucket(c, b1, h);
+  for (const std::size_t b : {b1, b2}) {
+    ++last_probe_len_;
+    std::uint64_t m = match_tag(c.tags + b * kSlotsPerBucket, tag);
+    while (m != 0) {
+      const std::size_t pos = b * kSlotsPerBucket + lane_of(m);
+      if (c.ka[pos] == ka && c.kb[pos] == kb) return make_ref(ci, pos);
+      m &= m - 1;  // tag collision: next candidate lane
+    }
+  }
+  return kNullRef;
+}
+
+int FlowTableV2::find_in_stash(std::uint64_t ka, std::uint64_t kb) const {
+  for (std::size_t i = 0; i < stash_.size(); ++i) {
+    if (stash_[i].ka == ka && stash_[i].kb == kb) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::optional<int> FlowTableV2::lookup(const FiveTuple& t, Nanos now) {
+  if (resizing_) migrate_step(1, now);
+  reclaim_step();
+  last_probe_len_ = 0;
+  const PackedTuple k = pack_tuple(t);
+  const std::uint64_t h = hash_packed(k);
+  Ref r = find_in_core(active_, k.a, k.b, h);
+  if (r == kNullRef && resizing_) r = find_in_core(active_ ^ 1, k.a, k.b, h);
+  if (r != kNullRef) {
+    Core& c = core_of(r);
+    const std::size_t pos = pos_of(r);
+    if (expired(c.last_seen[pos], now)) {
+      erase(r);
+      ++expired_total_;
+      ++misses_;
+      return std::nullopt;
+    }
+    // Lazy wheel: only the timestamp moves; gc_tick relinks on visit.
+    c.last_seen[pos] = now;
+    ++hits_;
+    return c.vri[pos];
+  }
+  if (!stash_.empty()) {
+    ++last_probe_len_;
+    const int i = find_in_stash(k.a, k.b);
+    if (i >= 0) {
+      const auto si = static_cast<std::size_t>(i);
+      if (expired(stash_[si].last_seen, now)) {
+        stash_[si] = stash_.back();
+        stash_.pop_back();
+        ++expired_total_;
+        ++misses_;
+        return std::nullopt;
+      }
+      stash_[si].last_seen = now;
+      ++hits_;
+      return stash_[si].vri;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+bool FlowTableV2::insert(const FiveTuple& t, int vri, Nanos now) {
+  if (resizing_) migrate_step(2, now);
+  reclaim_step();
+  last_probe_len_ = 0;
+  const PackedTuple k = pack_tuple(t);
+  const std::uint64_t h = hash_packed(k);
+  Ref r = find_in_core(active_, k.a, k.b, h);
+  if (r == kNullRef && resizing_) r = find_in_core(active_ ^ 1, k.a, k.b, h);
+  if (r != kNullRef) {
+    // Update in place — including an expired-but-present entry, matching
+    // FlowTable's overwrite semantics (live count unchanged, slot reused).
+    Core& c = core_of(r);
+    const std::size_t pos = pos_of(r);
+    if (c.vri[pos] != vri) {
+      unlink_vri(r);  // before the value changes: it locates the old head
+      c.vri[pos] = vri;
+      link_vri(r, vri);
+    }
+    c.last_seen[pos] = now;
+    return true;
+  }
+  const int i = find_in_stash(k.a, k.b);
+  if (i >= 0) {
+    stash_[static_cast<std::size_t>(i)].vri = vri;
+    stash_[static_cast<std::size_t>(i)].last_seen = now;
+    return true;
+  }
+  maybe_start_resize(now);
+  place(active_, Loose{.ka = k.a, .kb = k.b, .h = h, .last_seen = now,
+                       .vri = vri});
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Eviction and expiry.
+
+std::size_t FlowTableV2::evict_vri(int vri) {
+  std::size_t evicted = 0;
+  if (vri >= 0 && static_cast<std::size_t>(vri) < vri_heads_.size()) {
+    Ref r = vri_heads_[static_cast<std::size_t>(vri)];
+    vri_heads_[static_cast<std::size_t>(vri)] = kNullRef;
+    while (r != kNullRef) {
+      Core& c = core_of(r);
+      const std::size_t pos = pos_of(r);
+      const Ref next = c.vri_next[pos];
+      unlink_gc(r);
+      c.tags[pos] = 0;
+      --c.live;
+      ++evicted;
+      r = next;
+    }
+  }
+  for (std::size_t i = 0; i < stash_.size();) {
+    if (stash_[i].vri == vri) {
+      stash_[i] = stash_.back();
+      stash_.pop_back();
+      ++evicted;
+    } else {
+      ++i;
+    }
+  }
+  return evicted;
+}
+
+std::size_t FlowTableV2::gc_process_chain(Ref r, std::size_t& budget,
+                                          Nanos now) {
+  std::size_t expired_count = 0;
+  while (r != kNullRef) {
+    if (budget == 0) {
+      // Budget exhausted: re-park the unprocessed remainder on the overflow
+      // chain, to be drained first next tick. Only the new head's wheel
+      // byte is rewritten — O(1), interiors keep stale bytes (harmless:
+      // unlink_gc propagates the byte on every head removal).
+      Core& c = core_of(r);
+      const std::size_t pos = pos_of(r);
+      c.wheel[pos] = static_cast<std::uint8_t>(kWheelSlots);
+      c.gc_prev[pos] = kNullRef;
+      wheel_heads_[kWheelSlots] = r;
+      return expired_count;
+    }
+    --budget;
+    Core& c = core_of(r);
+    const std::size_t pos = pos_of(r);
+    const Ref next = c.gc_next[pos];
+    if (expired(c.last_seen[pos], now)) {
+      unlink_vri(r);
+      c.tags[pos] = 0;
+      --c.live;
+      ++expired_total_;
+      ++expired_count;
+    } else {
+      // Refreshed since scheduling (lazy wheel): relink at the deadline
+      // its current timestamp implies.
+      link_gc(r, wheel_slot_for(c.last_seen[pos] + idle_timeout_));
+    }
+    r = next;
+  }
+  return expired_count;
+}
+
+std::size_t FlowTableV2::gc_tick(Nanos now) {
+  if (idle_timeout_ <= 0) return 0;
+  std::size_t budget = kGcBudgetPerTick;
+  std::size_t expired_count = 0;
+  // Overflow from a previous budget-capped tick drains first (it carries
+  // the oldest deadlines). Popped whole, like slot chains: survivors relink
+  // into real slots, the remainder re-parks.
+  if (wheel_heads_[kWheelSlots] != kNullRef) {
+    const Ref pending = wheel_heads_[kWheelSlots];
+    wheel_heads_[kWheelSlots] = kNullRef;
+    expired_count += gc_process_chain(pending, budget, now);
+  }
+  if (wheel_time_ + gran_ > now && expired_count == 0) return expired_count;
+  int slots_done = 0;
+  while (budget > 0 && wheel_time_ + gran_ <= now) {
+    if (slots_done++ >= kWheelSlots) {
+      // A gap longer than a full revolution: every slot was just visited
+      // once, so jump the cursor instead of spinning through empty windows.
+      wheel_time_ = now - (now % gran_);
+      break;
+    }
+    const int idx = wheel_slot_for(wheel_time_);
+    // Pop the whole chain first: survivors relink (possibly into this same
+    // slot, for next revolution), and a half-walked chain must never be
+    // re-entered through the head mid-processing.
+    const Ref r = wheel_heads_[idx];
+    wheel_heads_[idx] = kNullRef;
+    expired_count += gc_process_chain(r, budget, now);
+    // The window advances even when the chain overflowed the budget: its
+    // remainder lives on the overflow chain now, not in this slot. Lookups
+    // still enforce exact expiry, so the delay is reclamation-only.
+    wheel_time_ += gran_;
+  }
+  // The stash is outside the wheel (it is tiny and churns); sweep it on the
+  // same cadence.
+  for (std::size_t i = 0; i < stash_.size();) {
+    if (expired(stash_[i].last_seen, now)) {
+      stash_[i] = stash_.back();
+      stash_.pop_back();
+      ++expired_total_;
+      ++expired_count;
+    } else {
+      ++i;
+    }
+  }
+  return expired_count;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental resize.
+
+void FlowTableV2::maybe_start_resize(Nanos now) {
+  Core& a = cores_[active_];
+  // Grow when this insert would push occupancy past 7/8 of the slots.
+  const bool over_load =
+      (a.live + 1) * 8 > a.n_buckets * kSlotsPerBucket * 7;
+  const bool stash_pressure = stash_.size() > 32;
+  if (!over_load && !stash_pressure) return;
+  if (resizing_) {
+    // A migration is already draining; it folds the stash back in when it
+    // completes, so stash pressure alone never stacks resizes. Only the
+    // active generation itself filling up — adversarial fill rates — forces
+    // the drain to completion so at most two generations ever exist.
+    if (!over_load) return;
+    migrate_step(cores_[active_ ^ 1].n_buckets, now);
+  }
+  const std::size_t before = a.n_buckets * kSlotsPerBucket;
+  const int fresh = active_ ^ 1;
+  alloc_core(cores_[fresh], a.n_buckets * 2);
+  active_ = fresh;
+  resizing_ = true;
+  migrate_cursor_ = 0;
+  migrated_entries_ = 0;
+  ++resizes_started_;
+  if (on_resize_) {
+    on_resize_(FlowResizeEvent{.cause = FlowResizeCause::kLoadFactor,
+                               .buckets_before = before,
+                               .buckets_after = capacity(),
+                               .migrated = 0});
+  }
+}
+
+void FlowTableV2::migrate_step(std::size_t max_buckets, Nanos now) {
+  if (!resizing_) return;
+  Core& old = cores_[active_ ^ 1];
+  std::size_t done = 0;
+  while (done < max_buckets && migrate_cursor_ < old.n_buckets) {
+    const std::size_t base = migrate_cursor_ * kSlotsPerBucket;
+    for (std::size_t lane = 0; lane < kSlotsPerBucket; ++lane) {
+      if (old.tags[base + lane] == 0) continue;
+      Loose e = extract(make_ref(active_ ^ 1, base + lane));
+      if (expired(e.last_seen, now)) {
+        // Migration doubles as an expiry purge: dead entries are dropped
+        // instead of copied, so a resize also compacts.
+        ++expired_total_;
+      } else {
+        place(active_, e);
+        ++migrated_entries_;
+      }
+    }
+    ++migrate_cursor_;
+    ++done;
+  }
+  if (migrate_cursor_ >= old.n_buckets) {
+    // Old generation drained: fold the stash back into the doubled table
+    // (its entries were overflow of the cramped one), then retire the old
+    // arrays. One completion event, not one per step.
+    std::vector<Loose> overflow;
+    overflow.swap(stash_);
+    for (const Loose& e : overflow) place(active_, e);
+    const std::size_t before = old.n_buckets * kSlotsPerBucket;
+    release_core(old);
+    resizing_ = false;
+    ++resizes_completed_;
+    if (on_resize_) {
+      on_resize_(FlowResizeEvent{.cause = FlowResizeCause::kIncrementalStep,
+                                 .buckets_before = before,
+                                 .buckets_after = capacity(),
+                                 .migrated = migrated_entries_});
+    }
+  }
+}
+
+}  // namespace lvrm::net

@@ -14,6 +14,7 @@ const char* to_string(AuditKind k) {
     case AuditKind::kPoolExhausted: return "pool_exhausted";
     case AuditKind::kOverloadLevel: return "overload_level";
     case AuditKind::kVriDrain: return "vri_drain";
+    case AuditKind::kFlowTableResize: return "flowtable_resize";
   }
   return "unknown";
 }

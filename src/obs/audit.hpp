@@ -31,6 +31,7 @@ enum class AuditKind : std::uint8_t {
   kPoolExhausted,  // frame pool ran dry at RX ingress (rate-limited)
   kOverloadLevel,  // a VR's degradation ladder changed level / sampling rate
   kVriDrain,       // reset-free VRI drain: live flows migrated to siblings
+  kFlowTableResize,  // a dispatcher's flow table rebuilt / finished migrating
 };
 
 const char* to_string(AuditKind k);
@@ -85,6 +86,13 @@ const char* to_string(PoolExhaustCause c);
 ///     b         = flow pins evicted for re-balancing
 ///     c         = frames dropped (survivors saturated)
 ///     cause     = DrainCause
+///   kFlowTableResize (DESIGN.md §14; start + completion, never per step):
+///     a         = slot capacity before, b = slot capacity after
+///     c         = entries migrated so far (0 on start; for the v2 table's
+///                 completion event, total live entries carried over)
+///     shard     = dispatcher shard owning the table
+///     cause     = net::FlowResizeCause (load-factor / tombstone-purge /
+///                 incremental-step)
 struct AuditEvent {
   Nanos time = 0;   // event (or episode-start) sim time
   Nanos until = 0;  // episode end for duration events, else == time

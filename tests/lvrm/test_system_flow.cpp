@@ -4,6 +4,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "lvrm/system.hpp"
@@ -103,6 +105,58 @@ TEST(SystemFlowBased, NoSameFlowReorderingThroughGateway) {
       EXPECT_GT(f.id, it->second) << "reordered flow " << f.src_port;
     last_id[f.src_port] = f.id;
   }
+}
+
+// The flow_table_v2 rollout contract (DESIGN.md §14): with the gate off or
+// on, the system produces byte-identical egress — same frames, same VRI
+// assignments, same order — because FlowTableV2 reproduces the classic
+// table's observable semantics exactly (expiry boundary, expired-hit
+// accounting, update-in-place). The workload is chosen to exercise the
+// paths where divergence could hide: a tiny capacity hint forces v2 through
+// several incremental resizes (and v1 through stop-the-world rehashes), and
+// a flow population revisiting slower than the idle timeout forces expiry
+// and re-learning through both code paths.
+TEST(SystemFlowBased, FlowTableV2EgressIsByteIdenticalToClassic) {
+  auto run = [](bool v2) {
+    sim::Simulator sim;
+    sim::CpuTopology topo;
+    LvrmConfig cfg;
+    cfg.allocator = AllocatorKind::kFixed;
+    cfg.granularity = BalancerGranularity::kFlow;
+    cfg.balancer = BalancerKind::kRoundRobin;
+    cfg.flow_table_v2 = v2;
+    cfg.flow_table_capacity = 16;
+    LvrmSystem sys(sim, topo, cfg);
+    VrConfig vr;
+    vr.initial_vris = 4;
+    sys.add_vr(vr);
+    sys.start();
+    std::vector<std::pair<std::uint64_t, int>> out;
+    sys.set_egress([&out](net::FrameMeta&& f) {
+      out.emplace_back(f.id, f.dispatch_vri);
+    });
+    Rng rng(7);
+    std::uint64_t id = 0;
+    for (int i = 0; i < 4000; ++i) {
+      // ~1500 flows revisited every ~30 s on average: some pins expire
+      // (idle > 30 s), some survive — both sides of the boundary hit.
+      const auto port = static_cast<std::uint16_t>(1000 + rng.uniform(1500));
+      net::FrameMeta f;
+      f.id = id++;
+      f.src_ip = net::ipv4(10, 1, 0, 1);
+      f.dst_ip = net::ipv4(10, 2, 0, 1);
+      f.src_port = port;
+      f.dst_port = 9;
+      f.protocol = 17;
+      sim.at(msec(20) * i, [&sys, f] { sys.ingress(f); });
+    }
+    sim.run_all();
+    return out;
+  };
+  const auto classic = run(false);
+  const auto with_v2 = run(true);
+  ASSERT_EQ(classic.size(), 4000u);
+  EXPECT_EQ(classic, with_v2);
 }
 
 TEST(SystemFlowBased, FlowsRebalanceAfterVriDestroyed) {

@@ -4,7 +4,9 @@
 
 #include <map>
 #include <optional>
+#include <vector>
 
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 
@@ -129,6 +131,134 @@ TEST(FlowTable, HitMissCounters) {
   table.lookup(tuple(5, 6, 7, 8), 1);
   EXPECT_EQ(table.hits(), 1u);
   EXPECT_EQ(table.misses(), 1u);
+}
+
+// Regression for the probe() full-table fallback: with growth capped, a
+// genuinely full table must make insert fail loudly instead of returning
+// slot 0 and silently aliasing whatever flow lives there (the pre-fix bug:
+// a pathological fill redirected a victim flow's frames to the attacker's
+// VRI pin). The cap makes the state reachable — uncapped, rehash always
+// makes room before the table can fill.
+TEST(FlowTable, FullCappedTableFailsInsertLoudly) {
+  FlowTable table(16, /*idle_timeout=*/0);  // no expiry: slots never free
+  table.set_max_buckets(16);
+  // Fill past the rehash guard (fires at 12 entries for 16 slots) all the
+  // way to genuinely full: the capped rehash cannot double and there are no
+  // tombstones to purge, so inserts keep landing in remaining empty slots.
+  for (std::uint32_t i = 0; i < 16; ++i)
+    EXPECT_TRUE(table.insert(tuple(i + 1, 2, 3, 4), static_cast<int>(i), 0))
+        << i;
+  EXPECT_EQ(table.size(), 16u);
+  EXPECT_EQ(table.bucket_count(), 16u);
+
+  CapturingLogSink sink;
+  EXPECT_FALSE(table.insert(tuple(99, 99, 99, 99), 7, 0));
+  EXPECT_EQ(table.insert_failures(), 1u);
+  EXPECT_TRUE(sink.contains("flow table full"));
+  // No aliasing: every pre-existing pin still resolves to its own VRI, and
+  // the rejected flow is simply untracked.
+  for (std::uint32_t i = 0; i < 16; ++i)
+    EXPECT_EQ(table.lookup(tuple(i + 1, 2, 3, 4), 0).value(),
+              static_cast<int>(i))
+        << i;
+  EXPECT_FALSE(table.lookup(tuple(99, 99, 99, 99), 0).has_value());
+  // Updating a flow that IS tracked still succeeds on a full table.
+  EXPECT_TRUE(table.insert(tuple(1, 2, 3, 4), 6, 0));
+  EXPECT_EQ(table.lookup(tuple(1, 2, 3, 4), 0).value(), 6);
+}
+
+// A capped table under churn must still purge tombstones at the same size
+// (the cap only forbids growth), so eviction churn does not brick it.
+TEST(FlowTable, CappedTableStillPurgesTombstones) {
+  FlowTable table(16, /*idle_timeout=*/0);
+  table.set_max_buckets(16);
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(table.insert(tuple(i + 1, 7 * i + 1, 80, 443), 0, 0)) << i;
+    table.evict_vri(0);
+  }
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.bucket_count(), 16u);
+  EXPECT_EQ(table.insert_failures(), 0u);
+}
+
+// capacity_hint rounding: powers of two are preserved, everything else
+// rounds up, and the floor is 16 slots (the round_up_pow2 overflow guard
+// itself is an assert on construction — hints above 2^32 are units bugs).
+TEST(FlowTable, CapacityHintRounding) {
+  EXPECT_EQ(FlowTable(0, sec(1)).bucket_count(), 16u);
+  EXPECT_EQ(FlowTable(5, sec(1)).bucket_count(), 16u);
+  EXPECT_EQ(FlowTable(16, sec(1)).bucket_count(), 16u);
+  EXPECT_EQ(FlowTable(17, sec(1)).bucket_count(), 32u);
+  EXPECT_EQ(FlowTable(1000, sec(1)).bucket_count(), 1024u);
+  EXPECT_EQ(FlowTable(1024, sec(1)).bucket_count(), 1024u);
+}
+
+// Expiry boundary is strictly '>': an entry last seen at t is still alive
+// at exactly t + idle_timeout and dead one nanosecond later.
+TEST(FlowTable, ExpiryBoundaryIsExclusive) {
+  FlowTable alive(64, sec(10));
+  alive.insert(tuple(1, 2, 3, 4), 1, 0);
+  EXPECT_TRUE(alive.lookup(tuple(1, 2, 3, 4), sec(10)).has_value());
+
+  FlowTable dead(64, sec(10));
+  dead.insert(tuple(1, 2, 3, 4), 1, 0);
+  EXPECT_FALSE(dead.lookup(tuple(1, 2, 3, 4), sec(10) + 1).has_value());
+  EXPECT_EQ(dead.tombstones(), 1u);
+}
+
+// Inserting over an expired-but-still-resident entry reuses the slot in
+// place: the table must not double-count the flow or leave a tombstone.
+TEST(FlowTable, InsertOverExpiredLiveReusesSlot) {
+  FlowTable table(64, sec(10));
+  table.insert(tuple(1, 2, 3, 4), 1, 0);
+  // No intervening lookup: the expired entry is still physically present.
+  table.insert(tuple(1, 2, 3, 4), 2, sec(20));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.tombstones(), 0u);
+  EXPECT_EQ(table.lookup(tuple(1, 2, 3, 4), sec(21)).value(), 2);
+}
+
+// An expired hit counts as a miss (and only a miss), and the re-learned
+// entry then counts hits normally — the accounting the balance-summary
+// audit events report.
+TEST(FlowTable, HitMissCountersAcrossExpiry) {
+  FlowTable table(64, sec(10));
+  table.insert(tuple(1, 2, 3, 4), 1, 0);
+  EXPECT_FALSE(table.lookup(tuple(1, 2, 3, 4), sec(11)).has_value());
+  EXPECT_EQ(table.hits(), 0u);
+  EXPECT_EQ(table.misses(), 1u);
+  table.insert(tuple(1, 2, 3, 4), 2, sec(11));
+  EXPECT_TRUE(table.lookup(tuple(1, 2, 3, 4), sec(12)).has_value());
+  EXPECT_EQ(table.hits(), 1u);
+  EXPECT_EQ(table.misses(), 1u);
+}
+
+// The resize hook sees every stop-the-world rehash with its cause: growth
+// doubles (load_factor), churn purges at the same size (tombstone_purge).
+TEST(FlowTable, ResizeHookReportsCauses) {
+  FlowTable table(16, /*idle_timeout=*/0);
+  std::vector<FlowResizeEvent> events;
+  table.set_resize_hook([&](const FlowResizeEvent& e) { events.push_back(e); });
+
+  for (std::uint32_t i = 0; i < 12; ++i)
+    table.insert(tuple(i + 1, 2, 3, 4), 0, 0);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].cause, FlowResizeCause::kLoadFactor);
+  EXPECT_EQ(events[0].buckets_before, 16u);
+  EXPECT_EQ(events[0].buckets_after, 32u);
+  EXPECT_EQ(events[0].migrated, 11u);  // live entries carried into the rebuild
+
+  events.clear();
+  FlowTable churn(16, /*idle_timeout=*/0);
+  churn.set_resize_hook(
+      [&](const FlowResizeEvent& e) { events.push_back(e); });
+  for (std::uint32_t i = 0; i < 40 && events.empty(); ++i) {
+    churn.insert(tuple(i + 1, 7 * i + 1, 80, 443), 0, 0);
+    churn.evict_vri(0);
+  }
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].cause, FlowResizeCause::kTombstonePurge);
+  EXPECT_EQ(events[0].buckets_before, events[0].buckets_after);
 }
 
 // Property: FlowTable agrees with a std::map reference model under a random
