@@ -12,6 +12,10 @@
 //   --descriptor-rings    run the LVRM mechanisms on the zero-copy
 //                         descriptor data path (DESIGN.md §12); results
 //                         must be bit-identical to the default off.
+//   --tracing             enable §15 frame-level path tracing on the LVRM
+//                         mechanisms, so the exported trace.json carries
+//                         path spans (the CI trace-smoke path); results
+//                         must be bit-identical to the default off.
 #include <cctype>
 
 #include "bench/exp_common.hpp"
@@ -38,6 +42,7 @@ int main(int argc, char** argv) {
   const bool smoke = cli.get_bool("smoke", false);
   const std::string telemetry_dir = cli.get_string("telemetry-dir", "");
   const bool descriptor_rings = cli.get_bool("descriptor-rings", false);
+  const bool tracing = cli.get_bool("tracing", false);
   bench::print_header(
       "Experiment 1a: achievable throughput in data forwarding", "Fig 4.2",
       "native ~ LVRM/PF_RING > LVRM/raw (PF_RING +~50% at 84 B) > Click VR; "
@@ -62,6 +67,7 @@ int main(int argc, char** argv) {
       opts.warmup = args.scaled(msec(50));
       opts.measure = args.scaled(msec(140));
       opts.gw.lvrm.descriptor_rings = descriptor_rings;
+      opts.gw.lvrm.tracing.enabled = tracing;
       if (!telemetry_dir.empty() && is_lvrm(mech))
         opts.telemetry_export_prefix =
             telemetry_dir + "/exp1a_" + slug(to_string(mech));

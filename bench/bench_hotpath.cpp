@@ -25,6 +25,14 @@
 //              (pre-registered counter adds + sampled histogram records) on
 //              vs off, interleaved; --check-telemetry-overhead=0.03 turns
 //              the measured fraction into a CI gate.
+//   tracing  : the §15 tracer. The interleaved micro loop isolates the
+//              per-frame add-on of the hot-path touches (flight-recorder
+//              store at every hop, pressure observation + adaptive sample
+//              tick at dispatch, PathSpan append for the sampled subset);
+//              a full LVRM/PF C++ pipeline run measures what a frame costs
+//              the gateway end to end. --check-trace-overhead=0.03 gates
+//              the ratio add-on / pipeline-frame-cost — see the comment at
+//              the measurement for why the ratio, not an e2e difference.
 //   shards   : the DESIGN.md §11 sharded dispatch plane, end to end through
 //              LvrmSystem in *simulated* time (deterministic, unlike the
 //              host-ns sections): aggregate Kfps at 1 vs 2 dispatcher shards
@@ -42,6 +50,7 @@
 // Usage: bench_hotpath [--quick] [--out=BENCH_hotpath.json]
 //                      [--baseline=FILE] [--tolerance=0.25]
 //                      [--check-telemetry-overhead=FRAC]
+//                      [--check-trace-overhead=FRAC]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -65,6 +74,7 @@
 #include "net/frame.hpp"
 #include "net/frame_pool.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "queue/mc_ring.hpp"
 #include "queue/shm_arena.hpp"
 #include "queue/spsc_ring.hpp"
@@ -314,6 +324,68 @@ double poll_host_ns_telemetry(std::uint64_t frames, obs::Telemetry* tel,
             hooks->wait_ns.record(static_cast<std::int64_t>(f.id & 1023));
             hooks->svc_ns.record(100);
             hooks->e2e_ns.record(static_cast<std::int64_t>(f.id & 4095));
+          }
+        }
+        sunk += f.id;
+      },
+      sim::CostCategory::kUser, /*batch=*/16, /*coalesce=*/false);
+  server.start();
+  const double t0 = now_ns();
+  for (std::uint64_t i = 0; i < frames; ++i) {
+    net::FrameMeta f;
+    f.id = i;
+    q.push(std::move(f));
+  }
+  sim.run_all();
+  const double elapsed = now_ns() - t0;
+  g_guard.fetch_add(sunk, std::memory_order_relaxed);
+  return elapsed / static_cast<double>(frames);
+}
+
+// --- tracing: hot-path overhead of the §15 tracer --------------------------------
+
+/// Same workload again, with the exact per-frame touches LvrmSystem makes
+/// when `tracing.enabled` is set: compact flight-recorder stores at RX
+/// ingress + dispatch (cost fn) and VRI start/end + TX drain (sink) — five
+/// per delivered frame, matching the real pipeline's hop count — plus the
+/// pressure observation feeding the adaptive controller, the sample tick,
+/// and the PathSpan append for the sampled subset. `tracer` null reproduces
+/// tracing-off: one null check, nothing else, like the real hot path.
+double poll_host_ns_tracing(std::uint64_t frames, obs::Tracer* tracer) {
+  sim::Simulator sim;
+  sim::Core core(sim, 0, 0);
+  sim::BoundedQueue<net::FrameMeta> q(frames + 1, "bench-q");
+  sim::PollServer<net::FrameMeta> server(sim, core, 0, "bench");
+  std::uint64_t sunk = 0;
+  server.add_input(
+      q, /*priority=*/1,
+      [tracer](net::FrameMeta& f) {
+        if (tracer) {
+          const Nanos t = static_cast<Nanos>(f.id);
+          tracer->record(0, obs::TraceHop::kRxIngress, f.id, 0, -1, t, 84);
+          tracer->observe_pressure(false, t);
+          if (tracer->should_sample()) f.obs_sampled = 1;
+          tracer->record(0, obs::TraceHop::kDispatch, f.id, 0, 0, t, 0,
+                         f.obs_sampled != 0);
+        }
+        return Nanos{100};
+      },
+      [&sunk, tracer](net::FrameMeta&& f) {
+        if (tracer) {
+          const Nanos t = static_cast<Nanos>(f.id) + 100;
+          const bool sampled = f.obs_sampled != 0;
+          tracer->record(0, obs::TraceHop::kVriStart, f.id, 0, 0, t, 0,
+                         sampled);
+          tracer->record(0, obs::TraceHop::kVriEnd, f.id, 0, 0, t, 0,
+                         sampled);
+          tracer->record(0, obs::TraceHop::kTxDrain, f.id, 0, 0, t, 0,
+                         sampled);
+          if (sampled) {
+            obs::PathSpan s;
+            s.frame_id = f.id;
+            s.gw_in = static_cast<Nanos>(f.id);
+            s.gw_out = t;
+            tracer->add_span(s);
           }
         }
         sunk += f.id;
@@ -795,6 +867,66 @@ int main(int argc, char** argv) {
                                           tel_on_samples.end());
   const double tel_overhead = tel_on / tel_off - 1.0;
 
+  // §15 tracing overhead, micro view: the tracer's hop touches against the
+  // bare poll-serve loop. Diagnostic only — the loop is far lighter than the
+  // real per-frame pipeline, so this fraction wildly overstates the share
+  // tracing takes of actual gateway work (it prices a ~13 ns cost against a
+  // ~140 ns denominator instead of the pipeline's).
+  std::vector<double> trace_off_samples, trace_on_samples;
+  {
+    obs::TracingConfig tcfg;
+    tcfg.enabled = true;
+    obs::Tracer tracer(tcfg, /*shards=*/1);
+    const std::uint64_t trace_frames = kPollFrames * 4;
+    poll_host_ns_tracing(trace_frames, nullptr);  // warm-up
+    poll_host_ns_tracing(trace_frames, &tracer);  // warm-up
+    const int trace_reps = 3 * reps + 6;
+    for (int r = 0; r < trace_reps; ++r) {
+      trace_off_samples.push_back(poll_host_ns_tracing(trace_frames, nullptr));
+      trace_on_samples.push_back(poll_host_ns_tracing(trace_frames, &tracer));
+    }
+  }
+  const double trace_off = *std::min_element(trace_off_samples.begin(),
+                                             trace_off_samples.end());
+  const double trace_on = *std::min_element(trace_on_samples.begin(),
+                                            trace_on_samples.end());
+
+  // The GATED tracing number composes two measurements from this run:
+  //
+  //   numerator   = the tracer's per-frame add-on in the interleaved micro
+  //                 loop above (minimum-on minus minimum-off — both sides
+  //                 share the loop, so the difference isolates the tracer).
+  //   denominator = what a frame costs the gateway END TO END: host
+  //                 wall-clock per offered frame through the full Fig 4.2
+  //                 LVRM/PF C++ world (RX ring -> classify -> dispatch ->
+  //                 VRI -> TX) at a fixed feasible rate.
+  //
+  // Gating the ratio of the two is deliberately NOT the same as differencing
+  // two end-to-end wall-clock runs: on a shared CI runner the e2e numbers
+  // jitter by ~10-15%, which swamps a 3% budget when it sits in a
+  // difference, but only perturbs the budget by ~0.1-0.2 points when it
+  // sits in a denominator this much larger than the numerator.
+  auto pipeline_frame_ns = [&]() {
+    lvrm::exp::WorldOptions opt;
+    opt.mech = lvrm::exp::Mechanism::kLvrmPfCpp;
+    opt.frame_bytes = 84;
+    opt.warmup = quick ? msec(5) : msec(20);
+    opt.measure = quick ? msec(60) : msec(250);
+    const double t0 = now_ns();
+    const auto res = lvrm::exp::run_udp_trial(opt, 400'000.0);
+    const double elapsed = now_ns() - t0;
+    g_guard.fetch_add(res.received, std::memory_order_relaxed);
+    return elapsed / static_cast<double>(res.sent ? res.sent : 1);
+  };
+  std::vector<double> pipe_samples;
+  pipeline_frame_ns();  // warm-up
+  for (int r = 0; r < reps + 2; ++r)
+    pipe_samples.push_back(pipeline_frame_ns());
+  const double pipeline_frame =
+      *std::min_element(pipe_samples.begin(), pipe_samples.end());
+  const double trace_addon = std::max(0.0, trace_on - trace_off);
+  const double trace_overhead = trace_addon / pipeline_frame;
+
   // Sharded dispatch plane (simulated time, so a single run is exact). The
   // keys are additive: the baseline reader only looks up specific names, so
   // older BENCH_hotpath.json files stay valid.
@@ -949,6 +1081,11 @@ int main(int argc, char** argv) {
       << "  \"poll_telemetry_off_ns\": " << tel_off << ",\n"
       << "  \"poll_telemetry_on_ns\": " << tel_on << ",\n"
       << "  \"telemetry_overhead_frac\": " << tel_overhead << ",\n"
+      << "  \"poll_trace_off_ns\": " << trace_off << ",\n"
+      << "  \"poll_trace_on_ns\": " << trace_on << ",\n"
+      << "  \"trace_addon_ns\": " << trace_addon << ",\n"
+      << "  \"pipeline_frame_ns\": " << pipeline_frame << ",\n"
+      << "  \"trace_overhead_frac\": " << trace_overhead << ",\n"
       << "  \"per_frame_host_overhead_ns\": " << per_frame_host << ",\n"
       << "  \"per_frame_host_ratio\": " << std::scientific << host_ratio
       << std::fixed << "\n"
@@ -983,6 +1120,10 @@ int main(int argc, char** argv) {
       ft_v2_insert);
   std::printf("  telemetry off/on      : %.1f / %.1f host ns/frame (%+.2f%%)\n",
               tel_off, tel_on, 100.0 * tel_overhead);
+  std::printf("  tracing micro off/on  : %.1f / %.1f host ns/frame (+%.1f ns)\n",
+              trace_off, trace_on, trace_addon);
+  std::printf("  tracing vs pipeline   : +%.1f ns on %.1f ns/frame e2e (%+.2f%%)\n",
+              trace_addon, pipeline_frame, 100.0 * trace_overhead);
   std::printf(
       "  shards 1->2 (sim)     : %.1f -> %.1f Kfps (%.2fx), %llu violations\n",
       shard1.delivered_fps / 1e3, shard2.delivered_fps / 1e3, shard_speedup,
@@ -1010,6 +1151,17 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("  within telemetry budget: OK\n");
+  }
+
+  const double trace_gate = cli.get_double("check-trace-overhead", -1.0);
+  if (trace_gate >= 0.0) {
+    std::printf("  tracing gate          : %+.2f%% vs %.0f%% allowed\n",
+                100.0 * trace_overhead, 100.0 * trace_gate);
+    if (trace_overhead > trace_gate) {
+      std::printf("  tracing hot-path overhead too high: FAIL\n");
+      return 1;
+    }
+    std::printf("  within tracing budget : OK\n");
   }
 
   if (!baseline.empty()) {

@@ -13,6 +13,7 @@
 #include "lvrm/types.hpp"
 #include "net/ip.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "sim/costs.hpp"
 #include "sim/topology.hpp"
 
@@ -196,6 +197,13 @@ struct LvrmConfig {
   /// cost is bounded by the bench_hotpath CI gate (<3%); set
   /// `telemetry.enabled = false` to remove even that.
   obs::TelemetryConfig telemetry;
+
+  /// Frame-level path tracing, flight recorder and load-adaptive sampling
+  /// (DESIGN.md §15). Off by default: no Tracer is created, the hot path
+  /// pays one pointer null check, and every output is byte-identical to
+  /// the seed (same rollout discipline as `batched_hot_path` /
+  /// `descriptor_rings` / `overload_control`).
+  obs::TracingConfig tracing;
 };
 
 struct VrConfig {

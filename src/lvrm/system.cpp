@@ -227,6 +227,12 @@ LvrmSystem::LvrmSystem(sim::Simulator& sim, const sim::CpuTopology& topo,
     }
   }
 
+  // §15 tracing: per-shard flight recorders + adaptive span sampling. The
+  // trace gauges are published only when this exists (publish_gauges), so
+  // tracing-off exports stay byte-identical.
+  if (config_.tracing.enabled)
+    tracer_ = std::make_unique<obs::Tracer>(config_.tracing, n_shards);
+
   // The RX ring and each VRI's outgoing queue are drained in bursts of
   // poll_batch (PF_RING-style batched polls); control queues are serviced
   // per item at higher priority. With the batched hot path the burst is
@@ -366,6 +372,10 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
         [this, s, v](net::FrameCell& c) {
           net::FrameMeta& f = meta_of(c);
           if (f.obs_sampled) f.obs_svc_at = sim_.now();
+          if (tracer_)
+            tracer_->record(f.dispatch_shard, obs::TraceHop::kVriStart, f.id,
+                            s->vr_id, s->index, sim_.now(), 0,
+                            f.obs_sampled != 0);
           Nanos cost = costs::kDequeueCost;
           // The queue's producer is the shard that dispatched the frame
           // (carried in the frame); crossing its socket costs a cache-line
@@ -389,6 +399,10 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
           net::FrameMeta& f = meta_of(c);
           ++s->processed;
           if (f.obs_sampled) f.obs_done_at = sim_.now();
+          if (tracer_)
+            tracer_->record(f.dispatch_shard, obs::TraceHop::kVriEnd, f.id,
+                            s->vr_id, s->index, sim_.now(), 0,
+                            f.obs_sampled != 0);
           if (f.output_if < 0) {
             ++s->no_route;
             note_drop(f, DropCause::kNoRoute);
@@ -471,6 +485,14 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
           ++forwarded_;
           ++v->forwarded;
           ++s->forwarded;
+          if (tracer_) {
+            tracer_->record(f.dispatch_shard, obs::TraceHop::kTxDrain, f.id,
+                            f.dispatch_vr, f.dispatch_vri, f.gw_out_at, 0,
+                            f.obs_sampled != 0);
+            // A delivered sample's hop timeline is complete here: collect
+            // the span (terminal 0 = egressed).
+            if (f.obs_sampled) tracer_->add_span(span_of(f, 0));
+          }
           if (obs_) {
             obs_->tx_frames.inc();
             if (!obs_->shard_tx.empty() && f.dispatch_shard >= 0)
@@ -562,6 +584,10 @@ bool LvrmSystem::ingress(net::FrameMeta frame) {
                          DropCause::kRxRingFull))
     return false;
   ++shard.rx_admitted;
+  if (tracer_)
+    tracer_->record(s, obs::TraceHop::kRxIngress, frame.id, frame.dispatch_vr,
+                    -1, frame.gw_in_at,
+                    static_cast<std::uint32_t>(frame.wire_bytes));
   return true;
 }
 
@@ -579,6 +605,11 @@ void LvrmSystem::on_pool_exhausted(int shard, const net::FrameMeta& frame) {
   const Nanos now = sim_.now();
   if (last_pool_audit_ >= 0 && now - last_pool_audit_ < sec(1)) return;
   last_pool_audit_ = now;
+  // §15 black box: pool exhaustion shares the audit rate limit, so a
+  // sustained dry pool cannot flood the dump log either.
+  if (tracer_)
+    trace_flight_dump(obs::FlightDumpCause::kPoolExhausted, shard,
+                      frame.dispatch_vr, /*vri=*/-1);
   LVRM_CLOG(kDispatch, kWarn)
       << "frame pool exhausted: in_flight=" << pool_->in_flight() << "/"
       << pool_->capacity() << " drops=" << pool_exhausted_drops_;
@@ -621,6 +652,9 @@ LvrmSystem::VrState& LvrmSystem::classify(net::FrameMeta& frame) {
 Nanos LvrmSystem::rx_cost(net::FrameMeta& frame, DispatchShard& shard) {
   VrState& vr = classify(frame);
   const Nanos now = sim_.now();
+  // §15: the RX-serve stamp completes the gw_in -> rx -> enq -> svc -> tx
+  // hop timeline; one gated store per frame, never read by decision logic.
+  if (tracer_) frame.obs_rx_at = now;
   if (vr.last_arrival >= 0) {
     const Nanos gap = now - vr.last_arrival;
     if (gap > 0) vr.arrival_gap.update(static_cast<double>(gap));
@@ -696,6 +730,7 @@ Nanos LvrmSystem::rx_cost_batch(std::span<net::FrameCell> cells,
 
   for (net::FrameCell& c : cells) {
     net::FrameMeta& f = meta_of(c);
+    if (tracer_) f.obs_rx_at = now;
     VrState& vr = classify(f);
     if (vr.last_arrival >= 0) {
       const Nanos gap = now - vr.last_arrival;
@@ -793,7 +828,23 @@ void LvrmSystem::rx_sink(net::FrameCell&& cell) {
     if (maybe_sample_shed(vr, slot, cell)) return;
   }
   if (maybe_shed(vr, slot, cell)) return;
-  if (obs_ && telemetry_->should_sample()) {
+  if (tracer_) {
+    // §15 load-adaptive sampling replaces the fixed §10 countdown. The
+    // pressure signal is the same one the §13 ladder watches — the chosen
+    // data queue at/above the sample watermark — so span resolution rises
+    // when the pipeline is idle and backs off under overload.
+    const auto watermark = static_cast<std::size_t>(
+        config_.overload_control.sample_watermark *
+        static_cast<double>(slot.data_in->capacity()));
+    tracer_->observe_pressure(slot.data_in->size() >= watermark, sim_.now());
+    if (tracer_->should_sample()) {
+      frame.obs_sampled = 1;
+      frame.obs_enq_at = sim_.now();
+    }
+    tracer_->record(frame.dispatch_shard, obs::TraceHop::kDispatch, frame.id,
+                    frame.dispatch_vr, frame.dispatch_vri, sim_.now(), 0,
+                    frame.obs_sampled != 0);
+  } else if (obs_ && telemetry_->should_sample()) {
     frame.obs_sampled = 1;
     frame.obs_enq_at = sim_.now();
   }
@@ -976,8 +1027,14 @@ void LvrmSystem::set_overload_state(VrState& vr, OverloadLevel level,
   if (level == OverloadLevel::kNormal) rate = 1.0;
   // The ingress admission gate stays zero-cost while no VR is at kAdmission.
   if (before != OverloadLevel::kAdmission &&
-      level == OverloadLevel::kAdmission)
+      level == OverloadLevel::kAdmission) {
     ++admission_active_;
+    // §15 black box: the ladder reaching admission is an incident — dump
+    // the flight recorders before the gate starts erasing the evidence.
+    if (tracer_)
+      trace_flight_dump(obs::FlightDumpCause::kAdmission, /*shard=*/-1,
+                        vr.id, /*vri=*/-1);
+  }
   if (before == OverloadLevel::kAdmission &&
       level != OverloadLevel::kAdmission)
     --admission_active_;
@@ -1262,6 +1319,12 @@ void LvrmSystem::reap_crashed() {
         ++it;
         continue;
       }
+      // §15 black box: snapshot the flight recorders before the rescue path
+      // rewrites the dead incarnation's queues — the dump is the record of
+      // what was in flight when the crash was noticed.
+      if (tracer_)
+        trace_flight_dump(obs::FlightDumpCause::kVriCrash, slot.home_shard,
+                          vr.id, slot.index);
       // waitpid()-style reaping: free the core, rescue (health layer) or
       // discard the dead process' queued frames, drop its flow pins. In
       // descriptor mode the rescue moves handles, not payloads — and the
@@ -1473,6 +1536,11 @@ void LvrmSystem::recover_slot(VrState& vr, VriSlot& slot, VriHealth reason,
     // penalized by stale dispatch steering.
     slot.hung = false;
     slot.suspect = false;
+    // §15: a fail-slow quarantine is an incident even when it drains
+    // reset-free — dump before the migration rewrites the queues.
+    if (tracer_)
+      trace_flight_dump(obs::FlightDumpCause::kQuarantine, slot.home_shard,
+                        vr.id, slot.index);
     // The quiesce may outlive this call (the slow in-service frame has to
     // egress first), so the recovery record lands when the drain completes.
     drain_slot(vr, slot, DrainCause::kFailSlow,
@@ -1498,6 +1566,13 @@ void LvrmSystem::recover_slot(VrState& vr, VriSlot& slot, VriHealth reason,
                });
     return;
   }
+
+  // §15 black box: the health monitor quarantining a VRI is an incident —
+  // the dump captures what the pipeline was doing in the milliseconds
+  // before the verdict, including this VRI's in-flight frames.
+  if (tracer_)
+    trace_flight_dump(obs::FlightDumpCause::kQuarantine, slot.home_shard,
+                      vr.id, slot.index);
 
   // Quarantine: kill the incarnation (hung/slow processes get SIGKILL; a
   // dead one needs no kill) and take it out of the dispatch set.
@@ -1973,6 +2048,54 @@ void LvrmSystem::audit_vri_change(VrState& vr, VriSlot& slot, bool create,
   telemetry_->audit().record(e);
 }
 
+obs::PathSpan LvrmSystem::span_of(const net::FrameMeta& f,
+                                  std::uint8_t terminal) const {
+  obs::PathSpan s;
+  s.frame_id = f.id;
+  s.vr = f.dispatch_vr;
+  s.vri = f.dispatch_vri;
+  s.shard = f.dispatch_shard;
+  s.gw_in = f.gw_in_at;
+  s.rx_serve = f.obs_rx_at;
+  s.enq = f.obs_enq_at;
+  s.svc_start = f.obs_svc_at;
+  s.svc_end = f.obs_done_at;
+  s.gw_out = f.gw_out_at;
+  s.terminal = terminal;
+  return s;
+}
+
+void LvrmSystem::trace_drop(const net::FrameMeta& f, DropCause cause) {
+  // Every drop/shed/quarantine exit funnels through note_drop, so this one
+  // hook gives the flight recorder (and sampled spans) the terminal hop of
+  // every frame that never reached TX.
+  const Nanos t = sim_.now();
+  tracer_->record(f.dispatch_shard, obs::TraceHop::kDrop, f.id, f.dispatch_vr,
+                  f.dispatch_vri, t, static_cast<std::uint32_t>(cause),
+                  f.obs_sampled != 0);
+  if (f.obs_sampled)
+    tracer_->add_span(
+        span_of(f, static_cast<std::uint8_t>(static_cast<int>(cause) + 1)));
+}
+
+void LvrmSystem::trace_flight_dump(obs::FlightDumpCause cause, int shard,
+                                   int vr, int vri) {
+  const std::uint64_t seq = tracer_->dump(sim_.now(), cause, shard, vr, vri);
+  if (!telemetry_) return;
+  obs::AuditEvent e;
+  e.time = sim_.now();
+  e.until = e.time;
+  e.kind = obs::AuditKind::kFlightDump;
+  e.vr = static_cast<std::int16_t>(vr);
+  e.vri = static_cast<std::int16_t>(vri);
+  e.shard = static_cast<std::int16_t>(shard);
+  e.cause = static_cast<std::uint8_t>(cause);
+  e.a = tracer_->last_dump_records();
+  e.b = seq;
+  e.c = tracer_->records_total();
+  telemetry_->audit().record(e);
+}
+
 void LvrmSystem::close_shed_episode(VrState& vr, Nanos now) {
   if (!vr.shed_open) return;
   vr.shed_open = false;
@@ -2070,6 +2193,22 @@ void LvrmSystem::publish_gauges() {
       m.gauge("lvrm_shard_core", l).set(static_cast<double>(sh.core_id));
     }
   }
+  if (tracer_) {
+    // Trace gauges exist only with tracing on, so defaults-off exports stay
+    // byte-identical (same rule as the pool and ladder gauges).
+    m.gauge("lvrm_trace_sample_every")
+        .set(static_cast<double>(tracer_->sample_every()));
+    m.gauge("lvrm_trace_adaptations")
+        .set(static_cast<double>(tracer_->adaptations()));
+    m.gauge("lvrm_trace_records_total")
+        .set(static_cast<double>(tracer_->records_total()));
+    m.gauge("lvrm_trace_spans")
+        .set(static_cast<double>(tracer_->spans().size()));
+    m.gauge("lvrm_trace_spans_dropped")
+        .set(static_cast<double>(tracer_->spans_dropped()));
+    m.gauge("lvrm_flight_dumps")
+        .set(static_cast<double>(tracer_->dumps_taken()));
+  }
   m.gauge("lvrm_audit_events").set(static_cast<double>(telemetry_->audit().total()));
   m.gauge("lvrm_audit_overwritten")
       .set(static_cast<double>(telemetry_->audit().overwritten()));
@@ -2141,7 +2280,8 @@ bool LvrmSystem::export_telemetry(const std::string& prefix) {
   const Nanos now = sim_.now();
   for (auto& vrp : vrs_) close_shed_episode(*vrp, now);
   publish_gauges();
-  return telemetry_->export_files(prefix, now);
+  return telemetry_->export_files(prefix, now,
+                                  tracer_ ? &tracer_->spans() : nullptr);
 }
 
 }  // namespace lvrm

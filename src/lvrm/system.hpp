@@ -282,6 +282,11 @@ class LvrmSystem {
   obs::Telemetry* telemetry() { return telemetry_.get(); }
   const obs::Telemetry* telemetry() const { return telemetry_.get(); }
 
+  /// §15 tracer (path spans, per-shard flight recorders, load-adaptive
+  /// sampling), or nullptr when `config.tracing.enabled` is false.
+  obs::Tracer* tracer() { return tracer_.get(); }
+  const obs::Tracer* tracer() const { return tracer_.get(); }
+
   /// Flushes open audit episodes, publishes the gauge set, and writes
   /// `<prefix>.prom`, `<prefix>.csv` and `<prefix>.trace.json`. Returns
   /// false when telemetry is disabled or a file could not be opened.
@@ -352,19 +357,23 @@ class LvrmSystem {
     }
     return n;
   }
-  /// Reports a drop to the installed hook (null check only when unset).
+  /// Reports a drop to the installed hook and (tracing on) the §15 flight
+  /// recorder + span collector. Every drop/shed/quarantine exit point in
+  /// the system funnels through here, which is what makes one tracer hook
+  /// cover them all. Two null checks when both are unset.
   void note_drop(const net::FrameMeta& f, DropCause cause) {
+    if (tracer_) trace_drop(f, cause);
     if (drop_hook_) drop_hook_(f, cause);
   }
   /// push_cell plus drop reporting: the push consumes the cell even on
-  /// refusal, so the meta is copied up front — but only when a hook is
-  /// installed, keeping the production path copy-free.
+  /// refusal, so the meta is copied up front — but only when a hook or the
+  /// tracer is installed, keeping the production path copy-free.
   bool push_cell_or_note(FrameQueue& q, net::FrameCell&& cell,
                          DropCause cause) {
-    if (!drop_hook_) return push_cell(q, std::move(cell));
+    if (!drop_hook_ && !tracer_) return push_cell(q, std::move(cell));
     const net::FrameMeta copy = meta_of(cell);
     if (push_cell(q, std::move(cell))) return true;
-    drop_hook_(copy, cause);
+    note_drop(copy, cause);
     return false;
   }
   /// RX-side pool exhaustion: count (aggregate + per shard), report the
@@ -433,6 +442,14 @@ class LvrmSystem {
   // Telemetry (all no-ops when telemetry is disabled).
   void maybe_snapshot();
   void publish_gauges();
+  // §15 tracing (all no-ops when tracing is disabled / tracer_ is null).
+  /// Flight-record + (sampled frames) span-collect a drop exit.
+  void trace_drop(const net::FrameMeta& f, DropCause cause);
+  /// Snapshot the flight recorders on an incident and audit the dump.
+  void trace_flight_dump(obs::FlightDumpCause cause, int shard, int vr,
+                         int vri);
+  /// The frame's hop timeline as a PathSpan (terminal: 0 = delivered).
+  obs::PathSpan span_of(const net::FrameMeta& f, std::uint8_t terminal) const;
   void audit_vri_change(VrState& vr, VriSlot& slot, bool create,
                         bool from_recovery);
   void audit_balance_and_shed(Nanos now);
@@ -490,6 +507,11 @@ class LvrmSystem {
   struct ObsHooks;
   std::unique_ptr<obs::Telemetry> telemetry_;
   std::unique_ptr<ObsHooks> obs_;
+
+  // §15 tracing layer: per-shard flight recorders + the adaptive sampling
+  // controller + the retained path spans. Null unless config.tracing is
+  // enabled; every hot-path touch is gated on this one pointer.
+  std::unique_ptr<obs::Tracer> tracer_;
 
   std::uint64_t forwarded_ = 0;
   std::uint64_t crashes_reaped_ = 0;

@@ -58,6 +58,10 @@ struct FrameMeta {
   // end-to-end latency. Host-side observation only — never read by any
   // decision logic, so behaviour is identical with sampling off.
   std::uint8_t obs_sampled = 0;  // 1 when this frame is a latency sample
+  // With tracing (DESIGN.md §15) the sampled-frame stamps extend to the
+  // full hop timeline: gw_in_at -> obs_rx_at -> obs_enq_at -> obs_svc_at
+  // -> obs_done_at -> gw_out_at, exported as one PathSpan per frame.
+  Nanos obs_rx_at = 0;           // shard's poll loop began serving it
   Nanos obs_enq_at = 0;          // pushed onto the VRI data_in queue
   Nanos obs_svc_at = 0;          // VRI began servicing it
   Nanos obs_done_at = 0;         // VRI finished servicing it

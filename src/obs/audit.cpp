@@ -15,6 +15,7 @@ const char* to_string(AuditKind k) {
     case AuditKind::kOverloadLevel: return "overload_level";
     case AuditKind::kVriDrain: return "vri_drain";
     case AuditKind::kFlowTableResize: return "flowtable_resize";
+    case AuditKind::kFlightDump: return "flight_dump";
   }
   return "unknown";
 }

@@ -32,6 +32,7 @@ enum class AuditKind : std::uint8_t {
   kOverloadLevel,  // a VR's degradation ladder changed level / sampling rate
   kVriDrain,       // reset-free VRI drain: live flows migrated to siblings
   kFlowTableResize,  // a dispatcher's flow table rebuilt / finished migrating
+  kFlightDump,     // §15 flight recorder snapshotted on an incident
 };
 
 const char* to_string(AuditKind k);
@@ -93,6 +94,13 @@ const char* to_string(PoolExhaustCause c);
 ///     shard     = dispatcher shard owning the table
 ///     cause     = net::FlowResizeCause (load-factor / tombstone-purge /
 ///                 incremental-step)
+///   kFlightDump (§15; one per flight-recorder dump trigger):
+///     a         = records captured in the dump
+///     b         = dump sequence number since start
+///     c         = records written across all shard rings so far
+///     shard     = triggering shard (-1 when not shard-specific)
+///     cause     = FlightDumpCause (vri-crash / quarantine / admission /
+///                 pool-exhausted)
 struct AuditEvent {
   Nanos time = 0;   // event (or episode-start) sim time
   Nanos until = 0;  // episode end for duration events, else == time

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <set>
 
 #include "common/units.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
 
 namespace lvrm::obs {
 
@@ -27,6 +30,13 @@ std::string csv_field(const std::string& s) {
   out += '"';
   return out;
 }
+
+/// JSON-escaped copy of a name/cause table string. Every `%s` the trace
+/// writers interpolate goes through here: the tables are fixed today, but a
+/// future cause string containing a quote, backslash or control character
+/// must not be able to break the document (regression-tested in
+/// test_export.cpp).
+std::string esc(const char* s) { return json_escape(s ? s : ""); }
 
 void prom_line(std::ostream& os, const std::string& name,
                const std::string& labels, const std::string& extra_label,
@@ -127,6 +137,12 @@ void write_csv(const std::vector<Snapshot>& series, std::ostream& os) {
 
 void write_chrome_trace(const std::vector<AuditEvent>& events,
                         std::ostream& os) {
+  write_chrome_trace(events, std::vector<PathSpan>{}, os);
+}
+
+void write_chrome_trace(const std::vector<AuditEvent>& events,
+                        const std::vector<PathSpan>& spans,
+                        std::ostream& os) {
   os << "{\"traceEvents\":[";
   bool first = true;
   auto emit = [&](const std::string& body) {
@@ -158,9 +174,9 @@ void write_chrome_trace(const std::vector<AuditEvent>& events,
             "\"name\":\"%s\",\"args\":{\"vri\":%d,\"rate_fps\":%.3f,"
             "\"threshold_fps\":%.3f,\"service_fps\":%.3f,\"from_recovery\":"
             "%llu,\"shard\":%d,\"numa_tier\":%d}}",
-            e.vr, ts, to_string(e.kind), e.vri, e.rate, e.threshold,
-            e.service, static_cast<unsigned long long>(e.c), e.shard,
-            e.numa_tier);
+            e.vr, ts, esc(to_string(e.kind)).c_str(), e.vri, e.rate,
+            e.threshold, e.service, static_cast<unsigned long long>(e.c),
+            e.shard, e.numa_tier);
         emit(buf);
         break;
       }
@@ -173,8 +189,8 @@ void write_chrome_trace(const std::vector<AuditEvent>& events,
             "\"name\":\"%s\",\"args\":{\"vri\":%d,\"observed\":%.3f,"
             "\"threshold\":%.3f,\"stranded\":%llu,\"redispatched\":%llu,"
             "\"respawned\":%llu}}",
-            e.vr, ts, to_string(e.kind), e.vri, e.rate, e.threshold,
-            static_cast<unsigned long long>(e.a),
+            e.vr, ts, esc(to_string(e.kind)).c_str(), e.vri, e.rate,
+            e.threshold, static_cast<unsigned long long>(e.a),
             static_cast<unsigned long long>(e.b),
             static_cast<unsigned long long>(e.c));
         emit(buf);
@@ -213,7 +229,7 @@ void write_chrome_trace(const std::vector<AuditEvent>& events,
             ts, static_cast<unsigned long long>(e.a),
             static_cast<unsigned long long>(e.b),
             static_cast<unsigned long long>(e.c), e.shard,
-            to_string(static_cast<PoolExhaustCause>(e.cause)));
+            esc(to_string(static_cast<PoolExhaustCause>(e.cause))).c_str());
         emit(buf);
         break;
       }
@@ -248,7 +264,8 @@ void write_chrome_trace(const std::vector<AuditEvent>& events,
             "\"name\":\"vri_drain\",\"args\":{\"vri\":%d,\"cause\":\"%s\","
             "\"migrated\":%llu,\"flows_evicted\":%llu,\"dropped\":%llu,"
             "\"rate_fps\":%.3f,\"service_fps\":%.3f}}",
-            e.vr, ts, e.vri, cause, static_cast<unsigned long long>(e.a),
+            e.vr, ts, e.vri, esc(cause).c_str(),
+            static_cast<unsigned long long>(e.a),
             static_cast<unsigned long long>(e.b),
             static_cast<unsigned long long>(e.c), e.rate, e.service);
         emit(buf);
@@ -266,13 +283,142 @@ void write_chrome_trace(const std::vector<AuditEvent>& events,
             "\"name\":\"flowtable_resize\",\"args\":{\"shard\":%d,"
             "\"cause\":\"%s\",\"slots_before\":%llu,\"slots_after\":%llu,"
             "\"migrated\":%llu}}",
-            e.vr, ts, e.shard, cause, static_cast<unsigned long long>(e.a),
+            e.vr, ts, e.shard, esc(cause).c_str(),
+            static_cast<unsigned long long>(e.a),
+            static_cast<unsigned long long>(e.b),
+            static_cast<unsigned long long>(e.c));
+        emit(buf);
+        break;
+      }
+      case AuditKind::kFlightDump: {
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"s\":\"p\","
+            "\"name\":\"flight_dump\",\"args\":{\"vri\":%d,\"shard\":%d,"
+            "\"cause\":\"%s\",\"records\":%llu,\"seq\":%llu,"
+            "\"records_total\":%llu}}",
+            e.vr, ts, e.vri, e.shard,
+            esc(to_string(static_cast<FlightDumpCause>(e.cause))).c_str(),
+            static_cast<unsigned long long>(e.a),
             static_cast<unsigned long long>(e.b),
             static_cast<unsigned long long>(e.c));
         emit(buf);
         break;
       }
     }
+  }
+
+  // §15 path spans: nested shard/VRI duration tracks. Nothing is emitted
+  // for an empty span set, which keeps this overload byte-identical to the
+  // audit-only writer (and therefore tracing-off exports unchanged).
+  if (!spans.empty()) {
+    const auto shard_tid = [](const PathSpan& s) {
+      return 1000 + (s.shard > 0 ? s.shard : 0);
+    };
+    const auto vri_tid = [](const PathSpan& s) {
+      return 2000 + s.vr * 16 + s.vri;
+    };
+
+    // thread_name metadata, once per track actually used.
+    std::set<int> shard_tids, vri_tids;
+    for (const auto& s : spans) {
+      shard_tids.insert(shard_tid(s));
+      if (s.vr >= 0 && s.vri >= 0 && s.vri < 16) vri_tids.insert(vri_tid(s));
+    }
+    char buf[512];
+    for (const int tid : shard_tids) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+                    "\"name\":\"thread_name\","
+                    "\"args\":{\"name\":\"shard %d dispatch\"}}",
+                    tid, tid - 1000);
+      emit(buf);
+    }
+    for (const int tid : vri_tids) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+                    "\"name\":\"thread_name\","
+                    "\"args\":{\"name\":\"vr%d vri%d service\"}}",
+                    tid, (tid - 2000) / 16, (tid - 2000) % 16);
+      emit(buf);
+    }
+
+    const auto slice = [&](int tid, const char* name, std::uint64_t id,
+                           Nanos from, Nanos to) {
+      if (to < from) return;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"name\":\"%s\",\"args\":{\"frame\":%llu}}",
+                    tid, to_micros(from), to_micros(to - from),
+                    esc(name).c_str(), static_cast<unsigned long long>(id));
+      emit(buf);
+    };
+    for (const auto& s : spans) {
+      const int stid = shard_tid(s);
+      const bool vtrack = s.vr >= 0 && s.vri >= 0 && s.vri < 16;
+      const int vtid = vtrack ? vri_tid(s) : stid;
+      // Dispatch: gateway arrival -> pushed onto the VRI data queue (ring
+      // wait + classify + balance); present whenever the frame was enqueued.
+      if (s.enq > 0) slice(stid, "dispatch", s.frame_id, s.gw_in, s.enq);
+      if (s.svc_start > 0)
+        slice(vtid, "queue_wait", s.frame_id, s.enq, s.svc_start);
+      if (s.svc_end > 0)
+        slice(vtid, "service", s.frame_id, s.svc_start, s.svc_end);
+      if (s.gw_out > 0)
+        slice(stid, "tx_drain", s.frame_id, s.svc_end, s.gw_out);
+      // Flow arrow binding the shard track to the VRI track for this frame.
+      if (s.enq > 0 && vtrack && s.svc_start > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\":\"s\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,"
+                      "\"id\":%llu,\"name\":\"frame_path\"}",
+                      stid, to_micros(s.gw_in),
+                      static_cast<unsigned long long>(s.frame_id));
+        emit(buf);
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\":\"f\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,"
+                      "\"id\":%llu,\"bp\":\"e\",\"name\":\"frame_path\"}",
+                      vtid, to_micros(s.svc_start),
+                      static_cast<unsigned long long>(s.frame_id));
+        emit(buf);
+      }
+      // The exit point that terminated a non-delivered frame.
+      if (s.terminal != 0) {
+        const Nanos at = std::max({s.gw_in, s.rx_serve, s.enq, s.svc_start,
+                                   s.svc_end, s.gw_out});
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,"
+                      "\"s\":\"t\",\"name\":\"frame_drop\","
+                      "\"args\":{\"frame\":%llu,\"cause\":%d}}",
+                      stid, to_micros(at),
+                      static_cast<unsigned long long>(s.frame_id),
+                      static_cast<int>(s.terminal) - 1);
+        emit(buf);
+      }
+    }
+  }
+  os << "\n]}\n";
+}
+
+void write_flight_dump(const FlightDump& dump, std::ostream& os) {
+  os << "{\"reason\":\"" << json_escape(dump.reason) << "\","
+     << "\"t_us\":" << fmt_double(to_micros(dump.time)) << ','
+     << "\"seq\":" << dump.seq << ',' << "\"shard\":" << dump.shard << ','
+     << "\"vr\":" << dump.vr << ',' << "\"vri\":" << dump.vri << ','
+     << "\"records_total\":" << dump.records_total << ','
+     << "\"records\":[";
+  bool first = true;
+  char buf[256];
+  for (const auto& r : dump.records) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\n{\"frame\":%llu,\"t_us\":%.3f,\"hop\":\"%s\",\"vr\":%d,"
+        "\"vri\":%d,\"shard\":%u,\"aux\":%lu,\"sampled\":%u}",
+        first ? "" : ",", static_cast<unsigned long long>(r.frame_id),
+        to_micros(r.t), esc(to_string(static_cast<TraceHop>(r.hop))).c_str(),
+        r.vr, r.vri, r.shard, static_cast<unsigned long>(r.aux),
+        r.flags & 1u);
+    os << buf;
+    first = false;
   }
   os << "\n]}\n";
 }

@@ -21,6 +21,9 @@
 
 namespace lvrm::obs {
 
+struct PathSpan;     // trace.hpp
+struct FlightDump;   // flight_recorder.hpp
+
 /// Prometheus text exposition of one snapshot.
 void write_prometheus(const Snapshot& snap, std::ostream& os);
 
@@ -32,6 +35,19 @@ void write_csv(const std::vector<Snapshot>& series, std::ostream& os);
 /// Timestamps are microseconds of sim time.
 void write_chrome_trace(const std::vector<AuditEvent>& events,
                         std::ostream& os);
+
+/// Same document, with the §15 per-frame path spans appended as nested
+/// shard/VRI duration tracks (dispatch / queue_wait / service / tx_drain
+/// slices, frame_path flow arrows, frame_drop instants, thread_name
+/// metadata). An empty span set produces byte-identical output to the
+/// two-argument overload, which is what keeps tracing-off exports
+/// byte-identical.
+void write_chrome_trace(const std::vector<AuditEvent>& events,
+                        const std::vector<PathSpan>& spans, std::ostream& os);
+
+/// One flight-recorder dump (§15) as a standalone JSON document: the
+/// trigger header plus every retained compact record, oldest first.
+void write_flight_dump(const FlightDump& dump, std::ostream& os);
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 std::string json_escape(const std::string& s);

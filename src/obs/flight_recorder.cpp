@@ -1,0 +1,40 @@
+#include "obs/flight_recorder.hpp"
+
+namespace lvrm::obs {
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  if (n < 2) return 1;
+  std::size_t p = 1;
+  while (p < n && p < (std::size_t{1} << 62)) p <<= 1;
+  return p;
+}
+}  // namespace
+
+const char* to_string(TraceHop h) {
+  switch (h) {
+    case TraceHop::kRxIngress: return "rx_ingress";
+    case TraceHop::kDispatch: return "dispatch";
+    case TraceHop::kVriStart: return "vri_start";
+    case TraceHop::kVriEnd: return "vri_end";
+    case TraceHop::kTxDrain: return "tx_drain";
+    case TraceHop::kDrop: return "drop";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(round_up_pow2(capacity)), mask_(ring_.size() - 1) {}
+
+std::vector<TraceRecord> FlightRecorder::snapshot() const {
+  std::vector<TraceRecord> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  // Once wrapped, head_ is also the oldest retained slot (mod size).
+  const std::uint64_t start = head_ < ring_.size() ? 0 : head_;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(ring_[(start + i) & mask_]);
+  return out;
+}
+
+}  // namespace lvrm::obs

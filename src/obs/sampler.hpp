@@ -1,0 +1,60 @@
+// sampler.hpp — deterministic 1-in-N frame sampling (DESIGN.md §10/§15).
+//
+// TelemetrySampler is the countdown that used to live inline in Telemetry:
+// it answers "is this frame a latency sample?" once per RX frame with no RNG
+// (determinism) and no divide (the <3% overhead gate exists to catch per-
+// frame divides). Extracted so the §15 load-adaptive tracing controller can
+// re-use the exact same tick while varying the period at runtime.
+//
+// Contract (asserted, documented, unit-tested in test_sampler.cpp):
+//   * period == 0  -> disabled: tick() returns false forever.
+//   * period == 1  -> sample everything: tick() returns true every call.
+//   * period == N  -> exactly one true per N consecutive calls, and the
+//     first true comes on the FIRST call after construction (the countdown
+//     starts at 1), so short runs still produce samples.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace lvrm::obs {
+
+class TelemetrySampler {
+ public:
+  explicit TelemetrySampler(std::uint32_t period)
+      : period_(period), countdown_(period == 0 ? 0 : 1) {}
+
+  std::uint32_t period() const { return period_; }
+
+  /// Deterministic 1-in-period tick; see the contract above.
+  bool tick() {
+    if (countdown_ == 0) return false;  // period == 0: sampling disabled
+    if (--countdown_ == 0) {
+      countdown_ = period_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Change the period mid-stream (the adaptive controller's knob). The
+  /// in-flight countdown is clamped into the new period so a shrink takes
+  /// effect within `period` frames, not after the old (longer) countdown
+  /// expires; re-enabling from 0 behaves like a fresh sampler.
+  void set_period(std::uint32_t period) {
+    period_ = period;
+    if (period == 0) {
+      countdown_ = 0;
+    } else if (countdown_ == 0 || countdown_ > period) {
+      countdown_ = period;
+    }
+    assert((period_ == 0) == (countdown_ == 0));
+  }
+
+ private:
+  std::uint32_t period_;
+  std::uint32_t countdown_;  // 0 iff disabled; invariant kept by set_period
+};
+
+}  // namespace lvrm::obs

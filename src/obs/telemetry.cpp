@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 namespace lvrm::obs {
 
@@ -12,7 +13,8 @@ void Telemetry::take_snapshot(Nanos at) {
     series_.erase(series_.begin());
 }
 
-bool Telemetry::export_files(const std::string& prefix, Nanos now) {
+bool Telemetry::export_files(const std::string& prefix, Nanos now,
+                             const std::vector<PathSpan>* spans) {
   take_snapshot(now);
   bool ok = true;
   {
@@ -34,7 +36,10 @@ bool Telemetry::export_files(const std::string& prefix, Nanos now) {
   {
     std::ofstream os(prefix + ".trace.json");
     if (os) {
-      write_chrome_trace(audit_.events(), os);
+      if (spans)
+        write_chrome_trace(audit_.events(), *spans, os);
+      else
+        write_chrome_trace(audit_.events(), os);
     } else {
       ok = false;
     }

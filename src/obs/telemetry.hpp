@@ -15,8 +15,11 @@
 #include "common/units.hpp"
 #include "obs/audit.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 
 namespace lvrm::obs {
+
+struct PathSpan;  // trace.hpp (§15)
 
 struct TelemetryConfig {
   /// Master switch; when false LvrmSystem creates no Telemetry at all and
@@ -36,9 +39,7 @@ struct TelemetryConfig {
 class Telemetry {
  public:
   explicit Telemetry(const TelemetryConfig& cfg)
-      : cfg_(cfg),
-        audit_(cfg.audit_capacity),
-        sample_countdown_(cfg.sample_every == 0 ? 0 : 1) {}
+      : cfg_(cfg), audit_(cfg.audit_capacity), sampler_(cfg.sample_every) {}
 
   const TelemetryConfig& config() const { return cfg_; }
   MetricsRegistry& metrics() { return metrics_; }
@@ -47,16 +48,11 @@ class Telemetry {
   const AuditTrail& audit() const { return audit_; }
 
   /// Deterministic 1-in-N tick for latency sampling (no RNG: determinism).
-  /// Countdown, not modulo: a runtime divide per frame is the kind of cost
-  /// the <3% overhead gate exists to catch.
-  bool should_sample() {
-    if (sample_countdown_ == 0) return false;  // sampling disabled
-    if (--sample_countdown_ == 0) {
-      sample_countdown_ = cfg_.sample_every;
-      return true;
-    }
-    return false;
-  }
+  /// The countdown itself lives in TelemetrySampler (sampler.hpp) so the
+  /// §15 adaptive tracing controller shares the exact same tick; the
+  /// `sample_every = 0 -> disabled`, `1 -> everything` contract is
+  /// documented and tested there.
+  bool should_sample() { return sampler_.tick(); }
 
   /// Append an aggregated snapshot to the retained series.
   void take_snapshot(Nanos at);
@@ -64,16 +60,19 @@ class Telemetry {
   const std::vector<Snapshot>& series() const { return series_; }
 
   /// Write `<prefix>.prom` (latest snapshot), `<prefix>.csv` (series) and
-  /// `<prefix>.trace.json` (audit trail). Takes a final snapshot at `now`
-  /// first. Returns false if any file could not be opened.
-  bool export_files(const std::string& prefix, Nanos now);
+  /// `<prefix>.trace.json` (audit trail, plus the §15 path spans when
+  /// `spans` is non-null and non-empty — null/empty output is byte-
+  /// identical). Takes a final snapshot at `now` first. Returns false if
+  /// any file could not be opened.
+  bool export_files(const std::string& prefix, Nanos now,
+                    const std::vector<PathSpan>* spans = nullptr);
 
  private:
   TelemetryConfig cfg_;
   MetricsRegistry metrics_;
   AuditTrail audit_;
   std::vector<Snapshot> series_;
-  std::uint32_t sample_countdown_ = 0;  // 0 = disabled; set in constructor
+  TelemetrySampler sampler_;  // deterministic 1-in-sample_every countdown
 };
 
 }  // namespace lvrm::obs

@@ -66,6 +66,53 @@ TEST(AuditKindNames, AreStableStrings) {
   EXPECT_STREQ(to_string(AuditKind::kBalanceSummary), "balance_summary");
 }
 
+TEST(AuditTrail, TwoWritersSurviveAFullRingCycleConsistently) {
+  // Two logical writers — the allocator paths of two VRs — interleave
+  // create/destroy events through more than one full ring cycle. The
+  // retained window must stay oldest-to-newest, the loss accounting must
+  // match exactly what scrolled off, and each VR's count-after (`a`) field
+  // must still replay to a consistent per-VR VRI count from whatever suffix
+  // survived the overwrites.
+  constexpr std::size_t kCap = 8;
+  AuditTrail trail(kCap);
+  std::uint64_t count[2] = {0, 0};
+  std::vector<std::uint64_t> expect_a;  // ground truth, insertion order
+  std::vector<std::int16_t> expect_vr;
+  for (std::uint64_t i = 0; i < 3 * kCap + 5; ++i) {
+    const int vr = static_cast<int>(i % 2);  // writers alternate
+    const bool create = count[vr] == 0 || (i % 5) != 4;
+    count[vr] += create ? 1 : std::uint64_t(-1);
+    AuditEvent e = ev(static_cast<Nanos>(i),
+                      create ? AuditKind::kVriCreate : AuditKind::kVriDestroy,
+                      count[vr]);
+    e.vr = static_cast<std::int16_t>(vr);
+    trail.record(e);
+    expect_a.push_back(count[vr]);
+    expect_vr.push_back(e.vr);
+  }
+  EXPECT_EQ(trail.total(), expect_a.size());
+  EXPECT_EQ(trail.size(), kCap);
+  EXPECT_EQ(trail.overwritten(), expect_a.size() - kCap);
+
+  const auto events = trail.events();
+  ASSERT_EQ(events.size(), kCap);
+  const std::size_t base = expect_a.size() - kCap;
+  for (std::size_t i = 0; i < kCap; ++i) {
+    // The retained suffix is exactly the newest kCap events, in order, with
+    // both writers' fields intact (no cross-writer smearing on overwrite).
+    EXPECT_EQ(events[i].time, static_cast<Nanos>(base + i));
+    EXPECT_EQ(events[i].vr, expect_vr[base + i]);
+    EXPECT_EQ(events[i].a, expect_a[base + i]);
+    if (i > 0) EXPECT_LE(events[i - 1].time, events[i].time);
+  }
+  // Replaying the suffix still yields each writer's final count.
+  std::uint64_t replay[2] = {count[0], count[1]};  // seed from truth...
+  for (const auto& e : events)
+    replay[e.vr] = e.a;  // ...then overwrite with the trail's own story
+  EXPECT_EQ(replay[0], count[0]);
+  EXPECT_EQ(replay[1], count[1]);
+}
+
 TEST(AuditReplay, CreateDestroyReconstructsCounts) {
   // The `a` field of create/destroy events is the count AFTER the change, so
   // replaying the trail reconstructs the allocator's state exactly.

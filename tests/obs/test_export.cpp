@@ -9,6 +9,7 @@
 #include "obs/audit.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lvrm::obs {
 namespace {
@@ -128,6 +129,143 @@ TEST(ChromeTrace, EmptyTrailIsStillValid) {
   const std::string text = os.str();
   EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(text.find("process_name"), std::string::npos);
+}
+
+void expect_balanced(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(text.find(",]"), std::string::npos);
+  EXPECT_EQ(text.find(",\n]"), std::string::npos);
+}
+
+TEST(ChromeTrace, MalformedCauseCodesCannotBreakTheDocument) {
+  // Regression for the `%s` interpolations: events whose numeric cause code
+  // falls outside every cause table must still produce balanced JSON (the
+  // writers fall back to a fixed "unknown" string, routed through the JSON
+  // escaper like every other table string).
+  std::vector<AuditEvent> evs;
+  for (const AuditKind kind :
+       {AuditKind::kPoolExhausted, AuditKind::kVriDrain,
+        AuditKind::kFlowTableResize, AuditKind::kFlightDump}) {
+    AuditEvent e;
+    e.time = usec(10);
+    e.until = e.time;
+    e.kind = kind;
+    e.vr = 0;
+    e.cause = 0xEE;  // out of range for every cause enum
+    evs.push_back(e);
+  }
+  std::ostringstream os;
+  write_chrome_trace(evs, os);
+  const std::string text = os.str();
+  expect_balanced(text);
+  EXPECT_NE(text.find("\"cause\":\"unknown\""), std::string::npos);
+  // An unpaired quote inside any emitted string would flip the scanner's
+  // string state and trip the balance assertions above; also check no raw
+  // control characters leaked into the document.
+  for (char c : text) EXPECT_TRUE(c == '\n' || static_cast<unsigned char>(c) >= 0x20);
+}
+
+TEST(ChromeTrace, FlightDumpEventsCarryCauseAndCounts) {
+  AuditEvent e;
+  e.time = usec(40);
+  e.until = e.time;
+  e.kind = AuditKind::kFlightDump;
+  e.vr = 1;
+  e.vri = 2;
+  e.shard = 0;
+  e.cause = 1;  // FlightDumpCause::kQuarantine
+  e.a = 17;
+  e.b = 3;
+  e.c = 5000;
+  std::ostringstream os;
+  write_chrome_trace({e}, os);
+  const std::string text = os.str();
+  expect_balanced(text);
+  EXPECT_NE(text.find("\"name\":\"flight_dump\""), std::string::npos);
+  EXPECT_NE(text.find("\"cause\":\"quarantine\""), std::string::npos);
+  EXPECT_NE(text.find("\"records\":17"), std::string::npos);
+  EXPECT_NE(text.find("\"seq\":3"), std::string::npos);
+  EXPECT_NE(text.find("\"records_total\":5000"), std::string::npos);
+}
+
+PathSpan delivered_span() {
+  PathSpan s;
+  s.frame_id = 7;
+  s.vr = 0;
+  s.vri = 1;
+  s.shard = 0;
+  s.gw_in = usec(10);
+  s.rx_serve = usec(11);
+  s.enq = usec(12);
+  s.svc_start = usec(15);
+  s.svc_end = usec(18);
+  s.gw_out = usec(20);
+  return s;
+}
+
+TEST(ChromeTrace, PathSpansEmitNestedShardAndVriTracks) {
+  std::ostringstream os;
+  write_chrome_trace({}, {delivered_span()}, os);
+  const std::string text = os.str();
+  expect_balanced(text);
+  // Named tracks for the shard dispatch lane and the VRI service lane.
+  EXPECT_NE(text.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(text.find("shard 0 dispatch"), std::string::npos);
+  EXPECT_NE(text.find("vr0 vri1 service"), std::string::npos);
+  // The four hop slices of a delivered frame...
+  EXPECT_NE(text.find("\"name\":\"dispatch\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"queue_wait\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"service\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"tx_drain\""), std::string::npos);
+  // ...bound across tracks by a flow arrow, with no drop marker.
+  EXPECT_NE(text.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"frame_path\""), std::string::npos);
+  EXPECT_EQ(text.find("frame_drop"), std::string::npos);
+  // service slice: ts 15us, dur 3us.
+  EXPECT_NE(text.find("\"ts\":15.000,\"dur\":3.000,\"name\":\"service\""),
+            std::string::npos);
+}
+
+TEST(ChromeTrace, DroppedSpanEmitsTheExitInstantAtItsLastStamp) {
+  PathSpan s = delivered_span();
+  s.svc_start = 0;  // terminated while queued: never reached service
+  s.svc_end = 0;
+  s.gw_out = 0;
+  s.terminal = 7;  // 1 + DropCause code 6
+  std::ostringstream os;
+  write_chrome_trace({}, {s}, os);
+  const std::string text = os.str();
+  expect_balanced(text);
+  EXPECT_NE(text.find("\"name\":\"frame_drop\""), std::string::npos);
+  EXPECT_NE(text.find("\"cause\":6"), std::string::npos);
+  EXPECT_NE(text.find("\"ts\":12.000,\"s\":\"t\",\"name\":\"frame_drop\""),
+            std::string::npos);  // at the enqueue stamp, its last hop
+  EXPECT_EQ(text.find("\"name\":\"service\""), std::string::npos);
+  EXPECT_EQ(text.find("\"ph\":\"s\""), std::string::npos);  // no flow arrow
+}
+
+TEST(ChromeTrace, EmptySpanSetIsByteIdenticalToTheAuditOnlyWriter) {
+  // The tracing-off guarantee reduces to this: the 3-arg writer with no
+  // spans must produce exactly the 2-arg writer's bytes.
+  std::ostringstream a, b;
+  write_chrome_trace(one_of_each(), a);
+  write_chrome_trace(one_of_each(), {}, b);
+  EXPECT_EQ(a.str(), b.str());
 }
 
 }  // namespace

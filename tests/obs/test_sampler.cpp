@@ -1,0 +1,84 @@
+// TelemetrySampler: the deterministic 1-in-N countdown extracted from
+// Telemetry (§10) and reused by the §15 adaptive tracing controller. The
+// contract under test: 0 = disabled, 1 = everything, N = exactly one sample
+// per N calls with the first call sampled, and set_period() clamps the
+// in-flight countdown so rate changes take effect promptly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/sampler.hpp"
+
+namespace lvrm::obs {
+namespace {
+
+std::vector<int> sample_indices(TelemetrySampler& s, int calls) {
+  std::vector<int> hits;
+  for (int i = 0; i < calls; ++i)
+    if (s.tick()) hits.push_back(i);
+  return hits;
+}
+
+TEST(TelemetrySampler, ZeroMeansDisabled) {
+  TelemetrySampler s(0);
+  EXPECT_EQ(s.period(), 0u);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(s.tick());
+}
+
+TEST(TelemetrySampler, OneSamplesEverything) {
+  TelemetrySampler s(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(s.tick());
+}
+
+TEST(TelemetrySampler, FirstCallSamplesThenExactlyOnePerPeriod) {
+  TelemetrySampler s(4);
+  const auto hits = sample_indices(s, 17);
+  // Countdown starts at 1: index 0 samples, then one every 4 calls.
+  EXPECT_EQ(hits, (std::vector<int>{0, 4, 8, 12, 16}));
+}
+
+TEST(TelemetrySampler, CountdownReloadsToPeriodAfterEachSample) {
+  TelemetrySampler s(64);
+  EXPECT_TRUE(s.tick());  // the armed first call
+  int next = -1;
+  for (int i = 1; i < 200 && next < 0; ++i)
+    if (s.tick()) next = i;
+  EXPECT_EQ(next, 64);  // reload is to the FULL period, not period-1
+}
+
+TEST(TelemetrySampler, ShrinkClampsTheInFlightCountdown) {
+  TelemetrySampler s(1024);
+  EXPECT_TRUE(s.tick());  // countdown now 1024
+  s.set_period(4);        // shrink: countdown must clamp to 4, not run 1024
+  const auto hits = sample_indices(s, 12);
+  EXPECT_EQ(hits, (std::vector<int>{3, 7, 11}));
+}
+
+TEST(TelemetrySampler, GrowKeepsTheShorterInFlightCountdown) {
+  TelemetrySampler s(4);
+  EXPECT_TRUE(s.tick());  // countdown now 4
+  s.set_period(1024);     // grow: the pending sample still lands within 4
+  int next = -1;
+  for (int i = 0; i < 8 && next < 0; ++i)
+    if (s.tick()) next = i;
+  EXPECT_EQ(next, 3);
+  // ... but the one after honours the new 1024 period.
+  int after = -1;
+  for (int i = 0; i < 2000 && after < 0; ++i)
+    if (s.tick()) after = i;
+  EXPECT_EQ(after, 1023);
+}
+
+TEST(TelemetrySampler, SetPeriodZeroDisablesAndNonZeroRearms) {
+  TelemetrySampler s(8);
+  EXPECT_TRUE(s.tick());
+  s.set_period(0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(s.tick());
+  s.set_period(2);  // re-enable: behaves like a fresh period-2 sampler
+  const auto hits = sample_indices(s, 6);
+  EXPECT_EQ(hits, (std::vector<int>{1, 3, 5}));
+}
+
+}  // namespace
+}  // namespace lvrm::obs
