@@ -6,6 +6,7 @@
 #include <cmath>
 #include <ctime>
 #include <memory>
+#include <unordered_map>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -445,6 +446,115 @@ ShardScalingResult run_shard_scaling_trial(const ShardScalingOptions& opt) {
   out.per_shard_rx.resize(n_shards);
   for (std::size_t s = 0; s < n_shards; ++s)
     out.per_shard_rx[s] = sys.shard_rx_admitted(static_cast<int>(s)) - rx_mark[s];
+  return out;
+}
+
+// --- Elephant-flow spraying (Experiment 8, DESIGN.md §16) ---------------------------------
+
+ElephantTrialResult run_elephant_trial(const ElephantTrialOptions& opt) {
+  sim::Simulator simulator;
+  sim::CpuTopology topo;
+  LvrmConfig cfg;
+  cfg.adapter = AdapterKind::kMemory;
+  cfg.allocator = AllocatorKind::kFixed;
+  cfg.granularity = BalancerGranularity::kFlow;
+  cfg.dispatch_shards = opt.shards;
+  cfg.batched_hot_path = opt.batched;
+  cfg.descriptor_rings = opt.descriptor_rings;
+  cfg.state_replication.enabled = opt.replication;
+  cfg.seed = opt.seed;
+  LvrmSystem sys(simulator, topo, cfg);
+  VrConfig vr;
+  // A stateful VR so spraying actually exercises the delta stream: the
+  // per-flow token bucket with a limit far above the offered rate churns
+  // state on every frame but never drops.
+  vr.kind = VrKind::kRateLimit;
+  vr.inner_kind = VrKind::kCpp;
+  vr.rate_limit_fps = 1e9;
+  vr.rate_limit_burst = 1e6;
+  vr.initial_vris = opt.vris;
+  // Pin each VRI's service rate to the allocator's nominal capacity so
+  // elephant_multiplier is a true per-core overload factor.
+  vr.dummy_load = static_cast<Nanos>(1e9 / cfg.per_vri_capacity_fps);
+  sys.add_vr(vr);
+  sys.start();
+
+  ElephantTrialResult out;
+  constexpr std::uint16_t kElephantPort = 7000;
+  std::uint64_t delivered = 0, elephant_delivered = 0;
+  // Per-flow (by src_port) last egressed frame id; ids are per-flow
+  // sequence numbers, so a regression is an external reordering.
+  std::unordered_map<std::uint16_t, std::int64_t> last_id;
+  sys.set_egress([&](net::FrameMeta&& f) {
+    ++delivered;
+    if (f.src_port == kElephantPort) ++elephant_delivered;
+    auto [it, fresh] = last_id.try_emplace(f.src_port, -1);
+    if (static_cast<std::int64_t>(f.id) < it->second)
+      ++out.ordering_violations;
+    it->second = static_cast<std::int64_t>(f.id);
+  });
+
+  const double elephant_rate =
+      cfg.per_vri_capacity_fps * opt.elephant_multiplier;
+  const double mouse_rate =
+      opt.mice_flows > 0
+          ? cfg.per_vri_capacity_fps * opt.mice_load / opt.mice_flows
+          : 0.0;
+  auto make_frame = [&](std::uint16_t src_port, std::uint64_t id) {
+    net::FrameMeta f;
+    f.id = id;
+    f.wire_bytes = opt.frame_bytes;
+    f.src_ip = net::ipv4(10, 1, 0, 1);
+    f.dst_ip = net::ipv4(10, 2, 0, 1);
+    f.src_port = src_port;
+    f.dst_port = 9;
+    f.created_at = simulator.now();
+    return f;
+  };
+  // Credit-based generator: every tick each flow accrues rate × dt worth of
+  // frames; fractional credit carries over so the long-run rate is exact.
+  const Nanos tick = usec(20);
+  const double dt = to_seconds(tick);
+  double elephant_credit = 0.0;
+  std::uint64_t elephant_seq = 0;
+  std::vector<double> mouse_credit(static_cast<std::size_t>(opt.mice_flows),
+                                   0.0);
+  std::vector<std::uint64_t> mouse_seq(static_cast<std::size_t>(opt.mice_flows),
+                                       0);
+  std::function<void()> refill = [&] {
+    elephant_credit += elephant_rate * dt;
+    while (elephant_credit >= 1.0) {
+      elephant_credit -= 1.0;
+      if (!sys.ingress(make_frame(kElephantPort, elephant_seq))) break;
+      ++elephant_seq;
+    }
+    for (std::size_t m = 0; m < mouse_credit.size(); ++m) {
+      mouse_credit[m] += mouse_rate * dt;
+      while (mouse_credit[m] >= 1.0) {
+        mouse_credit[m] -= 1.0;
+        const auto port = static_cast<std::uint16_t>(9000 + m);
+        if (!sys.ingress(make_frame(port, mouse_seq[m]))) break;
+        ++mouse_seq[m];
+      }
+    }
+    simulator.after(tick, refill);
+  };
+  simulator.at(0, refill);
+
+  simulator.run_until(opt.warmup);
+  const std::uint64_t mark = delivered;
+  const std::uint64_t elephant_mark = elephant_delivered;
+  simulator.run_until(opt.warmup + opt.measure);
+
+  out.delivered_fps =
+      static_cast<double>(delivered - mark) / to_seconds(opt.measure);
+  out.elephant_fps = static_cast<double>(elephant_delivered - elephant_mark) /
+                     to_seconds(opt.measure);
+  out.sprayed_frames = sys.sprayed_frames();
+  out.spray_activations = sys.spray_activations();
+  out.deltas_sent = sys.deltas_sent();
+  out.deltas_applied = sys.deltas_applied();
+  out.seq_window_overflows = sys.seq_window_overflows();
   return out;
 }
 

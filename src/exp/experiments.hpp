@@ -267,6 +267,50 @@ struct FlowScaleResult {
 /// timings, and both tables replay the identical stream.
 FlowScaleResult run_flow_scale_trial(const FlowScaleOptions& opt);
 
+// --- Elephant-flow spraying (Experiment 8, DESIGN.md §16) -----------------------------
+
+struct ElephantTrialOptions {
+  /// Elephant offered rate as a multiple of ONE VRI's nominal capacity
+  /// (per_vri_capacity_fps). >1 means a pinned flow cannot be served.
+  double elephant_multiplier = 4.0;
+  /// State-compute replication on/off — the off column is the flow-affinity
+  /// baseline the §16 claim is measured against.
+  bool replication = true;
+  int vris = 4;
+  /// Background mouse flows sharing the VR (never sprayed; they must keep
+  /// their single-VRI pins and their ordering).
+  int mice_flows = 8;
+  /// Aggregate mouse load as a fraction of one VRI's capacity.
+  double mice_load = 0.1;
+  int shards = 1;
+  bool batched = false;
+  bool descriptor_rings = false;
+  int frame_bytes = 84;
+  Nanos warmup = msec(20);
+  Nanos measure = msec(100);
+  std::uint64_t seed = 1;
+};
+
+struct ElephantTrialResult {
+  FramesPerSec delivered_fps = 0.0;  // all flows
+  FramesPerSec elephant_fps = 0.0;   // the elephant alone
+  /// Per-flow frame-id regressions observed at egress (elephant and mice).
+  /// Must be 0: the TX sequencer restores external order for sprayed flows
+  /// and pinned flows never leave their FIFO path.
+  std::uint64_t ordering_violations = 0;
+  std::uint64_t sprayed_frames = 0;
+  std::uint64_t spray_activations = 0;
+  std::uint64_t deltas_sent = 0;
+  std::uint64_t deltas_applied = 0;
+  std::uint64_t seq_window_overflows = 0;
+};
+
+/// Offers one elephant flow at `elephant_multiplier`× a single VRI's
+/// capacity (plus background mice) to a stateful rate-limiter VR and
+/// measures what gets through — the §16 claim is ≥1.5× one VRI's throughput
+/// at 4 VRIs with replication on, and 0 external ordering violations.
+ElephantTrialResult run_elephant_trial(const ElephantTrialOptions& opt);
+
 // --- Control-event latency (Experiment 1e) --------------------------------------------
 
 /// Average latency of relaying a control event between two VRIs of one VR.

@@ -92,6 +92,40 @@ struct OverloadConfig {
   std::uint64_t subset_salt = 0x9e3779b97f4a7c15ull;
 };
 
+/// State-compute replication (DESIGN.md §16): lets a single hot flow of a
+/// *stateful* VR scale past one VRI. When a flow's measured rate crosses the
+/// elephant threshold, the dispatcher "sprays" its frames across all healthy
+/// VRIs; every state change the owning routers make rides the existing
+/// control rings to the siblings as StateDelta records, and a TX-side
+/// per-flow sequencer releases frames in dispatch order so the external
+/// output is never reordered. Disabled by default: no detector state, no
+/// metric is registered, every frame field stays 0 and outputs are
+/// byte-identical to the seed (same rollout discipline as
+/// `batched_hot_path` / `overload_control` / `tracing`).
+struct StateReplicationConfig {
+  bool enabled = false;
+
+  /// A flow is an elephant when its rate inside one detection window
+  /// exceeds this fraction of `per_vri_capacity_fps` — i.e. when it alone
+  /// occupies this share of the core it is pinned to.
+  double elephant_fraction = 0.5;
+
+  /// Length of the windows the rate detector counts frames over.
+  Nanos detect_window = msec(5);
+
+  /// Floor on frames-per-window before a flow can be promoted, so tiny
+  /// capacity configurations don't promote mice off a handful of frames.
+  std::uint64_t min_frames = 64;
+
+  /// Emit every Nth state delta of a sprayed flow (1 = every change).
+  /// Larger periods trade replica staleness for control-ring traffic.
+  std::uint32_t delta_period = 1;
+
+  /// Max out-of-order frames the TX sequencer holds per sprayed flow
+  /// before force-releasing (a safety valve, counted when it fires).
+  std::size_t reorder_window = 1024;
+};
+
 struct LvrmConfig {
   AdapterKind adapter = AdapterKind::kPfRing;
   AllocatorKind allocator = AllocatorKind::kDynamicFixedThreshold;
@@ -204,6 +238,9 @@ struct LvrmConfig {
   /// the seed (same rollout discipline as `batched_hot_path` /
   /// `descriptor_rings` / `overload_control`).
   obs::TracingConfig tracing;
+
+  /// State-compute replication for stateful VRs (DESIGN.md §16).
+  StateReplicationConfig state_replication;
 };
 
 struct VrConfig {
@@ -238,6 +275,25 @@ struct VrConfig {
   /// "in" and at least one ToHost; a LookupIPRoute named "rt" participates
   /// in dynamic route updates.
   std::string click_script;
+
+  // --- stateful-VR parameters (kNat / kFirewall / kRateLimit) -----------
+  // The stateful kinds are decorators over a stateless forwarding engine;
+  // `inner_kind` picks it (kCpp or kClick — the Click options above apply
+  // to the inner engine too). See docs/VR_AUTHORING.md.
+
+  /// Forwarding engine a stateful VR wraps. Ignored by kCpp/kClick.
+  VrKind inner_kind = VrKind::kCpp;
+
+  /// kNat: external (translated) source address; 0 selects 192.0.2.1.
+  net::Ipv4Addr nat_external_ip = 0;
+
+  /// kNat: first port and size of the external port pool.
+  std::uint16_t nat_port_base = 20000;
+  std::uint16_t nat_port_count = 4096;
+
+  /// kRateLimit: per-flow token refill rate (frames/s) and bucket depth.
+  double rate_limit_fps = 30'000.0;
+  double rate_limit_burst = 64.0;
 };
 
 }  // namespace lvrm

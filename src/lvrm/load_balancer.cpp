@@ -101,8 +101,19 @@ std::span<const VriView> Dispatcher::healthy_pool(
   // steer new work to healthy siblings (the suspect keeps draining its
   // queue, which is exactly what either clears or confirms the suspicion).
   // With no healthy alternative the full set is used unchanged.
+  //
+  // Generation cache: suspicion only changes when the owner bumps the pool
+  // generation, so an unchanged generation whose last scan was clean needs
+  // no rescan. When a suspect exists the pool is rebuilt every call — the
+  // loads in `vris` are fresh per call and the filtered copy must be too.
+  if (pool_generation_ != 0 && pool_generation_ == pool_cached_gen_ &&
+      !pool_cached_suspect_)
+    return vris;
+  ++pool_scans_;
   bool any_suspect = false;
   for (const VriView& v : vris) any_suspect |= v.suspect;
+  pool_cached_gen_ = pool_generation_;
+  pool_cached_suspect_ = any_suspect;
   if (!any_suspect) return vris;
   pool_scratch_.clear();
   for (const VriView& v : vris)
@@ -115,7 +126,8 @@ int Dispatcher::dispatch(const net::FrameMeta& frame,
                          std::span<const VriView> vris, Nanos now) {
   last_flow_hit_ = false;
   ++decisions_;
-  const std::span<const VriView> pool = healthy_pool(vris);
+  // The healthy pool is only consulted when the inner scheme actually picks
+  // — a pinned flow hit never needs it, so it is computed lazily below.
 
   if (granularity_ == BalancerGranularity::kFlow) {
     const auto tuple = net::FiveTuple::from_frame(frame);
@@ -138,11 +150,11 @@ int Dispatcher::dispatch(const net::FrameMeta& frame,
       LVRM_CLOG(kDispatch, kTrace)
           << "stale flow pin vri=" << *pinned << ", re-balancing";
     }
-    const int chosen = inner_->pick(pool);
+    const int chosen = inner_->pick(healthy_pool(vris));
     flow_insert(tuple, chosen, now);  // "VRI of added entry <- ..."
     return chosen;
   }
-  return inner_->pick(pool);
+  return inner_->pick(healthy_pool(vris));
 }
 
 Nanos Dispatcher::dispatch_batch(std::span<net::FrameMeta* const> frames,
@@ -150,11 +162,11 @@ Nanos Dispatcher::dispatch_batch(std::span<net::FrameMeta* const> frames,
   last_flow_hit_ = false;
   if (frames.empty()) return 0;
   decisions_ += frames.size();
-  const std::span<const VriView> pool = healthy_pool(vris);
 
   if (granularity_ != BalancerGranularity::kFlow) {
     // Frame mode has no per-flow state to amortize: one inner pick each,
     // exactly as the per-frame path would do.
+    const std::span<const VriView> pool = healthy_pool(vris);
     Nanos cost = 0;
     for (net::FrameMeta* f : frames) {
       f->dispatch_vri = static_cast<std::int16_t>(inner_->pick(pool));
@@ -162,6 +174,8 @@ Nanos Dispatcher::dispatch_batch(std::span<net::FrameMeta* const> frames,
     }
     return cost;
   }
+  // Flow mode computes the pool lazily: a burst that is all pinned hits —
+  // the steady state of a flow-heavy workload — never filters at all.
 
   // Flow mode: order the burst by 5-tuple (stable via the original index)
   // so frames of one flow form a contiguous run, then probe the flow table
@@ -206,7 +220,7 @@ Nanos Dispatcher::dispatch_batch(std::span<net::FrameMeta* const> frames,
       }
     }
     if (chosen < 0) {
-      chosen = inner_->pick(pool);
+      chosen = inner_->pick(healthy_pool(vris));
       flow_insert(tuple, chosen, now);
       cost += inner_->decision_cost(vris.size());
     }

@@ -132,6 +132,19 @@ class Dispatcher {
   /// unpinned (0 in frame mode, where nothing is tracked).
   std::size_t on_vri_destroyed(int vri);
 
+  /// Pool-state generation, bumped by the owner whenever the candidate set
+  /// could have changed health (a VRI activated/deactivated/drained/crashed,
+  /// or a fail-slow suspicion flipped). While the generation is unchanged
+  /// and the last scan found no suspect, healthy_pool() skips rescanning —
+  /// before this cache, flow-pinned traffic paid a full candidate scan per
+  /// frame even when nothing had changed for seconds. Generation 0 (the
+  /// default) disables the cache, preserving the standalone-Dispatcher
+  /// contract that views may change arbitrarily between calls.
+  void set_pool_generation(std::uint64_t gen) { pool_generation_ = gen; }
+  std::uint64_t pool_generation() const { return pool_generation_; }
+  /// Full candidate scans performed (the regression surface for the cache).
+  std::uint64_t pool_scans() const { return pool_scans_; }
+
   BalancerGranularity granularity() const { return granularity_; }
   const LoadBalancer& inner() const { return *inner_; }
   bool last_was_flow_hit() const { return last_flow_hit_; }
@@ -196,6 +209,10 @@ class Dispatcher {
   std::uint64_t decisions_ = 0;
   std::uint64_t flow_probes_ = 0;
   std::uint64_t flow_hits_ = 0;
+  std::uint64_t pool_generation_ = 0;   // 0 = cache disabled
+  std::uint64_t pool_cached_gen_ = 0;   // generation of the last scan
+  bool pool_cached_suspect_ = false;    // last scan's verdict
+  std::uint64_t pool_scans_ = 0;
   // Reused across bursts so batch dispatch allocates nothing after warm-up.
   std::vector<VriView> pool_scratch_;
   std::vector<std::uint32_t> order_scratch_;

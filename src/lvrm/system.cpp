@@ -1,16 +1,27 @@
 #include "lvrm/system.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <map>
+#include <optional>
 
 #include "common/log.hpp"
 #include "net/flow.hpp"
+#include "net/state_record.hpp"
 #include "sim/costs.hpp"
+#include "vr/factory.hpp"
+#include "vr/stateful.hpp"
 
 namespace lvrm {
 
 namespace costs = sim::costs;
 using sim::CostCategory;
+
+/// output_if value a stateful VR sets when its admission step refuses a
+/// frame (vs. -1, a routing miss). Aliased here so the drop site does not
+/// spell the nested name next to locals called `vr`.
+constexpr std::int32_t kPolicyDropIf = vr::StatefulVrBase::kPolicyDrop;
 
 // --- internal structures --------------------------------------------------------
 
@@ -62,6 +73,27 @@ struct LvrmSystem::VriSlot {
   queue::SegmentId shm_ids[4] = {queue::kInvalidSegment, queue::kInvalidSegment,
                                  queue::kInvalidSegment, queue::kInvalidSegment};
   sim::EventId migration_event = sim::kInvalidEvent;
+
+  /// Frames the slot's stateful VR refused (§16 policy drops; 0 for the
+  /// stateless thesis VRs, which never refuse).
+  std::uint64_t policy_drops = 0;
+};
+
+/// §16 TX sequencer state for one sprayed flow: frames may complete on any
+/// VRI, so TX release is keyed by the spray sequence number stamped at
+/// dispatch. `held` parks out-of-order completions (nullopt = a tombstone
+/// for a frame that dropped in flight, so the gap it leaves releases).
+struct LvrmSystem::SeqOut {
+  std::uint32_t next = 0;  // next sequence number eligible to egress
+  // Held positions ahead of the cursor: a frame waiting for its turn, or a
+  // nullopt tombstone for a position whose frame was dropped. Tombstones
+  // hold no frame, so only `live` counts against the reorder window — under
+  // overload a deep queue legitimately accumulates thousands of tombstoned
+  // positions (dropped at enqueue, resolved only once the cursor crawls
+  // past) without a single frame being held.
+  std::map<std::uint32_t, std::optional<net::FrameMeta>> held;
+  std::size_t live = 0;  // held entries that carry a frame
+  Nanos last_activity = 0;
 };
 
 /// VR monitor state: configuration, the VRI monitor's dispatcher, and the
@@ -120,6 +152,44 @@ struct LvrmSystem::VrState {
   /// Every dynamic route update applied since start, in order; replayed into
   /// respawned VRIs so a fresh process starts consistent with its siblings.
   std::vector<route::RouteUpdate> route_log;
+
+  // §16 state replication (touched only when state_replication.enabled).
+  struct TupleHash {
+    std::size_t operator()(const net::FiveTuple& t) const {
+      return static_cast<std::size_t>(net::hash_tuple(t));
+    }
+  };
+  /// One sprayed (or spray-pending) flow. Pending frames are stamped with
+  /// spray metadata but stay pinned to the owner — every unstamped frame of
+  /// the flow is already FIFO-ahead of them in the owner's queue, so the
+  /// transition cannot reorder. Active frames pick per-frame by load.
+  struct SprayState {
+    enum class Phase : std::uint8_t { kPending, kActive };
+    Phase phase = Phase::kPending;
+    std::uint32_t id = 0;         // spray-flow id; keys the TX sequencer
+    int owner = -1;               // VRI that owned the pin at promotion
+    int shard = 0;                // dispatch shard steering the flow
+    std::uint32_t next_seq = 0;   // next spray sequence number to stamp
+    std::uint64_t frames = 0;     // frames sprayed over the lifetime
+    std::uint64_t delta_seq = 0;  // delta_period gating counter
+    Nanos last_frame = 0;         // idle-expiry clock
+    double rate_fps = 0.0;        // detected rate at promotion
+  };
+  std::unordered_map<net::FiveTuple, SprayState, TupleHash> sprays;
+  /// TX sequencers, keyed by spray-flow id — NOT the 5-tuple: a NAT VR
+  /// rewrites the tuple in flight, so the dispatch-side tuple no longer
+  /// matches the frame at TX. The stamped id survives translation.
+  std::unordered_map<std::uint32_t, SeqOut> seq_out;
+  /// Heavy-hitter detection: fixed hash-indexed per-window frame counts.
+  /// Collisions can only over-count (promote early), never miss a true
+  /// elephant, so a fixed array is safe at any flow count.
+  static constexpr std::size_t kHhSlots = 512;
+  std::array<std::uint64_t, kHhSlots> hh_counts{};
+  std::array<std::uint64_t, kHhSlots> hh_window{};
+
+  /// Healthy-pool generation mirrored into every shard dispatcher (seeded
+  /// to 1 in add_vr — 0 means cache-off standalone semantics).
+  std::uint64_t pool_generation = 1;
 };
 
 /// Pre-registered hot-path metric handles plus snapshot bookkeeping. The
@@ -152,6 +222,15 @@ struct LvrmSystem::ObsHooks {
   // Flow-table probe length in buckets touched (registered only when
   // `flow_table_v2` is on — the classic-table export stays byte-identical).
   obs::LogHistogram flow_probe_len;
+  // §16 replication counters (registered only when
+  // `state_replication.enabled` — defaults-off exports stay byte-identical).
+  obs::Counter sprayed_frames;
+  obs::Counter spray_activations;
+  obs::Counter deltas_sent;
+  obs::Counter deltas_applied;
+  obs::Counter seq_holds;
+  obs::Counter seq_gap_skips;
+  obs::Counter seq_window_overflow;
   Nanos last_snapshot = 0;
 };
 
@@ -225,7 +304,17 @@ LvrmSystem::LvrmSystem(sim::Simulator& sim, const sim::CpuTopology& topo,
     if (config_.flow_table_v2) {
       obs_->flow_probe_len = m.histogram("lvrm_flowtable_probe_len");
     }
+    if (config_.state_replication.enabled) {
+      obs_->sprayed_frames = m.counter("lvrm_sprayed_frames_total");
+      obs_->spray_activations = m.counter("lvrm_spray_activations_total");
+      obs_->deltas_sent = m.counter("lvrm_state_deltas_sent_total");
+      obs_->deltas_applied = m.counter("lvrm_state_deltas_applied_total");
+      obs_->seq_holds = m.counter("lvrm_seq_holds_total");
+      obs_->seq_gap_skips = m.counter("lvrm_seq_gap_skips_total");
+      obs_->seq_window_overflow = m.counter("lvrm_seq_window_overflow_total");
+    }
   }
+  replication_ = config_.state_replication.enabled;
 
   // §15 tracing: per-shard flight recorders + adaptive span sampling. The
   // trace gauges are published only when this exists (publish_gauges), so
@@ -282,6 +371,9 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
                           7919 * static_cast<std::uint64_t>(s)),
         config_.granularity, sec(30), config_.flow_table_v2,
         config_.flow_table_capacity));
+    // Healthy-pool generation cache: the system owns the candidate set, so
+    // it seeds a non-zero generation and bumps it on every health change.
+    vr->dispatchers.back()->set_pool_generation(vr->pool_generation);
     if (config_.flow_table_v2 && telemetry_) {
       Dispatcher* d = vr->dispatchers.back().get();
       d->set_probe_histogram(obs_->flow_probe_len);
@@ -331,14 +423,10 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
       s->shm_ids[q] = arena_.create(config_.data_queue_capacity *
                                     sizeof(net::FrameMeta));
 
-    if (vr->cfg.kind == VrKind::kClick && !vr->cfg.click_script.empty()) {
-      s->router =
-          std::make_unique<ClickVr>(vr->cfg.route_map, vr->cfg.click_script);
-    } else {
-      s->router = make_vr(vr->cfg.kind, vr->cfg.route_map);
-    }
-    if (auto* click = dynamic_cast<ClickVr*>(s->router.get()))
-      click->set_use_graph(vr->cfg.click_use_graph);
+    // The factory honors kind + click_script/click_use_graph and wraps the
+    // stateful kinds (NAT / firewall / rate limit) around their configured
+    // inner engine (§16).
+    s->router = make_configured_vr(vr->cfg, vr->cfg.route_map);
     if (i == 0) vr->pipeline_latency = s->router->pipeline_latency();
     s->estimator = make_estimator(config_.estimator, config_.ewma_weight);
 
@@ -352,9 +440,15 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
     s->server->add_input(
         *s->ctrl_in, /*priority=*/0,
         [this](net::FrameCell& c) {
+          const net::FrameMeta& f = meta_of(c);
+          // §16 state deltas ride the control rings but arrive per sprayed
+          // frame, not per control event — charging them the full control
+          // cost would saturate the sibling cores on delta traffic alone.
+          if (f.kind == net::FrameKind::kStateDelta)
+            return costs::kStateDeltaApply;
           return costs::kControlEventFixed +
                  static_cast<Nanos>(costs::kControlEventPerByte *
-                                    meta_of(c).wire_bytes);
+                                    f.wire_bytes);
         },
         [this](net::FrameCell&& c) {
           const net::FrameMeta f = take_cell(std::move(c));
@@ -386,12 +480,20 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
                   : shards_[static_cast<std::size_t>(s->home_shard)].core_id;
           if (cross_socket(s->core_id, producer))
             cost += costs::kCrossSocketQueueOp;
-          if (!s->router->process(f)) f.output_if = -1;
+          if (!s->router->process(f) && f.output_if != kPolicyDropIf)
+            f.output_if = -1;  // routing miss (vs. a stateful policy refuse)
           const Nanos work = static_cast<Nanos>(
               static_cast<double>(s->router->process_cost(f) +
                                   v->cfg.dummy_load) *
               v->cfg.service_multiplier * s->degrade);
           cost += work + costs::kEnqueueCost;
+          // §16: the stateful step may have changed per-flow state — relay
+          // the queued deltas to the active siblings while the frame is
+          // still in service (emit cost charged here, apply cost at the
+          // sibling's ctrl_in).
+          if (replication_ && f.sprayed && s->router->stateful())
+            cost += static_cast<Nanos>(relay_deltas(*v, *s)) *
+                    costs::kStateDeltaEmit;
           s->service_time.update(static_cast<double>(cost));
           return cost;
         },
@@ -404,8 +506,13 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
                             s->vr_id, s->index, sim_.now(), 0,
                             f.obs_sampled != 0);
           if (f.output_if < 0) {
-            ++s->no_route;
-            note_drop(f, DropCause::kNoRoute);
+            if (f.output_if == kPolicyDropIf) {
+              ++s->policy_drops;
+              note_drop(f, DropCause::kVrPolicy);
+            } else {
+              ++s->no_route;
+              note_drop(f, DropCause::kNoRoute);
+            }
             drop_cell(std::move(c));
             return;
           }
@@ -477,38 +584,18 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
                             CostCategory::kUser, user_part);
           return cost;
         },
-        [this, s, v](net::FrameCell&& c) {
+        [this, v](net::FrameCell&& c) {
           // TX completion: the frame leaves the IPC plane here, so a pooled
-          // slot is recycled now ("free once at TX completion").
+          // slot is recycled now ("free once at TX completion"). Sprayed
+          // frames (§16) detour through the per-flow sequencer, which
+          // restores external arrival order before finish_tx releases them.
           net::FrameMeta f = take_cell(std::move(c));
           f.gw_out_at = sim_.now();
-          ++forwarded_;
-          ++v->forwarded;
-          ++s->forwarded;
-          if (tracer_) {
-            tracer_->record(f.dispatch_shard, obs::TraceHop::kTxDrain, f.id,
-                            f.dispatch_vr, f.dispatch_vri, f.gw_out_at, 0,
-                            f.obs_sampled != 0);
-            // A delivered sample's hop timeline is complete here: collect
-            // the span (terminal 0 = egressed).
-            if (f.obs_sampled) tracer_->add_span(span_of(f, 0));
+          if (replication_ && f.sprayed) {
+            sequence_tx(*v, std::move(f));
+            return;
           }
-          if (obs_) {
-            obs_->tx_frames.inc();
-            if (!obs_->shard_tx.empty() && f.dispatch_shard >= 0)
-              obs_->shard_tx[static_cast<std::size_t>(f.dispatch_shard)].inc();
-            if (f.obs_sampled) {
-              // The three stages of the latency pipeline, recorded for the
-              // sampled subset only (identical in classic and batched mode).
-              obs_->queue_wait_ns.record(static_cast<std::uint64_t>(
-                  std::max<Nanos>(0, f.obs_svc_at - f.obs_enq_at)));
-              obs_->vri_service_ns.record(static_cast<std::uint64_t>(
-                  std::max<Nanos>(0, f.obs_done_at - f.obs_svc_at)));
-              obs_->e2e_ns.record(static_cast<std::uint64_t>(
-                  std::max<Nanos>(0, f.gw_out_at - f.gw_in_at)));
-            }
-          }
-          if (egress_) egress_(std::move(f));
+          finish_tx(*v, std::move(f));
         },
         home.adapter->send_category(), config_.poll_batch,
         // Batched hot path: the TX burst is one coalesced core event; the
@@ -681,7 +768,10 @@ Nanos LvrmSystem::rx_cost(net::FrameMeta& frame, DispatchShard& shard) {
   }
 
   Dispatcher& disp = *vr.dispatchers[static_cast<std::size_t>(shard.id)];
-  const int chosen = disp.dispatch(frame, views, now);
+  int chosen = disp.dispatch(frame, views, now);
+  // §16: a detected elephant overrides its pin with a per-frame spray pick.
+  if (replication_)
+    chosen = maybe_spray(vr, shard, frame, views, chosen, now);
   frame.dispatch_vri = static_cast<std::int16_t>(chosen);
   const Nanos decision =
       disp.decision_cost(views.size(), disp.last_was_flow_hit());
@@ -766,6 +856,15 @@ Nanos LvrmSystem::rx_cost_batch(std::span<net::FrameCell> cells,
             group, views_scratch_, now);
     cost += decision;
     user_part += decision;
+
+    // §16: spray overrides run after the batch decision, before the
+    // enqueue-cost pass reads each frame's final target.
+    if (replication_) {
+      for (net::FrameMeta* f : group)
+        if (f->dispatch_vri >= 0)
+          f->dispatch_vri = static_cast<std::int16_t>(
+              maybe_spray(vr, shard, *f, views_scratch_, f->dispatch_vri, now));
+    }
 
     for (const net::FrameMeta* f : group) {
       cost += costs::kEnqueueCost;
@@ -1062,11 +1161,12 @@ void LvrmSystem::set_overload_state(VrState& vr, OverloadLevel level,
 
 void LvrmSystem::send_control(int vr_id, int src_vri, int dst_vri,
                               std::size_t bytes,
-                              std::function<void(Nanos)> on_delivered) {
+                              std::function<void(Nanos)> on_delivered,
+                              net::FrameKind kind) {
   VrState& vr = *vrs_.at(static_cast<std::size_t>(vr_id));
   VriSlot& src = *vr.slots.at(static_cast<std::size_t>(src_vri));
   net::FrameMeta f;
-  f.kind = net::FrameKind::kControl;
+  f.kind = kind;
   f.id = next_control_id_++;
   f.wire_bytes = static_cast<int>(bytes);
   f.created_at = sim_.now();
@@ -1123,6 +1223,372 @@ void LvrmSystem::broadcast_route_update(int vr_id, int src_vri,
                      sync->done(sync->worst);
                  });
   }
+}
+
+// --- state replication (DESIGN.md §16) ----------------------------------------------
+
+int LvrmSystem::maybe_spray(VrState& vr, DispatchShard& shard,
+                            net::FrameMeta& f, std::span<const VriView> views,
+                            int chosen, Nanos now) {
+  // Spraying needs a flow pin to relax and a sibling to spray to.
+  if (config_.granularity != BalancerGranularity::kFlow || chosen < 0)
+    return chosen;
+  const StateReplicationConfig& rc = config_.state_replication;
+  const auto tuple = net::FiveTuple::from_frame(f);
+
+  const auto it = vr.sprays.find(tuple);
+  if (it != vr.sprays.end()) {
+    VrState::SprayState& sp = it->second;
+    // Stamp every frame from the promotion decision onward — including the
+    // Pending phase, where the flow is still pinned to its owner. Every
+    // unstamped frame of the flow is FIFO-ahead of the first stamped one in
+    // the owner's queue, so the pin-to-spray transition cannot reorder.
+    f.sprayed = 1;
+    f.spray_flow = sp.id;
+    f.spray_seq = sp.next_seq++;
+    ++sp.frames;
+    sp.last_frame = now;
+    ++sprayed_frames_;
+    if (obs_) obs_->sprayed_frames.inc();
+    if (sp.phase != VrState::SprayState::Phase::kActive) return chosen;
+    // Active: per-frame min-load pick over the non-suspect candidates (the
+    // replicated state makes every sibling a valid target).
+    int best = chosen;
+    double best_load = std::numeric_limits<double>::infinity();
+    for (const VriView& v : views) {
+      if (v.suspect) continue;
+      if (v.load < best_load) {
+        best_load = v.load;
+        best = v.index;
+      }
+    }
+    return best;
+  }
+
+  // Heavy-hitter detection: count the flow in its current window slot. A
+  // hash collision can only over-count (promote a mouse early — harmless,
+  // it just gets replicated too), never miss a true elephant.
+  if (views.size() < 2) return chosen;
+  const std::size_t slot = static_cast<std::size_t>(
+      net::hash_tuple(tuple) & (VrState::kHhSlots - 1));
+  const Nanos window = std::max<Nanos>(1, rc.detect_window);
+  const auto win = static_cast<std::uint64_t>(now / window);
+  if (vr.hh_window[slot] != win) {
+    vr.hh_window[slot] = win;
+    vr.hh_counts[slot] = 0;
+  }
+  const std::uint64_t count = ++vr.hh_counts[slot];
+  const double window_sec = static_cast<double>(window) / 1e9;
+  const double threshold_frames =
+      std::max(static_cast<double>(rc.min_frames),
+               rc.elephant_fraction * config_.per_vri_capacity_fps *
+                   window_sec);
+  if (static_cast<double>(count) < threshold_frames) return chosen;
+
+  // Promotion: enter Pending (still pinned), start the snapshot handshake,
+  // and stamp this frame as the flow's first sprayed frame.
+  VrState::SprayState sp;
+  sp.id = next_spray_flow_++;
+  sp.owner = chosen;
+  sp.shard = shard.id;
+  sp.rate_fps = static_cast<double>(count) / window_sec;
+  sp.last_frame = now;
+  f.sprayed = 1;
+  f.spray_flow = sp.id;
+  f.spray_seq = sp.next_seq++;
+  sp.frames = 1;
+  ++sprayed_frames_;
+  if (obs_) obs_->sprayed_frames.inc();
+  const double threshold_fps = threshold_frames / window_sec;
+  vr.sprays.emplace(tuple, sp);
+  start_spray_handshake(vr, shard.id, chosen, tuple, sp.rate_fps,
+                        threshold_fps);
+  return chosen;
+}
+
+void LvrmSystem::start_spray_handshake(VrState& vr, int shard, int owner,
+                                       const net::FiveTuple& tuple,
+                                       double rate_fps, double threshold_fps) {
+  // Snapshot the owner's state for this flow and copy it to every active
+  // sibling over the control rings (the broadcast_route_update pattern).
+  // The spray goes Active only when the slowest sibling has acked — until
+  // then frames stay pinned, so a sibling never sees a mid-flow frame
+  // before the snapshot that explains it.
+  VriSlot& own = *vr.slots.at(static_cast<std::size_t>(owner));
+  net::StateDelta snap;
+  const bool have_state =
+      own.router->stateful() && own.router->export_flow_state(tuple, snap);
+
+  struct Sync {
+    int pending = 0;
+    Nanos worst = 0;
+  };
+  auto sync = std::make_shared<Sync>();
+  for (const int idx : vr.active_order)
+    if (idx != owner) ++sync->pending;
+
+  const Nanos started = sim_.now();
+  VrState* vrp = &vr;
+  auto activate = [this, vrp, tuple, shard, owner, rate_fps, threshold_fps,
+                   started](Nanos worst) {
+    const auto it = vrp->sprays.find(tuple);
+    if (it == vrp->sprays.end()) return;  // idle-expired mid-handshake
+    it->second.phase = VrState::SprayState::Phase::kActive;
+    ++spray_activations_;
+    if (obs_) obs_->spray_activations.inc();
+    LVRM_CLOG(kDispatch, kInfo)
+        << "vr=" << vrp->id << " flow sprayed: rate=" << rate_fps
+        << " fps >= threshold=" << threshold_fps << " fps, fanout="
+        << vrp->active_order.size() << ", handshake=" << worst << " ns";
+    if (telemetry_) {
+      obs::AuditEvent e;
+      e.time = started;
+      e.until = sim_.now();
+      e.kind = obs::AuditKind::kFlowSpray;
+      e.vr = static_cast<std::int16_t>(vrp->id);
+      e.vri = static_cast<std::int16_t>(owner);
+      e.shard = static_cast<std::int16_t>(shard);
+      e.rate = rate_fps;
+      e.threshold = threshold_fps;
+      e.a = vrp->active_order.size();
+      e.b = it->second.id;
+      e.c = static_cast<std::uint64_t>(worst);
+      telemetry_->audit().record(e);
+    }
+  };
+  if (sync->pending == 0) {  // unreachable behind the >= 2 VRI gate
+    activate(0);
+    return;
+  }
+  for (const int idx : vr.active_order) {
+    if (idx == owner) continue;
+    VriSlot* sib = vr.slots[static_cast<std::size_t>(idx)].get();
+    // A lost handshake leg (injected control loss) erases the callback:
+    // the spray then stays Pending — i.e. pinned — forever. Safe by
+    // construction; never wrong, only not faster.
+    send_control(vr.id, owner, idx, net::StateDelta::kWireBytes + 16,
+                 [sib, snap, have_state, sync, activate](Nanos latency) {
+                   if (have_state && sib->active && !sib->crashed)
+                     sib->router->apply_delta(snap);
+                   sync->worst = std::max(sync->worst, latency);
+                   if (--sync->pending == 0) activate(sync->worst);
+                 });
+  }
+}
+
+std::size_t LvrmSystem::relay_deltas(VrState& vr, VriSlot& slot) {
+  const StateReplicationConfig& rc = config_.state_replication;
+  net::StateDelta d;
+  std::size_t drained = 0;
+  while (slot.router->take_delta(d)) {
+    ++drained;
+    if (rc.delta_period > 1) {
+      // Relay every Nth delta of the flow; the ones in between are absorbed
+      // by the next relayed record (deltas carry absolute state, so a
+      // skipped one costs freshness, not correctness).
+      const auto it = vr.sprays.find(d.flow);
+      if (it != vr.sprays.end() &&
+          (it->second.delta_seq++ % rc.delta_period) != 0)
+        continue;
+    }
+    for (const int idx : vr.active_order) {
+      if (idx == slot.index) continue;
+      VriSlot* sib = vr.slots[static_cast<std::size_t>(idx)].get();
+      ++deltas_sent_;
+      if (obs_) obs_->deltas_sent.inc();
+      // The callback runs when the sibling consumes the delta from its
+      // ctrl_in (charged at the §16 delta-apply cost, not the full control
+      // cost). Re-read the slot's router at delivery — a respawn may have
+      // replaced it. A lost delta (ctrl loss) erases the callback: safe
+      // loss, the next relayed delta for the flow carries absolute state.
+      send_control(
+          vr.id, slot.index, idx, net::StateDelta::kWireBytes,
+          [this, sib, d](Nanos) {
+            if (!sib->active || sib->crashed) return;
+            if (sib->router->apply_delta(d)) {
+              ++deltas_applied_;
+              if (obs_ && replication_) obs_->deltas_applied.inc();
+            }
+          },
+          net::FrameKind::kStateDelta);
+    }
+  }
+  return drained;
+}
+
+void LvrmSystem::finish_tx(VrState& vr, net::FrameMeta&& f) {
+  ++forwarded_;
+  ++vr.forwarded;
+  if (f.dispatch_vri >= 0 &&
+      f.dispatch_vri < static_cast<std::int16_t>(vr.slots.size()))
+    ++vr.slots[static_cast<std::size_t>(f.dispatch_vri)]->forwarded;
+  if (tracer_) {
+    tracer_->record(f.dispatch_shard, obs::TraceHop::kTxDrain, f.id,
+                    f.dispatch_vr, f.dispatch_vri, f.gw_out_at, 0,
+                    f.obs_sampled != 0);
+    // A delivered sample's hop timeline is complete here: collect the span
+    // (terminal 0 = egressed).
+    if (f.obs_sampled) tracer_->add_span(span_of(f, 0));
+  }
+  if (obs_) {
+    obs_->tx_frames.inc();
+    if (!obs_->shard_tx.empty() && f.dispatch_shard >= 0)
+      obs_->shard_tx[static_cast<std::size_t>(f.dispatch_shard)].inc();
+    if (f.obs_sampled) {
+      // The three stages of the latency pipeline, recorded for the sampled
+      // subset only (identical in classic and batched mode).
+      obs_->queue_wait_ns.record(static_cast<std::uint64_t>(
+          std::max<Nanos>(0, f.obs_svc_at - f.obs_enq_at)));
+      obs_->vri_service_ns.record(static_cast<std::uint64_t>(
+          std::max<Nanos>(0, f.obs_done_at - f.obs_svc_at)));
+      obs_->e2e_ns.record(static_cast<std::uint64_t>(
+          std::max<Nanos>(0, f.gw_out_at - f.gw_in_at)));
+    }
+  }
+  if (egress_) egress_(std::move(f));
+}
+
+void LvrmSystem::seq_release_run(VrState& vr, SeqOut& so) {
+  auto it = so.held.find(so.next);
+  while (it != so.held.end()) {
+    if (it->second) {
+      --so.live;
+      finish_tx(vr, std::move(*it->second));
+    }
+    so.held.erase(it);
+    ++so.next;
+    it = so.held.find(so.next);
+  }
+}
+
+void LvrmSystem::sequence_tx(VrState& vr, net::FrameMeta&& f) {
+  SeqOut& so = vr.seq_out[f.spray_flow];
+  so.last_activity = sim_.now();
+  if (f.spray_seq < so.next) {
+    // Behind the release cursor: its position was force-released by a
+    // window overflow (or tombstoned then superseded). Let it through late
+    // rather than hold it forever.
+    finish_tx(vr, std::move(f));
+    return;
+  }
+  if (f.spray_seq == so.next) {
+    ++so.next;
+    finish_tx(vr, std::move(f));
+    seq_release_run(vr, so);
+    return;
+  }
+  // Ahead of the cursor: park until the gap fills (or tombstones).
+  ++seq_holds_;
+  if (obs_ && replication_) obs_->seq_holds.inc();
+  const std::uint32_t seq = f.spray_seq;
+  const auto [it, inserted] =
+      so.held.emplace(seq, std::optional<net::FrameMeta>());
+  if (!inserted) {  // duplicate position (cannot happen by construction)
+    finish_tx(vr, std::move(f));
+    return;
+  }
+  it->second = std::move(f);
+  ++so.live;
+  while (so.live > config_.state_replication.reorder_window) {
+    // Overflow: more FRAMES held than the window allows — force-release
+    // from the oldest held position. This is the one case external order
+    // can be violated, and it is counted.
+    ++seq_window_overflows_;
+    if (obs_ && replication_) obs_->seq_window_overflow.inc();
+    auto first = so.held.begin();
+    so.next = first->first + 1;
+    if (first->second) {
+      --so.live;
+      finish_tx(vr, std::move(*first->second));
+    }
+    so.held.erase(first);
+    seq_release_run(vr, so);
+  }
+}
+
+void LvrmSystem::seq_skip(const net::FrameMeta& f) {
+  if (f.dispatch_vr < 0 ||
+      f.dispatch_vr >= static_cast<std::int16_t>(vrs_.size()))
+    return;
+  VrState& vr = *vrs_[static_cast<std::size_t>(f.dispatch_vr)];
+  SeqOut& so = vr.seq_out[f.spray_flow];
+  so.last_activity = sim_.now();
+  if (f.spray_seq < so.next) return;  // cursor already passed this position
+  ++seq_gap_skips_;
+  if (obs_ && replication_) obs_->seq_gap_skips.inc();
+  if (f.spray_seq == so.next) {
+    ++so.next;
+    seq_release_run(vr, so);
+    return;
+  }
+  so.held.emplace(f.spray_seq, std::nullopt);  // tombstone the hole
+}
+
+void LvrmSystem::spray_gc(Nanos now) {
+  if (now - last_spray_gc_ < sec(1)) return;
+  last_spray_gc_ = now;
+  const Nanos idle =
+      std::max<Nanos>(sec(1), 2 * config_.state_replication.detect_window);
+  for (auto& vrp : vrs_) {
+    VrState& vr = *vrp;
+    for (auto it = vr.sprays.begin(); it != vr.sprays.end();) {
+      const VrState::SprayState& sp = it->second;
+      if (now - sp.last_frame < idle) {
+        ++it;
+        continue;
+      }
+      if (telemetry_) {
+        obs::AuditEvent e;
+        e.time = now;
+        e.until = now;
+        e.kind = obs::AuditKind::kFlowSprayEnd;
+        e.vr = static_cast<std::int16_t>(vr.id);
+        e.shard = static_cast<std::int16_t>(sp.shard);
+        e.a = sp.frames;
+        e.b = sp.id;
+        telemetry_->audit().record(e);
+      }
+      it = vr.sprays.erase(it);
+    }
+    // Idle sequencers retire too. One still holding frames had a gap that
+    // will never fill (its frame is gone for good) — flush the stragglers
+    // in positional order rather than leak them (and their pool slots).
+    for (auto it = vr.seq_out.begin(); it != vr.seq_out.end();) {
+      SeqOut& so = it->second;
+      if (now - so.last_activity < idle) {
+        ++it;
+        continue;
+      }
+      for (auto& [seq, frame] : so.held)
+        if (frame) finish_tx(vr, std::move(*frame));
+      it = vr.seq_out.erase(it);
+    }
+  }
+}
+
+void LvrmSystem::bump_pool_generation(VrState& vr) {
+  ++vr.pool_generation;
+  for (auto& d : vr.dispatchers) d->set_pool_generation(vr.pool_generation);
+}
+
+std::size_t LvrmSystem::spray_active_flows() const {
+  std::size_t n = 0;
+  for (const auto& vr : vrs_) n += vr->sprays.size();
+  return n;
+}
+
+std::size_t LvrmSystem::seq_held_frames() const {
+  std::size_t n = 0;
+  for (const auto& vr : vrs_)
+    for (const auto& [id, so] : vr->seq_out) n += so.live;  // frames, not tombstones
+  return n;
+}
+
+std::uint64_t LvrmSystem::vr_policy_drops(int vr) const {
+  std::uint64_t total = 0;
+  for (const auto& slot : vrs_.at(static_cast<std::size_t>(vr))->slots)
+    total += slot->policy_drops;
+  return total;
 }
 
 // --- core allocation --------------------------------------------------------------------
@@ -1237,6 +1703,7 @@ void LvrmSystem::finish_drain(
 
   slot.active = false;
   std::erase(vr.active_order, slot.index);
+  bump_pool_generation(vr);
   if (slot.migration_event != sim::kInvalidEvent) {
     sim_.cancel(slot.migration_event);
     slot.migration_event = sim::kInvalidEvent;
@@ -1347,6 +1814,7 @@ void LvrmSystem::reap_crashed() {
       LVRM_CLOG(kHealth, kWarn) << "vr=" << vr.id << " vri=" << slot.index
                                 << " reaped after crash";
       it = vr.active_order.erase(it);
+      bump_pool_generation(vr);
       audit_vri_change(vr, slot, /*create=*/false, /*from_recovery=*/true);
       release_core(slot.core_id);
       slot.core_id = sim::kNoCore;
@@ -1425,6 +1893,8 @@ void LvrmSystem::maybe_allocate() {
   if (now - last_alloc_pass_ < config_.realloc_period) return;
   last_alloc_pass_ = now;
   reap_crashed();
+  // §16: idle-expire sprayed flows and drained sequencers (1 s cadence).
+  if (replication_) spray_gc(now);
   // Audit: per-VR balancer summaries and shed-episode closure ride the
   // allocation pass (the decision cadence of the whole system).
   if (telemetry_) audit_balance_and_shed(now);
@@ -1505,11 +1975,18 @@ void LvrmSystem::maybe_health_probe() {
     for (const HealthVerdict& v : verdicts)
       recover_slot(vr, *vr.slots[static_cast<std::size_t>(v.vri)], v.state,
                    v.stalled_for);
-    // Refresh the grace-window marks the dispatcher steers around.
+    // Refresh the grace-window marks the dispatcher steers around. Only an
+    // actual flip invalidates the cached healthy pool.
+    bool suspicion_changed = false;
     for (int idx : vr.active_order) {
       VriSlot& s = *vr.slots[static_cast<std::size_t>(idx)];
-      s.suspect = health_->is_suspect(vr.id, idx);
+      const bool suspect = health_->is_suspect(vr.id, idx);
+      if (suspect != s.suspect) {
+        s.suspect = suspect;
+        suspicion_changed = true;
+      }
     }
+    if (suspicion_changed) bump_pool_generation(vr);
   }
 }
 
@@ -1597,6 +2074,7 @@ void LvrmSystem::recover_slot(VrState& vr, VriSlot& slot, VriHealth reason,
 
   slot.active = false;
   std::erase(vr.active_order, slot.index);
+  bump_pool_generation(vr);
   if (slot.migration_event != sim::kInvalidEvent) {
     sim_.cancel(slot.migration_event);
     slot.migration_event = sim::kInvalidEvent;
@@ -1698,6 +2176,7 @@ void LvrmSystem::activate_slot(VrState& vr, VriSlot& slot,
   slot.active = true;
   slot.activated_at = sim_.now();
   vr.active_order.push_back(slot.index);
+  bump_pool_generation(vr);
   slot.server->start();
   LVRM_CLOG(kAlloc, kDebug) << "vr=" << vr.id << " vri=" << slot.index
                             << " activated on core=" << core_id
@@ -1707,14 +2186,11 @@ void LvrmSystem::activate_slot(VrState& vr, VriSlot& slot,
 }
 
 void LvrmSystem::rebuild_router(VrState& vr, VriSlot& slot) {
-  if (vr.cfg.kind == VrKind::kClick && !vr.cfg.click_script.empty()) {
-    slot.router =
-        std::make_unique<ClickVr>(vr.cfg.route_map, vr.cfg.click_script);
-  } else {
-    slot.router = make_vr(vr.cfg.kind, vr.cfg.route_map);
-  }
-  if (auto* click = dynamic_cast<ClickVr*>(slot.router.get()))
-    click->set_use_graph(vr.cfg.click_use_graph);
+  // Same factory seam as add_vr: a respawn rebuilds exactly what the slot
+  // started with, stateful wrapper included (its flow state starts empty —
+  // a fresh fork remembers nothing; §16 deltas repopulate it as siblings
+  // keep replicating).
+  slot.router = make_configured_vr(vr.cfg, vr.cfg.route_map);
   // Routing-state resync (Sec 2.1): replay the dynamic updates the previous
   // incarnation had applied, so the replacement matches its siblings.
   for (const route::RouteUpdate& u : vr.route_log)
@@ -1744,6 +2220,7 @@ void LvrmSystem::deactivate_vri(VrState& vr) {
   }
   vr.active_order.pop_back();
   slot.active = false;
+  bump_pool_generation(vr);
   slot.server->stop();
   // Fig 3.2 "destroy": queues are destroyed, so queued frames are lost
   // (their pool slots are recycled in descriptor mode).
@@ -2219,6 +2696,14 @@ void LvrmSystem::publish_gauges() {
         .set(static_cast<double>(pool_->in_flight()));
     m.gauge("lvrm_frame_pool_capacity")
         .set(static_cast<double>(pool_->capacity()));
+  }
+  if (replication_) {
+    // Replication gauges exist only with §16 replication on (same
+    // byte-identity rule as the pool gauges above).
+    m.gauge("lvrm_spray_active_flows")
+        .set(static_cast<double>(spray_active_flows()));
+    m.gauge("lvrm_seq_held_frames")
+        .set(static_cast<double>(seq_held_frames()));
   }
 
   for (const auto& vrp : vrs_) {

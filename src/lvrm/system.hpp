@@ -119,9 +119,13 @@ class LvrmSystem {
 
   /// Sends a control event from one VRI of `vr` to another through the
   /// control queues; `on_delivered` receives the end-to-end latency when the
-  /// destination VRI consumes it (Exp 1e).
+  /// destination VRI consumes it (Exp 1e). `kind` selects the consumption
+  /// cost at the destination: kControl pays the full control-event cost,
+  /// kStateDelta pays only the §16 delta-apply cost — state deltas ride the
+  /// same rings but arrive orders of magnitude more often.
   void send_control(int vr, int src_vri, int dst_vri, std::size_t bytes,
-                    std::function<void(Nanos)> on_delivered);
+                    std::function<void(Nanos)> on_delivered,
+                    net::FrameKind kind = net::FrameKind::kControl);
 
   /// Failure injection: the VRI process dies (as if it crashed or was
   /// OOM-killed). LVRM only notices at its next allocation pass — the same
@@ -234,6 +238,27 @@ class LvrmSystem {
   /// of `vr_frames_in + vr_admission_rejected` whatever the ladder did.
   double vr_offered_estimate(int vr) const;
 
+  // --- state replication (DESIGN.md §16) ------------------------------------
+  // All zero unless `config.state_replication.enabled`.
+  /// Frames dispatched past their flow pin by the spray path.
+  std::uint64_t sprayed_frames() const { return sprayed_frames_; }
+  /// Flows promoted to spraying (one per completed snapshot handshake).
+  std::uint64_t spray_activations() const { return spray_activations_; }
+  /// Per-frame state deltas relayed to siblings / applied at delivery.
+  std::uint64_t deltas_sent() const { return deltas_sent_; }
+  std::uint64_t deltas_applied() const { return deltas_applied_; }
+  /// TX sequencer activity: frames parked for an earlier sequence number,
+  /// holes released by a drop tombstone, and force-releases when the reorder
+  /// window overflowed (the only case external order can be violated).
+  std::uint64_t seq_holds() const { return seq_holds_; }
+  std::uint64_t seq_gap_skips() const { return seq_gap_skips_; }
+  std::uint64_t seq_window_overflows() const { return seq_window_overflows_; }
+  /// Flows currently in the spray set / frames parked in sequencers.
+  std::size_t spray_active_flows() const;
+  std::size_t seq_held_frames() const;
+  /// Frames refused by a stateful VR's admission decision (policy drops).
+  std::uint64_t vr_policy_drops(int vr) const;
+
   /// Test/harness hook invoked once per dropped frame with its cause — the
   /// conservation check `delivered + every cause == offered` per flow
   /// class. Null (the default) costs the hot path one pointer check.
@@ -305,6 +330,7 @@ class LvrmSystem {
  private:
   struct VriSlot;
   struct VrState;
+  struct SeqOut;  // §16 per-spray-flow TX sequencer state
 
   /// Every IPC queue carries FrameCell: an inline FrameMeta classically, a
   /// 32-bit pooled FrameHandle in descriptor mode (DESIGN.md §12). One
@@ -362,15 +388,22 @@ class LvrmSystem {
   /// the system funnels through here, which is what makes one tracer hook
   /// cover them all. Two null checks when both are unset.
   void note_drop(const net::FrameMeta& f, DropCause cause) {
+    // §16: a sprayed frame that dies anywhere leaves a hole in its spray
+    // sequence — tombstone it so the TX sequencer can release past it
+    // instead of stalling until the reorder window overflows.
+    if (replication_ && f.sprayed) seq_skip(f);
     if (tracer_) trace_drop(f, cause);
     if (drop_hook_) drop_hook_(f, cause);
   }
   /// push_cell plus drop reporting: the push consumes the cell even on
-  /// refusal, so the meta is copied up front — but only when a hook or the
-  /// tracer is installed, keeping the production path copy-free.
+  /// refusal, so the meta is copied up front — but only when a hook, the
+  /// tracer or replication (which must see sprayed-frame drops for its
+  /// sequencer tombstones) is installed, keeping the production path
+  /// copy-free.
   bool push_cell_or_note(FrameQueue& q, net::FrameCell&& cell,
                          DropCause cause) {
-    if (!drop_hook_ && !tracer_) return push_cell(q, std::move(cell));
+    if (!drop_hook_ && !tracer_ && !replication_)
+      return push_cell(q, std::move(cell));
     const net::FrameMeta copy = meta_of(cell);
     if (push_cell(q, std::move(cell))) return true;
     note_drop(copy, cause);
@@ -454,6 +487,39 @@ class LvrmSystem {
                         bool from_recovery);
   void audit_balance_and_shed(Nanos now);
   void close_shed_episode(VrState& vr, Nanos now);
+  // State replication (DESIGN.md §16; all no-ops unless
+  // config.state_replication.enabled → replication_).
+  /// Heavy-hitter detection + spray override after the flow-pinned dispatch
+  /// decision: counts the flow in its detection window, starts the snapshot
+  /// handshake on promotion, stamps spray metadata, and — once the flow is
+  /// Active — overrides `chosen` with a per-frame min-load pick.
+  int maybe_spray(VrState& vr, DispatchShard& shard, net::FrameMeta& f,
+                  std::span<const VriView> views, int chosen, Nanos now);
+  /// Copies the flow's state from the owner to every active sibling over
+  /// the control rings; the spray goes Active when the slowest acks.
+  void start_spray_handshake(VrState& vr, int shard, int owner,
+                             const net::FiveTuple& tuple, double rate_fps,
+                             double threshold_fps);
+  /// Drains the deltas a stateful router queued while processing a sprayed
+  /// frame and relays each to the active siblings (delta_period-gated).
+  /// Returns how many deltas were drained (the emit-cost multiplier).
+  std::size_t relay_deltas(VrState& vr, VriSlot& slot);
+  /// TX-side completion: counters, tracer/telemetry, egress. Split out of
+  /// the TX sink so the sequencer can release held frames through it.
+  void finish_tx(VrState& vr, net::FrameMeta&& f);
+  /// Reorders a sprayed frame back into external arrival order; releases
+  /// every in-order frame (and tombstoned hole) through finish_tx.
+  void sequence_tx(VrState& vr, net::FrameMeta&& f);
+  /// Records a dropped sprayed frame's sequence number as a hole.
+  void seq_skip(const net::FrameMeta& f);
+  /// Releases the run of consecutive held frames/tombstones at `so.next`.
+  void seq_release_run(VrState& vr, SeqOut& so);
+  /// Idle-expires spray entries and empty sequencers (1 s cadence, rides
+  /// the allocation pass).
+  void spray_gc(Nanos now);
+  /// Invalidates every shard dispatcher's cached healthy pool for this VR;
+  /// called whenever a slot's health/membership could have changed.
+  void bump_pool_generation(VrState& vr);
 
   sim::Simulator& sim_;
   sim::CpuTopology topo_;
@@ -519,6 +585,20 @@ class LvrmSystem {
   std::uint64_t control_drops_ = 0;
   std::uint64_t next_control_id_ = 1;
   std::unordered_map<std::uint64_t, std::function<void(Nanos)>> control_cbs_;
+
+  // State replication (DESIGN.md §16). `replication_` caches the config
+  // gate so the hot-path checks (note_drop, push_cell_or_note, the TX sink)
+  // stay one bool test with the feature off.
+  bool replication_ = false;
+  std::uint64_t sprayed_frames_ = 0;
+  std::uint64_t spray_activations_ = 0;
+  std::uint64_t deltas_sent_ = 0;
+  std::uint64_t deltas_applied_ = 0;
+  std::uint64_t seq_holds_ = 0;
+  std::uint64_t seq_gap_skips_ = 0;
+  std::uint64_t seq_window_overflows_ = 0;
+  std::uint32_t next_spray_flow_ = 1;
+  Nanos last_spray_gc_ = 0;
 
   bool started_ = false;
 };

@@ -59,6 +59,9 @@ std::string to_string(VrKind k) {
   switch (k) {
     case VrKind::kCpp: return "c++";
     case VrKind::kClick: return "click";
+    case VrKind::kNat: return "nat";
+    case VrKind::kFirewall: return "firewall";
+    case VrKind::kRateLimit: return "rate-limit";
   }
   return "?";
 }
@@ -115,6 +118,7 @@ std::string to_string(DropCause k) {
     case DropCause::kVriInactive: return "vri-inactive";
     case DropCause::kVriDestroyed: return "vri-destroyed";
     case DropCause::kNoRoute: return "no-route";
+    case DropCause::kVrPolicy: return "vr-policy";
   }
   return "?";
 }

@@ -52,10 +52,15 @@ enum class AffinityPolicy {
   kSame,        // run the VRI on LVRM's own core
 };
 
-/// Hosted VR implementations (Sec 3.8).
+/// Hosted VR implementations (Sec 3.8). The first two are stateless
+/// forwarders; the rest are stateful VRs (src/vr, DESIGN.md §16) layered on
+/// top of a stateless inner forwarder chosen by `VrConfig::inner_kind`.
 enum class VrKind {
-  kCpp,    // minimal C++ forwarder
-  kClick,  // Click Modular Router element graph
+  kCpp,        // minimal C++ forwarder
+  kClick,      // Click Modular Router element graph
+  kNat,        // source NAT: 5-tuple translation table + port pool
+  kFirewall,   // stateful firewall: TCP connection tracker over FlowTableV2
+  kRateLimit,  // per-flow token-bucket rate limiter
 };
 
 /// Health states the monitor can assign to a VRI (robustness layer).
@@ -107,6 +112,8 @@ enum class DropCause {
   kVriInactive,     // dispatched to a VRI that deactivated in flight
   kVriDestroyed,    // queued in a VRI torn down without a drain
   kNoRoute,         // the VR's routing table had no entry
+  kVrPolicy,        // a stateful VR refused the frame (firewall deny,
+                    // rate-limit throttle, NAT port-pool exhaustion)
 };
 
 /// Why a reset-free VRI drain started (DESIGN.md §13).

@@ -5,6 +5,7 @@
 
 #include "net/headers.hpp"
 #include "sim/costs.hpp"
+#include "vr/factory.hpp"
 
 namespace lvrm {
 
@@ -163,6 +164,16 @@ std::unique_ptr<VirtualRouter> make_vr(VrKind kind,
       return std::make_unique<CppVr>(route_map);
     case VrKind::kClick:
       return std::make_unique<ClickVr>(route_map);
+    case VrKind::kNat:
+    case VrKind::kFirewall:
+    case VrKind::kRateLimit:
+      // Stateful kinds need their VrConfig parameters; callers with only a
+      // kind get them at defaults via the factory seam.
+      {
+        VrConfig cfg;
+        cfg.kind = kind;
+        return make_configured_vr(cfg, route_map);
+      }
   }
   return nullptr;
 }

@@ -23,7 +23,9 @@
 #include "click/router.hpp"
 #include "common/units.hpp"
 #include "lvrm/types.hpp"
+#include "net/flow.hpp"
 #include "net/frame.hpp"
+#include "net/state_record.hpp"
 #include "route/route_table.hpp"
 #include "route/route_update.hpp"
 
@@ -54,6 +56,32 @@ class VirtualRouter {
 
   /// Fresh instance with the same configuration, for a new VRI.
   virtual std::unique_ptr<VirtualRouter> clone() const = 0;
+
+  // --- stateful-VR hooks (DESIGN.md §16, docs/VR_AUTHORING.md) ----------
+  // Stateless forwarders keep the no-op defaults. A stateful VR overrides
+  // all five: it queues a StateDelta for every per-flow state *change* it
+  // makes, LVRM drains the queue with take_delta() after each processed
+  // frame and relays the records to sibling VRIs, and apply_delta()
+  // installs a relayed record into a sibling's tables. export_flow_state()
+  // snapshots one flow's current state for the spray-activation handshake.
+
+  /// True when this VR keeps per-flow state that must be replicated for
+  /// sibling VRIs to process the flow's frames correctly.
+  virtual bool stateful() const { return false; }
+
+  /// Pops the oldest pending state delta. Returns false when none remain.
+  virtual bool take_delta(net::StateDelta& /*out*/) { return false; }
+
+  /// Installs a state record relayed from a sibling VRI. Returns false when
+  /// the record kind does not belong to this VR or is stale.
+  virtual bool apply_delta(const net::StateDelta& /*delta*/) { return false; }
+
+  /// Snapshots the current state of one flow (spray handshake seeding).
+  /// Returns false when the VR has no state for the flow.
+  virtual bool export_flow_state(const net::FiveTuple& /*flow*/,
+                                 net::StateDelta& /*out*/) const {
+    return false;
+  }
 };
 
 /// Minimal C++ forwarder: LPM route table from a map file.

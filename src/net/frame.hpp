@@ -21,8 +21,17 @@ enum class FrameKind : std::uint8_t {
   kTcpAck,
   kIcmpRequest,
   kIcmpReply,
-  kControl,  // inter-VRI control event (travels on control queues)
+  kControl,     // inter-VRI control event (travels on control queues)
+  kStateDelta,  // per-flow state record replicated to sibling VRIs (§16)
 };
+
+// TCP header flag bits carried in FrameMeta::tcp_flags (the subset the
+// stateful firewall's connection tracker inspects).
+inline constexpr std::uint8_t kTcpFlagFin = 0x01;
+inline constexpr std::uint8_t kTcpFlagSyn = 0x02;
+inline constexpr std::uint8_t kTcpFlagRst = 0x04;
+inline constexpr std::uint8_t kTcpFlagPsh = 0x08;
+inline constexpr std::uint8_t kTcpFlagAck = 0x10;
 
 struct FrameMeta {
   std::uint64_t id = 0;        // globally unique sequence number
@@ -40,8 +49,21 @@ struct FrameMeta {
 
   std::int32_t flow_index = -1;  // TCP experiments: index into the flow array
   std::uint64_t tcp_seq = 0;     // model-level sequence/ack number
+  std::uint8_t tcp_flags = 0;    // kTcpFlag* bits (connection tracking)
   std::int32_t input_if = 0;     // gateway interface it arrived on
   std::int32_t output_if = 1;    // interface a VR selected for forwarding
+
+  // State-compute replication (DESIGN.md §16): once the balancer decides to
+  // spray a hot flow across VRIs, every subsequent frame of that flow is
+  // stamped with the spray entry's id and a per-flow dispatch sequence
+  // number. The TX-side sequencer releases stamped frames in spray_seq
+  // order so the external output order is exactly the dispatch order. The
+  // id (not the 5-tuple) keys the sequencer because a stateful VR may
+  // rewrite the tuple in flight (NAT). All three stay 0 with replication
+  // off.
+  std::uint8_t sprayed = 0;
+  std::uint32_t spray_flow = 0;
+  std::uint32_t spray_seq = 0;
 
   // Filled in by LVRM's dispatch step (step 2 of the Sec 2.1 workflow).
   std::int16_t dispatch_vr = -1;   // owning VR decided from the source IP

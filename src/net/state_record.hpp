@@ -1,0 +1,47 @@
+// state_record.hpp — compact per-flow state records for stateful VRs.
+//
+// A stateful virtual router (src/vr) keeps per-flow state keyed by the
+// 5-tuple: a NAT translation entry, a connection-tracker state, a token
+// bucket. Under state-compute replication (DESIGN.md §16) every state
+// *change* is exported as one of these fixed-size records and shipped over
+// the control rings to sibling VRIs, so any VRI can process any frame of a
+// sprayed flow. The record is deliberately VR-agnostic: two 64-bit payload
+// words whose meaning is owned by the emitting VR kind (see the per-kind
+// comments and docs/VR_AUTHORING.md). Keeping it POD-sized means the
+// simulated control frame can charge a realistic serialization cost and a
+// real implementation could memcpy it onto a ring verbatim.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "net/flow.hpp"
+
+namespace lvrm::net {
+
+// Which VR family emitted the record. Used by apply_delta() to reject
+// records from a mismatched router (e.g. after a reconfig race).
+enum class StateKind : std::uint8_t {
+  kNone = 0,
+  kNatMapping,   // a = external port, b = original (src_ip << 16) | src_port
+  kConnTrack,    // a = new TCP connection state, b = flags that caused it
+  kTokenBucket,  // a = tokens in millitokens (×1000), b = refill stamp (ns)
+};
+
+struct StateDelta {
+  FiveTuple flow{};                    // the flow the record belongs to
+  StateKind kind = StateKind::kNone;   // emitting VR family
+  std::uint64_t a = 0;                 // payload word 1 (kind-specific)
+  std::uint64_t b = 0;                 // payload word 2 (kind-specific)
+  Nanos stamp = 0;                     // emission time; receivers drop stale
+                                       // records for state they overwrote later
+
+  // Serialized size charged to the control path: 13-byte packed tuple +
+  // kind byte + two payload words + stamp, rounded to the ring's 8-byte
+  // granularity. (The in-memory struct is larger; the wire format is what
+  // a real ring would carry.)
+  static constexpr std::size_t kWireBytes = 48;
+};
+
+}  // namespace lvrm::net

@@ -16,6 +16,8 @@ const char* to_string(AuditKind k) {
     case AuditKind::kVriDrain: return "vri_drain";
     case AuditKind::kFlowTableResize: return "flowtable_resize";
     case AuditKind::kFlightDump: return "flight_dump";
+    case AuditKind::kFlowSpray: return "flow_spray";
+    case AuditKind::kFlowSprayEnd: return "flow_spray_end";
   }
   return "unknown";
 }

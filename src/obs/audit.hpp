@@ -33,6 +33,8 @@ enum class AuditKind : std::uint8_t {
   kVriDrain,       // reset-free VRI drain: live flows migrated to siblings
   kFlowTableResize,  // a dispatcher's flow table rebuilt / finished migrating
   kFlightDump,     // §15 flight recorder snapshotted on an incident
+  kFlowSpray,      // §16 an elephant flow began spraying across VRIs
+  kFlowSprayEnd,   // §16 a sprayed flow went idle and left the spray set
 };
 
 const char* to_string(AuditKind k);
@@ -101,6 +103,18 @@ const char* to_string(PoolExhaustCause c);
 ///     shard     = triggering shard (-1 when not shard-specific)
 ///     cause     = FlightDumpCause (vri-crash / quarantine / admission /
 ///                 pool-exhausted)
+///   kFlowSpray (§16; spray activation after the snapshot handshake):
+///     rate      = detected flow rate (fps) inside the detection window
+///     threshold = elephant threshold (fps) it crossed
+///     a         = fan-out (active VRIs the flow may now use)
+///     b         = spray-flow id (keys the TX sequencer)
+///     c         = snapshot-handshake latency (ns, worst sibling)
+///     vri       = the VRI that owned the flow before spraying
+///     shard     = dispatcher shard steering the flow
+///   kFlowSprayEnd (§16; idle expiry of a sprayed flow):
+///     a         = frames sprayed over the flow's lifetime
+///     b         = spray-flow id
+///     shard     = dispatcher shard that steered the flow
 struct AuditEvent {
   Nanos time = 0;   // event (or episode-start) sim time
   Nanos until = 0;  // episode end for duration events, else == time

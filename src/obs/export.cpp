@@ -305,6 +305,31 @@ void write_chrome_trace(const std::vector<AuditEvent>& events,
         emit(buf);
         break;
       }
+      case AuditKind::kFlowSpray: {
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"s\":\"t\","
+            "\"name\":\"flow_spray\",\"args\":{\"owner_vri\":%d,"
+            "\"shard\":%d,\"rate_fps\":%.3f,\"threshold_fps\":%.3f,"
+            "\"fanout\":%llu,\"spray_flow\":%llu,\"handshake_ns\":%llu}}",
+            e.vr, ts, e.vri, e.shard, e.rate, e.threshold,
+            static_cast<unsigned long long>(e.a),
+            static_cast<unsigned long long>(e.b),
+            static_cast<unsigned long long>(e.c));
+        emit(buf);
+        break;
+      }
+      case AuditKind::kFlowSprayEnd: {
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"s\":\"t\","
+            "\"name\":\"flow_spray_end\",\"args\":{\"shard\":%d,"
+            "\"frames_sprayed\":%llu,\"spray_flow\":%llu}}",
+            e.vr, ts, e.shard, static_cast<unsigned long long>(e.a),
+            static_cast<unsigned long long>(e.b));
+        emit(buf);
+        break;
+      }
     }
   }
 

@@ -112,6 +112,19 @@ inline constexpr Nanos kClickPipelineLatency = usec(18);
 // The dummy processing load used by Exps 2b-3b: 1/60 ms per frame.
 inline constexpr Nanos kDummyLoad = kNanosPerSec / 60'000;
 
+// --- Stateful VRs (DESIGN.md §16) -------------------------------------------
+// Per-frame cost of the stateful step layered on the inner forwarder: one
+// hash-table probe plus a small header rewrite / state-machine update.
+inline constexpr Nanos kNatTranslate = 180;
+inline constexpr Nanos kConnTrack = 160;
+inline constexpr Nanos kTokenBucketCheck = 90;
+// State-compute replication: serializing one StateDelta onto the control
+// ring at the owner, and installing one at a sibling. Deltas are tiny
+// fixed-size records — far cheaper than the full control-event path used
+// for route updates (no marshalling, no ack bookkeeping).
+inline constexpr Nanos kStateDeltaEmit = 70;
+inline constexpr Nanos kStateDeltaApply = 150;
+
 // IPC data queue between LVRM and each VRI (frames).
 inline constexpr std::size_t kDataQueueCapacity = 1024;
 inline constexpr std::size_t kControlQueueCapacity = 256;

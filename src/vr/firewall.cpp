@@ -1,0 +1,181 @@
+#include "vr/firewall.hpp"
+
+#include "sim/costs.hpp"
+
+namespace lvrm::vr {
+
+namespace costs = sim::costs;
+
+const char* to_string(ConnState s) {
+  switch (s) {
+    case ConnState::kSynSent: return "syn-sent";
+    case ConnState::kSynAckSeen: return "syn-ack-seen";
+    case ConnState::kEstablished: return "established";
+    case ConnState::kFinWait: return "fin-wait";
+    case ConnState::kReset: return "reset";
+  }
+  return "?";
+}
+
+FirewallVr::FirewallVr(std::unique_ptr<VirtualRouter> inner,
+                       std::size_t conn_capacity, Nanos idle_timeout)
+    : StatefulVrBase(std::move(inner)),
+      conns_(conn_capacity, idle_timeout),
+      conn_capacity_(conn_capacity),
+      idle_timeout_(idle_timeout) {}
+
+bool FirewallVr::advance(ConnState state, std::uint8_t flags,
+                         bool from_originator, ConnState& next,
+                         bool& changed) const {
+  next = state;
+  changed = false;
+  if (state == ConnState::kReset) return false;  // dead connection
+  if (flags & net::kTcpFlagRst) {
+    // The RST itself passes (the peer must see the abort); everything
+    // after it is refused. Mid-handshake RSTs land here too.
+    next = ConnState::kReset;
+    changed = true;
+    return true;
+  }
+  if (flags & net::kTcpFlagFin) {
+    if (state != ConnState::kFinWait) {
+      next = ConnState::kFinWait;
+      changed = true;
+    }
+    return true;
+  }
+  switch (state) {
+    case ConnState::kSynSent:
+      if (!from_originator) {
+        // Responder SYN-ACK, or a bare SYN = simultaneous open (RFC 9293
+        // §3.5) — both move the handshake forward.
+        if (flags & net::kTcpFlagSyn) {
+          next = ConnState::kSynAckSeen;
+          changed = true;
+          return true;
+        }
+        return false;  // responder data/ACK before any SYN back: refuse
+      }
+      if (flags & net::kTcpFlagSyn) return true;  // SYN retransmit
+      if (flags & net::kTcpFlagAck) {
+        // Originator ACK while we have not seen the SYN-ACK: the SYN-ACK
+        // was reordered past it. Establish rather than drop the flow.
+        next = ConnState::kEstablished;
+        changed = true;
+        return true;
+      }
+      return false;
+    case ConnState::kSynAckSeen:
+      if (flags & net::kTcpFlagSyn) return true;  // SYN/SYN-ACK retransmit
+      if (flags & net::kTcpFlagAck) {
+        // Final ACK of the handshake — from either side under
+        // simultaneous open.
+        next = ConnState::kEstablished;
+        changed = true;
+        return true;
+      }
+      return false;
+    case ConnState::kEstablished:
+    case ConnState::kFinWait:
+      return true;  // data, ACKs, and late handshake retransmits all pass
+    case ConnState::kReset:
+      return false;  // unreachable (handled above)
+  }
+  return false;
+}
+
+void FirewallVr::store(const net::FiveTuple& originator, ConnState s,
+                       Nanos now, std::uint8_t flags, bool emit_delta) {
+  conns_.insert(originator, static_cast<int>(s), now);
+  if (!emit_delta) return;
+  net::StateDelta d;
+  d.flow = originator;
+  d.kind = net::StateKind::kConnTrack;
+  d.a = static_cast<std::uint64_t>(s);
+  d.b = flags;
+  d.stamp = now;
+  emit(d);
+}
+
+bool FirewallVr::admit(net::FrameMeta& f) {
+  if (f.kind != net::FrameKind::kTcpData && f.kind != net::FrameKind::kTcpAck)
+    return true;  // non-TCP traffic passes stateless
+  const Nanos now = f.gw_in_at;
+  last_now_ = now;
+  const net::FiveTuple t = net::FiveTuple::from_frame(f);
+
+  net::FiveTuple key = t;
+  bool from_originator = true;
+  auto state = conns_.lookup(t, now);
+  if (!state) {
+    key = reversed(t);
+    from_originator = false;
+    state = conns_.lookup(key, now);
+  }
+  if (!state) {
+    // Untracked connection: only an opening SYN may create state.
+    if ((f.tcp_flags & net::kTcpFlagSyn) && !(f.tcp_flags & net::kTcpFlagAck) &&
+        !(f.tcp_flags & net::kTcpFlagRst)) {
+      store(t, ConnState::kSynSent, now, f.tcp_flags, /*emit_delta=*/true);
+      return true;
+    }
+    ++out_of_state_drops_;
+    return false;
+  }
+
+  ConnState next;
+  bool changed = false;
+  const bool pass = advance(static_cast<ConnState>(*state), f.tcp_flags,
+                            from_originator, next, changed);
+  if (changed) store(key, next, now, f.tcp_flags, /*emit_delta=*/true);
+  if (!pass) ++out_of_state_drops_;
+  return pass;
+}
+
+Nanos FirewallVr::state_cost(const net::FrameMeta&) const {
+  return costs::kConnTrack;
+}
+
+bool FirewallVr::apply_delta(const net::StateDelta& delta) {
+  if (delta.kind != net::StateKind::kConnTrack) return false;
+  const auto s = static_cast<ConnState>(delta.a);
+  // Connection states only move forward (kSynSent < ... < kReset), so a
+  // record reordered behind a later one must not downgrade the replica.
+  if (const auto cur = conns_.lookup(delta.flow, delta.stamp);
+      cur && *cur >= static_cast<int>(s))
+    return false;
+  conns_.insert(delta.flow, static_cast<int>(s), delta.stamp);
+  return true;
+}
+
+bool FirewallVr::export_flow_state(const net::FiveTuple& flow,
+                                   net::StateDelta& out) const {
+  // The spray handshake passes the dispatch-side tuple; the table key may
+  // be that tuple (originator) or its reverse. Probe with the last frame
+  // time — a lookup refreshes the entry's timestamp, and probing with 0
+  // would reset it and fast-expire a live connection.
+  net::FiveTuple key = flow;
+  auto st = conns_.lookup(key, last_now_);
+  if (!st) {
+    key = reversed(flow);
+    st = conns_.lookup(key, last_now_);
+  }
+  if (!st) return false;
+  out.flow = key;
+  out.kind = net::StateKind::kConnTrack;
+  out.a = static_cast<std::uint64_t>(*st);
+  out.b = 0;
+  return true;
+}
+
+int FirewallVr::conn_state(const net::FiveTuple& originator, Nanos now) {
+  const auto st = conns_.lookup(originator, now);
+  return st ? *st : 0;
+}
+
+std::unique_ptr<VirtualRouter> FirewallVr::clone() const {
+  return std::make_unique<FirewallVr>(inner_->clone(), conn_capacity_,
+                                      idle_timeout_);
+}
+
+}  // namespace lvrm::vr

@@ -1,0 +1,119 @@
+#include "vr/nat.hpp"
+
+#include "net/ip.hpp"
+#include "sim/costs.hpp"
+
+namespace lvrm::vr {
+
+namespace costs = sim::costs;
+
+namespace {
+// Default external address when the config leaves it 0: 192.0.2.1
+// (TEST-NET-1), outside both testbed subnets.
+constexpr net::Ipv4Addr kDefaultExternalIp = (192u << 24) | (0u << 16) |
+                                             (2u << 8) | 1u;
+}  // namespace
+
+NatVr::NatVr(std::unique_ptr<VirtualRouter> inner, Config cfg)
+    : StatefulVrBase(std::move(inner)), cfg_(cfg) {
+  if (cfg_.external_ip == 0) cfg_.external_ip = kDefaultExternalIp;
+  if (cfg_.port_count == 0) cfg_.port_count = 1;
+  reverse_.resize(cfg_.port_count);
+}
+
+int NatVr::allocate_port(const net::FiveTuple& t) {
+  const std::uint32_t n = cfg_.port_count;
+  const std::uint32_t preferred =
+      static_cast<std::uint32_t>(net::hash_tuple(t) % n);
+  for (std::uint32_t probe = 0; probe < n; ++probe) {
+    const std::uint32_t idx = (preferred + probe) % n;
+    if (!reverse_[idx].used) {
+      if (probe > 0) ++port_collisions_;
+      return static_cast<int>(idx);
+    }
+  }
+  ++pool_exhausted_;
+  return -1;
+}
+
+bool NatVr::install(const net::FiveTuple& original, std::uint16_t ext_port) {
+  if (ext_port < cfg_.port_base) return false;
+  const std::uint32_t idx = static_cast<std::uint32_t>(ext_port) - cfg_.port_base;
+  if (idx >= reverse_.size()) return false;
+  map_[original] = ext_port;
+  reverse_[idx].original = original;
+  reverse_[idx].used = true;
+  return true;
+}
+
+bool NatVr::admit(net::FrameMeta& f) {
+  // Inbound leg: a frame addressed to the external IP on a pool port is a
+  // reply to a translated flow — restore the original destination.
+  if (f.dst_ip == cfg_.external_ip && f.dst_port >= cfg_.port_base &&
+      static_cast<std::uint32_t>(f.dst_port) - cfg_.port_base < reverse_.size()) {
+    const ReverseEntry& rev =
+        reverse_[static_cast<std::uint32_t>(f.dst_port) - cfg_.port_base];
+    if (!rev.used) return false;  // no mapping: unsolicited inbound, refuse
+    f.dst_ip = rev.original.src_ip;
+    f.dst_port = rev.original.src_port;
+    ++translated_;
+    return true;
+  }
+
+  // Outbound leg: look up (or allocate) the flow's external port and rewrite
+  // the source. Allocation is the state change that emits a delta.
+  const net::FiveTuple t = net::FiveTuple::from_frame(f);
+  std::uint16_t ext_port = 0;
+  if (const auto it = map_.find(t); it != map_.end()) {
+    ext_port = it->second;
+  } else {
+    const int idx = allocate_port(t);
+    if (idx < 0) return false;  // pool dry: policy drop
+    ext_port = static_cast<std::uint16_t>(cfg_.port_base + idx);
+    map_[t] = ext_port;
+    reverse_[static_cast<std::uint32_t>(idx)].original = t;
+    reverse_[static_cast<std::uint32_t>(idx)].used = true;
+    net::StateDelta d;
+    d.flow = t;
+    d.kind = net::StateKind::kNatMapping;
+    d.a = ext_port;
+    d.b = (static_cast<std::uint64_t>(t.src_ip) << 16) | t.src_port;
+    d.stamp = f.gw_in_at;
+    emit(d);
+  }
+  f.src_ip = cfg_.external_ip;
+  f.src_port = ext_port;
+  ++translated_;
+  return true;
+}
+
+Nanos NatVr::state_cost(const net::FrameMeta&) const {
+  return costs::kNatTranslate;
+}
+
+bool NatVr::apply_delta(const net::StateDelta& delta) {
+  if (delta.kind != net::StateKind::kNatMapping) return false;
+  return install(delta.flow, static_cast<std::uint16_t>(delta.a));
+}
+
+bool NatVr::export_flow_state(const net::FiveTuple& flow,
+                              net::StateDelta& out) const {
+  const auto it = map_.find(flow);
+  if (it == map_.end()) return false;
+  out.flow = flow;
+  out.kind = net::StateKind::kNatMapping;
+  out.a = it->second;
+  out.b = (static_cast<std::uint64_t>(flow.src_ip) << 16) | flow.src_port;
+  return true;
+}
+
+int NatVr::mapped_port(const net::FiveTuple& flow) const {
+  const auto it = map_.find(flow);
+  return it == map_.end() ? -1 : it->second;
+}
+
+std::unique_ptr<VirtualRouter> NatVr::clone() const {
+  return std::make_unique<NatVr>(inner_->clone(), cfg_);
+}
+
+}  // namespace lvrm::vr

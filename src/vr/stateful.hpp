@@ -1,0 +1,91 @@
+// stateful.hpp — base class for stateful virtual routers (DESIGN.md §16).
+//
+// The thesis VRs (CppVr, ClickVr) are pure functions of the frame: they
+// never remember a flow. Real middlebox workloads — NAT, firewalls, rate
+// limiters — are defined by their per-flow state, and that state is exactly
+// what makes flow-affinity balancing mandatory (and what state-compute
+// replication relaxes). StatefulVrBase is a decorator: it owns an inner
+// stateless forwarder (any VirtualRouter — the C++ LPM engine or a Click
+// element graph, so the Click seam keeps working), applies its own
+// stateful admit/translate step first, and queues a StateDelta for every
+// state change so LVRM can replicate it to sibling VRIs.
+//
+// Writing a new stateful VR means subclassing this and implementing
+// admit() + the delta hooks; docs/VR_AUTHORING.md walks through a full
+// example.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "common/units.hpp"
+#include "lvrm/vri.hpp"
+#include "net/state_record.hpp"
+
+namespace lvrm::vr {
+
+class StatefulVrBase : public VirtualRouter {
+ public:
+  explicit StatefulVrBase(std::unique_ptr<VirtualRouter> inner)
+      : inner_(std::move(inner)) {}
+
+  bool stateful() const override { return true; }
+
+  /// Stateful step first (may translate headers, may refuse the frame),
+  /// then the inner forwarder routes whatever survives. A refused frame
+  /// sets output_if = kPolicyDrop so the drop site can distinguish a policy
+  /// drop from a routing miss.
+  bool process(net::FrameMeta& frame) override {
+    if (!admit(frame)) {
+      frame.output_if = kPolicyDrop;
+      return false;
+    }
+    return inner_->process(frame);
+  }
+
+  Nanos process_cost(const net::FrameMeta& frame) const override {
+    return inner_->process_cost(frame) + state_cost(frame);
+  }
+  Nanos pipeline_latency() const override { return inner_->pipeline_latency(); }
+  bool apply_route_update(const route::RouteUpdate& update) override {
+    return inner_->apply_route_update(update);
+  }
+
+  bool take_delta(net::StateDelta& out) override {
+    if (pending_.empty()) return false;
+    out = pending_.front();
+    pending_.pop_front();
+    return true;
+  }
+
+  std::size_t pending_deltas() const { return pending_.size(); }
+  const VirtualRouter& inner() const { return *inner_; }
+  VirtualRouter& inner() { return *inner_; }
+
+  /// output_if value marking a frame the stateful layer refused.
+  static constexpr std::int32_t kPolicyDrop = -2;
+
+ protected:
+  /// Runs the VR's stateful logic on one frame: update tables, translate
+  /// headers, and decide whether the frame proceeds to the forwarder.
+  virtual bool admit(net::FrameMeta& frame) = 0;
+
+  /// Extra per-frame CPU the stateful step costs on top of forwarding.
+  virtual Nanos state_cost(const net::FrameMeta& frame) const = 0;
+
+  /// Queues a state record for replication. Bounded: if LVRM is not
+  /// draining (replication off), the oldest record is discarded — the queue
+  /// must never grow without bound in a default-off configuration.
+  void emit(const net::StateDelta& delta) {
+    if (pending_.size() >= kMaxPendingDeltas) pending_.pop_front();
+    pending_.push_back(delta);
+  }
+
+  static constexpr std::size_t kMaxPendingDeltas = 128;
+
+  std::unique_ptr<VirtualRouter> inner_;
+  std::deque<net::StateDelta> pending_;
+};
+
+}  // namespace lvrm::vr

@@ -1,0 +1,96 @@
+#include "vr/token_bucket.hpp"
+
+#include <algorithm>
+
+#include "sim/costs.hpp"
+
+namespace lvrm::vr {
+
+namespace costs = sim::costs;
+
+TokenBucketVr::TokenBucketVr(std::unique_ptr<VirtualRouter> inner,
+                             double rate_fps, double burst)
+    : StatefulVrBase(std::move(inner)),
+      rate_fps_(rate_fps > 0 ? rate_fps : 1.0),
+      burst_(burst >= 1 ? burst : 1.0) {}
+
+void TokenBucketVr::refill(Bucket& b, Nanos now) const {
+  if (now > b.last_refill) {
+    b.tokens = std::min(
+        burst_, b.tokens + static_cast<double>(now - b.last_refill) *
+                               rate_fps_ / 1e9);
+    b.last_refill = now;
+  }
+}
+
+net::StateDelta TokenBucketVr::to_delta(const net::FiveTuple& flow,
+                                        const Bucket& b) {
+  net::StateDelta d;
+  d.flow = flow;
+  d.kind = net::StateKind::kTokenBucket;
+  d.a = static_cast<std::uint64_t>(std::max(0.0, b.tokens) * 1000.0);
+  d.b = static_cast<std::uint64_t>(b.last_refill);
+  d.stamp = b.last_refill;
+  return d;
+}
+
+bool TokenBucketVr::admit(net::FrameMeta& f) {
+  const Nanos now = f.gw_in_at;
+  auto [it, fresh] = buckets_.try_emplace(net::FiveTuple::from_frame(f));
+  Bucket& b = it->second;
+  if (fresh) {
+    b.tokens = burst_;  // a new flow starts with a full bucket
+    b.last_refill = now;
+  } else {
+    refill(b, now);
+  }
+  if (b.tokens < 1.0) {
+    ++throttled_;
+    return false;
+  }
+  b.tokens -= 1.0;
+  emit(to_delta(it->first, b));
+  return true;
+}
+
+Nanos TokenBucketVr::state_cost(const net::FrameMeta&) const {
+  return costs::kTokenBucketCheck;
+}
+
+bool TokenBucketVr::apply_delta(const net::StateDelta& delta) {
+  if (delta.kind != net::StateKind::kTokenBucket) return false;
+  const double remote_tokens = static_cast<double>(delta.a) / 1000.0;
+  const Nanos remote_stamp = static_cast<Nanos>(delta.b);
+  auto [it, fresh] = buckets_.try_emplace(delta.flow);
+  Bucket& b = it->second;
+  if (fresh) {
+    b.tokens = remote_tokens;
+    b.last_refill = remote_stamp;
+    return true;
+  }
+  if (remote_stamp < b.last_refill) return false;  // stale record
+  // Both sides spent tokens since the common ancestor; taking the minimum
+  // at the newer stamp bounds the overspend (see header caveat).
+  refill(b, remote_stamp);
+  b.tokens = std::min(b.tokens, remote_tokens);
+  return true;
+}
+
+bool TokenBucketVr::export_flow_state(const net::FiveTuple& flow,
+                                      net::StateDelta& out) const {
+  const auto it = buckets_.find(flow);
+  if (it == buckets_.end()) return false;
+  out = to_delta(flow, it->second);
+  return true;
+}
+
+double TokenBucketVr::tokens(const net::FiveTuple& flow) const {
+  const auto it = buckets_.find(flow);
+  return it == buckets_.end() ? burst_ : it->second.tokens;
+}
+
+std::unique_ptr<VirtualRouter> TokenBucketVr::clone() const {
+  return std::make_unique<TokenBucketVr>(inner_->clone(), rate_fps_, burst_);
+}
+
+}  // namespace lvrm::vr

@@ -1,0 +1,404 @@
+// Unit tests for the stateful virtual routers (DESIGN.md §16): NAT port
+// allocation and collisions, the firewall's TCP state machine under the
+// reorderings a multi-path network produces, the token bucket's admit /
+// replicate semantics, and the factory seam that stacks them on either
+// stateless engine.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "lvrm/vri.hpp"
+#include "net/flow.hpp"
+#include "vr/factory.hpp"
+#include "vr/firewall.hpp"
+#include "vr/nat.hpp"
+#include "vr/token_bucket.hpp"
+
+namespace lvrm {
+namespace {
+
+std::unique_ptr<VirtualRouter> engine() {
+  return std::make_unique<CppVr>(default_route_map());
+}
+
+net::FrameMeta udp_frame(std::uint16_t src_port, Nanos now = 0) {
+  net::FrameMeta f;
+  f.wire_bytes = 84;
+  f.src_ip = net::ipv4(10, 1, 0, 1);
+  f.dst_ip = net::ipv4(10, 2, 1, 1);
+  f.src_port = src_port;
+  f.dst_port = 80;
+  f.protocol = 17;
+  f.gw_in_at = now;
+  return f;
+}
+
+// --- NAT --------------------------------------------------------------------------------
+
+TEST(NatVr, OutboundTranslatesAndPinsOnePort) {
+  vr::NatVr nat(engine(), {});
+  auto f = udp_frame(5555);
+  const net::FiveTuple original = net::FiveTuple::from_frame(f);
+  ASSERT_TRUE(nat.process(f));
+  EXPECT_EQ(f.src_ip, nat.config().external_ip);
+  EXPECT_GE(f.src_port, nat.config().port_base);
+  EXPECT_EQ(f.output_if, 1);  // inner LPM still routes the translated frame
+  const int port = nat.mapped_port(original);
+  ASSERT_GE(port, 0);
+  // The flow's second frame reuses the mapping instead of allocating.
+  auto again = udp_frame(5555);
+  ASSERT_TRUE(nat.process(again));
+  EXPECT_EQ(again.src_port, static_cast<std::uint16_t>(port));
+  EXPECT_EQ(nat.mappings(), 1u);
+}
+
+TEST(NatVr, InboundRestoresOriginalDestination) {
+  vr::NatVr nat(engine(), {});
+  auto out = udp_frame(5555);
+  ASSERT_TRUE(nat.process(out));
+  // Craft the reply the external peer would send to the translated source.
+  net::FrameMeta reply;
+  reply.wire_bytes = 84;
+  reply.src_ip = net::ipv4(10, 2, 1, 1);
+  reply.src_port = 80;
+  reply.dst_ip = nat.config().external_ip;
+  reply.dst_port = out.src_port;
+  reply.protocol = 17;
+  ASSERT_TRUE(nat.process(reply));
+  EXPECT_EQ(reply.dst_ip, net::ipv4(10, 1, 0, 1));
+  EXPECT_EQ(reply.dst_port, 5555);
+  EXPECT_EQ(reply.output_if, 0);
+}
+
+TEST(NatVr, UnsolicitedInboundIsPolicyDropped) {
+  vr::NatVr nat(engine(), {});
+  net::FrameMeta probe;
+  probe.src_ip = net::ipv4(10, 2, 1, 1);
+  probe.src_port = 80;
+  probe.dst_ip = nat.config().external_ip;
+  probe.dst_port = nat.config().port_base;  // in the pool, never allocated
+  probe.protocol = 17;
+  EXPECT_FALSE(nat.process(probe));
+  EXPECT_EQ(probe.output_if, vr::StatefulVrBase::kPolicyDrop);
+}
+
+TEST(NatVr, PortCollisionLinearProbesToDistinctPort) {
+  vr::NatVr::Config cfg;
+  cfg.port_count = 8;
+  vr::NatVr nat(engine(), cfg);
+  // Find two flows whose preferred slot collides, deterministically, by
+  // hashing candidate tuples the same way allocate_port does.
+  std::uint16_t first = 0, second = 0;
+  for (std::uint16_t p = 1000; p < 2000 && second == 0; ++p) {
+    const auto t = net::FiveTuple::from_frame(udp_frame(p));
+    if (net::hash_tuple(t) % cfg.port_count !=
+        net::hash_tuple(net::FiveTuple::from_frame(udp_frame(1000))) %
+            cfg.port_count)
+      continue;
+    if (first == 0) {
+      first = p;
+    } else {
+      second = p;
+    }
+  }
+  ASSERT_NE(second, 0) << "no colliding tuple pair in the probe range";
+  auto a = udp_frame(first);
+  auto b = udp_frame(second);
+  ASSERT_TRUE(nat.process(a));
+  ASSERT_TRUE(nat.process(b));
+  EXPECT_EQ(nat.port_collisions(), 1u);
+  EXPECT_NE(a.src_port, b.src_port);  // probe found the next free port
+}
+
+TEST(NatVr, DryPoolRefusesNewFlows) {
+  vr::NatVr::Config cfg;
+  cfg.port_count = 1;
+  vr::NatVr nat(engine(), cfg);
+  auto a = udp_frame(1111);
+  ASSERT_TRUE(nat.process(a));
+  auto b = udp_frame(2222);
+  EXPECT_FALSE(nat.process(b));
+  EXPECT_EQ(b.output_if, vr::StatefulVrBase::kPolicyDrop);
+  EXPECT_EQ(nat.pool_exhausted(), 1u);
+  // The established mapping keeps working.
+  auto again = udp_frame(1111);
+  EXPECT_TRUE(nat.process(again));
+}
+
+TEST(NatVr, DeltaReplicatesMappingToSibling) {
+  vr::NatVr owner(engine(), {});
+  vr::NatVr sibling(engine(), {});
+  auto f = udp_frame(4242);
+  const net::FiveTuple t = net::FiveTuple::from_frame(f);
+  ASSERT_TRUE(owner.process(f));
+  net::StateDelta d;
+  ASSERT_TRUE(owner.take_delta(d));
+  EXPECT_EQ(d.kind, net::StateKind::kNatMapping);
+  ASSERT_TRUE(sibling.apply_delta(d));
+  // The sibling now translates the flow identically — the §16 property that
+  // lets the balancer spray a NAT'd elephant.
+  EXPECT_EQ(sibling.mapped_port(t), owner.mapped_port(t));
+  auto g = udp_frame(4242);
+  ASSERT_TRUE(sibling.process(g));
+  EXPECT_EQ(g.src_port, f.src_port);
+}
+
+TEST(NatVr, ExportFlowStateRoundTrips) {
+  vr::NatVr owner(engine(), {});
+  vr::NatVr sibling(engine(), {});
+  auto f = udp_frame(7777);
+  const net::FiveTuple t = net::FiveTuple::from_frame(f);
+  ASSERT_TRUE(owner.process(f));
+  net::StateDelta snap;
+  ASSERT_TRUE(owner.export_flow_state(t, snap));
+  ASSERT_TRUE(sibling.apply_delta(snap));
+  EXPECT_EQ(sibling.mapped_port(t), owner.mapped_port(t));
+  EXPECT_FALSE(owner.export_flow_state(
+      net::FiveTuple::from_frame(udp_frame(1)), snap));
+}
+
+// --- firewall / connection tracker ------------------------------------------------------
+
+net::FrameMeta tcp_frame(bool from_originator, std::uint8_t flags, Nanos now) {
+  net::FrameMeta f;
+  f.wire_bytes = 84;
+  if (from_originator) {
+    f.src_ip = net::ipv4(10, 1, 0, 1);
+    f.dst_ip = net::ipv4(10, 2, 1, 1);
+    f.src_port = 3333;
+    f.dst_port = 80;
+  } else {
+    f.src_ip = net::ipv4(10, 2, 1, 1);
+    f.dst_ip = net::ipv4(10, 1, 0, 1);
+    f.src_port = 80;
+    f.dst_port = 3333;
+  }
+  f.protocol = 6;
+  f.kind = (flags & net::kTcpFlagAck) && !(flags & net::kTcpFlagSyn)
+               ? net::FrameKind::kTcpAck
+               : net::FrameKind::kTcpData;
+  f.tcp_flags = flags;
+  f.gw_in_at = now;
+  return f;
+}
+
+net::FiveTuple originator_tuple() {
+  return net::FiveTuple::from_frame(tcp_frame(true, net::kTcpFlagSyn, 0));
+}
+
+TEST(FirewallVr, ThreeWayHandshakeEstablishes) {
+  vr::FirewallVr fw(engine());
+  auto syn = tcp_frame(true, net::kTcpFlagSyn, usec(1));
+  auto synack =
+      tcp_frame(false, net::kTcpFlagSyn | net::kTcpFlagAck, usec(2));
+  auto ack = tcp_frame(true, net::kTcpFlagAck, usec(3));
+  EXPECT_TRUE(fw.process(syn));
+  EXPECT_TRUE(fw.process(synack));
+  EXPECT_TRUE(fw.process(ack));
+  EXPECT_EQ(fw.conn_state(originator_tuple(), usec(3)),
+            static_cast<int>(vr::ConnState::kEstablished));
+  auto data = tcp_frame(true, net::kTcpFlagPsh | net::kTcpFlagAck, usec(4));
+  EXPECT_TRUE(fw.process(data));
+  EXPECT_EQ(fw.out_of_state_drops(), 0u);
+}
+
+TEST(FirewallVr, SynAckReorderStillEstablishes) {
+  // The client's final ACK overtakes the server's SYN-ACK on a multi-path
+  // network: SYN, ACK(orig), then the late SYN-ACK. Nothing may drop.
+  vr::FirewallVr fw(engine());
+  auto syn = tcp_frame(true, net::kTcpFlagSyn, usec(1));
+  auto early_ack = tcp_frame(true, net::kTcpFlagAck, usec(2));
+  auto late_synack =
+      tcp_frame(false, net::kTcpFlagSyn | net::kTcpFlagAck, usec(3));
+  EXPECT_TRUE(fw.process(syn));
+  EXPECT_TRUE(fw.process(early_ack));
+  EXPECT_EQ(fw.conn_state(originator_tuple(), usec(2)),
+            static_cast<int>(vr::ConnState::kEstablished));
+  EXPECT_TRUE(fw.process(late_synack));  // harmless retransmit of the open
+  EXPECT_EQ(fw.out_of_state_drops(), 0u);
+}
+
+TEST(FirewallVr, RstMidHandshakeKillsTheConnection) {
+  vr::FirewallVr fw(engine());
+  auto syn = tcp_frame(true, net::kTcpFlagSyn, usec(1));
+  auto rst = tcp_frame(false, net::kTcpFlagRst, usec(2));
+  EXPECT_TRUE(fw.process(syn));
+  EXPECT_TRUE(fw.process(rst));  // the RST itself passes: the peer must see it
+  EXPECT_EQ(fw.conn_state(originator_tuple(), usec(2)),
+            static_cast<int>(vr::ConnState::kReset));
+  // Everything after the RST is refused, from either direction.
+  auto data = tcp_frame(true, net::kTcpFlagAck, usec(3));
+  EXPECT_FALSE(fw.process(data));
+  EXPECT_EQ(data.output_if, vr::StatefulVrBase::kPolicyDrop);
+  auto reply = tcp_frame(false, net::kTcpFlagAck, usec(4));
+  EXPECT_FALSE(fw.process(reply));
+  EXPECT_EQ(fw.out_of_state_drops(), 2u);
+}
+
+TEST(FirewallVr, SimultaneousOpenIsLegal) {
+  // RFC 9293 §3.5: both sides SYN at once; each side then ACKs.
+  vr::FirewallVr fw(engine());
+  auto syn_a = tcp_frame(true, net::kTcpFlagSyn, usec(1));
+  auto syn_b = tcp_frame(false, net::kTcpFlagSyn, usec(2));
+  auto ack_b =
+      tcp_frame(false, net::kTcpFlagSyn | net::kTcpFlagAck, usec(3));
+  auto ack_a = tcp_frame(true, net::kTcpFlagAck, usec(4));
+  EXPECT_TRUE(fw.process(syn_a));
+  EXPECT_TRUE(fw.process(syn_b));
+  EXPECT_EQ(fw.conn_state(originator_tuple(), usec(2)),
+            static_cast<int>(vr::ConnState::kSynAckSeen));
+  EXPECT_TRUE(fw.process(ack_b));
+  EXPECT_TRUE(fw.process(ack_a));
+  EXPECT_EQ(fw.conn_state(originator_tuple(), usec(4)),
+            static_cast<int>(vr::ConnState::kEstablished));
+  EXPECT_EQ(fw.out_of_state_drops(), 0u);
+}
+
+TEST(FirewallVr, UntrackedNonSynIsRefused) {
+  vr::FirewallVr fw(engine());
+  auto stray = tcp_frame(true, net::kTcpFlagAck, usec(1));
+  EXPECT_FALSE(fw.process(stray));
+  EXPECT_EQ(stray.output_if, vr::StatefulVrBase::kPolicyDrop);
+  EXPECT_EQ(fw.tracked(), 0u);
+  EXPECT_EQ(fw.out_of_state_drops(), 1u);
+}
+
+TEST(FirewallVr, NonTcpPassesStateless) {
+  vr::FirewallVr fw(engine());
+  auto f = udp_frame(9999);
+  EXPECT_TRUE(fw.process(f));
+  EXPECT_EQ(fw.tracked(), 0u);
+}
+
+TEST(FirewallVr, DeltaNeverDowngradesAReplica) {
+  vr::FirewallVr owner(engine());
+  vr::FirewallVr sibling(engine());
+  auto syn = tcp_frame(true, net::kTcpFlagSyn, usec(1));
+  auto ack = tcp_frame(true, net::kTcpFlagAck, usec(2));
+  ASSERT_TRUE(owner.process(syn));
+  ASSERT_TRUE(owner.process(ack));
+  net::StateDelta d_syn, d_est;
+  ASSERT_TRUE(owner.take_delta(d_syn));  // kSynSent record
+  ASSERT_TRUE(owner.take_delta(d_est));  // kEstablished record
+  // Deliver out of order: the established record first, the stale one after.
+  EXPECT_TRUE(sibling.apply_delta(d_est));
+  EXPECT_FALSE(sibling.apply_delta(d_syn));
+  EXPECT_EQ(sibling.conn_state(originator_tuple(), usec(2)),
+            static_cast<int>(vr::ConnState::kEstablished));
+}
+
+// --- token-bucket rate limiter ----------------------------------------------------------
+
+TEST(TokenBucketVr, AdmitsBurstThenThrottles) {
+  vr::TokenBucketVr tb(engine(), /*rate_fps=*/1000.0, /*burst=*/3.0);
+  for (int i = 0; i < 3; ++i) {
+    auto f = udp_frame(1234, usec(1));
+    EXPECT_TRUE(tb.process(f)) << "burst frame " << i;
+  }
+  auto f = udp_frame(1234, usec(1));
+  EXPECT_FALSE(tb.process(f));
+  EXPECT_EQ(f.output_if, vr::StatefulVrBase::kPolicyDrop);
+  EXPECT_EQ(tb.throttled(), 1u);
+}
+
+TEST(TokenBucketVr, RefillsAtConfiguredRate) {
+  vr::TokenBucketVr tb(engine(), /*rate_fps=*/1000.0, /*burst=*/1.0);
+  auto a = udp_frame(1234, usec(1));
+  ASSERT_TRUE(tb.process(a));
+  auto b = udp_frame(1234, usec(2));
+  EXPECT_FALSE(tb.process(b));  // 1 µs refills only 0.001 tokens
+  auto c = udp_frame(1234, msec(2));
+  EXPECT_TRUE(tb.process(c));  // ~2 ms at 1000 fps: a full token is back
+}
+
+TEST(TokenBucketVr, PerFlowBucketsAreIndependent) {
+  vr::TokenBucketVr tb(engine(), 1000.0, 1.0);
+  auto a = udp_frame(1111, usec(1));
+  ASSERT_TRUE(tb.process(a));
+  auto blocked = udp_frame(1111, usec(2));
+  EXPECT_FALSE(tb.process(blocked));
+  auto other = udp_frame(2222, usec(2));  // a fresh flow starts full
+  EXPECT_TRUE(tb.process(other));
+  EXPECT_EQ(tb.flows(), 2u);
+}
+
+TEST(TokenBucketVr, AppliedDeltaTakesTheMinimum) {
+  // The header's replication caveat: the replica keeps the *lower* of local
+  // and replicated tokens at equal-or-newer stamps, bounding the overspend.
+  vr::TokenBucketVr owner(engine(), 1000.0, 8.0);
+  vr::TokenBucketVr sibling(engine(), 1000.0, 8.0);
+  const net::FiveTuple t = net::FiveTuple::from_frame(udp_frame(1234));
+  for (int i = 0; i < 5; ++i) {
+    auto f = udp_frame(1234, usec(1));
+    ASSERT_TRUE(owner.process(f));
+  }
+  net::StateDelta d;
+  ASSERT_TRUE(owner.export_flow_state(t, d));
+  ASSERT_TRUE(sibling.apply_delta(d));
+  EXPECT_DOUBLE_EQ(sibling.tokens(t), owner.tokens(t));
+  // A record older than the replica's bucket must be ignored as stale.
+  net::StateDelta stale = d;
+  stale.b = 0;  // stamp far in the past
+  EXPECT_FALSE(sibling.apply_delta(stale));
+}
+
+TEST(StatefulVrBase, PendingDeltaQueueIsBounded) {
+  // Replication off means nobody drains take_delta(); the queue must cap
+  // instead of growing per admitted frame.
+  vr::TokenBucketVr tb(engine(), 1e9, 1e6);
+  for (std::uint16_t p = 0; p < 300; ++p) {
+    auto f = udp_frame(static_cast<std::uint16_t>(1000 + p), usec(1));
+    ASSERT_TRUE(tb.process(f));
+  }
+  EXPECT_EQ(tb.pending_deltas(), 128u);
+}
+
+// --- factory seam -----------------------------------------------------------------------
+
+TEST(VrFactory, BuildsStatefulKindsOverEitherEngine) {
+  VrConfig cfg;
+  cfg.kind = VrKind::kNat;
+  cfg.inner_kind = VrKind::kCpp;
+  const auto nat = make_configured_vr(cfg, default_route_map());
+  ASSERT_NE(nat, nullptr);
+  EXPECT_EQ(nat->kind(), VrKind::kNat);
+  EXPECT_TRUE(nat->stateful());
+
+  cfg.kind = VrKind::kFirewall;
+  cfg.inner_kind = VrKind::kClick;  // the Click seam keeps working inside
+  const auto fw = make_configured_vr(cfg, default_route_map());
+  ASSERT_NE(fw, nullptr);
+  EXPECT_EQ(fw->kind(), VrKind::kFirewall);
+  auto f = udp_frame(1234);
+  EXPECT_TRUE(fw->process(f));
+  EXPECT_EQ(f.output_if, 1);  // routed by the inner Click graph
+
+  cfg.kind = VrKind::kRateLimit;
+  cfg.inner_kind = VrKind::kCpp;
+  const auto tb = make_configured_vr(cfg, default_route_map());
+  ASSERT_NE(tb, nullptr);
+  EXPECT_EQ(tb->kind(), VrKind::kRateLimit);
+
+  cfg.kind = VrKind::kCpp;
+  const auto plain = make_configured_vr(cfg, default_route_map());
+  ASSERT_NE(plain, nullptr);
+  EXPECT_FALSE(plain->stateful());
+  net::StateDelta unused;
+  EXPECT_FALSE(plain->take_delta(unused));  // stateless default hooks
+}
+
+TEST(VrFactory, CloneReproducesTheStack) {
+  VrConfig cfg;
+  cfg.kind = VrKind::kNat;
+  const auto nat = make_configured_vr(cfg, default_route_map());
+  const auto copy = nat->clone();
+  EXPECT_EQ(copy->kind(), VrKind::kNat);
+  EXPECT_TRUE(copy->stateful());
+  auto f = udp_frame(1234);
+  EXPECT_TRUE(copy->process(f));
+  EXPECT_EQ(f.output_if, 1);
+}
+
+}  // namespace
+}  // namespace lvrm
