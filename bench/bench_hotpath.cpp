@@ -76,6 +76,7 @@
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "queue/mc_ring.hpp"
+#include "queue/mpmc_link.hpp"
 #include "queue/shm_arena.hpp"
 #include "queue/spsc_ring.hpp"
 #include "sim/costs.hpp"
@@ -721,6 +722,164 @@ double ring_padding_mops(std::uint64_t items) {
   return static_cast<double>(items) * 1e3 / elapsed;
 }
 
+// --- MPMC link & fabric fan-in (DESIGN.md §17) ----------------------------------
+
+/// Real-thread MPMC transfer: `producers` pushers and `consumers` poppers
+/// hammering one MpmcLink. Conservation is checked (sum of popped values);
+/// the returned rate counts transferred items against wall clock.
+double mpmc_threaded_mops(std::size_t producers, std::size_t consumers,
+                          std::uint64_t per_producer, std::size_t capacity) {
+  queue::MpmcLink<std::uint64_t> link(capacity);
+  const std::uint64_t total = per_producer * producers;
+  std::atomic<std::uint64_t> popped{0};
+  std::atomic<std::uint64_t> sum{0};
+  const double t0 = now_ns();
+  std::vector<std::thread> threads;
+  threads.reserve(producers + consumers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      std::uint64_t buf[16];
+      std::uint64_t sent = 0;
+      while (sent < per_producer) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(16, per_producer - sent));
+        for (std::size_t i = 0; i < want; ++i)
+          buf[i] = (static_cast<std::uint64_t>(p) << 32) | (sent + i);
+        const std::size_t ok = link.try_push_batch(buf, want);
+        if (ok == 0) std::this_thread::yield();
+        sent += ok;
+      }
+    });
+  }
+  for (std::size_t c = 0; c < consumers; ++c) {
+    threads.emplace_back([&] {
+      std::uint64_t buf[64];
+      std::uint64_t local = 0;
+      while (popped.load(std::memory_order_relaxed) < total) {
+        const std::size_t got = link.try_pop_batch(buf, 64);
+        if (got == 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        for (std::size_t i = 0; i < got; ++i) local += buf[i] & 0xFFFFFFFFu;
+        popped.fetch_add(got, std::memory_order_relaxed);
+      }
+      sum.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed = now_ns() - t0;
+  g_guard.fetch_add(sum.load(), std::memory_order_relaxed);
+  return static_cast<double>(total) * 1e3 / elapsed;
+}
+
+/// Aggregate throughput of an S-shard x V-VRI ingress fan-in on real
+/// threads, mesh vs fabric topology, with the thread pool capped at 4
+/// producers + 4 consumers so the comparison scales by TOPOLOGY (how many
+/// rings a consumer must scan, how items concentrate) rather than by core
+/// count. Traffic is sparse the way flow-affinity dispatch makes it: at any
+/// moment only a couple of shards feed a given VRI (`kHotShards`), but the
+/// mesh consumer cannot know which, so it sweeps all S per-VRI rings and
+/// pays S-2 empty probes per pass — the cost the fabric deletes by
+/// concentrating each VRI's ingress in one MpmcLink. Mesh: V*S SpscRings,
+/// producer p sole pusher of its shards' rings, consumer c scanning all S
+/// rings of each owned VRI. Fabric: V MpmcLinks, every producer pushing
+/// straight into the destination VRI's one link.
+double fabric_fanin_mops(bool fabric, std::size_t shards, std::size_t vris,
+                         std::uint64_t per_vri) {
+  const std::size_t kProducers = std::min<std::size_t>(4, shards);
+  const std::size_t kConsumers = std::min<std::size_t>(4, vris);
+  const std::size_t kHotShards = std::min<std::size_t>(2, shards);
+  const std::uint64_t per_pair = per_vri / kHotShards;
+  const std::uint64_t total = per_pair * kHotShards * vris;
+  // Equal aggregate buffering per VRI in both topologies: the fabric link
+  // is as deep as the S mesh rings it replaces, matching how LvrmSystem
+  // sizes them from one data_queue_capacity. The per-ring depth is kept
+  // shallow (a served system drains ahead of its producers), which is
+  // where the topologies diverge: a shallow mesh ring hands the consumer
+  // fragmented sub-burst pops — one index handshake per few items — while
+  // the link concentrates the same backlog into full-burst pops.
+  const std::size_t kMeshCap = 16;
+  std::vector<std::unique_ptr<queue::SpscRing<std::uint64_t>>> mesh;
+  std::vector<std::unique_ptr<queue::MpmcLink<std::uint64_t>>> links;
+  if (fabric) {
+    for (std::size_t v = 0; v < vris; ++v)
+      links.push_back(std::make_unique<queue::MpmcLink<std::uint64_t>>(
+          kMeshCap * shards));
+  } else {
+    for (std::size_t i = 0; i < vris * shards; ++i)
+      mesh.push_back(std::make_unique<queue::SpscRing<std::uint64_t>>(kMeshCap));
+  }
+  std::atomic<std::uint64_t> popped{0};
+  const double t0 = now_ns();
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + kConsumers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      std::uint64_t buf[16];
+      for (std::size_t i = 0; i < 16; ++i) buf[i] = i;
+      // Remaining quota per (vri, hot-shard) pair, walked round-robin so
+      // every active destination stays warm the way a dispatch plane keeps
+      // them. VRI v's hot shards are v%S, v+1%S, ... — spread so every
+      // shard (and so every producer thread) carries an equal share.
+      std::vector<std::pair<std::size_t, std::uint64_t>> work;  // {dst, rem}
+      for (std::size_t v = 0; v < vris; ++v)
+        for (std::size_t k = 0; k < kHotShards; ++k) {
+          const std::size_t s = (v + k) % shards;
+          if (s % kProducers != p) continue;
+          work.emplace_back(fabric ? v : v * shards + s, per_pair);
+        }
+      std::size_t live = work.size();
+      while (live > 0) {
+        bool progressed = false;
+        for (auto& [dst, rem] : work) {
+          if (rem == 0) continue;
+          const std::size_t want =
+              static_cast<std::size_t>(std::min<std::uint64_t>(16, rem));
+          const std::size_t ok = fabric
+                                     ? links[dst]->try_push_batch(buf, want)
+                                     : mesh[dst]->try_push_batch(buf, want);
+          rem -= ok;
+          if (ok > 0) progressed = true;
+          if (rem == 0) --live;
+        }
+        if (!progressed) std::this_thread::yield();
+      }
+    });
+  }
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      std::uint64_t buf[64];
+      std::uint64_t acc = 0;
+      while (popped.load(std::memory_order_relaxed) < total) {
+        std::uint64_t round = 0;
+        for (std::size_t v = c; v < vris; v += kConsumers) {
+          if (fabric) {
+            const std::size_t got = links[v]->try_pop_batch(buf, 64);
+            for (std::size_t i = 0; i < got; ++i) acc += buf[i];
+            round += got;
+          } else {
+            for (std::size_t s = 0; s < shards; ++s) {
+              const std::size_t got =
+                  mesh[v * shards + s]->try_pop_batch(buf, 64);
+              for (std::size_t i = 0; i < got; ++i) acc += buf[i];
+              round += got;
+            }
+          }
+        }
+        if (round == 0)
+          std::this_thread::yield();
+        else
+          popped.fetch_add(round, std::memory_order_relaxed);
+      }
+      g_guard.fetch_add(acc, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed = now_ns() - t0;
+  return static_cast<double>(total) * 1e3 / elapsed;
+}
+
 // --- tiny flat-JSON reader (baseline files are written by this binary) ----------
 
 std::map<std::string, double> read_flat_json(const std::string& path) {
@@ -1018,6 +1177,74 @@ int main(int argc, char** argv) {
     return (now_ns() - t0) / static_cast<double>(ft_ops);
   });
 
+  // MPMC link (DESIGN.md §17): same single-thread templates as the SPSC
+  // block so the per-op cost of the CAS-claim/ordered-publish protocol is
+  // directly comparable, plus real multi-producer transfers.
+  queue::MpmcLink<std::uint64_t> mpmc(1024);
+  const double mpmc_classic =
+      median_ns(reps, [&] { return ring_single_mops(mpmc, kRingItems); });
+  const double mpmc_single =
+      median_ns(reps, [&] { return ring_mops(mpmc, kRingItems, 1); });
+  const double mpmc_batch =
+      median_ns(reps, [&] { return ring_mops(mpmc, kRingItems, 16); });
+  const std::uint64_t kMtItems = quick ? 200'000 : 1'000'000;
+  const double mpmc_2p2c = best_max(
+      reps, [&] { return mpmc_threaded_mops(2, 2, kMtItems, 1024); });
+  const double mpmc_4p4c = best_max(
+      reps, [&] { return mpmc_threaded_mops(4, 4, kMtItems / 2, 1024); });
+
+  // Fabric fan-out scaling: ring inventory (from the sim accessors via a
+  // short trial at each topology) and aggregate real-thread fan-in rate,
+  // mesh vs fabric, at the ISSUE's three corner topologies. The speedup and
+  // reduction keys are ratios — machine-independent — and are the ones the
+  // baseline gate watches.
+  auto fabric_rings = [&](int shards, int vris) {
+    lvrm::exp::FabricTrialOptions fopt;
+    fopt.shards = shards;
+    fopt.vris = vris;
+    fopt.fabric = true;
+    fopt.warmup = msec(2);
+    fopt.measure = msec(5);
+    return lvrm::exp::run_fabric_trial(fopt);
+  };
+  const auto fab_4x8 = fabric_rings(4, 8);
+  const auto fab_8x16 = fabric_rings(8, 16);
+  const auto fab_16x32 = fabric_rings(16, 32);
+  const std::uint64_t kPerVriItems = quick ? 24'000 : 96'000;
+  auto fanin_pair = [&](std::size_t shards, std::size_t vris) {
+    const double mesh_mops = best_max(reps, [&] {
+      return fabric_fanin_mops(false, shards, vris, kPerVriItems);
+    });
+    const double fab_mops = best_max(reps, [&] {
+      return fabric_fanin_mops(true, shards, vris, kPerVriItems);
+    });
+    return std::pair<double, double>{mesh_mops, fab_mops};
+  };
+  const auto [fanin_mesh_4x8, fanin_fab_4x8] = fanin_pair(4, 8);
+  const auto [fanin_mesh_8x16, fanin_fab_8x16] = fanin_pair(8, 16);
+  const auto [fanin_mesh_16x32, fanin_fab_16x32] = fanin_pair(16, 32);
+
+  // Steal hit-rate: fraction of delivered frames that moved through a steal
+  // under the skewed-frame workload (one slowed VRI, stealing on).
+  lvrm::exp::FabricTrialOptions steal_opt;
+  steal_opt.shards = 2;
+  steal_opt.vris = 4;
+  steal_opt.fabric = true;
+  steal_opt.stealing = true;
+  steal_opt.workload = lvrm::exp::FabricTrialOptions::Workload::kSkewFrame;
+  steal_opt.warmup = msec(5);
+  steal_opt.measure = quick ? msec(30) : msec(100);
+  const auto steal_trial = lvrm::exp::run_fabric_trial(steal_opt);
+  const double steal_delivered =
+      steal_trial.delivered_fps *
+      (static_cast<double>(steal_opt.measure) / 1e9);
+  const double steal_hitrate =
+      steal_delivered > 0.0
+          ? static_cast<double>(steal_trial.vri_steal_frames +
+                                steal_trial.tx_steal_frames) /
+                steal_delivered
+          : 0.0;
+
   // The guarded regression metric: host ns of simulator+server machinery per
   // frame on the classic (default-config) path.
   const double per_frame_host = poll_item;
@@ -1078,6 +1305,42 @@ int main(int argc, char** argv) {
       << "  \"flowtable_lookup_speedup\": " << ft_v1_lookup / ft_v2_lookup
       << ",\n"
       << "  \"flowtable_v2_insert_ns\": " << ft_v2_insert << ",\n"
+      << "  \"mpmc_classic_mops\": " << mpmc_classic << ",\n"
+      << "  \"mpmc_batch1_mops\": " << mpmc_single << ",\n"
+      << "  \"mpmc_batch16_mops\": " << mpmc_batch << ",\n"
+      << "  \"mpmc_batch_speedup\": " << mpmc_batch / mpmc_single << ",\n"
+      << "  \"mpmc_mt_2p2c_mops\": " << mpmc_2p2c << ",\n"
+      << "  \"mpmc_mt_4p4c_mops\": " << mpmc_4p4c << ",\n"
+      << "  \"fabric_scaling_rings_mesh_4x8\": "
+      << static_cast<double>(fab_4x8.mesh_rings) << ",\n"
+      << "  \"fabric_scaling_rings_fabric_4x8\": "
+      << static_cast<double>(fab_4x8.fabric_rings) << ",\n"
+      << "  \"fabric_scaling_rings_mesh_8x16\": "
+      << static_cast<double>(fab_8x16.mesh_rings) << ",\n"
+      << "  \"fabric_scaling_rings_fabric_8x16\": "
+      << static_cast<double>(fab_8x16.fabric_rings) << ",\n"
+      << "  \"fabric_scaling_rings_mesh_16x32\": "
+      << static_cast<double>(fab_16x32.mesh_rings) << ",\n"
+      << "  \"fabric_scaling_rings_fabric_16x32\": "
+      << static_cast<double>(fab_16x32.fabric_rings) << ",\n"
+      << "  \"fabric_scaling_ring_reduction_8x16\": "
+      << static_cast<double>(fab_8x16.mesh_rings) /
+             static_cast<double>(fab_8x16.fabric_rings)
+      << ",\n"
+      << "  \"fabric_scaling_mesh_mops_4x8\": " << fanin_mesh_4x8 << ",\n"
+      << "  \"fabric_scaling_fabric_mops_4x8\": " << fanin_fab_4x8 << ",\n"
+      << "  \"fabric_scaling_agg_speedup_4x8\": "
+      << fanin_fab_4x8 / fanin_mesh_4x8 << ",\n"
+      << "  \"fabric_scaling_mesh_mops_8x16\": " << fanin_mesh_8x16 << ",\n"
+      << "  \"fabric_scaling_fabric_mops_8x16\": " << fanin_fab_8x16 << ",\n"
+      << "  \"fabric_scaling_agg_speedup_8x16\": "
+      << fanin_fab_8x16 / fanin_mesh_8x16 << ",\n"
+      << "  \"fabric_scaling_mesh_mops_16x32\": " << fanin_mesh_16x32 << ",\n"
+      << "  \"fabric_scaling_fabric_mops_16x32\": " << fanin_fab_16x32
+      << ",\n"
+      << "  \"fabric_scaling_agg_speedup_16x32\": "
+      << fanin_fab_16x32 / fanin_mesh_16x32 << ",\n"
+      << "  \"fabric_scaling_steal_hitrate\": " << steal_hitrate << ",\n"
       << "  \"poll_telemetry_off_ns\": " << tel_off << ",\n"
       << "  \"poll_telemetry_on_ns\": " << tel_on << ",\n"
       << "  \"telemetry_overhead_frac\": " << tel_overhead << ",\n"
@@ -1113,6 +1376,25 @@ int main(int argc, char** argv) {
   std::printf("  desc e2e 1/2 shards   : %.1f / %.1f Mops\n", desc_e2e_1,
               desc_e2e_2);
   std::printf("  ring padding 2-thread : %.1f Mops\n", pad_mops);
+  std::printf("  MpmcLink classic      : %.1f Mops\n", mpmc_classic);
+  std::printf("  MpmcLink batch 1/16   : %.1f / %.1f Mops (%.2fx)\n",
+              mpmc_single, mpmc_batch, mpmc_batch / mpmc_single);
+  std::printf("  MpmcLink 2p2c / 4p4c  : %.1f / %.1f Mops\n", mpmc_2p2c,
+              mpmc_4p4c);
+  std::printf(
+      "  fabric rings 4x8/8x16/16x32 : %llu/%llu, %llu/%llu, %llu/%llu "
+      "(mesh/fabric)\n",
+      static_cast<unsigned long long>(fab_4x8.mesh_rings),
+      static_cast<unsigned long long>(fab_4x8.fabric_rings),
+      static_cast<unsigned long long>(fab_8x16.mesh_rings),
+      static_cast<unsigned long long>(fab_8x16.fabric_rings),
+      static_cast<unsigned long long>(fab_16x32.mesh_rings),
+      static_cast<unsigned long long>(fab_16x32.fabric_rings));
+  std::printf(
+      "  fabric fan-in 8x16    : mesh %.1f vs fabric %.1f Mops (%.2fx)\n",
+      fanin_mesh_8x16, fanin_fab_8x16, fanin_fab_8x16 / fanin_mesh_8x16);
+  std::printf("  steal hit-rate (sim)  : %.3f of delivered frames\n",
+              steal_hitrate);
   std::printf(
       "  flowtable v1/v2 hit   : %.1f / %.1f ns (%.2fx) at %zu flows; v2 "
       "insert %.1f ns\n",
@@ -1192,6 +1474,31 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("  within tolerance: OK\n");
+
+    // Fabric-scaling gate: only the RATIO keys (speedup / reduction) are
+    // compared — they divide out machine speed, unlike the raw mops keys.
+    // A current ratio more than `tolerance` below the committed baseline's
+    // fails the build. Baselines that predate these keys skip silently.
+    const std::map<std::string, double> fabric_now = {
+        {"fabric_scaling_ring_reduction_8x16",
+         static_cast<double>(fab_8x16.mesh_rings) /
+             static_cast<double>(fab_8x16.fabric_rings)},
+        {"fabric_scaling_agg_speedup_4x8", fanin_fab_4x8 / fanin_mesh_4x8},
+        {"fabric_scaling_agg_speedup_8x16", fanin_fab_8x16 / fanin_mesh_8x16},
+        {"fabric_scaling_agg_speedup_16x32",
+         fanin_fab_16x32 / fanin_mesh_16x32},
+    };
+    for (const auto& [key, now_val] : fabric_now) {
+      const auto it = base.find(key);
+      if (it == base.end() || it->second <= 0.0) continue;
+      std::printf("  %s: now %.3f vs baseline %.3f\n", key.c_str(), now_val,
+                  it->second);
+      if (now_val < it->second * (1.0 - tolerance)) {
+        std::printf("  fabric scaling regressed: FAIL\n");
+        return 1;
+      }
+    }
+    std::printf("  fabric scaling within tolerance: OK\n");
   }
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "lvrm/fault_injector.hpp"
 #include "net/flow.hpp"
 #include "net/flow_v2.hpp"
 #include "net/headers.hpp"
@@ -555,6 +556,153 @@ ElephantTrialResult run_elephant_trial(const ElephantTrialOptions& opt) {
   out.deltas_sent = sys.deltas_sent();
   out.deltas_applied = sys.deltas_applied();
   out.seq_window_overflows = sys.seq_window_overflows();
+  return out;
+}
+
+// --- MPMC fabric & work stealing (Experiment 9, DESIGN.md §17) ----------------------------
+
+FabricTrialResult run_fabric_trial(const FabricTrialOptions& opt) {
+  using Workload = FabricTrialOptions::Workload;
+  sim::Simulator simulator;
+  sim::CpuTopology topo;
+  LvrmConfig cfg;
+  cfg.adapter = AdapterKind::kMemory;
+  cfg.allocator = AllocatorKind::kFixed;
+  cfg.granularity = opt.workload == Workload::kSkewFrame
+                        ? BalancerGranularity::kFrame
+                        : BalancerGranularity::kFlow;
+  cfg.dispatch_shards = opt.shards;
+  cfg.batched_hot_path = opt.batched;
+  cfg.descriptor_rings = opt.descriptor_rings;
+  cfg.mpmc_fabric = opt.fabric;
+  cfg.work_stealing = opt.stealing;
+  cfg.state_replication.enabled = opt.workload == Workload::kElephant;
+  cfg.seed = opt.seed;
+  LvrmSystem sys(simulator, topo, cfg);
+  VrConfig vr;
+  if (opt.workload == Workload::kElephant) {
+    // Stateful VR so the sprayed elephant churns replicated state, exactly
+    // as in Exp 8 — stolen sprayed frames must still sequence at TX.
+    vr.kind = VrKind::kRateLimit;
+    vr.inner_kind = VrKind::kCpp;
+    vr.rate_limit_fps = 1e9;
+    vr.rate_limit_burst = 1e6;
+    vr.dummy_load = static_cast<Nanos>(1e9 / cfg.per_vri_capacity_fps);
+  } else {
+    vr.kind = VrKind::kCpp;
+  }
+  vr.initial_vris = opt.vris;
+  sys.add_vr(vr);
+  sys.start();
+
+  FabricTrialResult out;
+  out.shards = sys.shard_count();
+  out.vris = opt.vris;
+  out.mesh_rings = sys.mesh_ring_count();
+  out.fabric_rings = sys.fabric_ring_count();
+  out.mesh_ring_bytes = sys.mesh_ring_bytes();
+  out.fabric_ring_bytes = sys.fabric_ring_bytes();
+
+  std::uint64_t delivered = 0;
+  RunningStats latency_us;
+  // Per-flow (by src_port) last egressed frame id; ids are per-flow
+  // sequence numbers, so any regression is an external reordering.
+  std::unordered_map<std::uint16_t, std::int64_t> last_id;
+  sys.set_egress([&](net::FrameMeta&& f) {
+    ++delivered;
+    latency_us.add(to_micros(simulator.now() - f.gw_in_at));
+    auto [it, fresh] = last_id.try_emplace(f.src_port, -1);
+    if (static_cast<std::int64_t>(f.id) < it->second)
+      ++out.ordering_violations;
+    it->second = static_cast<std::int64_t>(f.id);
+  });
+
+  FaultInjector faults(simulator, sys);
+  if (opt.stealing && opt.workload == Workload::kSkewFrame) {
+    // One sick VRI at 6x service cost: its queue backlogs while siblings
+    // go idle — the §17 idle-VRI steal pressure case.
+    faults.schedule({.kind = FaultKind::kSlowdown,
+                     .vri = 0,
+                     .at = opt.warmup / 2,
+                     .duration = 0,  // permanent; the drain still completes
+                     .magnitude = 6.0});
+  }
+
+  const auto flows = static_cast<std::size_t>(opt.flows);
+  auto make_frame = [&](std::uint16_t src_port, std::uint64_t id) {
+    net::FrameMeta f;
+    f.id = id;
+    f.wire_bytes = opt.frame_bytes;
+    f.src_ip = net::ipv4(10, 1, 0, 1);
+    f.dst_ip = net::ipv4(10, 2, 0, 1);
+    f.src_port = src_port;
+    f.dst_port = 9;
+    f.created_at = simulator.now();
+    return f;
+  };
+
+  constexpr std::uint16_t kElephantPort = 7000;
+  const Nanos tick = usec(20);
+  const double dt = to_seconds(tick);
+  const Nanos stop_at = opt.warmup + opt.measure;
+  std::vector<std::uint64_t> flow_seq(flows, 0);
+  std::vector<double> mouse_credit(flows, 0.0);
+  std::size_t rr = 0;
+  double elephant_credit = 0.0;
+  std::uint64_t elephant_seq = 0;
+  std::function<void()> refill = [&] {
+    if (simulator.now() >= stop_at) return;  // let the system drain
+    if (opt.workload == Workload::kElephant) {
+      // Exp 8 shape: one elephant at 4x a single VRI's capacity plus light
+      // pinned mice at 10% aggregate.
+      elephant_credit += cfg.per_vri_capacity_fps * 4.0 * dt;
+      while (elephant_credit >= 1.0) {
+        elephant_credit -= 1.0;
+        if (!sys.ingress(make_frame(kElephantPort, elephant_seq))) break;
+        ++elephant_seq;
+      }
+      const double mouse_rate =
+          cfg.per_vri_capacity_fps * 0.1 / static_cast<double>(flows);
+      for (std::size_t m = 0; m < flows; ++m) {
+        mouse_credit[m] += mouse_rate * dt;
+        while (mouse_credit[m] >= 1.0) {
+          mouse_credit[m] -= 1.0;
+          const auto port = static_cast<std::uint16_t>(9000 + m);
+          if (!sys.ingress(make_frame(port, flow_seq[m]))) break;
+          ++flow_seq[m];
+        }
+      }
+    } else {
+      // Saturating round-robin over the pinned flows (Exp 5 refill shape):
+      // push until an RX ring refuses, cycling flows so every shard and
+      // every pinned VRI stays loaded.
+      for (int i = 0; i < 1024; ++i) {
+        const std::size_t m = rr;
+        rr = (rr + 1) % flows;
+        const auto port = static_cast<std::uint16_t>(9000 + m);
+        if (!sys.ingress(make_frame(port, flow_seq[m]))) break;
+        ++flow_seq[m];
+      }
+    }
+    simulator.after(tick, refill);
+  };
+  simulator.at(0, refill);
+
+  simulator.run_until(opt.warmup);
+  const std::uint64_t mark = delivered;
+  simulator.run_until(stop_at);
+  out.delivered_fps =
+      static_cast<double>(delivered - mark) / to_seconds(opt.measure);
+  // Full drain: every queued frame egresses or lands in a drop bucket, so
+  // a non-zero pool in-flight here is a genuinely leaked slot.
+  simulator.run_all();
+  out.avg_latency_us = latency_us.mean();
+  out.tx_steals = sys.tx_steals();
+  out.tx_steal_frames = sys.tx_steal_frames();
+  out.vri_steals = sys.vri_steals();
+  out.vri_steal_frames = sys.vri_steal_frames();
+  if (const net::FramePool* pool = sys.frame_pool())
+    out.pool_leaked = pool->in_flight();
   return out;
 }
 

@@ -311,6 +311,61 @@ struct ElephantTrialResult {
 /// at 4 VRIs with replication on, and 0 external ordering violations.
 ElephantTrialResult run_elephant_trial(const ElephantTrialOptions& opt);
 
+// --- MPMC fabric & work stealing (Experiment 9, DESIGN.md §17) ----------------------------
+
+struct FabricTrialOptions {
+  int shards = 4;         // LvrmConfig::dispatch_shards
+  int vris = 8;           // initial VRIs of the single C++ VR
+  bool fabric = true;     // LvrmConfig::mpmc_fabric
+  bool stealing = false;  // LvrmConfig::work_stealing (needs fabric)
+  bool descriptor_rings = true;
+  bool batched = true;
+  /// Workload shape. kPinned replays `flows` pinned 5-tuples — per-flow
+  /// ordering must stay exact, steals must refuse every pinned head.
+  /// kElephant adds a §16 sprayed elephant over the pinned mice, so
+  /// idle-VRI steals CAN fire and the TX sequencer must keep ordering
+  /// exact anyway — the §17 × §16 composition claim. kSkewFrame uses frame
+  /// granularity with one degraded VRI: maximum steal pressure, no
+  /// per-flow ordering promise (ordering_violations not meaningful).
+  enum class Workload { kPinned, kElephant, kSkewFrame };
+  Workload workload = Workload::kPinned;
+  int flows = 256;   // pinned 5-tuples (mice for kElephant)
+  int frame_bytes = 84;
+  Nanos warmup = msec(10);
+  Nanos measure = msec(50);
+  std::uint64_t seed = 1;
+};
+
+struct FabricTrialResult {
+  int shards = 0;
+  int vris = 0;
+  FramesPerSec delivered_fps = 0.0;
+  double avg_latency_us = 0.0;
+  /// §17 arena audit: conceptual SPSC-mesh ring count/bytes vs what the
+  /// fabric actually reserves for the same topology.
+  std::size_t mesh_rings = 0;
+  std::size_t fabric_rings = 0;
+  std::size_t mesh_ring_bytes = 0;
+  std::size_t fabric_ring_bytes = 0;
+  /// Steal counters at end of run (0 unless `stealing`).
+  std::uint64_t tx_steals = 0;
+  std::uint64_t tx_steal_frames = 0;
+  std::uint64_t vri_steals = 0;
+  std::uint64_t vri_steal_frames = 0;
+  /// Per-flow frame-id regressions at egress. Must be 0 for kPinned and
+  /// kElephant (the §17 ordering claim); unconstrained for kSkewFrame.
+  std::uint64_t ordering_violations = 0;
+  /// Pool slots still in flight after the run fully drains. Must be 0:
+  /// stealing moves handles between servers but never drops one.
+  std::uint64_t pool_leaked = 0;
+};
+
+/// Replays a pinned-flow (or elephant / skewed) RAM trace through a
+/// `shards` × `vris` gateway with the §17 fabric knobs as given, runs the
+/// sim to full drain, and reports throughput, the ring-count/bytes audit,
+/// steal counters, ordering violations, and leaked pool slots.
+FabricTrialResult run_fabric_trial(const FabricTrialOptions& opt);
+
 // --- Control-event latency (Experiment 1e) --------------------------------------------
 
 /// Average latency of relaying a control event between two VRIs of one VR.

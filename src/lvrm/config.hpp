@@ -195,6 +195,34 @@ struct LvrmConfig {
   /// queue tail-drop; set explicitly to exercise exhaustion behavior.
   std::size_t frame_pool_capacity = 0;
 
+  /// MPMC virtual-link IPC fabric (DESIGN.md §17): collapses the
+  /// O(shards × VRIs) SPSC mesh into one multi-producer ingress link per
+  /// VRI and one multi-consumer TX drain per home shard, carrying 32-bit
+  /// FrameHandles (`queue/mpmc_link.hpp`). Off by default: the SPSC mesh
+  /// is the calibrated reference and results are byte-identical off-vs-on
+  /// with `work_stealing` off (same rollout discipline as
+  /// `batched_hot_path` / `descriptor_rings`).
+  bool mpmc_fabric = false;
+
+  /// Work stealing over the MPMC fabric (DESIGN.md §17, requires
+  /// `mpmc_fabric`): an idle shard steals TX bursts from another shard's
+  /// home drain, and an idle VRI steals ingress frames from an overloaded
+  /// same-VR sibling — only unpinned (frame-granularity or sprayed)
+  /// frames, so flow pinning and the §16 sequencer keep external order
+  /// exact. Off by default; no hook is installed and outputs are
+  /// byte-identical with it off.
+  bool work_stealing = false;
+
+  /// Minimum victim backlog (queued frames) before an idle VRI steals from
+  /// a sibling — stealing the last few frames of a near-empty queue costs
+  /// more coherence traffic than it saves.
+  std::size_t steal_min_backlog = 8;
+
+  /// Re-poll period of an idle thief while same-VR siblings still hold
+  /// backlog. The timer dies as soon as the VR goes idle, so a quiescing
+  /// simulation still terminates.
+  Nanos steal_poll_period = usec(5);
+
   /// Million-flow connection tracking (DESIGN.md §14): every per-shard
   /// Dispatcher swaps the linear-probing FlowTable for FlowTableV2 —
   /// cache-line-bucketed tags, incremental (pause-free) resize, idle-expiry

@@ -74,6 +74,16 @@ struct LvrmSystem::VriSlot {
                                  queue::kInvalidSegment, queue::kInvalidSegment};
   sim::EventId migration_event = sim::kInvalidEvent;
 
+  // §17 work stealing. Input indices let thieves repair the right hint on
+  // the right server after an external pop; `steal_inflight` counts stolen
+  // TX frames not yet egressed — the home server's drain gate stays closed
+  // while it is non-zero, so newer same-slot frames cannot overtake the
+  // stolen burst. `steal_timer_armed` dedups the idle re-poll timer.
+  std::size_t data_in_input = 0;   // data_in's index on this slot's server
+  std::size_t data_out_input = 0;  // data_out's index on the home server
+  std::size_t steal_inflight = 0;
+  bool steal_timer_armed = false;
+
   /// Frames the slot's stateful VR refused (§16 policy drops; 0 for the
   /// stateless thesis VRs, which never refuse).
   std::uint64_t policy_drops = 0;
@@ -231,6 +241,12 @@ struct LvrmSystem::ObsHooks {
   obs::Counter seq_holds;
   obs::Counter seq_gap_skips;
   obs::Counter seq_window_overflow;
+  // §17 work-stealing counters (registered only when `work_stealing` is on
+  // over the fabric — defaults-off exports stay byte-identical).
+  obs::Counter tx_steals;
+  obs::Counter tx_steal_frames;
+  obs::Counter vri_steals;
+  obs::Counter vri_steal_frames;
   Nanos last_snapshot = 0;
 };
 
@@ -239,6 +255,10 @@ struct LvrmSystem::ObsHooks {
 LvrmSystem::LvrmSystem(sim::Simulator& sim, const sim::CpuTopology& topo,
                        LvrmConfig config)
     : sim_(sim), topo_(topo), config_(config), rng_(config.seed) {
+  // §17: stealing is defined over the fabric's MPMC links; without the
+  // fabric the gate is inert (documented in README's config table).
+  fabric_ = config_.mpmc_fabric;
+  stealing_ = fabric_ && config_.work_stealing;
   for (sim::CoreId c = 0; c < topo_.total_cores(); ++c)
     cores_.push_back(
         std::make_unique<sim::Core>(sim_, c, costs::kContextSwitch));
@@ -313,6 +333,14 @@ LvrmSystem::LvrmSystem(sim::Simulator& sim, const sim::CpuTopology& topo,
       obs_->seq_gap_skips = m.counter("lvrm_seq_gap_skips_total");
       obs_->seq_window_overflow = m.counter("lvrm_seq_window_overflow_total");
     }
+    if (stealing_) {
+      // §17 steal counters exist only with work stealing on, so a
+      // stealing-off export stays byte-identical to earlier builds.
+      obs_->tx_steals = m.counter("lvrm_tx_steals_total");
+      obs_->tx_steal_frames = m.counter("lvrm_tx_steal_frames_total");
+      obs_->vri_steals = m.counter("lvrm_vri_steals_total");
+      obs_->vri_steal_frames = m.counter("lvrm_vri_steal_frames_total");
+    }
   }
   replication_ = config_.state_replication.enabled;
 
@@ -341,6 +369,74 @@ LvrmSystem::LvrmSystem(sim::Simulator& sim, const sim::CpuTopology& topo,
                 return rx_cost_batch(cs, *sh);
               })
             : FrameServer::BatchCostFn{});
+  }
+
+  // §17 MPMC fabric: TX collapses from one drain ring per (shard, VRI) pair
+  // to ONE per-home-shard MPMC link all of that shard's slots feed. In the
+  // simulation the per-slot BoundedQueues persist as the link's per-producer
+  // claimed segments (each producer's burst occupies a contiguous claimed
+  // sub-region, so per-producer FIFO sub-queues model the link exactly);
+  // only the arena topology and the stealing capability change, which keeps
+  // fabric-on byte-identical to fabric-off while work_stealing is off.
+  if (fabric_) {
+    const std::size_t elem = config_.descriptor_rings
+                                 ? sizeof(net::FrameHandle)
+                                 : sizeof(net::FrameMeta);
+    for (DispatchShard& shard : shards_) {
+      shard.tx_link_shm = arena_.create(config_.data_queue_capacity * elem);
+      if (!stealing_) continue;
+      DispatchShard* sh = &shard;
+      const std::string suffix =
+          shard.id == 0 ? "" : "/s" + std::to_string(shard.id);
+      // Staging queue for bursts stolen off other shards' TX links. It is a
+      // pool-slot-neutral hop: frames enter by move from the victim's drain
+      // and leave through the same take_cell/finish_tx path, so conservation
+      // holds (tested in test_system_fabric).
+      shard.tx_steal_q = std::make_unique<FrameQueue>(
+          config_.data_queue_capacity, "tx-steal" + suffix);
+      shard.tx_steal_input = shard.server->add_input(
+          *shard.tx_steal_q, /*priority=*/1,
+          [this, sh](net::FrameCell& c) {
+            const net::FrameMeta& f = meta_of(c);
+            Nanos cost = costs::kDequeueCost + sh->adapter->send_cost(f);
+            Nanos user_part = costs::kDequeueCost;
+            // The producer is the victim VRI's core, not a dispatcher's.
+            const VriSlot* victim = steal_victim_slot(f);
+            if (victim && cross_socket(victim->core_id, sh->core_id)) {
+              cost += costs::kCrossSocketQueueOp;
+              user_part += costs::kCrossSocketQueueOp;
+            }
+            if (sh->adapter->send_category() != CostCategory::kUser)
+              core(sh->core_id)
+                  .reclassify(sh->adapter->send_category(),
+                              CostCategory::kUser, user_part);
+            return cost;
+          },
+          [this, sh](net::FrameCell&& c) {
+            net::FrameMeta f = take_cell(std::move(c));
+            f.gw_out_at = sim_.now();
+            VriSlot* victim = steal_victim_slot(f);
+            VrState* v = victim ? vrs_[static_cast<std::size_t>(victim->vr_id)]
+                                      .get()
+                                : nullptr;
+            if (victim && victim->steal_inflight > 0 &&
+                --victim->steal_inflight == 0) {
+              // Last stolen frame egressed: reopen the victim's own drain
+              // (the gate held it closed so nothing could overtake).
+              shards_[static_cast<std::size_t>(victim->home_shard)]
+                  .server->kick(victim->data_out_input);
+            }
+            if (!v) return;  // victim VR gone (cannot happen today)
+            if (replication_ && f.sprayed) {
+              sequence_tx(*v, std::move(f));
+              return;
+            }
+            finish_tx(*v, std::move(f));
+          },
+          shard.adapter->send_category(), config_.poll_batch,
+          /*coalesce=*/config_.batched_hot_path);
+      shard.server->set_idle_hook([this, sh] { return try_tx_steal(*sh); });
+    }
   }
 }
 
@@ -419,9 +515,26 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
                                                base + "/ctrl-out");
     // One shared-memory segment per queue, as in Sec 3.8: the identifiers
     // are what a forked VRI would receive via its main() arguments.
-    for (int q = 0; q < 4; ++q)
-      s->shm_ids[q] = arena_.create(config_.data_queue_capacity *
+    if (fabric_) {
+      // §17 fabric layout: one MPMC ingress link every shard feeds
+      // (shm_ids[0] — a handle link in descriptor mode, so it shrinks to
+      // 4 bytes/elem), two control rings sized to the control capacity
+      // instead of the data capacity, and NO per-slot TX segment: egress
+      // rides the home shard's shared tx_link_shm.
+      const std::size_t elem = config_.descriptor_rings
+                                   ? sizeof(net::FrameHandle)
+                                   : sizeof(net::FrameMeta);
+      s->shm_ids[0] = arena_.create(config_.data_queue_capacity * elem);
+      s->shm_ids[1] = arena_.create(config_.control_queue_capacity *
                                     sizeof(net::FrameMeta));
+      s->shm_ids[2] = arena_.create(config_.control_queue_capacity *
+                                    sizeof(net::FrameMeta));
+      s->shm_ids[3] = queue::kInvalidSegment;
+    } else {
+      for (int q = 0; q < 4; ++q)
+        s->shm_ids[q] = arena_.create(config_.data_queue_capacity *
+                                      sizeof(net::FrameMeta));
+    }
 
     // The factory honors kind + click_script/click_use_graph and wraps the
     // stateful kinds (NAT / firewall / rate limit) around their configured
@@ -461,7 +574,7 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
         },
         CostCategory::kUser);
 
-    s->server->add_input(
+    s->data_in_input = s->server->add_input(
         *s->data_in, /*priority=*/1,
         [this, s, v](net::FrameCell& c) {
           net::FrameMeta& f = meta_of(c);
@@ -523,10 +636,14 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
               if (!push_cell_or_note(*s->data_out, std::move(c),
                                      DropCause::kQueueFull))
                 ++v->data_drops;
+              else
+                maybe_poke_tx_thieves(*s);
             });
           } else if (!push_cell_or_note(*s->data_out, std::move(c),
                                         DropCause::kQueueFull)) {
             ++v->data_drops;
+          } else {
+            maybe_poke_tx_thieves(*s);
           }
         },
         CostCategory::kUser);
@@ -569,7 +686,7 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
         },
         CostCategory::kUser);
 
-    home.server->add_input(
+    s->data_out_input = home.server->add_input(
         *s->data_out, /*priority=*/1,
         [this, s, &home](net::FrameCell& c) {
           Nanos cost = costs::kDequeueCost + home.adapter->send_cost(meta_of(c));
@@ -601,6 +718,19 @@ int LvrmSystem::add_vr(VrConfig vr_config) {
         // Batched hot path: the TX burst is one coalesced core event; the
         // per-item cost fn above is summed over the drained frames.
         /*coalesce=*/config_.batched_hot_path);
+
+    if (stealing_) {
+      // §17: while a TX-steal is in flight the victim's own drain is held
+      // closed, so the stolen (older) burst cannot be overtaken by newer
+      // frames from the same slot — TX order per slot stays exact. The gate
+      // intentionally leaves the nonempty hint intact; kick() reopens it.
+      home.server->set_input_gate(s->data_out_input,
+                                  [s] { return s->steal_inflight == 0; });
+      // Idle-VRI data-plane stealing: when this slot's own queues are dry
+      // its poll loop scans same-VR siblings for unpinned backlog.
+      s->server->set_idle_hook(
+          [this, v, s] { return try_vri_steal(*v, *s); });
+    }
 
     vr->slots.push_back(std::move(slot));
   }
@@ -1569,6 +1699,261 @@ void LvrmSystem::spray_gc(Nanos now) {
 void LvrmSystem::bump_pool_generation(VrState& vr) {
   ++vr.pool_generation;
   for (auto& d : vr.dispatchers) d->set_pool_generation(vr.pool_generation);
+}
+
+// ---------------------------------------------------------------------------
+// §17 MPMC fabric + work stealing
+// ---------------------------------------------------------------------------
+
+LvrmSystem::VriSlot* LvrmSystem::steal_victim_slot(const net::FrameMeta& f) {
+  if (f.dispatch_vr < 0 || f.dispatch_vr >= static_cast<int>(vrs_.size()))
+    return nullptr;
+  VrState& vr = *vrs_[static_cast<std::size_t>(f.dispatch_vr)];
+  if (f.dispatch_vri < 0 ||
+      f.dispatch_vri >= static_cast<int>(vr.slots.size()))
+    return nullptr;
+  return vr.slots[static_cast<std::size_t>(f.dispatch_vri)].get();
+}
+
+bool LvrmSystem::spray_is_active(const VrState& vr,
+                                 const net::FrameMeta& f) const {
+  // Ingress frames have not run the stateful step yet, so the 5-tuple is
+  // still the dispatch-side one the spray map is keyed by.
+  const auto it = vr.sprays.find(net::FiveTuple::from_frame(f));
+  return it != vr.sprays.end() &&
+         it->second.phase == VrState::SprayState::Phase::kActive;
+}
+
+bool LvrmSystem::try_tx_steal(DispatchShard& thief) {
+  if (!stealing_ || !thief.tx_steal_q) return false;
+  // One victim burst at a time: the staging queue must fully egress (and
+  // reopen the victim's gate) before the next steal, or bursts from two
+  // victims would interleave in one FIFO.
+  if (!thief.tx_steal_q->empty() ||
+      thief.server->serving_input(thief.tx_steal_input))
+    return false;
+  for (auto& vrp : vrs_) {
+    for (auto& sp : vrp->slots) {
+      VriSlot& s = *sp;
+      if (s.home_shard == thief.id) continue;  // only foreign drains
+      if (s.steal_inflight > 0) continue;      // already being stolen from
+      if (s.data_out->size() < config_.steal_min_backlog) continue;
+      DispatchShard& home = shards_[static_cast<std::size_t>(s.home_shard)];
+      // Never steal under the home server's feet: mid-burst frames must
+      // egress before anything younger, and the stolen burst would race.
+      if (home.server->serving_input(s.data_out_input)) continue;
+      std::size_t moved = 0;
+      const std::size_t want =
+          std::min<std::size_t>(config_.poll_batch, s.data_out->size());
+      while (moved < want && !s.data_out->empty()) {
+        if (!thief.tx_steal_q->push(s.data_out->pop())) break;  // staging full
+        ++moved;
+      }
+      if (moved == 0) continue;
+      // Close the victim's own drain until the stolen (older) burst has
+      // egressed — newer same-slot frames cannot overtake it.
+      s.steal_inflight = moved;
+      home.server->repair_hint(s.data_out_input);
+      ++tx_steals_;
+      tx_steal_frames_ += moved;
+      if (obs_) {
+        obs_->tx_steals.inc();
+        obs_->tx_steal_frames.add(moved);
+      }
+      audit_steal(obs::AuditKind::kTxSteal, thief.id, s, moved);
+      return true;
+    }
+  }
+  // Nothing stealable right now. A foreign drain with backlog may become
+  // stealable once its home server moves off it — re-poll; with no backlog
+  // anywhere let the timer die so an idle sim can drain.
+  arm_tx_steal_timer(thief);
+  return false;
+}
+
+void LvrmSystem::maybe_poke_tx_thieves(VriSlot& s) {
+  if (!stealing_) return;
+  // Exactly at the threshold crossing: one poke per backlog build-up, not
+  // one per egress frame. Busy thieves find steals through their own idle
+  // transitions; this only wakes shards with nothing else to run.
+  if (s.data_out->size() != config_.steal_min_backlog) return;
+  for (auto& shard : shards_) {
+    if (shard.id == s.home_shard) continue;
+    if (!shard.server->busy()) shard.server->maybe_serve();
+  }
+}
+
+void LvrmSystem::arm_tx_steal_timer(DispatchShard& thief) {
+  if (thief.tx_steal_timer_armed) return;
+  bool backlog = false;
+  for (const auto& vrp : vrs_) {
+    for (const auto& sp : vrp->slots) {
+      if (sp->home_shard != thief.id &&
+          sp->data_out->size() >= config_.steal_min_backlog) {
+        backlog = true;
+        break;
+      }
+    }
+    if (backlog) break;
+  }
+  if (!backlog) return;
+  thief.tx_steal_timer_armed = true;
+  DispatchShard* t = &thief;
+  sim_.after(config_.steal_poll_period, [this, t] {
+    t->tx_steal_timer_armed = false;
+    if (!stealing_ || t->server->busy()) return;
+    // Re-run the idle scan (which re-arms this timer while backlog holds).
+    t->server->maybe_serve();
+  });
+}
+
+bool LvrmSystem::try_vri_steal(VrState& vr, VriSlot& thief) {
+  if (!stealing_) return false;
+  if (!thief.active || thief.crashed || thief.draining || thief.hung)
+    return false;
+  for (const int idx : vr.active_order) {
+    VriSlot& victim = *vr.slots[static_cast<std::size_t>(idx)];
+    if (&victim == &thief) continue;
+    if (victim.crashed || victim.hung || victim.draining) continue;
+    if (victim.data_in->size() < config_.steal_min_backlog) continue;
+    std::size_t moved = 0;
+    const std::size_t want =
+        std::min<std::size_t>(config_.poll_batch, victim.data_in->size());
+    while (moved < want && !victim.data_in->empty()) {
+      // Steal-only-unpinned: frame-granularity frames carry no per-flow
+      // FIFO promise, and Active-sprayed frames are re-sequenced at TX
+      // (§16). Anything else is pinned — stop at the first pinned head so
+      // a pinned flow's in-queue order is never split across VRIs.
+      const net::FrameMeta& head = victim.data_in->front().meta(pool_.get());
+      const bool unpinned =
+          config_.granularity == BalancerGranularity::kFrame ||
+          (head.sprayed != 0 && spray_is_active(vr, head));
+      if (!unpinned) break;
+      if (thief.data_in->size() >= thief.data_in->capacity()) break;
+      net::FrameCell c = victim.data_in->pop();
+      // Re-stamp the dispatch decision: service accounting, NUMA costing
+      // and TX-steal victim lookup all key off the executing VRI.
+      meta_of(c).dispatch_vri = static_cast<std::int16_t>(thief.index);
+      push_cell(*thief.data_in, std::move(c));
+      ++moved;
+    }
+    if (moved == 0) continue;
+    victim.server->repair_hint(victim.data_in_input);
+    ++vri_steals_;
+    vri_steal_frames_ += moved;
+    if (obs_) {
+      obs_->vri_steals.inc();
+      obs_->vri_steal_frames.add(moved);
+    }
+    audit_steal(obs::AuditKind::kVriSteal, thief.index, victim, moved);
+    return true;
+  }
+  // Nothing stealable right now. If a live sibling still holds backlog the
+  // heads may unpin later (a spray going Active, pinned frames draining) —
+  // re-poll; otherwise let the timer die so an idle sim can drain.
+  arm_steal_timer(vr, thief);
+  return false;
+}
+
+void LvrmSystem::arm_steal_timer(VrState& vr, VriSlot& thief) {
+  if (thief.steal_timer_armed) return;
+  bool backlog = false;
+  for (const int idx : vr.active_order) {
+    const VriSlot& s = *vr.slots[static_cast<std::size_t>(idx)];
+    if (&s == &thief || s.crashed || s.hung) continue;
+    if (s.data_in->size() >= config_.steal_min_backlog) {
+      backlog = true;
+      break;
+    }
+  }
+  if (!backlog) return;
+  thief.steal_timer_armed = true;
+  VrState* v = &vr;
+  VriSlot* t = &thief;
+  sim_.after(config_.steal_poll_period, [this, v, t] {
+    t->steal_timer_armed = false;
+    if (!stealing_ || !t->active || t->crashed || t->server->busy()) return;
+    // Re-run the idle scan (which re-arms this timer while backlog holds).
+    t->server->maybe_serve();
+  });
+}
+
+void LvrmSystem::audit_steal(obs::AuditKind kind, int thief,
+                             const VriSlot& victim, std::size_t burst) {
+  if (!telemetry_) return;
+  const Nanos now = sim_.now();
+  // Rate-limited like kPoolExhausted: at most one event per sim second per
+  // kind — the counters stay exact, the bounded trail stays unflooded.
+  Nanos& last = kind == obs::AuditKind::kTxSteal ? last_tx_steal_audit_
+                                                 : last_vri_steal_audit_;
+  if (last >= 0 && now - last < sec(1)) return;
+  last = now;
+  obs::AuditEvent e;
+  e.time = e.until = now;
+  e.kind = kind;
+  e.vr = static_cast<std::int16_t>(victim.vr_id);
+  e.a = burst;
+  if (kind == obs::AuditKind::kTxSteal) {
+    e.shard = static_cast<std::int16_t>(thief);
+    e.vri = static_cast<std::int16_t>(victim.index);
+    e.b = tx_steals_;
+    e.c = tx_steal_frames_;
+  } else {
+    e.vri = static_cast<std::int16_t>(thief);
+    e.service = static_cast<double>(victim.index);
+    e.b = vri_steals_;
+    e.c = vri_steal_frames_;
+  }
+  telemetry_->audit().record(e);
+}
+
+std::size_t LvrmSystem::mesh_ring_count() const {
+  // The SPSC mesh this fabric replaces: with S dispatch shards every slot
+  // needs a per-(shard, slot) ring in EACH direction (any shard may dispatch
+  // to any slot; any slot's egress is drained by its producer shard — §11's
+  // per-shard TX drains) plus its two control rings, and each shard has its
+  // RX ring. rings = Σ_slots (2S + 2) + S.
+  const std::size_t S = shards_.size();
+  std::size_t slots = 0;
+  for (const auto& vr : vrs_) slots += vr->slots.size();
+  return slots * (2 * S + 2) + S;
+}
+
+std::size_t LvrmSystem::fabric_ring_count() const {
+  // The fabric: one MPMC ingress link per slot (all shards produce into
+  // it), two control rings per slot, one MPMC TX link per shard (all of the
+  // shard's homed slots produce into it) plus the shard's RX ring.
+  const std::size_t S = shards_.size();
+  std::size_t slots = 0;
+  for (const auto& vr : vrs_) slots += vr->slots.size();
+  return slots * 3 + 2 * S;
+}
+
+std::size_t LvrmSystem::mesh_ring_bytes() const {
+  // Mesh data rings carry full FrameMeta records (the mesh predates the
+  // descriptor fabric), control rings are sized like the mesh arena sizes
+  // them today (data capacity); RX rings are identical under both
+  // topologies and excluded from both sides.
+  const std::size_t S = shards_.size();
+  std::size_t slots = 0;
+  for (const auto& vr : vrs_) slots += vr->slots.size();
+  const std::size_t data = config_.data_queue_capacity * sizeof(net::FrameMeta);
+  return slots * (2 * S * data + 2 * data);
+}
+
+std::size_t LvrmSystem::fabric_ring_bytes() const {
+  // Mirrors what the fabric arena actually reserves: per slot one ingress
+  // link (FrameHandle elements in descriptor mode) + two control rings at
+  // the control capacity; per shard one TX link.
+  const std::size_t S = shards_.size();
+  std::size_t slots = 0;
+  for (const auto& vr : vrs_) slots += vr->slots.size();
+  const std::size_t elem = config_.descriptor_rings ? sizeof(net::FrameHandle)
+                                                    : sizeof(net::FrameMeta);
+  const std::size_t link = config_.data_queue_capacity * elem;
+  const std::size_t ctrl =
+      config_.control_queue_capacity * sizeof(net::FrameMeta);
+  return slots * (link + 2 * ctrl) + S * link;
 }
 
 std::size_t LvrmSystem::spray_active_flows() const {
@@ -2704,6 +3089,27 @@ void LvrmSystem::publish_gauges() {
         .set(static_cast<double>(spray_active_flows()));
     m.gauge("lvrm_seq_held_frames")
         .set(static_cast<double>(seq_held_frames()));
+  }
+  if (fabric_) {
+    // §17 fabric gauges exist only with the MPMC fabric on (same
+    // byte-identity rule as the replication gauges above). Reclaimed
+    // headroom = what the SPSC mesh would have reserved minus what the
+    // fabric actually reserves — the ShmArena audit the satellite asks for.
+    m.gauge("lvrm_fabric_rings")
+        .set(static_cast<double>(fabric_ring_count()));
+    m.gauge("lvrm_mesh_rings").set(static_cast<double>(mesh_ring_count()));
+    const std::size_t mesh_b = mesh_ring_bytes();
+    const std::size_t fab_b = fabric_ring_bytes();
+    m.gauge("lvrm_fabric_reclaimed_bytes")
+        .set(static_cast<double>(mesh_b > fab_b ? mesh_b - fab_b : 0));
+    if (stealing_) {
+      m.gauge("lvrm_tx_steals").set(static_cast<double>(tx_steals_));
+      m.gauge("lvrm_tx_steal_frames")
+          .set(static_cast<double>(tx_steal_frames_));
+      m.gauge("lvrm_vri_steals").set(static_cast<double>(vri_steals_));
+      m.gauge("lvrm_vri_steal_frames")
+          .set(static_cast<double>(vri_steal_frames_));
+    }
   }
 
   for (const auto& vrp : vrs_) {

@@ -18,6 +18,8 @@ const char* to_string(AuditKind k) {
     case AuditKind::kFlightDump: return "flight_dump";
     case AuditKind::kFlowSpray: return "flow_spray";
     case AuditKind::kFlowSprayEnd: return "flow_spray_end";
+    case AuditKind::kTxSteal: return "tx_steal";
+    case AuditKind::kVriSteal: return "vri_steal";
   }
   return "unknown";
 }

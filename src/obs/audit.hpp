@@ -35,6 +35,8 @@ enum class AuditKind : std::uint8_t {
   kFlightDump,     // §15 flight recorder snapshotted on an incident
   kFlowSpray,      // §16 an elephant flow began spraying across VRIs
   kFlowSprayEnd,   // §16 a sprayed flow went idle and left the spray set
+  kTxSteal,        // §17 an idle shard stole a TX burst from another's drain
+  kVriSteal,       // §17 an idle VRI stole ingress frames from a sibling
 };
 
 const char* to_string(AuditKind k);
@@ -115,6 +117,17 @@ const char* to_string(PoolExhaustCause c);
 ///     a         = frames sprayed over the flow's lifetime
 ///     b         = spray-flow id
 ///     shard     = dispatcher shard that steered the flow
+///   kTxSteal (§17; rate-limited to one event per sim second):
+///     a         = frames stolen in this burst
+///     b         = cumulative TX-steal bursts so far
+///     c         = cumulative TX frames stolen so far
+///     shard     = thief shard; vr/vri = victim slot whose drain was stolen
+///   kVriSteal (§17; rate-limited to one event per sim second):
+///     a         = frames stolen in this burst
+///     b         = cumulative VRI-steal bursts so far
+///     c         = cumulative ingress frames stolen so far
+///     vri       = thief VRI; b/c cumulative; `service` = victim VRI index
+///     vr        = the VR both siblings belong to
 struct AuditEvent {
   Nanos time = 0;   // event (or episode-start) sim time
   Nanos until = 0;  // episode end for duration events, else == time

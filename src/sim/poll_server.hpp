@@ -47,6 +47,16 @@ class PollServer {
   /// mutably, like CostFn; may be cheaper than the sum of per-item costs
   /// (amortized lookups, one syscall for the burst).
   using BatchCostFn = std::function<Nanos(std::span<T>)>;
+  /// Gate predicate: an input whose gate returns false is skipped by the
+  /// scheduler as if empty, but its non-empty hint is NOT cleared — the
+  /// work is still there, just temporarily owned by someone else (a steal
+  /// in flight, DESIGN.md §17). Call kick() after the gate reopens.
+  using GateFn = std::function<bool()>;
+  /// Idle hook: invoked when the scan finds no serviceable input. Return
+  /// true ONLY if the hook produced new work (e.g. stole a burst into one
+  /// of this server's queues) — the scan then runs again. Returning true
+  /// without producing work livelocks the loop.
+  using IdleHook = std::function<bool()>;
 
   /// `pickup_latency` models the poll loop's discovery delay: when work
   /// arrives while the server is idle, one loop iteration over its sockets
@@ -143,12 +153,53 @@ class PollServer {
   /// allocation pass that preempts the LVRM loop).
   void add_oneshot_cost(Nanos cost) { oneshot_cost_ += cost; }
 
+  /// Repairs a stale-HIGH non-empty hint after an EXTERNAL pop (a steal,
+  /// recovery drain, or shed) emptied the queue behind the scheduler's
+  /// back. Without this, a hot input's set hint makes every pick_input
+  /// probe the empty queue first — the §9 stale-high repair fires once per
+  /// scan instead of once, which on a stolen-dry link degenerates into a
+  /// permanent extra probe per serve. Harmless when the queue still holds
+  /// items or the hint is already clear.
+  void repair_hint(std::size_t idx) {
+    Input& in = inputs_[idx];
+    if (in.nonempty && in.queue->empty()) {
+      in.nonempty = false;
+      --classes_[in.class_idx].nonempty_count;
+    }
+  }
+
+  /// Installs the idle hook (see IdleHook). One per server; replaceable.
+  void set_idle_hook(IdleHook hook) { idle_hook_ = std::move(hook); }
+
+  /// Installs a gate predicate on input `idx` (see GateFn).
+  void set_input_gate(std::size_t idx, GateFn gate) {
+    inputs_[idx].gate = std::move(gate);
+  }
+
+  /// True while input `idx` is the one in service (classic item, coalesced
+  /// batch, or an unexhausted batch continuation). Stealing from a queue
+  /// its own server is mid-burst on would let the thief's frames overtake
+  /// the victim's in-service ones.
+  bool serving_input(std::size_t idx) const {
+    return (serving_ && in_service_idx_ == idx) ||
+           (batch_remaining_ > 0 && current_input_ == idx);
+  }
+
+  /// Re-arms the scheduler for input `idx` after its gate reopened (or
+  /// after external pushes that bypassed the queue observer): refreshes
+  /// the hint from the queue's actual state and kicks the serve loop.
+  void kick(std::size_t idx) {
+    if (!inputs_[idx].queue->empty()) note_nonempty(idx);
+    maybe_serve();
+  }
+
   /// Kicks the serve loop; harmless to call at any time.
   void maybe_serve() {
     if (!running_ || serving_) return;
     std::size_t idx = kNoInput;
     if (batch_remaining_ > 0 && current_input_ != kNoInput &&
-        !inputs_[current_input_].queue->empty()) {
+        !inputs_[current_input_].queue->empty() &&
+        gate_open(inputs_[current_input_])) {
       idx = current_input_;
       --batch_remaining_;
     } else {
@@ -160,7 +211,17 @@ class PollServer {
                              ? 0
                              : inputs_[idx].batch - 1;
     }
-    if (idx == kNoInput) return;
+    if (idx == kNoInput) {
+      // Nothing serviceable: give the idle hook (work stealing, §17) one
+      // chance to manufacture work before the loop parks.
+      if (idle_hook_ && !in_idle_hook_) {
+        in_idle_hook_ = true;
+        const bool retry = idle_hook_();
+        in_idle_hook_ = false;
+        if (retry) maybe_serve();
+      }
+      return;
+    }
     Input& in = inputs_[idx];
     if (in.coalesce) {
       serve_batch(in);
@@ -173,6 +234,7 @@ class PollServer {
     serving_ = true;
     ++serve_events_;
     in_service_input_ = &in;
+    in_service_idx_ = idx;
     core_->run(cost, in.category, owner_, [this] { complete_one(); });
   }
 
@@ -194,7 +256,11 @@ class PollServer {
     // cleared hint is always safe to skip.
     bool nonempty = false;
     std::size_t class_idx = 0;
+    // Optional gate (see GateFn): false = skip without clearing the hint.
+    GateFn gate;
   };
+
+  static bool gate_open(const Input& in) { return !in.gate || in.gate(); }
 
   struct PrioClass {
     int priority;
@@ -252,6 +318,9 @@ class PollServer {
       for (std::size_t i : cls.members) {
         Input& in = inputs_[i];
         if (!in.nonempty) continue;
+        // Gated input (steal in flight, §17): invisible to the scan, hint
+        // intact — the work exists, it is just temporarily owned elsewhere.
+        if (!gate_open(in)) continue;
         if (in.queue->empty()) {  // stale-high hint: repair and skip
           in.nonempty = false;
           --cls.nonempty_count;
@@ -305,6 +374,7 @@ class PollServer {
     ++batches_;
     batch_items_ += batch_buf_.size();
     in_service_input_ = &in;
+    in_service_idx_ = current_input_;
     core_->run(cost, in.category, owner_, [this] { complete_batch(); });
   }
 
@@ -354,6 +424,9 @@ class PollServer {
   // capacity across batches. No per-item heap allocation after warm-up.
   std::optional<T> in_service_;
   Input* in_service_input_ = nullptr;
+  std::size_t in_service_idx_ = kNoInput;
+  IdleHook idle_hook_;
+  bool in_idle_hook_ = false;
   std::function<void()> on_quiesced_;
   std::vector<T> batch_buf_;
   std::vector<T> sink_buf_;

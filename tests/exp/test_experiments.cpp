@@ -210,5 +210,54 @@ TEST(FrameSweep, CoversPaperRange) {
   EXPECT_GE(sizes.size(), 5u);
 }
 
+TEST(FabricTrial, PinnedWorkloadIsCleanOnFabric) {
+  FabricTrialOptions opt;
+  opt.shards = 2;
+  opt.vris = 4;
+  opt.fabric = true;
+  opt.stealing = false;
+  opt.flows = 32;
+  opt.warmup = msec(5);
+  opt.measure = msec(20);
+  const auto r = run_fabric_trial(opt);
+  EXPECT_GT(r.delivered_fps, 0.0);
+  EXPECT_EQ(r.ordering_violations, 0u);
+  EXPECT_EQ(r.pool_leaked, 0u);
+  EXPECT_EQ(r.vri_steals, 0u);
+  EXPECT_GT(r.mesh_rings, r.fabric_rings);
+}
+
+TEST(FabricTrial, SkewedFrameWorkloadStealsUnderStealing) {
+  FabricTrialOptions opt;
+  opt.shards = 2;
+  opt.vris = 4;
+  opt.fabric = true;
+  opt.stealing = true;
+  opt.workload = FabricTrialOptions::Workload::kSkewFrame;
+  opt.flows = 32;
+  opt.warmup = msec(5);
+  opt.measure = msec(30);
+  const auto r = run_fabric_trial(opt);
+  EXPECT_GT(r.delivered_fps, 0.0);
+  EXPECT_EQ(r.pool_leaked, 0u);
+  EXPECT_GT(r.vri_steals + r.tx_steals, 0u);
+}
+
+TEST(FabricTrial, ElephantWorkloadKeepsOrderingUnderStealing) {
+  FabricTrialOptions opt;
+  opt.shards = 2;
+  opt.vris = 4;
+  opt.fabric = true;
+  opt.stealing = true;
+  opt.workload = FabricTrialOptions::Workload::kElephant;
+  opt.flows = 16;
+  opt.warmup = msec(5);
+  opt.measure = msec(25);
+  const auto r = run_fabric_trial(opt);
+  EXPECT_GT(r.delivered_fps, 0.0);
+  EXPECT_EQ(r.ordering_violations, 0u);
+  EXPECT_EQ(r.pool_leaked, 0u);
+}
+
 }  // namespace
 }  // namespace lvrm::exp
